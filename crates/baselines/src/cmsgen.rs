@@ -1,0 +1,137 @@
+//! CMSGen-style sampler: CDCL with randomised heuristics.
+//!
+//! CMSGen ("Designing Samplers is Easy: The Boon of Testers", FMCAD 2021) is
+//! CryptoMiniSat with random polarities, random branching and frequent
+//! restarts, re-run once per requested sample. [`CmsGenLike`] is the same
+//! recipe on top of this workspace's CDCL solver.
+
+use crate::{RunCollector, SampleRun, SatSampler};
+use htsat_cnf::Cnf;
+use htsat_solver::{CdclConfig, CdclSolver, SolveResult};
+use std::time::Duration;
+
+/// Configuration of the CMSGen-style sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmsGenConfig {
+    /// Probability of a random branching decision.
+    pub random_branch_freq: f64,
+    /// Base seed; each sample uses `seed + sample_index`.
+    pub seed: u64,
+    /// Conflict budget per sample (`None` = unlimited).
+    pub max_conflicts_per_sample: Option<u64>,
+}
+
+impl Default for CmsGenConfig {
+    fn default() -> Self {
+        CmsGenConfig {
+            random_branch_freq: 0.2,
+            seed: 0,
+            max_conflicts_per_sample: Some(100_000),
+        }
+    }
+}
+
+/// A CMSGen-style diverse-solution sampler.
+#[derive(Debug, Clone, Default)]
+pub struct CmsGenLike {
+    config: CmsGenConfig,
+}
+
+impl CmsGenLike {
+    /// Creates a sampler with default configuration.
+    pub fn new() -> Self {
+        CmsGenLike::default()
+    }
+
+    /// Creates a sampler with an explicit configuration.
+    pub fn with_config(config: CmsGenConfig) -> Self {
+        CmsGenLike { config }
+    }
+}
+
+impl SatSampler for CmsGenLike {
+    fn name(&self) -> &'static str {
+        "cmsgen-like"
+    }
+
+    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
+        let mut collector = RunCollector::new(min_solutions, timeout);
+        let solver_config = CdclConfig {
+            random_polarity: true,
+            random_branch_freq: self.config.random_branch_freq,
+            seed: self.config.seed,
+            max_conflicts: self.config.max_conflicts_per_sample,
+            ..CdclConfig::default()
+        };
+        let mut solver = CdclSolver::with_config(cnf, solver_config);
+        let mut round = 0u64;
+        let mut consecutive_failures = 0u32;
+        while !collector.done() {
+            round += 1;
+            solver.reseed(self.config.seed.wrapping_add(round));
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    let fresh = collector.offer(cnf, model);
+                    consecutive_failures = if fresh { 0 } else { consecutive_failures + 1 };
+                    // A long streak of duplicates means the solution space is
+                    // likely exhausted for this heuristic: stop early.
+                    if consecutive_failures > 200 {
+                        break;
+                    }
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => {
+                    consecutive_failures += 1;
+                    if consecutive_failures > 10 {
+                        break;
+                    }
+                }
+            }
+        }
+        collector.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+
+    #[test]
+    fn finds_diverse_solutions_on_loose_formula() {
+        let cnf = loose_cnf();
+        let mut sampler = CmsGenLike::new();
+        let run = sampler.sample(&cnf, 10, Duration::from_secs(5));
+        assert!(run.solutions.len() >= 5, "found {}", run.solutions.len());
+        assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn respects_gate_constraints() {
+        let cnf = gate_cnf();
+        let mut sampler = CmsGenLike::new();
+        let run = sampler.sample(&cnf, 5, Duration::from_secs(5));
+        assert!(!run.solutions.is_empty());
+        assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn unsat_formula_returns_no_solutions() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        cnf.add_dimacs_clause([-1]);
+        let run = CmsGenLike::new().sample(&cnf, 5, Duration::from_secs(2));
+        assert!(run.solutions.is_empty());
+    }
+
+    #[test]
+    fn stops_once_solution_space_is_exhausted() {
+        // Exactly two solutions: x1 xor x2.
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([-1, -2]);
+        let run = CmsGenLike::new().sample(&cnf, 100, Duration::from_secs(5));
+        assert!(run.solutions.len() <= 2);
+        assert!(!run.solutions.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! DiffSampler-style sampler: gradient descent directly on the CNF.
+//!
+//! DiffSampler (DAC 2024 late-breaking results) relaxes every *clause* of the
+//! CNF into a soft OR over literal probabilities and minimises the distance
+//! of all clause values from 1 with a GPU-accelerated optimiser. It is the
+//! closest prior work to the paper's sampler but skips the CNF-to-circuit
+//! transformation, so comparing the two isolates the transformation's
+//! contribution. [`DiffSamplerLike`] builds the soft-CNF model on the same
+//! tensor backend used by the transformed-circuit sampler.
+
+use crate::{RunCollector, SampleRun, SatSampler};
+use htsat_cnf::Cnf;
+use htsat_tensor::{ops, Backend, BatchMatrix, SoftCircuit, SoftGate};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Configuration of the DiffSampler-style sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffSamplerConfig {
+    /// Batch size (independent candidates learned in parallel).
+    pub batch_size: usize,
+    /// Gradient-descent iterations per round.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Execution backend.
+    pub backend: Backend,
+    /// RNG seed.
+    pub seed: u64,
+    /// Scale of the uniform logit initialisation.
+    pub init_scale: f32,
+}
+
+impl Default for DiffSamplerConfig {
+    fn default() -> Self {
+        DiffSamplerConfig {
+            batch_size: 256,
+            iterations: 20,
+            learning_rate: 2.0,
+            backend: Backend::DataParallel,
+            seed: 0,
+            init_scale: 2.0,
+        }
+    }
+}
+
+/// A DiffSampler-style differentiable CNF sampler.
+#[derive(Debug, Clone, Default)]
+pub struct DiffSamplerLike {
+    config: DiffSamplerConfig,
+}
+
+impl DiffSamplerLike {
+    /// Creates a sampler with default configuration.
+    pub fn new() -> Self {
+        DiffSamplerLike::default()
+    }
+
+    /// Creates a sampler with an explicit configuration.
+    pub fn with_config(config: DiffSamplerConfig) -> Self {
+        DiffSamplerLike { config }
+    }
+
+    /// Builds the soft-CNF circuit: one OR node per clause, each constrained
+    /// to 1, with literal polarity handled by NOT nodes.
+    fn build_soft_cnf(cnf: &Cnf) -> SoftCircuit {
+        let n = cnf.num_vars();
+        let mut circuit = SoftCircuit::new(n);
+        let inputs: Vec<usize> = (0..n).map(|i| circuit.input(i)).collect();
+        let mut negated: Vec<Option<usize>> = vec![None; n];
+        for clause in cnf.clauses() {
+            let mut fanin = Vec::with_capacity(clause.len());
+            for lit in clause.lits() {
+                let v = lit.var().as_usize();
+                if lit.is_positive() {
+                    fanin.push(inputs[v]);
+                } else {
+                    let node = match negated[v] {
+                        Some(node) => node,
+                        None => {
+                            let node = circuit.gate(SoftGate::Not, vec![inputs[v]]);
+                            negated[v] = Some(node);
+                            node
+                        }
+                    };
+                    fanin.push(node);
+                }
+            }
+            let clause_node = if fanin.len() == 1 {
+                fanin[0]
+            } else {
+                circuit.gate(SoftGate::Or, fanin)
+            };
+            circuit.constrain(clause_node, 1.0);
+        }
+        circuit
+    }
+}
+
+impl SatSampler for DiffSamplerLike {
+    fn name(&self) -> &'static str {
+        "diffsampler-like"
+    }
+
+    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
+        let mut collector = RunCollector::new(min_solutions, timeout);
+        let circuit = Self::build_soft_cnf(cnf);
+        let n = cnf.num_vars();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        while !collector.done() {
+            let scale = self.config.init_scale;
+            let mut logits =
+                BatchMatrix::from_fn(self.config.batch_size, n, |_, _| rng.gen_range(-scale..=scale));
+            for _ in 0..self.config.iterations {
+                let mut probs = logits.clone();
+                probs.map_inplace(ops::sigmoid);
+                let (_loss, grad_p) = circuit.loss_and_input_grads(&probs, self.config.backend);
+                let mut grad_v = grad_p;
+                for (g, &p) in grad_v
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(probs.as_slice().iter())
+                {
+                    *g *= ops::sigmoid_grad_from_output(p);
+                }
+                logits.saxpy_neg(self.config.learning_rate, &grad_v);
+            }
+            for b in 0..self.config.batch_size {
+                let bits: Vec<bool> = logits.row(b).iter().map(|&v| v > 0.0).collect();
+                collector.offer(cnf, bits);
+                if collector.done() {
+                    break;
+                }
+            }
+        }
+        collector.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+
+    #[test]
+    fn soft_cnf_loss_is_zero_exactly_on_models() {
+        let cnf = gate_cnf();
+        let circuit = DiffSamplerLike::build_soft_cnf(&cnf);
+        let n = cnf.num_vars();
+        for mask in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+            let probs = BatchMatrix::from_fn(1, n, |_, c| if bits[c] { 1.0 } else { 0.0 });
+            let (loss, _) = circuit.loss_and_input_grads(&probs, Backend::Sequential);
+            assert_eq!(loss < 1e-9, cnf.is_satisfied_by_bits(&bits), "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn samples_loose_formula() {
+        let cnf = loose_cnf();
+        let mut sampler = DiffSamplerLike::new();
+        let run = sampler.sample(&cnf, 10, Duration::from_secs(10));
+        assert!(run.solutions.len() >= 5, "found {}", run.solutions.len());
+        assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn respects_gate_constraints() {
+        let cnf = gate_cnf();
+        let run = DiffSamplerLike::new().sample(&cnf, 5, Duration::from_secs(10));
+        assert!(!run.solutions.is_empty());
+        assert_valid_unique(&run, &cnf);
+    }
+}

@@ -1,0 +1,202 @@
+//! # htsat-baselines
+//!
+//! Baseline SAT samplers the paper compares against, re-implemented on top of
+//! the workspace's own CDCL, WalkSAT and tensor substrates:
+//!
+//! * [`CmsGenLike`] — a CDCL solver with randomised polarity and branching,
+//!   re-solved with fresh seeds per sample (the CMSGen recipe),
+//! * [`UniGenLike`] — XOR-hash-based near-uniform sampling: random parity
+//!   constraints partition the solution space and the surviving cell is
+//!   enumerated (the UniGen3 recipe, without the approximate-counting
+//!   machinery),
+//! * [`QuickSamplerLike`] — one seed model plus atomic flips and flip
+//!   combinations, validated against the formula,
+//! * [`WalkSatSampler`] — repeated stochastic local search from random
+//!   starting points,
+//! * [`DiffSamplerLike`] — gradient descent directly on the CNF's soft clause
+//!   relaxation (the DiffSampler recipe), sharing the tensor backend with the
+//!   transformed-circuit sampler so the ablation isolates the effect of the
+//!   transformation itself,
+//! * [`TransformedGdSampler`] — an adapter exposing the paper's sampler
+//!   ([`htsat_core::GdSampler`]) through the common [`SatSampler`] trait.
+//!
+//! All samplers implement [`SatSampler`], so the benchmark harness can drive
+//! them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cmsgen;
+mod diffsampler;
+mod gd;
+mod quicksampler;
+mod unigen;
+mod walksat_sampler;
+pub mod xor;
+
+pub use cmsgen::CmsGenLike;
+pub use diffsampler::DiffSamplerLike;
+pub use gd::TransformedGdSampler;
+pub use quicksampler::QuickSamplerLike;
+pub use unigen::UniGenLike;
+pub use walksat_sampler::WalkSatSampler;
+
+use htsat_cnf::Cnf;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// The outcome of one sampling run.
+#[derive(Debug, Clone, Default)]
+pub struct SampleRun {
+    /// Unique satisfying assignments found.
+    pub solutions: Vec<Vec<bool>>,
+    /// Candidate assignments generated (including invalid and duplicate ones).
+    pub attempts: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl SampleRun {
+    /// Unique-solution throughput in solutions per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return self.solutions.len() as f64;
+        }
+        self.solutions.len() as f64 / secs
+    }
+}
+
+/// A SAT sampler: produces unique satisfying assignments of a CNF formula.
+pub trait SatSampler {
+    /// A short name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Samples until `min_solutions` unique solutions are found or `timeout`
+    /// elapses.
+    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun;
+}
+
+/// Shared bookkeeping for samplers: deduplication, validation and timing.
+pub(crate) struct RunCollector {
+    seen: HashSet<Vec<bool>>,
+    run: SampleRun,
+    start: Instant,
+    min_solutions: usize,
+    timeout: Duration,
+}
+
+impl RunCollector {
+    pub(crate) fn new(min_solutions: usize, timeout: Duration) -> Self {
+        RunCollector {
+            seen: HashSet::new(),
+            run: SampleRun::default(),
+            start: Instant::now(),
+            min_solutions,
+            timeout,
+        }
+    }
+
+    /// Records a candidate assignment; returns `true` if it was a new valid
+    /// solution.
+    pub(crate) fn offer(&mut self, cnf: &Cnf, bits: Vec<bool>) -> bool {
+        self.run.attempts += 1;
+        if !cnf.is_satisfied_by_bits(&bits) {
+            return false;
+        }
+        if self.seen.insert(bits.clone()) {
+            self.run.solutions.push(bits);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the run should stop (target reached or timed out).
+    pub(crate) fn done(&self) -> bool {
+        self.run.solutions.len() >= self.min_solutions || self.start.elapsed() >= self.timeout
+    }
+
+    /// Finalises the run.
+    pub(crate) fn finish(mut self) -> SampleRun {
+        self.run.elapsed = self.start.elapsed();
+        self.run
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use htsat_cnf::Cnf;
+
+    /// A loose formula with many solutions: (x1 ∨ x2)(x3 ∨ ¬x4)(x5 ∨ x6 ∨ x7).
+    pub fn loose_cnf() -> Cnf {
+        let mut cnf = Cnf::new(7);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([3, -4]);
+        cnf.add_dimacs_clause([5, 6, 7]);
+        cnf
+    }
+
+    /// A gate-structured formula: x3 = x1 AND x2 constrained true, plus a MUX.
+    pub fn gate_cnf() -> Cnf {
+        let mut cnf = Cnf::new(6);
+        // x3 = OR(x1, x2)
+        cnf.add_dimacs_clause([-3, 1, 2]);
+        cnf.add_dimacs_clause([3, -1]);
+        cnf.add_dimacs_clause([3, -2]);
+        // x6 = MUX(x3; x4, x5)
+        cnf.add_dimacs_clause([-3, -4, 6]);
+        cnf.add_dimacs_clause([-3, 4, -6]);
+        cnf.add_dimacs_clause([3, -5, 6]);
+        cnf.add_dimacs_clause([3, 5, -6]);
+        // output constrained
+        cnf.add_dimacs_clause([6]);
+        cnf
+    }
+
+    pub fn assert_valid_unique(run: &super::SampleRun, cnf: &Cnf) {
+        let mut seen = std::collections::HashSet::new();
+        for s in &run.solutions {
+            assert!(cnf.is_satisfied_by_bits(s), "invalid solution returned");
+            assert!(seen.insert(s.clone()), "duplicate solution returned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_handles_zero_elapsed() {
+        let run = SampleRun {
+            solutions: vec![vec![true]],
+            attempts: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(run.throughput(), 1.0);
+    }
+
+    #[test]
+    fn collector_deduplicates_and_validates() {
+        let cnf = test_support::loose_cnf();
+        let mut collector = RunCollector::new(10, Duration::from_secs(1));
+        let valid = vec![true, false, true, false, true, false, false];
+        let invalid = vec![false; 7];
+        assert!(collector.offer(&cnf, valid.clone()));
+        assert!(!collector.offer(&cnf, valid));
+        assert!(!collector.offer(&cnf, invalid));
+        let run = collector.finish();
+        assert_eq!(run.solutions.len(), 1);
+        assert_eq!(run.attempts, 3);
+    }
+
+    #[test]
+    fn collector_stops_at_target() {
+        let cnf = test_support::loose_cnf();
+        let mut collector = RunCollector::new(1, Duration::from_secs(60));
+        assert!(!collector.done());
+        collector.offer(&cnf, vec![true, false, true, false, true, false, false]);
+        assert!(collector.done());
+    }
+}

@@ -1,0 +1,150 @@
+//! QuickSampler-style sampler: a seed model plus atomic flips and their
+//! combinations.
+//!
+//! QuickSampler (ICSE 2018) derives many candidate samples from few solver
+//! calls by flipping individual variables of a known solution ("atomic
+//! mutations") and combining successful flips, validating candidates against
+//! the formula. [`QuickSamplerLike`] follows the same recipe with our CDCL
+//! solver providing the seed models.
+
+use crate::{RunCollector, SampleRun, SatSampler};
+use htsat_cnf::Cnf;
+use htsat_solver::{CdclConfig, CdclSolver, SolveResult};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use std::time::Duration;
+
+/// Configuration of the QuickSampler-style sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuickSamplerConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum number of successful atomic flips combined per seed model.
+    pub max_combined_flips: usize,
+}
+
+impl Default for QuickSamplerConfig {
+    fn default() -> Self {
+        QuickSamplerConfig {
+            seed: 0,
+            max_combined_flips: 64,
+        }
+    }
+}
+
+/// A QuickSampler-style mutation-based sampler.
+#[derive(Debug, Clone, Default)]
+pub struct QuickSamplerLike {
+    config: QuickSamplerConfig,
+}
+
+impl QuickSamplerLike {
+    /// Creates a sampler with default configuration.
+    pub fn new() -> Self {
+        QuickSamplerLike::default()
+    }
+
+    /// Creates a sampler with an explicit configuration.
+    pub fn with_config(config: QuickSamplerConfig) -> Self {
+        QuickSamplerLike { config }
+    }
+}
+
+impl SatSampler for QuickSamplerLike {
+    fn name(&self) -> &'static str {
+        "quicksampler-like"
+    }
+
+    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
+        let mut collector = RunCollector::new(min_solutions, timeout);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let occurring: Vec<usize> = cnf.occurring_vars().iter().map(|v| v.as_usize()).collect();
+        let mut round = 0u64;
+        'outer: while !collector.done() {
+            round += 1;
+            if round > 10_000 {
+                break;
+            }
+            // Obtain a fresh seed model with randomised polarities.
+            let mut solver = CdclSolver::with_config(
+                cnf,
+                CdclConfig {
+                    random_polarity: true,
+                    seed: self.config.seed.wrapping_add(round),
+                    max_conflicts: Some(200_000),
+                    ..CdclConfig::default()
+                },
+            );
+            let base = match solver.solve() {
+                SolveResult::Sat(model) => model,
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => continue,
+            };
+            collector.offer(cnf, base.clone());
+            if collector.done() {
+                break;
+            }
+            // Atomic mutations: flip one occurring variable at a time.
+            let mut successful_flips = Vec::new();
+            let mut order = occurring.clone();
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let mut candidate = base.clone();
+                candidate[idx] = !candidate[idx];
+                if collector.offer(cnf, candidate) {
+                    successful_flips.push(idx);
+                }
+                if collector.done() {
+                    break 'outer;
+                }
+            }
+            // Combine random subsets of the successful flips.
+            let combos = successful_flips.len().min(self.config.max_combined_flips);
+            for _ in 0..combos {
+                let mut candidate = base.clone();
+                for &idx in &successful_flips {
+                    if rng.gen_bool(0.5) {
+                        candidate[idx] = !candidate[idx];
+                    }
+                }
+                collector.offer(cnf, candidate);
+                if collector.done() {
+                    break 'outer;
+                }
+            }
+        }
+        collector.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+
+    #[test]
+    fn generates_many_unique_solutions_cheaply() {
+        let cnf = loose_cnf();
+        let mut sampler = QuickSamplerLike::new();
+        let run = sampler.sample(&cnf, 20, Duration::from_secs(5));
+        assert!(run.solutions.len() >= 10, "found {}", run.solutions.len());
+        assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn respects_gate_constraints() {
+        let cnf = gate_cnf();
+        let run = QuickSamplerLike::new().sample(&cnf, 5, Duration::from_secs(5));
+        assert!(!run.solutions.is_empty());
+        assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn unsat_formula_yields_nothing() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        cnf.add_dimacs_clause([-1]);
+        let run = QuickSamplerLike::new().sample(&cnf, 3, Duration::from_secs(2));
+        assert!(run.solutions.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! WalkSAT-based sampler: repeated stochastic local search from random
+//! starting assignments.
+
+use crate::{RunCollector, SampleRun, SatSampler};
+use htsat_cnf::Cnf;
+use htsat_solver::walksat::{walksat, WalkSatConfig, WalkSatResult};
+use std::time::Duration;
+
+/// A sampler drawing solutions from independent WalkSAT runs.
+#[derive(Debug, Clone)]
+pub struct WalkSatSampler {
+    /// WalkSAT parameters used for each run (the seed is varied per run).
+    pub config: WalkSatConfig,
+}
+
+impl Default for WalkSatSampler {
+    fn default() -> Self {
+        WalkSatSampler {
+            config: WalkSatConfig {
+                max_flips: 20_000,
+                noise: 0.5,
+                seed: 0,
+            },
+        }
+    }
+}
+
+impl WalkSatSampler {
+    /// Creates a sampler with default WalkSAT parameters.
+    pub fn new() -> Self {
+        WalkSatSampler::default()
+    }
+}
+
+impl SatSampler for WalkSatSampler {
+    fn name(&self) -> &'static str {
+        "walksat"
+    }
+
+    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
+        let mut collector = RunCollector::new(min_solutions, timeout);
+        let mut round = 0u64;
+        let mut consecutive_failures = 0u32;
+        while !collector.done() {
+            round += 1;
+            let config = WalkSatConfig {
+                seed: self.config.seed.wrapping_add(round),
+                ..self.config
+            };
+            match walksat(cnf, config) {
+                WalkSatResult::Sat(model) => {
+                    let fresh = collector.offer(cnf, model);
+                    consecutive_failures = if fresh { 0 } else { consecutive_failures + 1 };
+                }
+                WalkSatResult::Exhausted { best, .. } => {
+                    // The best assignment seen is still invalid; record the
+                    // attempt (it will be rejected by validation).
+                    collector.offer(cnf, best);
+                    consecutive_failures += 1;
+                }
+            }
+            if consecutive_failures > 100 {
+                break;
+            }
+        }
+        collector.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+
+    #[test]
+    fn samples_loose_formula() {
+        let cnf = loose_cnf();
+        let run = WalkSatSampler::new().sample(&cnf, 10, Duration::from_secs(5));
+        assert!(run.solutions.len() >= 5, "found {}", run.solutions.len());
+        assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn respects_gate_constraints() {
+        let cnf = gate_cnf();
+        let run = WalkSatSampler::new().sample(&cnf, 5, Duration::from_secs(5));
+        assert!(!run.solutions.is_empty());
+        assert_valid_unique(&run, &cnf);
+    }
+}

@@ -1,0 +1,166 @@
+//! CNF encoding of random XOR (parity) constraints.
+//!
+//! UniGen-style hash-based samplers partition the solution space with random
+//! parity constraints `x_{i1} ⊕ … ⊕ x_{ik} = b`. A parity constraint over `k`
+//! variables has `2^{k-1}` clauses when encoded directly, so long constraints
+//! are chained through fresh auxiliary variables three literals at a time.
+
+use htsat_cnf::{Cnf, Lit, Var};
+use rand::Rng;
+
+/// Maximum number of variables encoded in a single direct parity block before
+/// chaining through an auxiliary variable.
+const CHUNK: usize = 3;
+
+/// Adds the clauses of the parity constraint `⊕ vars = rhs` to `cnf`,
+/// introducing auxiliary variables as needed.
+///
+/// An empty constraint with `rhs = true` adds an empty clause (the constraint
+/// `0 = 1` is unsatisfiable); with `rhs = false` it adds nothing.
+pub fn add_parity_constraint(cnf: &mut Cnf, vars: &[Var], rhs: bool) {
+    if vars.is_empty() {
+        if rhs {
+            cnf.push_clause(htsat_cnf::Clause::new());
+        }
+        return;
+    }
+    // Chain: t0 = vars[0..CHUNK] parity, then t_{i+1} = t_i ⊕ next chunk, and
+    // finally constrain the last accumulator to rhs.
+    let mut acc: Vec<Var> = Vec::new();
+    let mut remaining: Vec<Var> = vars.to_vec();
+    while !remaining.is_empty() {
+        let take = if acc.is_empty() {
+            CHUNK.min(remaining.len())
+        } else {
+            (CHUNK - 1).min(remaining.len())
+        };
+        let mut block: Vec<Var> = acc.clone();
+        block.extend(remaining.drain(..take));
+        if remaining.is_empty() {
+            // Final block: parity of block equals rhs.
+            encode_parity_block(cnf, &block, rhs);
+            return;
+        }
+        // Introduce an accumulator t with t = parity(block), i.e.
+        // parity(block ∪ {t}) = 0.
+        let t = cnf.fresh_var();
+        let mut with_t = block.clone();
+        with_t.push(t);
+        encode_parity_block(cnf, &with_t, false);
+        acc = vec![t];
+    }
+}
+
+/// Directly encodes `⊕ block = rhs` with `2^{k-1}` clauses (small `k` only).
+fn encode_parity_block(cnf: &mut Cnf, block: &[Var], rhs: bool) {
+    let k = block.len();
+    assert!(k <= 6, "direct parity block too wide");
+    // Forbid every assignment whose parity differs from rhs: for each such
+    // assignment add the clause that excludes it.
+    for mask in 0u32..(1 << k) {
+        let parity = (mask.count_ones() % 2 == 1) != rhs;
+        if parity {
+            // mask has the wrong parity: exclude it.
+            let lits: Vec<Lit> = block
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Lit::new(v, (mask >> i) & 1 == 0))
+                .collect();
+            cnf.add_clause(lits);
+        }
+    }
+}
+
+/// Adds `count` random parity constraints over the given variable pool, each
+/// including every pool variable independently with probability 1/2 and a
+/// random right-hand side.
+pub fn add_random_parity_constraints<R: Rng>(
+    cnf: &mut Cnf,
+    pool: &[Var],
+    count: usize,
+    rng: &mut R,
+) {
+    for _ in 0..count {
+        let vars: Vec<Var> = pool.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        let rhs = rng.gen_bool(0.5);
+        add_parity_constraint(cnf, &vars, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parity_of(bits: &[bool], vars: &[Var]) -> bool {
+        vars.iter().fold(false, |acc, v| acc ^ bits[v.as_usize()])
+    }
+
+    #[test]
+    fn direct_block_encodes_exact_parity() {
+        for rhs in [false, true] {
+            let mut cnf = Cnf::new(3);
+            let vars: Vec<Var> = (1..=3).map(Var::new).collect();
+            add_parity_constraint(&mut cnf, &vars, rhs);
+            for mask in 0..8u32 {
+                let bits: Vec<bool> = (0..3).map(|i| (mask >> i) & 1 == 1).collect();
+                let expected = parity_of(&bits, &vars) == rhs;
+                assert_eq!(cnf.is_satisfied_by_bits(&bits), expected, "mask {mask} rhs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_constraint_preserves_parity_semantics() {
+        // 7 variables forces chaining through auxiliaries.
+        let n = 7usize;
+        for rhs in [false, true] {
+            let mut cnf = Cnf::new(n);
+            let vars: Vec<Var> = (1..=n as u32).map(Var::new).collect();
+            add_parity_constraint(&mut cnf, &vars, rhs);
+            let aux = cnf.num_vars() - n;
+            assert!(aux > 0, "chaining should add auxiliaries");
+            // For every original assignment the constraint must be satisfiable
+            // (by some auxiliary completion) exactly when the parity matches.
+            for mask in 0..(1u32 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+                let expected = parity_of(&bits, &vars) == rhs;
+                // Search auxiliary assignments exhaustively (aux is small).
+                let mut satisfiable = false;
+                for aux_mask in 0..(1u32 << aux) {
+                    let mut full = bits.clone();
+                    for a in 0..aux {
+                        full.push((aux_mask >> a) & 1 == 1);
+                    }
+                    if cnf.is_satisfied_by_bits(&full) {
+                        satisfiable = true;
+                        break;
+                    }
+                }
+                assert_eq!(satisfiable, expected, "mask {mask:b} rhs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_constraint_semantics() {
+        let mut cnf = Cnf::new(2);
+        add_parity_constraint(&mut cnf, &[], false);
+        assert_eq!(cnf.num_clauses(), 0);
+        add_parity_constraint(&mut cnf, &[], true);
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.clauses()[0].is_empty());
+    }
+
+    #[test]
+    fn random_constraints_are_reproducible_and_bounded() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let pool: Vec<Var> = (1..=10).map(Var::new).collect();
+        let mut cnf_a = Cnf::new(10);
+        let mut cnf_b = Cnf::new(10);
+        add_random_parity_constraints(&mut cnf_a, &pool, 3, &mut SmallRng::seed_from_u64(9));
+        add_random_parity_constraints(&mut cnf_b, &pool, 3, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(cnf_a.clauses(), cnf_b.clauses());
+        assert!(cnf_a.num_clauses() > 0);
+    }
+}

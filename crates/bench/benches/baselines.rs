@@ -1,0 +1,33 @@
+//! Criterion bench: baseline samplers (paper Table II's UniGen3, CMSGen and
+//! DiffSampler columns) drawing a fixed number of unique solutions from the
+//! same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htsat_baselines::{CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, WalkSatSampler};
+use htsat_instances::suite::{table2_instance, SuiteScale};
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_samplers");
+    group.sample_size(10);
+    let instance = table2_instance("90-10-10-q", SuiteScale::Small).expect("known instance");
+    let target = 50usize;
+    let timeout = Duration::from_secs(2);
+
+    group.bench_function(BenchmarkId::new("cmsgen-like", target), |b| {
+        b.iter(|| CmsGenLike::new().sample(&instance.cnf, target, timeout))
+    });
+    group.bench_function(BenchmarkId::new("diffsampler-like", target), |b| {
+        b.iter(|| DiffSamplerLike::new().sample(&instance.cnf, target, timeout))
+    });
+    group.bench_function(BenchmarkId::new("quicksampler-like", target), |b| {
+        b.iter(|| QuickSamplerLike::new().sample(&instance.cnf, target, timeout))
+    });
+    group.bench_function(BenchmarkId::new("walksat", target), |b| {
+        b.iter(|| WalkSatSampler::new().sample(&instance.cnf, target, timeout))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

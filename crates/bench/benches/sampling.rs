@@ -1,0 +1,69 @@
+//! Criterion bench: gradient-descent sampling throughput (paper Table II,
+//! "this work" column) — one gradient-descent round per iteration, on one
+//! instance per family and across batch sizes (Fig. 3 scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use htsat_core::{GdSampler, SamplerConfig};
+use htsat_instances::suite::{table2_instance, SuiteScale};
+
+fn bench_sample_round_per_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gd_sample_round");
+    group.sample_size(10);
+    for name in ["or-50-10-7-UC-10", "90-10-10-q", "s15850a_3_2", "Prod-8"] {
+        let instance = table2_instance(name, SuiteScale::Small).expect("known instance");
+        let config = SamplerConfig {
+            batch_size: 256,
+            ..SamplerConfig::default()
+        };
+        let mut sampler = GdSampler::new(&instance.cnf, config).expect("transform");
+        group.throughput(Throughput::Elements(256));
+        group.bench_function(name, |b| b.iter(|| sampler.sample_round()));
+    }
+    group.finish();
+}
+
+fn bench_batch_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gd_batch_scaling");
+    group.sample_size(10);
+    let instance = table2_instance("90-10-10-q", SuiteScale::Small).expect("known instance");
+    for batch in [64usize, 256, 1024, 4096] {
+        let config = SamplerConfig {
+            batch_size: batch,
+            ..SamplerConfig::default()
+        };
+        let mut sampler = GdSampler::new(&instance.cnf, config).expect("transform");
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| sampler.sample_round())
+        });
+    }
+    group.finish();
+}
+
+fn bench_iteration_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gd_iterations");
+    group.sample_size(10);
+    let instance = table2_instance("or-100-20-8-UC-10", SuiteScale::Small).expect("known instance");
+    for iterations in [1usize, 5, 10] {
+        let config = SamplerConfig {
+            batch_size: 256,
+            iterations,
+            ..SamplerConfig::default()
+        };
+        let mut sampler = GdSampler::new(&instance.cnf, config).expect("transform");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, _| b.iter(|| sampler.sample_round()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sample_round_per_family,
+    bench_batch_size_scaling,
+    bench_iteration_count
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: the CDCL solving substrate on the benchmark families —
+//! not a paper figure by itself, but the denominator behind every CPU
+//! baseline in Table II.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use htsat_instances::suite::{table2_instance, SuiteScale};
+use htsat_solver::{CdclConfig, CdclSolver, SolveResult};
+
+fn bench_cdcl_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_solve");
+    group.sample_size(10);
+    for name in ["or-50-10-7-UC-10", "90-10-10-q", "s15850a_3_2", "Prod-8"] {
+        let instance = table2_instance(name, SuiteScale::Small).expect("known instance");
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || CdclSolver::new(&instance.cnf),
+                |mut solver| {
+                    let result = solver.solve();
+                    assert!(matches!(result, SolveResult::Sat(_)));
+                    result
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cdcl_randomised(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_randomised_resolve");
+    group.sample_size(10);
+    let instance = table2_instance("90-10-10-q", SuiteScale::Small).expect("known instance");
+    let config = CdclConfig {
+        random_polarity: true,
+        random_branch_freq: 0.2,
+        ..CdclConfig::default()
+    };
+    let mut solver = CdclSolver::with_config(&instance.cnf, config);
+    let mut seed = 0u64;
+    group.bench_function("reseeded_solve", |b| {
+        b.iter(|| {
+            seed += 1;
+            solver.reseed(seed);
+            solver.solve()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdcl_solve, bench_cdcl_randomised);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: CNF-to-circuit transformation time (paper Fig. 4, right)
+//! for one instance of each benchmark family, plus an ablation of the
+//! simplification and signature fast-path options.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use htsat_core::transform::{transform_with_config, TransformConfig};
+use htsat_instances::suite::{table2_instance, SuiteScale};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    group.sample_size(10);
+    for name in ["or-100-20-8-UC-10", "90-10-10-q", "s15850a_15_7", "Prod-32"] {
+        let instance = table2_instance(name, SuiteScale::Small).expect("known instance");
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || instance.cnf.clone(),
+                |cnf| transform_with_config(&cnf, &TransformConfig::default()).expect("transform"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_ablation");
+    group.sample_size(10);
+    let instance = table2_instance("90-10-10-q", SuiteScale::Small).expect("known instance");
+    let configs = [
+        ("default", TransformConfig::default()),
+        (
+            "no_simplify",
+            TransformConfig {
+                simplify: false,
+                ..TransformConfig::default()
+            },
+        ),
+        (
+            "no_signatures",
+            TransformConfig {
+                use_signatures: false,
+                ..TransformConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || instance.cnf.clone(),
+                |cnf| transform_with_config(&cnf, &config).expect("transform"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_transform_ablation);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p htsat-bench --bin repro -- table2
+//! cargo run --release -p htsat-bench --bin repro -- fig2 --instances 20
+//! cargo run --release -p htsat-bench --bin repro -- all --scale paper --timeout 30
+//! ```
+//!
+//! Subcommands: `table2`, `fig2`, `fig3-iters`, `fig3-mem`, `fig4-speedup`,
+//! `fig4-ops`, `fig4-transform`, `fig4`, `all`.
+//!
+//! Options: `--scale small|paper`, `--target N`, `--timeout SECONDS`,
+//! `--batch N`, `--instances N` (fig2 only).
+
+use htsat_bench::{
+    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2,
+    RunOptions,
+};
+use htsat_instances::suite::SuiteScale;
+use std::time::Duration;
+
+struct CliArgs {
+    command: String,
+    options: RunOptions,
+    fig2_instances: usize,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut options = RunOptions::default();
+    let mut fig2_instances = 12usize;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--scale" => {
+                options.scale = match value()?.as_str() {
+                    "paper" => SuiteScale::Paper,
+                    "small" => SuiteScale::Small,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--target" => {
+                options.target = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid --target: {e}"))?;
+            }
+            "--timeout" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid --timeout: {e}"))?;
+                options.timeout = Duration::from_secs_f64(secs);
+            }
+            "--batch" => {
+                options.batch_size = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid --batch: {e}"))?;
+            }
+            "--instances" => {
+                fig2_instances = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid --instances: {e}"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(CliArgs {
+        command,
+        options,
+        fig2_instances,
+    })
+}
+
+fn run_table2(options: &RunOptions) {
+    println!("== Table II: unique-solution throughput (solutions/second) ==");
+    println!(
+        "   target {} unique solutions, timeout {:?}, batch {}, scale {:?}\n",
+        options.target, options.timeout, options.batch_size, options.scale
+    );
+    let rows = table2(options);
+    print!("{}", format_table2(&rows));
+    let geo: f64 = rows
+        .iter()
+        .filter(|r| r.speedup.is_finite() && r.speedup > 0.0)
+        .map(|r| r.speedup.ln())
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
+    println!("\ngeometric-mean speedup over the best baseline: {:.1}x", geo.exp());
+}
+
+fn run_fig2(options: &RunOptions, instances: usize) {
+    println!("== Fig. 2: latency (ms) vs unique solutions, per sampler ==\n");
+    println!(
+        "{:<22} {:<18} {:>10} {:>14}",
+        "instance", "sampler", "unique", "latency (ms)"
+    );
+    for p in fig2(options, instances) {
+        println!(
+            "{:<22} {:<18} {:>10} {:>14.1}",
+            p.instance, p.sampler, p.unique, p.latency_ms
+        );
+    }
+}
+
+fn run_fig3_iters(options: &RunOptions) {
+    println!("== Fig. 3 (left): unique solutions vs GD iterations ==\n");
+    println!("{:<22} {:>11} {:>10}", "instance", "iterations", "unique");
+    for p in fig3_iterations(options, 10) {
+        println!("{:<22} {:>11} {:>10}", p.instance, p.iterations, p.unique);
+    }
+}
+
+fn run_fig3_mem(options: &RunOptions) {
+    println!("== Fig. 3 (right): modelled memory (MiB) vs batch size ==\n");
+    println!("{:<22} {:>12} {:>14}", "instance", "batch", "memory (MiB)");
+    let batches = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+    for p in fig3_memory(options, &batches) {
+        println!("{:<22} {:>12} {:>14.2}", p.instance, p.batch, p.memory_mib);
+    }
+}
+
+fn run_fig4(options: &RunOptions) {
+    println!("== Fig. 4: backend speedup, ops reduction, transformation time ==\n");
+    println!(
+        "{:<22} {:>16} {:>16} {:>10} {:>10} {:>14}",
+        "instance", "parallel (/s)", "sequential (/s)", "speedup", "ops red.", "transform (s)"
+    );
+    for row in fig4(options) {
+        println!(
+            "{:<22} {:>16.1} {:>16.1} {:>9.1}x {:>9.1}x {:>14.4}",
+            row.instance,
+            row.parallel_throughput,
+            row.sequential_throughput,
+            row.speedup,
+            row.ops_reduction,
+            row.transform_seconds
+        );
+    }
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--instances N]");
+            std::process::exit(2);
+        }
+    };
+    let options = &cli.options;
+    println!(
+        "# htsat repro — {} ablation instances available\n",
+        ablation_instances(options.scale).len()
+    );
+    match cli.command.as_str() {
+        "table2" => run_table2(options),
+        "fig2" => run_fig2(options, cli.fig2_instances),
+        "fig3-iters" => run_fig3_iters(options),
+        "fig3-mem" => run_fig3_mem(options),
+        "fig4" | "fig4-speedup" | "fig4-ops" | "fig4-transform" => run_fig4(options),
+        "all" => {
+            run_table2(options);
+            println!();
+            run_fig2(options, cli.fig2_instances);
+            println!();
+            run_fig3_iters(options);
+            println!();
+            run_fig3_mem(options);
+            println!();
+            run_fig4(options);
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

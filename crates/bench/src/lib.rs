@@ -1,0 +1,456 @@
+//! # htsat-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation section:
+//!
+//! | Paper artifact | Harness entry point | `repro` subcommand |
+//! |---|---|---|
+//! | Table II (throughput + speedups) | [`table2`] | `table2` |
+//! | Fig. 2 (latency vs unique solutions) | [`fig2`] | `fig2` |
+//! | Fig. 3 left (solutions vs iterations) | [`fig3_iterations`] | `fig3-iters` |
+//! | Fig. 3 right (memory vs batch size) | [`fig3_memory`] | `fig3-mem` |
+//! | Fig. 4 left (parallel-vs-serial speedup) | [`fig4_speedup`] | `fig4-speedup` |
+//! | Fig. 4 middle (ops reduction) | [`fig4_ops`] | `fig4-ops` |
+//! | Fig. 4 right (transformation time) | [`fig4_transform`] | `fig4-transform` |
+//!
+//! Absolute numbers differ from the paper (our "GPU" is a rayon thread pool,
+//! our baselines are re-implementations), but the comparisons the paper draws
+//! — who wins, by how much, and how the trends scale — are reproduced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use htsat_baselines::{
+    CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, UniGenLike, WalkSatSampler,
+};
+use htsat_core::{transform, GdSampler, SamplerConfig};
+use htsat_instances::suite::{full_suite, table2_instances, SuiteScale};
+use htsat_instances::Instance;
+use htsat_tensor::Backend;
+use std::time::Duration;
+
+/// Options shared by every experiment runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Instance scale (shrunk for quick runs, paper-sized otherwise).
+    pub scale: SuiteScale,
+    /// Target number of unique solutions per instance.
+    pub target: usize,
+    /// Per-sampler, per-instance timeout.
+    pub timeout: Duration,
+    /// Batch size of the gradient-descent samplers.
+    pub batch_size: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale: SuiteScale::Small,
+            target: 200,
+            timeout: Duration::from_secs(3),
+            batch_size: 512,
+        }
+    }
+}
+
+/// One sampler's result on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerResult {
+    /// Sampler name.
+    pub sampler: &'static str,
+    /// Unique solutions found.
+    pub unique: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Unique-solution throughput (solutions / second).
+    pub throughput: f64,
+}
+
+/// One row of the Table II reproduction.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Instance name.
+    pub instance: String,
+    /// Primary-input count reported by the transformation.
+    pub primary_inputs: usize,
+    /// Primary-output / constrained-output count.
+    pub primary_outputs: usize,
+    /// CNF variable count.
+    pub vars: usize,
+    /// CNF clause count.
+    pub clauses: usize,
+    /// Per-sampler results, "this work" first.
+    pub results: Vec<SamplerResult>,
+    /// Speedup of "this work" over the best baseline.
+    pub speedup: f64,
+}
+
+fn gd_config(options: &RunOptions, backend: Backend) -> SamplerConfig {
+    SamplerConfig {
+        batch_size: options.batch_size,
+        backend,
+        ..SamplerConfig::default()
+    }
+}
+
+fn run_gd(instance: &Instance, options: &RunOptions, backend: Backend) -> SamplerResult {
+    let started = std::time::Instant::now();
+    match GdSampler::new(&instance.cnf, gd_config(options, backend)) {
+        Ok(mut sampler) => {
+            let report = sampler.sample(options.target, options.timeout);
+            let elapsed = started.elapsed();
+            SamplerResult {
+                sampler: "this-work",
+                unique: report.solutions.len(),
+                elapsed,
+                throughput: report.solutions.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            }
+        }
+        Err(_) => SamplerResult {
+            sampler: "this-work",
+            unique: 0,
+            elapsed: started.elapsed(),
+            throughput: 0.0,
+        },
+    }
+}
+
+fn run_baseline(
+    sampler: &mut dyn SatSampler,
+    instance: &Instance,
+    options: &RunOptions,
+) -> SamplerResult {
+    let run = sampler.sample(&instance.cnf, options.target, options.timeout);
+    SamplerResult {
+        sampler: sampler.name(),
+        unique: run.solutions.len(),
+        elapsed: run.elapsed,
+        throughput: run.throughput(),
+    }
+}
+
+/// Reproduces Table II: unique-solution throughput of this work against the
+/// UniGen-, CMSGen- and DiffSampler-style baselines on the 14 representative
+/// instances.
+pub fn table2(options: &RunOptions) -> Vec<Table2Row> {
+    table2_instances(options.scale)
+        .iter()
+        .map(|instance| table2_row(instance, options))
+        .collect()
+}
+
+/// Runs the Table II measurement for a single instance.
+pub fn table2_row(instance: &Instance, options: &RunOptions) -> Table2Row {
+    let transform_result = transform(&instance.cnf).ok();
+    let (pi, po) = transform_result
+        .as_ref()
+        .map(|t| {
+            (
+                t.primary_inputs().len(),
+                t.netlist.outputs().len(),
+            )
+        })
+        .unwrap_or((0, 0));
+    let mut results = vec![run_gd(instance, options, Backend::DataParallel)];
+    let mut unigen = UniGenLike::new();
+    let mut cmsgen = CmsGenLike::new();
+    let mut diff = DiffSamplerLike::new();
+    results.push(run_baseline(&mut unigen, instance, options));
+    results.push(run_baseline(&mut cmsgen, instance, options));
+    results.push(run_baseline(&mut diff, instance, options));
+    let ours = results[0].throughput;
+    let best_baseline = results[1..]
+        .iter()
+        .map(|r| r.throughput)
+        .fold(0.0f64, f64::max);
+    Table2Row {
+        instance: instance.name.clone(),
+        primary_inputs: pi,
+        primary_outputs: po,
+        vars: instance.num_vars(),
+        clauses: instance.num_clauses(),
+        results,
+        speedup: if best_baseline > 0.0 {
+            ours / best_baseline
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+/// One point of the Fig. 2 latency-vs-solutions curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Point {
+    /// Instance name.
+    pub instance: String,
+    /// Sampler name.
+    pub sampler: &'static str,
+    /// Unique solutions obtained.
+    pub unique: usize,
+    /// Latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Reproduces Fig. 2: runtime versus number of unique solutions across the
+/// full suite (or its first `max_instances` entries) for every sampler.
+pub fn fig2(options: &RunOptions, max_instances: usize) -> Vec<Fig2Point> {
+    let mut points = Vec::new();
+    for instance in full_suite(options.scale).into_iter().take(max_instances) {
+        let gd = run_gd(&instance, options, Backend::DataParallel);
+        points.push(Fig2Point {
+            instance: instance.name.clone(),
+            sampler: "this-work",
+            unique: gd.unique,
+            latency_ms: gd.elapsed.as_secs_f64() * 1e3,
+        });
+        let mut baselines: Vec<Box<dyn SatSampler>> = vec![
+            Box::new(UniGenLike::new()),
+            Box::new(CmsGenLike::new()),
+            Box::new(DiffSamplerLike::new()),
+            Box::new(QuickSamplerLike::new()),
+            Box::new(WalkSatSampler::new()),
+        ];
+        for sampler in baselines.iter_mut() {
+            let r = run_baseline(sampler.as_mut(), &instance, options);
+            points.push(Fig2Point {
+                instance: instance.name.clone(),
+                sampler: r.sampler,
+                unique: r.unique,
+                latency_ms: r.elapsed.as_secs_f64() * 1e3,
+            });
+        }
+    }
+    points
+}
+
+/// The four instances used by the paper's Fig. 3 / Fig. 4 ablations.
+pub fn ablation_instances(scale: SuiteScale) -> Vec<Instance> {
+    ["or-100-20-8-UC-10", "90-10-10-q", "s15850a_15_7", "Prod-32"]
+        .iter()
+        .filter_map(|name| htsat_instances::suite::table2_instance(name, scale))
+        .collect()
+}
+
+/// One point of the Fig. 3 (left) learning curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3IterPoint {
+    /// Instance name.
+    pub instance: String,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Unique solutions obtained from one batch.
+    pub unique: usize,
+}
+
+/// Reproduces Fig. 3 (left): unique solutions versus iteration count.
+pub fn fig3_iterations(options: &RunOptions, max_iterations: usize) -> Vec<Fig3IterPoint> {
+    let mut points = Vec::new();
+    for instance in ablation_instances(options.scale) {
+        for iterations in 1..=max_iterations {
+            let config = SamplerConfig {
+                batch_size: options.batch_size,
+                iterations,
+                ..SamplerConfig::default()
+            };
+            let unique = match GdSampler::new(&instance.cnf, config) {
+                Ok(mut sampler) => {
+                    let mut set = std::collections::HashSet::new();
+                    for bits in sampler.sample_round() {
+                        set.insert(bits);
+                    }
+                    set.len()
+                }
+                Err(_) => 0,
+            };
+            points.push(Fig3IterPoint {
+                instance: instance.name.clone(),
+                iterations,
+                unique,
+            });
+        }
+    }
+    points
+}
+
+/// One point of the Fig. 3 (right) memory curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3MemPoint {
+    /// Instance name.
+    pub instance: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Modelled memory usage in MiB.
+    pub memory_mib: f64,
+}
+
+/// Reproduces Fig. 3 (right): memory usage versus batch size.
+pub fn fig3_memory(options: &RunOptions, batches: &[usize]) -> Vec<Fig3MemPoint> {
+    let mut points = Vec::new();
+    for instance in ablation_instances(options.scale) {
+        if let Ok(sampler) = GdSampler::new(&instance.cnf, gd_config(options, Backend::DataParallel)) {
+            for &batch in batches {
+                points.push(Fig3MemPoint {
+                    instance: instance.name.clone(),
+                    batch,
+                    memory_mib: sampler.memory_model_for_batch(batch).total_mib(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// One row of the Fig. 4 ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Instance name.
+    pub instance: String,
+    /// Throughput with the data-parallel ("GPU") backend.
+    pub parallel_throughput: f64,
+    /// Throughput with the sequential ("CPU") backend.
+    pub sequential_throughput: f64,
+    /// Parallel-over-sequential speedup (Fig. 4 left).
+    pub speedup: f64,
+    /// Ops-reduction ratio of the transformation (Fig. 4 middle).
+    pub ops_reduction: f64,
+    /// Transformation latency in seconds (Fig. 4 right).
+    pub transform_seconds: f64,
+}
+
+/// Reproduces Fig. 4: backend speedup, ops reduction and transformation time
+/// for the four ablation instances.
+pub fn fig4(options: &RunOptions) -> Vec<Fig4Row> {
+    ablation_instances(options.scale)
+        .iter()
+        .map(|instance| {
+            let parallel = run_gd(instance, options, Backend::DataParallel);
+            let sequential = run_gd(instance, options, Backend::Sequential);
+            let stats = transform(&instance.cnf)
+                .map(|t| (t.stats.ops_reduction(), t.stats.transform_time.as_secs_f64()))
+                .unwrap_or((0.0, 0.0));
+            Fig4Row {
+                instance: instance.name.clone(),
+                parallel_throughput: parallel.throughput,
+                sequential_throughput: sequential.throughput,
+                speedup: if sequential.throughput > 0.0 {
+                    parallel.throughput / sequential.throughput
+                } else {
+                    f64::INFINITY
+                },
+                ops_reduction: stats.0,
+                transform_seconds: stats.1,
+            }
+        })
+        .collect()
+}
+
+/// Convenience alias of [`fig4`] exposing only the speedup column.
+pub fn fig4_speedup(options: &RunOptions) -> Vec<(String, f64)> {
+    fig4(options)
+        .into_iter()
+        .map(|r| (r.instance, r.speedup))
+        .collect()
+}
+
+/// Convenience alias of [`fig4`] exposing only the ops-reduction column.
+pub fn fig4_ops(options: &RunOptions) -> Vec<(String, f64)> {
+    fig4(options)
+        .into_iter()
+        .map(|r| (r.instance, r.ops_reduction))
+        .collect()
+}
+
+/// Convenience alias of [`fig4`] exposing only the transformation time.
+pub fn fig4_transform(options: &RunOptions) -> Vec<(String, f64)> {
+    fig4(options)
+        .into_iter()
+        .map(|r| (r.instance, r.transform_seconds))
+        .collect()
+}
+
+/// Formats the Table II rows as a text table.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>6} {:>6} {:>8} {:>9} {:>14} {:>12} {:>12} {:>14} {:>9}\n",
+        "instance", "PI", "PO", "vars", "clauses", "this-work", "unigen", "cmsgen", "diffsampler", "speedup"
+    ));
+    for row in rows {
+        let t = |name: &str| {
+            row.results
+                .iter()
+                .find(|r| r.sampler.contains(name))
+                .map(|r| r.throughput)
+                .unwrap_or(0.0)
+        };
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>6} {:>8} {:>9} {:>14.1} {:>12.1} {:>12.1} {:>14.1} {:>8.1}x\n",
+            row.instance,
+            row.primary_inputs,
+            row.primary_outputs,
+            row.vars,
+            row.clauses,
+            t("this-work"),
+            t("unigen"),
+            t("cmsgen"),
+            t("diffsampler"),
+            row.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> RunOptions {
+        RunOptions {
+            scale: SuiteScale::Small,
+            target: 20,
+            timeout: Duration::from_millis(500),
+            batch_size: 64,
+        }
+    }
+
+    #[test]
+    fn table2_row_produces_all_samplers() {
+        let instance =
+            htsat_instances::suite::table2_instance("90-10-10-q", SuiteScale::Small).expect("exists");
+        let row = table2_row(&instance, &quick_options());
+        assert_eq!(row.results.len(), 4);
+        assert_eq!(row.results[0].sampler, "this-work");
+        assert!(row.vars > 0 && row.clauses > 0);
+    }
+
+    #[test]
+    fn ablation_instances_resolve() {
+        assert_eq!(ablation_instances(SuiteScale::Small).len(), 4);
+    }
+
+    #[test]
+    fn fig3_memory_is_monotone_in_batch() {
+        let points = fig3_memory(&quick_options(), &[100, 1_000, 10_000]);
+        for chunk in points.chunks(3) {
+            assert!(chunk[0].memory_mib < chunk[1].memory_mib);
+            assert!(chunk[1].memory_mib < chunk[2].memory_mib);
+        }
+    }
+
+    #[test]
+    fn fig3_iterations_produces_points_for_each_instance() {
+        let points = fig3_iterations(&quick_options(), 2);
+        assert_eq!(points.len(), 4 * 2);
+    }
+
+    #[test]
+    fn format_table2_contains_instance_names() {
+        let instance =
+            htsat_instances::suite::table2_instance("or-50-10-7-UC-10", SuiteScale::Small)
+                .expect("exists");
+        let rows = vec![table2_row(&instance, &quick_options())];
+        let text = format_table2(&rows);
+        assert!(text.contains("or-50-10-7-UC-10"));
+        assert!(text.contains("speedup"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Partial and complete truth assignments.
+
+use crate::Var;
+use std::fmt;
+
+/// A (possibly partial) truth assignment over a fixed variable universe.
+///
+/// Values are indexed by [`Var`]; unassigned variables report `None`.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    values: Vec<Option<bool>>,
+}
+
+impl Assignment {
+    /// Creates an all-unassigned assignment for `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![None; num_vars],
+        }
+    }
+
+    /// Creates a complete assignment from a bit slice indexed by zero-based
+    /// variable index.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Assignment {
+            values: bits.iter().map(|&b| Some(b)).collect(),
+        }
+    }
+
+    /// Number of variables in the universe (assigned or not).
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of variables currently assigned.
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether every variable has a value.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(|v| v.is_some())
+    }
+
+    /// The value of `var`, or `None` if unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the universe.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.values[var.as_usize()]
+    }
+
+    /// Assigns `value` to `var`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the universe.
+    pub fn assign(&mut self, var: Var, value: bool) -> Option<bool> {
+        self.values[var.as_usize()].replace(value)
+    }
+
+    /// Removes the value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the universe.
+    pub fn unassign(&mut self, var: Var) {
+        self.values[var.as_usize()] = None;
+    }
+
+    /// Grows the universe to at least `num_vars` variables.
+    pub fn grow(&mut self, num_vars: usize) {
+        if num_vars > self.values.len() {
+            self.values.resize(num_vars, None);
+        }
+    }
+
+    /// Converts to a complete bit vector, filling unassigned variables with
+    /// `default`.
+    pub fn to_bits_or(&self, default: bool) -> Vec<bool> {
+        self.values.iter().map(|v| v.unwrap_or(default)).collect()
+    }
+
+    /// Converts to a complete bit vector.
+    ///
+    /// Returns `None` if any variable is unassigned.
+    pub fn to_bits(&self) -> Option<Vec<bool>> {
+        self.values.iter().copied().collect()
+    }
+
+    /// Iterates over `(Var, bool)` pairs of assigned variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|b| (Var::from_zero_based(i), b)))
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment{{")?;
+        for (i, v) in self.values.iter().enumerate() {
+            let c = match v {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            };
+            if i > 0 && i % 8 == 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_query() {
+        let mut a = Assignment::new(3);
+        assert_eq!(a.value(Var::new(2)), None);
+        assert_eq!(a.assign(Var::new(2), true), None);
+        assert_eq!(a.value(Var::new(2)), Some(true));
+        assert_eq!(a.assign(Var::new(2), false), Some(true));
+        a.unassign(Var::new(2));
+        assert_eq!(a.value(Var::new(2)), None);
+    }
+
+    #[test]
+    fn completeness_tracking() {
+        let mut a = Assignment::new(2);
+        assert!(!a.is_complete());
+        a.assign(Var::new(1), true);
+        a.assign(Var::new(2), false);
+        assert!(a.is_complete());
+        assert_eq!(a.to_bits(), Some(vec![true, false]));
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        let bits = vec![true, false, true];
+        let a = Assignment::from_bits(&bits);
+        assert_eq!(a.to_bits(), Some(bits));
+        assert_eq!(a.num_assigned(), 3);
+    }
+
+    #[test]
+    fn to_bits_or_fills_gaps() {
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(1), true);
+        assert_eq!(a.to_bits_or(false), vec![true, false, false]);
+        assert_eq!(a.to_bits(), None);
+    }
+
+    #[test]
+    fn grow_preserves_existing_values() {
+        let mut a = Assignment::new(1);
+        a.assign(Var::new(1), true);
+        a.grow(4);
+        assert_eq!(a.num_vars(), 4);
+        assert_eq!(a.value(Var::new(1)), Some(true));
+        assert_eq!(a.value(Var::new(4)), None);
+    }
+
+    #[test]
+    fn iter_yields_only_assigned() {
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(3), false);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs, vec![(Var::new(3), false)]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Clauses: disjunctions of literals.
+
+use crate::{Assignment, Lit, Var};
+use std::fmt;
+
+/// A clause — a disjunction (OR) of literals.
+///
+/// Clauses are kept in insertion order; use [`Clause::normalize`] to sort,
+/// deduplicate and detect tautologies.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates an empty (unsatisfiable) clause.
+    pub fn new() -> Self {
+        Clause { lits: Vec::new() }
+    }
+
+    /// Creates a clause from literals.
+    pub fn from_lits<I: IntoIterator<Item = Lit>>(lits: I) -> Self {
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
+    }
+
+    /// Creates a clause from DIMACS integers (`[-1, 2]` is `¬x1 ∨ x2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is zero.
+    pub fn from_dimacs<I: IntoIterator<Item = i64>>(lits: I) -> Self {
+        Clause {
+            lits: lits.into_iter().map(Lit::from_dimacs).collect(),
+        }
+    }
+
+    /// The literals of this clause, in insertion order.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause has no literals (and is therefore unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether the clause contains exactly one literal.
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// Adds a literal to the clause.
+    pub fn push(&mut self, lit: Lit) {
+        self.lits.push(lit);
+    }
+
+    /// Returns true if the clause contains the literal.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Returns true if the clause mentions the variable in either polarity.
+    pub fn mentions(&self, var: Var) -> bool {
+        self.lits.iter().any(|l| l.var() == var)
+    }
+
+    /// Iterates over the distinct variables of the clause.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        let mut seen = Vec::new();
+        self.lits.iter().filter_map(move |l| {
+            let v = l.var();
+            if seen.contains(&v) {
+                None
+            } else {
+                seen.push(v);
+                Some(v)
+            }
+        })
+    }
+
+    /// Sorts and deduplicates literals. Returns `true` if the clause is a
+    /// tautology (contains a literal and its negation) and should be dropped.
+    pub fn normalize(&mut self) -> bool {
+        self.lits.sort_unstable();
+        self.lits.dedup();
+        self.lits
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0] != w[1])
+    }
+
+    /// Evaluates the clause under a complete assignment given as a bit slice
+    /// indexed by zero-based variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable is out of range for `bits`.
+    pub fn eval_bits(&self, bits: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(bits[l.var().as_usize()]))
+    }
+
+    /// Evaluates the clause under a (possibly partial) [`Assignment`].
+    ///
+    /// Returns `Some(true)` when some literal is satisfied, `Some(false)` when
+    /// all literals are falsified, and `None` when undecided.
+    pub fn eval(&self, assignment: &Assignment) -> Option<bool> {
+        let mut undecided = false;
+        for l in &self.lits {
+            match assignment.value(l.var()) {
+                Some(v) if l.eval(v) => return Some(true),
+                Some(_) => {}
+                None => undecided = true,
+            }
+        }
+        if undecided {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::from_lits(iter)
+    }
+}
+
+impl Extend<Lit> for Clause {
+    fn extend<I: IntoIterator<Item = Lit>>(&mut self, iter: I) {
+        self.lits.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.lits {
+            write!(f, "{l} ")?;
+        }
+        write!(f, "0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_bits_or_semantics() {
+        let c = Clause::from_dimacs([1, -2]);
+        assert!(c.eval_bits(&[true, true]));
+        assert!(c.eval_bits(&[false, false]));
+        assert!(!c.eval_bits(&[false, true]));
+    }
+
+    #[test]
+    fn partial_eval_reports_undecided() {
+        let c = Clause::from_dimacs([1, 2]);
+        let mut a = Assignment::new(2);
+        assert_eq!(c.eval(&a), None);
+        a.assign(Var::new(1), false);
+        assert_eq!(c.eval(&a), None);
+        a.assign(Var::new(2), false);
+        assert_eq!(c.eval(&a), Some(false));
+        a.assign(Var::new(2), true);
+        assert_eq!(c.eval(&a), Some(true));
+    }
+
+    #[test]
+    fn normalize_detects_tautology_and_dedups() {
+        let mut c = Clause::from_dimacs([1, -1, 2]);
+        assert!(c.normalize());
+        let mut c = Clause::from_dimacs([1, 1, 2]);
+        assert!(!c.normalize());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_clause_is_falsified() {
+        let c = Clause::new();
+        assert!(c.is_empty());
+        assert!(!c.eval_bits(&[]));
+    }
+
+    #[test]
+    fn vars_are_deduplicated() {
+        let c = Clause::from_dimacs([1, -1, 2]);
+        assert_eq!(c.vars().count(), 2);
+    }
+
+    #[test]
+    fn display_uses_dimacs_form() {
+        let c = Clause::from_dimacs([-3, 4]);
+        assert_eq!(c.to_string(), "-3 4 0");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the CNF crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a DIMACS CNF file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number at which the error was detected.
+    pub line: usize,
+    /// Description of the problem.
+    pub kind: ParseDimacsErrorKind,
+}
+
+/// The specific kind of DIMACS parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDimacsErrorKind {
+    /// The `p cnf <vars> <clauses>` header is malformed.
+    BadHeader(String),
+    /// A token could not be parsed as an integer literal.
+    BadLiteral(String),
+    /// A clause was not terminated by `0` before end of input.
+    UnterminatedClause,
+    /// Clauses appeared before any `p cnf` header.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseDimacsErrorKind::BadHeader(h) => {
+                write!(f, "line {}: malformed problem line `{h}`", self.line)
+            }
+            ParseDimacsErrorKind::BadLiteral(t) => {
+                write!(f, "line {}: invalid literal token `{t}`", self.line)
+            }
+            ParseDimacsErrorKind::UnterminatedClause => {
+                write!(f, "line {}: clause not terminated by 0", self.line)
+            }
+            ParseDimacsErrorKind::MissingHeader => {
+                write!(f, "line {}: clause before `p cnf` header", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_number() {
+        let e = ParseDimacsError {
+            line: 7,
+            kind: ParseDimacsErrorKind::BadLiteral("abc".into()),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("abc"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Bit-wise operation counting in 2-input gate equivalents.
+//!
+//! The paper's Fig. 4 (middle) reports the reduction in the number of bit-wise
+//! operations achieved by the CNF-to-circuit transformation, "measured as the
+//! number of operations in the CNF divided by the number of operations in the
+//! resulting multi-level, multi-output Boolean function in terms of 2-input
+//! gate equivalents". This module implements the CNF side of that metric; the
+//! circuit side lives in `htsat-logic`'s netlist op counter.
+
+use crate::Cnf;
+
+/// Breakdown of the 2-input gate-equivalent operation count of a CNF formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount {
+    /// 2-input OR gates needed to evaluate every clause (`k-1` per clause of
+    /// `k` literals).
+    pub or_ops: u64,
+    /// 2-input AND gates needed to conjoin the clause outputs (`m-1` for `m`
+    /// clauses).
+    pub and_ops: u64,
+    /// Inverters, one per negative literal occurrence.
+    pub not_ops: u64,
+}
+
+impl OpCount {
+    /// Total number of 2-input gate equivalents.
+    ///
+    /// Inverters are counted as full gates, matching the convention of
+    /// counting every bit-wise operation performed during evaluation.
+    pub fn total(&self) -> u64 {
+        self.or_ops + self.and_ops + self.not_ops
+    }
+
+    /// Total excluding inverters, for analyses that treat negation as free
+    /// (e.g. AIG-style complemented edges).
+    pub fn total_without_inverters(&self) -> u64 {
+        self.or_ops + self.and_ops
+    }
+}
+
+/// Counts the bit-wise operations required to evaluate `cnf` directly, in
+/// 2-input gate equivalents.
+///
+/// # Example
+///
+/// ```
+/// use htsat_cnf::{ops, Cnf};
+///
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_dimacs_clause([1, -2, 3]); // 2 ORs + 1 NOT
+/// cnf.add_dimacs_clause([-1, 2]);    // 1 OR + 1 NOT
+/// let count = ops::count_cnf_ops(&cnf);
+/// assert_eq!(count.or_ops, 3);
+/// assert_eq!(count.and_ops, 1);
+/// assert_eq!(count.not_ops, 2);
+/// ```
+pub fn count_cnf_ops(cnf: &Cnf) -> OpCount {
+    let mut count = OpCount::default();
+    for clause in cnf.clauses() {
+        let k = clause.len() as u64;
+        count.or_ops += k.saturating_sub(1);
+        count.not_ops += clause.lits().iter().filter(|l| l.is_negative()).count() as u64;
+    }
+    count.and_ops = (cnf.num_clauses() as u64).saturating_sub(1);
+    count
+}
+
+/// Computes the ops-reduction ratio `cnf_ops / circuit_ops` used in Fig. 4.
+///
+/// Returns `f64::INFINITY` when the circuit op count is zero (the whole
+/// formula collapsed to constants during transformation).
+pub fn reduction_ratio(cnf_ops: u64, circuit_ops: u64) -> f64 {
+    if circuit_ops == 0 {
+        f64::INFINITY
+    } else {
+        cnf_ops as f64 / circuit_ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_formula_has_no_ops() {
+        let cnf = Cnf::new(0);
+        assert_eq!(count_cnf_ops(&cnf).total(), 0);
+    }
+
+    #[test]
+    fn single_unit_clause_costs_nothing() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        let c = count_cnf_ops(&cnf);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn counts_scale_with_clause_width() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_dimacs_clause([1, 2, 3, 4]);
+        let c = count_cnf_ops(&cnf);
+        assert_eq!(c.or_ops, 3);
+        assert_eq!(c.and_ops, 0);
+    }
+
+    #[test]
+    fn negative_literals_add_inverters() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([-1, -2]);
+        assert_eq!(count_cnf_ops(&cnf).not_ops, 2);
+    }
+
+    #[test]
+    fn reduction_ratio_handles_zero_denominator() {
+        assert!(reduction_ratio(10, 0).is_infinite());
+        assert!((reduction_ratio(10, 5) - 2.0).abs() < 1e-12);
+    }
+}

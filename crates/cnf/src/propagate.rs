@@ -1,0 +1,193 @@
+//! Unit propagation and lightweight formula preprocessing.
+//!
+//! These routines are used by the CDCL solver substrate for preprocessing and
+//! by the transformation algorithm to pre-simplify constant-constrained
+//! clauses (e.g. the `x10 = 1` unit clause in the paper's Fig. 1 example).
+
+use crate::{Assignment, Clause, Cnf, Lit};
+
+/// The outcome of propagating unit clauses to a fixed point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagationResult {
+    /// No conflict was found; the assignment contains every implied literal.
+    Consistent {
+        /// The implied (partial) assignment.
+        assignment: Assignment,
+        /// Literals assigned by propagation, in propagation order.
+        trail: Vec<Lit>,
+    },
+    /// Propagation falsified a clause; the formula is unsatisfiable under the
+    /// initial assignment.
+    Conflict {
+        /// Index of the falsified clause in the input formula.
+        clause_index: usize,
+    },
+}
+
+/// Propagates all unit clauses of `cnf` starting from `initial` until a fixed
+/// point or a conflict.
+///
+/// This is a simple counting-based implementation (no watched literals): it is
+/// intended for preprocessing, not for the solver's inner loop.
+pub fn propagate_units(cnf: &Cnf, initial: &Assignment) -> PropagationResult {
+    let mut assignment = initial.clone();
+    assignment.grow(cnf.num_vars());
+    let mut trail = Vec::new();
+    loop {
+        let mut changed = false;
+        for (idx, clause) in cnf.clauses().iter().enumerate() {
+            match clause.eval(&assignment) {
+                Some(true) => continue,
+                Some(false) => return PropagationResult::Conflict { clause_index: idx },
+                None => {}
+            }
+            let unassigned: Vec<Lit> = clause
+                .lits()
+                .iter()
+                .copied()
+                .filter(|l| assignment.value(l.var()).is_none())
+                .collect();
+            if unassigned.len() == 1 {
+                let lit = unassigned[0];
+                assignment.assign(lit.var(), lit.is_positive());
+                trail.push(lit);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    PropagationResult::Consistent { assignment, trail }
+}
+
+/// Simplifies `cnf` under a partial assignment: satisfied clauses are dropped
+/// and falsified literals are removed from the remaining clauses.
+///
+/// Returns the simplified formula (over the same variable universe). If a
+/// clause becomes empty the result contains that empty clause, signalling
+/// unsatisfiability.
+pub fn simplify_under(cnf: &Cnf, assignment: &Assignment) -> Cnf {
+    let mut out = Cnf::new(cnf.num_vars());
+    for clause in cnf.clauses() {
+        match clause.eval(assignment) {
+            Some(true) => continue,
+            _ => {
+                let remaining: Clause = clause
+                    .lits()
+                    .iter()
+                    .copied()
+                    .filter(|l| assignment.value(l.var()).is_none())
+                    .collect();
+                out.push_clause(remaining);
+            }
+        }
+    }
+    out
+}
+
+/// Finds pure literals: variables occurring in only one polarity.
+///
+/// Assigning a pure literal its occurring polarity never falsifies a clause,
+/// so pure literals can be eliminated during preprocessing.
+pub fn pure_literals(cnf: &Cnf) -> Vec<Lit> {
+    let n = cnf.num_vars();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for clause in cnf.clauses() {
+        for lit in clause.lits() {
+            if lit.is_positive() {
+                pos[lit.var().as_usize()] = true;
+            } else {
+                neg[lit.var().as_usize()] = true;
+            }
+        }
+    }
+    (0..n)
+        .filter_map(|i| {
+            let var = crate::Var::from_zero_based(i);
+            match (pos[i], neg[i]) {
+                (true, false) => Some(var.positive()),
+                (false, true) => Some(var.negative()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn chain_cnf() -> Cnf {
+        // x1, x1 -> x2, x2 -> x3
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause([1]);
+        cnf.add_dimacs_clause([-1, 2]);
+        cnf.add_dimacs_clause([-2, 3]);
+        cnf
+    }
+
+    #[test]
+    fn propagation_follows_implication_chain() {
+        let cnf = chain_cnf();
+        match propagate_units(&cnf, &Assignment::new(3)) {
+            PropagationResult::Consistent { assignment, trail } => {
+                assert_eq!(assignment.value(Var::new(1)), Some(true));
+                assert_eq!(assignment.value(Var::new(2)), Some(true));
+                assert_eq!(assignment.value(Var::new(3)), Some(true));
+                assert_eq!(trail.len(), 3);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagation_detects_conflict() {
+        let mut cnf = chain_cnf();
+        cnf.add_dimacs_clause([-3]);
+        match propagate_units(&cnf, &Assignment::new(3)) {
+            PropagationResult::Conflict { .. } => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagation_respects_initial_assignment() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([-1, 2]);
+        let mut initial = Assignment::new(2);
+        initial.assign(Var::new(1), true);
+        match propagate_units(&cnf, &initial) {
+            PropagationResult::Consistent { assignment, .. } => {
+                assert_eq!(assignment.value(Var::new(2)), Some(true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplify_removes_satisfied_clauses_and_false_literals() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([-1, 3]);
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(1), true);
+        let simplified = simplify_under(&cnf, &a);
+        assert_eq!(simplified.num_clauses(), 1);
+        assert_eq!(simplified.clauses()[0].lits(), [Lit::pos(3)]);
+    }
+
+    #[test]
+    fn pure_literal_detection() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([1, -2]);
+        cnf.add_dimacs_clause([-3, 2]);
+        let pures = pure_literals(&cnf);
+        assert!(pures.contains(&Lit::pos(1)));
+        assert!(pures.contains(&Lit::neg(3)));
+        assert!(!pures.iter().any(|l| l.var() == Var::new(2)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Lowering the extracted netlist to a differentiable circuit.
+//!
+//! Every gate of the multi-level, multi-output Boolean function is replaced
+//! by its probabilistic counterpart from the paper's Table I, primary inputs
+//! become learnable input columns, and output constraints become ℓ2 targets.
+
+use crate::TransformResult;
+use htsat_cnf::Var;
+use htsat_logic::{GateKind, NodeRef};
+use htsat_tensor::{SoftCircuit, SoftGate};
+use std::collections::HashMap;
+
+/// A compiled differentiable circuit together with the mapping from input
+/// columns back to CNF variables.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    /// The differentiable circuit.
+    pub circuit: SoftCircuit,
+    /// CNF variable corresponding to each input column.
+    pub input_vars: Vec<Var>,
+}
+
+impl CompiledCircuit {
+    /// Number of learnable input columns.
+    pub fn num_inputs(&self) -> usize {
+        self.input_vars.len()
+    }
+
+    /// The column of a primary-input variable, if it is one.
+    pub fn column_of(&self, var: Var) -> Option<usize> {
+        self.input_vars.iter().position(|&v| v == var)
+    }
+}
+
+/// Compiles the transformation result into a [`SoftCircuit`].
+///
+/// The node order of the netlist is preserved, so netlist node `i` becomes
+/// soft-circuit node `i`.
+pub fn compile(result: &TransformResult) -> CompiledCircuit {
+    let netlist = &result.netlist;
+    let input_vars: Vec<Var> = netlist.primary_inputs().iter().map(|&v| Var::new(v)).collect();
+    let column: HashMap<u32, usize> = netlist
+        .primary_inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+
+    let mut circuit = SoftCircuit::new(input_vars.len());
+    for node in netlist.nodes() {
+        match node {
+            NodeRef::Input(var) => {
+                let col = column[var];
+                circuit.input(col);
+            }
+            NodeRef::Const(b) => {
+                circuit.constant(if *b { 1.0 } else { 0.0 });
+            }
+            NodeRef::Gate { kind, fanin } => {
+                let gate = match kind {
+                    GateKind::Buf => SoftGate::Buf,
+                    GateKind::Not => SoftGate::Not,
+                    GateKind::And => SoftGate::And,
+                    GateKind::Or => SoftGate::Or,
+                    GateKind::Nand => SoftGate::Nand,
+                    GateKind::Nor => SoftGate::Nor,
+                    GateKind::Xor => SoftGate::Xor,
+                    GateKind::Xnor => SoftGate::Xnor,
+                };
+                let fanin: Vec<usize> = fanin.iter().map(|f| f.index()).collect();
+                circuit.gate(gate, fanin);
+            }
+        }
+    }
+    for output in netlist.outputs() {
+        circuit.constrain(output.node.index(), if output.target { 1.0 } else { 0.0 });
+    }
+    CompiledCircuit {
+        circuit,
+        input_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+    use htsat_cnf::Cnf;
+    use htsat_tensor::{Backend, BatchMatrix};
+
+    fn and_constrained_cnf() -> Cnf {
+        // x3 = x1 AND x2, x3 constrained to 1.
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause([3, -1, -2]);
+        cnf.add_dimacs_clause([-3, 1]);
+        cnf.add_dimacs_clause([-3, 2]);
+        cnf.add_dimacs_clause([3]);
+        cnf
+    }
+
+    #[test]
+    fn compiled_circuit_mirrors_netlist_shape() {
+        let cnf = and_constrained_cnf();
+        let result = transform(&cnf).expect("transform");
+        let compiled = compile(&result);
+        assert_eq!(compiled.circuit.num_nodes(), result.netlist.num_nodes());
+        assert_eq!(compiled.num_inputs(), result.primary_inputs().len());
+        assert_eq!(
+            compiled.circuit.outputs().len(),
+            result.netlist.outputs().len()
+        );
+    }
+
+    #[test]
+    fn hard_corner_evaluation_matches_netlist() {
+        let cnf = and_constrained_cnf();
+        let result = transform(&cnf).expect("transform");
+        let compiled = compile(&result);
+        let n = compiled.num_inputs();
+        for mask in 0..(1u32 << n) {
+            let probs = BatchMatrix::from_fn(1, n, |_, c| ((mask >> c) & 1) as f32);
+            let out = compiled.circuit.forward_outputs(&probs, Backend::Sequential);
+            let netlist_ok = result.netlist.outputs_satisfied(|v| {
+                compiled
+                    .column_of(Var::new(v))
+                    .map(|c| (mask >> c) & 1 == 1)
+                    .unwrap_or(false)
+            });
+            let soft_ok = (0..out.width()).all(|o| {
+                let target = compiled.circuit.outputs()[o].1;
+                (out.get(0, o) - target).abs() < 1e-6
+            });
+            assert_eq!(netlist_ok, soft_ok, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn column_lookup_round_trips() {
+        let cnf = and_constrained_cnf();
+        let result = transform(&cnf).expect("transform");
+        let compiled = compile(&result);
+        for (col, &var) in compiled.input_vars.iter().enumerate() {
+            assert_eq!(compiled.column_of(var), Some(col));
+        }
+        assert_eq!(compiled.column_of(Var::new(3)), None);
+    }
+}

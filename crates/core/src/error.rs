@@ -1,0 +1,51 @@
+//! Error types of the core sampler.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the CNF-to-circuit transformation or sampler setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// The CNF contains an empty clause and is trivially unsatisfiable.
+    TriviallyUnsat,
+    /// The transformation produced a constant-false constraint (the formula
+    /// is unsatisfiable at the structural level).
+    ConstantConflict,
+    /// The sampler was configured with a zero batch size or zero iterations.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::TriviallyUnsat => {
+                write!(f, "formula contains an empty clause and is unsatisfiable")
+            }
+            TransformError::ConstantConflict => {
+                write!(f, "transformation derived contradictory constant constraints")
+            }
+            TransformError::InvalidConfig(msg) => write!(f, "invalid sampler configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        for e in [
+            TransformError::TriviallyUnsat,
+            TransformError::ConstantConflict,
+            TransformError::InvalidConfig("batch size is zero".into()),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().expect("non-empty").is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Gradient-descent SAT sampling over the transformed circuit.
+//!
+//! The sampler reproduces the training loop of the paper: a batch of input
+//! logits `V ∈ R^{b×n}` is embedded into probabilities with a sigmoid, the
+//! probabilistic circuit maps them to output probabilities, an ℓ2 loss
+//! against the constrained targets is minimised with plain gradient descent
+//! (learning rate 10, five iterations by default), the logits are hardened to
+//! bits, validated against the *original* CNF and deduplicated.
+
+use crate::compile::{compile, CompiledCircuit};
+use crate::transform::{transform_with_config, TransformConfig, TransformResult};
+use crate::TransformError;
+use htsat_cnf::{Cnf, Var};
+use htsat_tensor::{ops, Backend, BatchMatrix, MemoryModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of the gradient-descent sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerConfig {
+    /// Number of candidate assignments learned in parallel per round.
+    pub batch_size: usize,
+    /// Gradient-descent iterations per round (the paper uses 5).
+    pub iterations: usize,
+    /// Learning rate γ (the paper uses 10).
+    pub learning_rate: f32,
+    /// Execution backend: sequential (CPU baseline) or data-parallel (the
+    /// GPU stand-in).
+    pub backend: Backend,
+    /// Seed of the sampler's RNG (logit initialisation and free variables).
+    pub seed: u64,
+    /// Scale of the uniform logit initialisation `V ~ U(-s, s)`.
+    pub init_scale: f32,
+    /// Options forwarded to the CNF-to-circuit transformation.
+    pub transform: TransformConfig,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            batch_size: 256,
+            iterations: 5,
+            learning_rate: 10.0,
+            backend: Backend::DataParallel,
+            seed: 0,
+            init_scale: 2.0,
+            transform: TransformConfig::default(),
+        }
+    }
+}
+
+/// The outcome of a sampling run.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// Unique satisfying assignments over the original CNF variables.
+    pub solutions: Vec<Vec<bool>>,
+    /// Total candidate assignments evaluated (batch size × rounds).
+    pub attempts: usize,
+    /// Candidates that hardened into valid (possibly duplicate) solutions.
+    pub valid: usize,
+    /// Number of gradient-descent rounds executed.
+    pub rounds: usize,
+    /// Wall-clock time of the sampling loop (excluding transformation).
+    pub elapsed: Duration,
+}
+
+impl SampleReport {
+    /// Unique-solution throughput in solutions per second — the headline
+    /// metric of the paper's Table II.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return self.solutions.len() as f64;
+        }
+        self.solutions.len() as f64 / secs
+    }
+
+    /// Fraction of candidates that hardened into valid solutions.
+    pub fn valid_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.valid as f64 / self.attempts as f64
+    }
+}
+
+/// The gradient-descent SAT sampler: transformation, compilation and the
+/// batched learning loop behind one API.
+pub struct GdSampler {
+    cnf: Cnf,
+    transform: TransformResult,
+    compiled: CompiledCircuit,
+    config: SamplerConfig,
+    rng: SmallRng,
+    seen: HashSet<Vec<bool>>,
+}
+
+impl GdSampler {
+    /// Builds a sampler for `cnf`: runs the CNF-to-circuit transformation and
+    /// compiles the differentiable circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransformError`] if the formula is structurally
+    /// unsatisfiable or the configuration is invalid.
+    pub fn new(cnf: &Cnf, config: SamplerConfig) -> Result<Self, TransformError> {
+        if config.batch_size == 0 {
+            return Err(TransformError::InvalidConfig("batch size must be non-zero".into()));
+        }
+        if config.iterations == 0 {
+            return Err(TransformError::InvalidConfig("iterations must be non-zero".into()));
+        }
+        let transform = transform_with_config(cnf, &config.transform)?;
+        let compiled = compile(&transform);
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Ok(GdSampler {
+            cnf: cnf.clone(),
+            transform,
+            compiled,
+            config,
+            rng,
+            seen: HashSet::new(),
+        })
+    }
+
+    /// The transformation result backing this sampler.
+    pub fn transform_result(&self) -> &TransformResult {
+        &self.transform
+    }
+
+    /// The sampler configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// Memory model of one sampling round at the configured batch size — the
+    /// quantity plotted in the paper's Fig. 3 (right).
+    pub fn memory_model(&self) -> MemoryModel {
+        MemoryModel::new(
+            self.compiled.num_inputs(),
+            self.compiled.circuit.num_nodes(),
+            self.config.batch_size,
+        )
+    }
+
+    /// Memory model at an arbitrary batch size.
+    pub fn memory_model_for_batch(&self, batch: usize) -> MemoryModel {
+        MemoryModel::new(
+            self.compiled.num_inputs(),
+            self.compiled.circuit.num_nodes(),
+            batch,
+        )
+    }
+
+    /// Runs one gradient-descent round and returns the valid (but not
+    /// deduplicated) hardened assignments.
+    pub fn sample_round(&mut self) -> Vec<Vec<bool>> {
+        let batch = self.config.batch_size;
+        let n = self.compiled.num_inputs();
+        let scale = self.config.init_scale;
+        let mut logits = BatchMatrix::from_fn(batch, n, |_, _| {
+            self.rng.gen_range(-scale..=scale)
+        });
+
+        for _ in 0..self.config.iterations {
+            // Continuous embedding: P = σ(V).
+            let mut probs = logits.clone();
+            probs.map_inplace(ops::sigmoid);
+            let (_loss, grad_p) = self
+                .compiled
+                .circuit
+                .loss_and_input_grads(&probs, self.config.backend);
+            // Chain rule through the sigmoid: dL/dV = dL/dP · σ'(V).
+            let mut grad_v = grad_p;
+            for (g, &p) in grad_v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(probs.as_slice().iter())
+            {
+                *g *= ops::sigmoid_grad_from_output(p);
+            }
+            logits.saxpy_neg(self.config.learning_rate, &grad_v);
+        }
+
+        // Harden, reconstruct full assignments and validate against the CNF.
+        let num_vars = self.cnf.num_vars();
+        let free_seed: u64 = self.rng.gen();
+        let rows: Vec<Option<Vec<bool>>> = self.config.backend.map_indices(batch, |b| {
+            let row = logits.row(b);
+            let input_value = |v: Var| {
+                self.compiled
+                    .column_of(v)
+                    .map(|c| row[c] > 0.0)
+                    .unwrap_or(false)
+            };
+            // Unbound variables are unconstrained: randomise them per sample
+            // for extra diversity, deterministically from the seed.
+            let free_value = |v: Var| {
+                let mut h = free_seed ^ (b as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                h ^= (v.index() as u64).wrapping_mul(0xd6e8feb86659fd93);
+                h = h.wrapping_mul(0x2545f4914f6cdd1d);
+                (h >> 63) & 1 == 1
+            };
+            let bits = self.transform.assignment_from_inputs(input_value, free_value);
+            debug_assert_eq!(bits.len(), num_vars);
+            if self.cnf.is_satisfied_by_bits(&bits) {
+                Some(bits)
+            } else {
+                None
+            }
+        });
+        rows.into_iter().flatten().collect()
+    }
+
+    /// Samples until at least `min_solutions` unique solutions are collected
+    /// or `timeout` elapses, whichever comes first.
+    ///
+    /// Solutions found in previous calls are remembered, so repeated calls
+    /// keep extending the unique set.
+    pub fn sample(&mut self, min_solutions: usize, timeout: Duration) -> SampleReport {
+        let start = Instant::now();
+        let mut report = SampleReport {
+            solutions: Vec::new(),
+            attempts: 0,
+            valid: 0,
+            rounds: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut rounds_without_progress = 0u32;
+        while report.solutions.len() < min_solutions && start.elapsed() < timeout {
+            let valid = self.sample_round();
+            report.rounds += 1;
+            report.attempts += self.config.batch_size;
+            report.valid += valid.len();
+            let before = report.solutions.len();
+            for bits in valid {
+                if self.seen.insert(bits.clone()) {
+                    report.solutions.push(bits);
+                }
+            }
+            // A formula with fewer solutions than the target would otherwise
+            // burn the whole timeout re-discovering known models; stop once
+            // several consecutive rounds add nothing new (the CPU baselines
+            // apply the same early exit).
+            if report.solutions.len() == before {
+                rounds_without_progress += 1;
+                if rounds_without_progress >= 8 {
+                    break;
+                }
+            } else {
+                rounds_without_progress = 0;
+            }
+        }
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    /// Clears the memory of previously returned solutions.
+    pub fn reset_unique_filter(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsat_cnf::dimacs;
+
+    fn mux_constrained_cnf() -> Cnf {
+        // x5 = MUX(x4; x2, x3) with x5 = 1 and x4 = ¬x1.
+        dimacs::parse_str(
+            "p cnf 5 7\n\
+             -1 -4 0\n1 4 0\n\
+             -4 -2 5 0\n-4 2 -5 0\n4 -3 5 0\n4 3 -5 0\n\
+             5 0\n",
+        )
+        .expect("valid DIMACS")
+    }
+
+    #[test]
+    fn sampler_finds_valid_solutions() {
+        let cnf = mux_constrained_cnf();
+        let mut sampler = GdSampler::new(&cnf, SamplerConfig::default()).expect("build");
+        let report = sampler.sample(4, Duration::from_secs(10));
+        assert!(!report.solutions.is_empty());
+        for s in &report.solutions {
+            assert!(cnf.is_satisfied_by_bits(s));
+        }
+        assert!(report.valid_rate() > 0.0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn solutions_are_unique() {
+        let cnf = mux_constrained_cnf();
+        let mut sampler = GdSampler::new(&cnf, SamplerConfig::default()).expect("build");
+        let report = sampler.sample(8, Duration::from_secs(10));
+        let set: HashSet<&Vec<bool>> = report.solutions.iter().collect();
+        assert_eq!(set.len(), report.solutions.len());
+    }
+
+    #[test]
+    fn repeated_sampling_does_not_return_duplicates() {
+        let cnf = mux_constrained_cnf();
+        let mut sampler = GdSampler::new(&cnf, SamplerConfig::default()).expect("build");
+        let first = sampler.sample(4, Duration::from_secs(5));
+        let second = sampler.sample(4, Duration::from_secs(5));
+        for s in &second.solutions {
+            assert!(!first.solutions.contains(s), "duplicate across calls");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_backends_both_work() {
+        let cnf = mux_constrained_cnf();
+        for backend in [Backend::Sequential, Backend::DataParallel] {
+            let config = SamplerConfig {
+                backend,
+                batch_size: 64,
+                ..SamplerConfig::default()
+            };
+            let mut sampler = GdSampler::new(&cnf, config).expect("build");
+            let report = sampler.sample(2, Duration::from_secs(10));
+            assert!(!report.solutions.is_empty(), "backend {backend:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let cnf = mux_constrained_cnf();
+        let zero_batch = SamplerConfig {
+            batch_size: 0,
+            ..SamplerConfig::default()
+        };
+        assert!(matches!(
+            GdSampler::new(&cnf, zero_batch),
+            Err(TransformError::InvalidConfig(_))
+        ));
+        let zero_iters = SamplerConfig {
+            iterations: 0,
+            ..SamplerConfig::default()
+        };
+        assert!(matches!(
+            GdSampler::new(&cnf, zero_iters),
+            Err(TransformError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn memory_model_scales_with_batch() {
+        let cnf = mux_constrained_cnf();
+        let sampler = GdSampler::new(&cnf, SamplerConfig::default()).expect("build");
+        let small = sampler.memory_model_for_batch(100).total_bytes();
+        let large = sampler.memory_model_for_batch(10_000).total_bytes();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn unconstrained_formula_samples_diverse_assignments() {
+        // Four free variables (single tautology-free loose clause each).
+        let mut cnf = Cnf::new(4);
+        cnf.add_dimacs_clause([1, 2, 3, 4]);
+        let config = SamplerConfig {
+            batch_size: 128,
+            ..SamplerConfig::default()
+        };
+        let mut sampler = GdSampler::new(&cnf, config).expect("build");
+        let report = sampler.sample(8, Duration::from_secs(10));
+        assert!(report.solutions.len() >= 8, "found {}", report.solutions.len());
+    }
+}

@@ -1,0 +1,300 @@
+//! CNF signatures of primitive logic gates.
+//!
+//! The Tseitin encoding of a primitive gate leaves a recognisable clause
+//! pattern in the CNF (Section III-A, Eqs. 1–4 of the paper). Matching these
+//! signatures directly is cheaper than the general expression-derivation path
+//! of Algorithm 1, so the transformation tries this fast path first. It is
+//! also the technique prior circuit-recovery work relies on exclusively,
+//! which the paper contrasts against; keeping it separate lets the benchmark
+//! harness ablate "signatures only" versus the full transformation.
+
+use htsat_cnf::{Clause, Lit, Var};
+use htsat_logic::{Expr, VarId};
+use std::collections::BTreeSet;
+
+/// A recognised gate definition: `output ⇔ expr(inputs)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateMatch {
+    /// The output variable defined by the clause group.
+    pub output: Var,
+    /// The Boolean expression the output equals.
+    pub expr: Expr,
+}
+
+/// Attempts to recognise a clause group as the Tseitin signature of a single
+/// primitive gate (NOT/BUF, AND/NAND, OR/NOR, XOR/XNOR).
+///
+/// Returns `None` when the group does not exactly match a known signature;
+/// the general derivation of Algorithm 1 is then used instead.
+pub fn match_gate(clauses: &[Clause], eligible: impl Fn(Var) -> bool) -> Option<GateMatch> {
+    if clauses.is_empty() {
+        return None;
+    }
+    // Collect candidate output variables: variables occurring in every clause.
+    let mut candidates: Option<BTreeSet<Var>> = None;
+    for clause in clauses {
+        let vars: BTreeSet<Var> = clause.vars().collect();
+        candidates = Some(match candidates {
+            None => vars,
+            Some(prev) => prev.intersection(&vars).copied().collect(),
+        });
+    }
+    let candidates = candidates?;
+    // Prefer higher-indexed candidates: Tseitin encoders introduce gate
+    // outputs after their inputs, so this matches the paper's Fig. 1 circuit.
+    for output in candidates.into_iter().rev() {
+        if !eligible(output) {
+            continue;
+        }
+        if let Some(expr) = try_not_buf(clauses, output)
+            .or_else(|| try_and_or(clauses, output))
+            .or_else(|| try_xor(clauses, output))
+        {
+            return Some(GateMatch { output, expr });
+        }
+    }
+    None
+}
+
+/// NOT/BUF signature: two binary clauses `(f ∨ x)(¬f ∨ ¬x)` or
+/// `(f ∨ ¬x)(¬f ∨ x)`.
+fn try_not_buf(clauses: &[Clause], output: Var) -> Option<Expr> {
+    if clauses.len() != 2 || clauses.iter().any(|c| c.len() != 2) {
+        return None;
+    }
+    let other = |c: &Clause| c.lits().iter().copied().find(|l| l.var() != output);
+    let out_lit = |c: &Clause| c.lits().iter().copied().find(|l| l.var() == output);
+    let (o0, x0) = (out_lit(&clauses[0])?, other(&clauses[0])?);
+    let (o1, x1) = (out_lit(&clauses[1])?, other(&clauses[1])?);
+    if x0.var() != x1.var() || o0 == o1 {
+        return None;
+    }
+    // Clause containing ¬f describes the on-set of f.
+    let (_, x_on) = if o0.is_negative() { (o0, x0) } else { (o1, x1) };
+    let (_, x_off) = if o0.is_negative() { (o1, x1) } else { (o0, x0) };
+    // Consistency: the other literal must flip polarity between the clauses.
+    if x_on == x_off {
+        return None;
+    }
+    Some(Expr::literal(x_on.var().index() as VarId, x_on.is_positive()))
+}
+
+/// AND/OR (and complemented) signature with `n` inputs:
+/// one wide clause of `n+1` literals plus `n` binary clauses.
+fn try_and_or(clauses: &[Clause], output: Var) -> Option<Expr> {
+    if clauses.len() < 3 {
+        return None;
+    }
+    let wide_idx = clauses.iter().position(|c| c.len() == clauses.len())?;
+    let wide = &clauses[wide_idx];
+    if wide.len() != clauses.len() {
+        return None;
+    }
+    let binaries: Vec<&Clause> = clauses
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| (i != wide_idx).then_some(c))
+        .collect();
+    if binaries.iter().any(|c| c.len() != 2) {
+        return None;
+    }
+    let wide_out = wide.lits().iter().copied().find(|l| l.var() == output)?;
+    // For OR:  (¬f ∨ x1 ∨ … ∨ xn) and (f ∨ ¬xi): wide contains ¬f.
+    // For AND: (f ∨ ¬x1 ∨ … ∨ ¬xn) and (¬f ∨ xi): wide contains f.
+    let mut inputs = Vec::new();
+    for lit in wide.lits() {
+        if lit.var() != output {
+            inputs.push(*lit);
+        }
+    }
+    // Check every binary clause is (¬wide_out ∨ ¬input_as_in_wide), with each
+    // input covered by exactly one binary clause.
+    let mut covered: BTreeSet<Var> = BTreeSet::new();
+    for b in &binaries {
+        let out_lit = b.lits().iter().copied().find(|l| l.var() == output)?;
+        let in_lit = b.lits().iter().copied().find(|l| l.var() != output)?;
+        if out_lit != !wide_out {
+            return None;
+        }
+        if !inputs.contains(&!in_lit) || !covered.insert(in_lit.var()) {
+            return None;
+        }
+    }
+    if covered.len() != inputs.len() {
+        return None;
+    }
+    let to_expr = |l: Lit| Expr::literal(l.var().index() as VarId, l.is_positive());
+    if wide_out.is_negative() {
+        // f = OR(inputs as they appear in the wide clause)
+        Some(Expr::or(inputs.into_iter().map(to_expr).collect()))
+    } else {
+        // f = AND(inputs complemented relative to the wide clause)
+        Some(Expr::and(inputs.into_iter().map(|l| to_expr(!l)).collect()))
+    }
+}
+
+/// XOR/XNOR signature over `k` variables plus the output: `2^k` clauses, each
+/// containing every variable, covering exactly the odd- or even-parity rows.
+fn try_xor(clauses: &[Clause], output: Var) -> Option<Expr> {
+    let vars: BTreeSet<Var> = clauses.iter().flat_map(|c| c.vars()).collect();
+    let k = vars.len().checked_sub(1)?;
+    if k == 0 || k > 16 || clauses.len() != (1usize << k) {
+        return None;
+    }
+    if clauses
+        .iter()
+        .any(|c| c.len() != vars.len() || c.vars().count() != vars.len())
+    {
+        return None;
+    }
+    let inputs: Vec<Var> = vars.iter().copied().filter(|&v| v != output).collect();
+    // Every clause (l1 ∨ … ∨ lm) forbids exactly one assignment (all literals
+    // false). XOR's CNF forbids the rows where output ≠ XOR(inputs). The 2^k
+    // forbidden rows must be distinct and all lie on the same parity side.
+    let mut forbidden_parity: Option<bool> = None;
+    let mut forbidden_rows: BTreeSet<Vec<(Var, bool)>> = BTreeSet::new();
+    for clause in clauses {
+        let mut parity = false;
+        let mut out_val = false;
+        let mut row = Vec::with_capacity(clause.len());
+        for lit in clause.lits() {
+            let value = lit.is_negative(); // forbidden assignment falsifies every literal
+            row.push((lit.var(), value));
+            if lit.var() == output {
+                out_val = value;
+            } else {
+                parity ^= value;
+            }
+        }
+        row.sort_unstable();
+        if !forbidden_rows.insert(row) {
+            return None; // duplicate clause: pattern incomplete
+        }
+        // For f = XOR(inputs): forbidden rows satisfy out_val != parity.
+        let mismatch = out_val != parity;
+        match forbidden_parity {
+            None => forbidden_parity = Some(mismatch),
+            Some(p) if p == mismatch => {}
+            _ => return None,
+        }
+    }
+    let operands: Vec<Expr> = inputs
+        .iter()
+        .map(|v| Expr::var(v.index() as VarId))
+        .collect();
+    match forbidden_parity? {
+        true => Some(Expr::xor(operands)),  // forbids out ≠ parity ⇒ f = XOR
+        false => Some(Expr::not(Expr::xor(operands))), // f = XNOR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsat_cnf::Cnf;
+    use htsat_logic::TruthTable;
+
+    fn clauses(spec: &[&[i64]]) -> Vec<Clause> {
+        spec.iter().map(|c| Clause::from_dimacs(c.iter().copied())).collect()
+    }
+
+    fn assert_defines(m: &GateMatch, expected: &Expr) {
+        let got = TruthTable::from_expr(&m.expr);
+        let want = TruthTable::from_expr(expected);
+        assert!(got.is_equivalent_to(&want), "{:?} vs {:?}", m.expr, expected);
+    }
+
+    #[test]
+    fn recognises_inverter() {
+        // f(x) = ¬x with f = var 2, x = var 1: (f ∨ x)(¬f ∨ ¬x)
+        let group = clauses(&[&[2, 1], &[-2, -1]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        assert_eq!(m.output, Var::new(2));
+        assert_defines(&m, &Expr::not(Expr::var(1)));
+    }
+
+    #[test]
+    fn recognises_buffer() {
+        // f = x: (¬f ∨ x)(f ∨ ¬x)
+        let group = clauses(&[&[-2, 1], &[2, -1]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        assert_eq!(m.output, Var::new(2));
+        assert_defines(&m, &Expr::var(1));
+    }
+
+    #[test]
+    fn recognises_or_gate() {
+        // f = x1 ∨ x2, f = var 3: (¬f ∨ x1 ∨ x2)(f ∨ ¬x1)(f ∨ ¬x2)
+        let group = clauses(&[&[-3, 1, 2], &[3, -1], &[3, -2]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        assert_eq!(m.output, Var::new(3));
+        assert_defines(&m, &Expr::or(vec![Expr::var(1), Expr::var(2)]));
+    }
+
+    #[test]
+    fn recognises_and_gate() {
+        // f = x1 ∧ x2 ∧ x3, f = var 4
+        let group = clauses(&[&[4, -1, -2, -3], &[-4, 1], &[-4, 2], &[-4, 3]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        assert_eq!(m.output, Var::new(4));
+        assert_defines(&m, &Expr::and(vec![Expr::var(1), Expr::var(2), Expr::var(3)]));
+    }
+
+    #[test]
+    fn recognises_two_input_xor() {
+        // f = x1 ⊕ x2, f = var 3: forbid rows where f ≠ x1⊕x2.
+        let group = clauses(&[&[-3, 1, 2], &[-3, -1, -2], &[3, 1, -2], &[3, -1, 2]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        assert_eq!(m.output, Var::new(3));
+        assert_defines(&m, &Expr::xor(vec![Expr::var(1), Expr::var(2)]));
+    }
+
+    #[test]
+    fn recognises_two_input_xnor() {
+        let group = clauses(&[&[3, 1, 2], &[3, -1, -2], &[-3, 1, -2], &[-3, -1, 2]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        assert_defines(&m, &Expr::not(Expr::xor(vec![Expr::var(1), Expr::var(2)])));
+    }
+
+    #[test]
+    fn rejects_mux_pattern() {
+        // The paper's Eq. (5) MUX-like group is not a primitive-gate signature.
+        let group = clauses(&[
+            &[-4, -107, 5],
+            &[-4, 107, -5],
+            &[4, -108, 5],
+            &[4, 108, -5],
+        ]);
+        assert!(match_gate(&group, |_| true).is_none());
+    }
+
+    #[test]
+    fn respects_eligibility_filter() {
+        let group = clauses(&[&[2, 1], &[-2, -1]]);
+        // Variable 2 is not eligible (e.g. already a primary input), so the
+        // symmetric reading with variable 1 as the output is chosen instead.
+        let m = match_gate(&group, |v| v != Var::new(2)).expect("fallback output");
+        assert_eq!(m.output, Var::new(1));
+        assert_defines(&m, &Expr::not(Expr::var(2)));
+        // With both variables ineligible there is no match at all.
+        assert!(match_gate(&group, |_| false).is_none());
+    }
+
+    #[test]
+    fn matched_gate_is_equisatisfiable_with_group() {
+        // For every assignment, the clause group is satisfied iff out == expr.
+        let group = clauses(&[&[-3, 1, 2], &[3, -1], &[3, -2]]);
+        let m = match_gate(&group, |_| true).expect("match");
+        let mut cnf = Cnf::new(3);
+        for c in &group {
+            cnf.push_clause(c.clone());
+        }
+        for bits in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            let clauses_ok = cnf.is_satisfied_by_bits(&assignment);
+            let expr_val = m.expr.eval_with(|v| assignment[(v - 1) as usize]);
+            let out_val = assignment[m.output.as_usize()];
+            assert_eq!(clauses_ok, expr_val == out_val, "bits {bits:03b}");
+        }
+    }
+}

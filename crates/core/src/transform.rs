@@ -1,0 +1,727 @@
+//! Algorithm 1: transforming a CNF into an equisatisfiable multi-level,
+//! multi-output Boolean function.
+//!
+//! The transformation scans the clause list in order, accumulating a window
+//! of not-yet-explained sub-clauses (`SC` in the paper). After each clause it
+//! tries to recognise the window (or the part of it mentioning a candidate
+//! output variable) as the Tseitin encoding of a Boolean sub-expression:
+//!
+//! * the candidate's *on-set* expression `f` is derived from the clauses
+//!   containing the candidate negated (dropping the candidate literal),
+//! * the candidate's *off-set* expression `g` is derived from the clauses
+//!   containing the candidate positively,
+//! * if `f = ¬g` (checked exactly on truth tables), the clause group is
+//!   equivalent to `candidate ⇔ f`, the candidate becomes an intermediate
+//!   variable driven by `f` in the netlist, and the group is consumed.
+//!
+//! Constant expressions mark the candidate as a *primary output* with an
+//! explicit target value; windows that stop sharing variables with the rest
+//! of the formula (or exceed a size budget) are flushed as auxiliary
+//! constraints whose conjunction is constrained to 1 — exactly the paper's
+//! handling of under-specified sub-clauses.
+//!
+//! Two deliberate robustness deviations from the pseudo-code are documented
+//! in `DESIGN.md`: only the clauses mentioning the accepted candidate are
+//! consumed from the window (the paper clears the whole window), and windows
+//! larger than [`TransformConfig::max_group_clauses`] are flushed as
+//! auxiliary constraints to bound worst-case cost. Both preserve
+//! equisatisfiability.
+
+use crate::{signature, TransformError};
+use htsat_cnf::{ops as cnf_ops, Clause, Cnf, Var};
+use htsat_logic::{simplify, Expr, Netlist, TruthTable, VarId};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Classification of a CNF variable after transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarClass {
+    /// The variable is a primary input of the extracted circuit: the sampler
+    /// learns (or randomises) its value directly.
+    PrimaryInput,
+    /// The variable is an internal signal computed from primary inputs.
+    Intermediate,
+    /// The variable is constrained to a constant by the formula (a primary
+    /// output in the paper's terminology).
+    PrimaryOutput,
+    /// The variable does not occur in any clause.
+    Unused,
+}
+
+/// Options of the transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformConfig {
+    /// Simplify each accepted expression (two-level minimisation) before it
+    /// is added to the netlist.
+    pub simplify: bool,
+    /// Try the primitive-gate CNF signature matcher before the general
+    /// expression derivation.
+    pub use_signatures: bool,
+    /// Flush the clause window as an auxiliary constraint when it grows past
+    /// this many clauses.
+    pub max_group_clauses: usize,
+    /// Skip candidates whose derived expressions would exceed this support
+    /// size (exact truth-table checks become too expensive beyond it).
+    pub max_support: usize,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            simplify: true,
+            use_signatures: true,
+            max_group_clauses: 48,
+            max_support: 12,
+        }
+    }
+}
+
+/// Statistics of one transformation run; the quantities behind the paper's
+/// Fig. 4 (ops reduction, transformation time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransformStats {
+    /// Number of variables of the input CNF.
+    pub cnf_vars: usize,
+    /// Number of clauses of the input CNF.
+    pub cnf_clauses: usize,
+    /// Bit-wise operations of the CNF in 2-input gate equivalents.
+    pub cnf_ops: u64,
+    /// Bit-wise operations of the extracted circuit in 2-input gate
+    /// equivalents.
+    pub circuit_ops: u64,
+    /// Clause groups recognised as Boolean sub-expressions.
+    pub gate_groups: usize,
+    /// Groups recognised through the primitive-gate signature fast path.
+    pub signature_hits: usize,
+    /// Windows flushed as auxiliary output constraints.
+    pub aux_constraints: usize,
+    /// Variables forced to constants (primary outputs).
+    pub constant_outputs: usize,
+    /// Wall-clock time spent in the transformation.
+    pub transform_time: Duration,
+}
+
+impl TransformStats {
+    /// The ops-reduction ratio reported in Fig. 4 (CNF ops / circuit ops).
+    pub fn ops_reduction(&self) -> f64 {
+        cnf_ops::reduction_ratio(self.cnf_ops, self.circuit_ops)
+    }
+}
+
+/// The result of transforming a CNF: the netlist plus the variable
+/// classification and statistics.
+#[derive(Debug, Clone)]
+pub struct TransformResult {
+    /// The extracted multi-level, multi-output Boolean function.
+    pub netlist: Netlist,
+    classes: Vec<VarClass>,
+    /// Transformation statistics.
+    pub stats: TransformStats,
+}
+
+impl TransformResult {
+    /// Classification of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` lies outside the transformed formula's universe.
+    pub fn class_of(&self, var: Var) -> VarClass {
+        self.classes[var.as_usize()]
+    }
+
+    /// Variables classified as primary inputs, in first-use order.
+    pub fn primary_inputs(&self) -> Vec<Var> {
+        self.netlist
+            .primary_inputs()
+            .iter()
+            .map(|&v| Var::new(v))
+            .collect()
+    }
+
+    /// Variables classified as intermediate.
+    pub fn intermediate_vars(&self) -> Vec<Var> {
+        self.vars_with_class(VarClass::Intermediate)
+    }
+
+    /// Variables classified as primary outputs (constrained to constants).
+    pub fn primary_outputs(&self) -> Vec<Var> {
+        self.vars_with_class(VarClass::PrimaryOutput)
+    }
+
+    fn vars_with_class(&self, class: VarClass) -> Vec<Var> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &c)| c == class).map(|(i, &_c)| Var::from_zero_based(i))
+            .collect()
+    }
+
+    /// Number of variables in the original formula's universe.
+    pub fn num_vars(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Reconstructs a complete assignment over the original CNF variables
+    /// from primary-input values.
+    ///
+    /// `input_value` supplies the value of each primary-input variable;
+    /// `free_value` supplies values for variables that are neither bound to a
+    /// netlist node nor primary inputs (typically unused variables).
+    pub fn assignment_from_inputs<F, G>(&self, input_value: F, free_value: G) -> Vec<bool>
+    where
+        F: Fn(Var) -> bool,
+        G: Fn(Var) -> bool,
+    {
+        let node_values = self.netlist.evaluate(|v| input_value(Var::new(v)));
+        let mut bits: Vec<bool> = (0..self.classes.len())
+            .map(|i| free_value(Var::from_zero_based(i)))
+            .collect();
+        for (var_id, node) in self.netlist.bound_vars() {
+            let idx = (var_id - 1) as usize;
+            if idx < bits.len() {
+                bits[idx] = node_values[node.index()];
+            }
+        }
+        bits
+    }
+}
+
+/// Transforms `cnf` into an equisatisfiable multi-level, multi-output Boolean
+/// function using the default configuration.
+///
+/// # Errors
+///
+/// Returns [`TransformError::TriviallyUnsat`] if the CNF contains an empty
+/// clause and [`TransformError::ConstantConflict`] if contradictory constant
+/// constraints are derived for the same variable.
+pub fn transform(cnf: &Cnf) -> Result<TransformResult, TransformError> {
+    transform_with_config(cnf, &TransformConfig::default())
+}
+
+/// Transforms `cnf` with an explicit [`TransformConfig`].
+///
+/// # Errors
+///
+/// See [`transform`].
+pub fn transform_with_config(
+    cnf: &Cnf,
+    config: &TransformConfig,
+) -> Result<TransformResult, TransformError> {
+    let start = Instant::now();
+    let num_vars = cnf.num_vars();
+    let mut state = TransformState {
+        netlist: Netlist::new(),
+        classes: vec![None; num_vars],
+        pending_const: HashMap::new(),
+        stats: TransformStats {
+            cnf_vars: num_vars,
+            cnf_clauses: cnf.num_clauses(),
+            cnf_ops: cnf_ops::count_cnf_ops(cnf).total(),
+            circuit_ops: 0,
+            gate_groups: 0,
+            signature_hits: 0,
+            aux_constraints: 0,
+            constant_outputs: 0,
+            transform_time: Duration::ZERO,
+        },
+        config: config.clone(),
+    };
+
+    // Last clause index in which each variable occurs, used for the
+    // "does the window share variables with subsequent clauses" test.
+    let mut last_occurrence = vec![0usize; num_vars];
+    for (idx, clause) in cnf.clauses().iter().enumerate() {
+        for lit in clause.lits() {
+            last_occurrence[lit.var().as_usize()] = idx;
+        }
+    }
+
+    let mut window: Vec<Clause> = Vec::new();
+    for (idx, clause) in cnf.clauses().iter().enumerate() {
+        if clause.is_empty() {
+            return Err(TransformError::TriviallyUnsat);
+        }
+        window.push(clause.clone());
+        // Consume as many recognisable groups as possible.
+        while state.try_extract(&mut window)? {}
+        if window.is_empty() {
+            continue;
+        }
+        let shares_future = window
+            .iter()
+            .flat_map(|c| c.vars())
+            .any(|v| last_occurrence[v.as_usize()] > idx);
+        if !shares_future || window.len() > state.config.max_group_clauses {
+            state.flush_window(&mut window);
+        }
+    }
+    if !window.is_empty() {
+        state.flush_window(&mut window);
+    }
+    state.resolve_pending_constants()?;
+
+    let classes: Vec<VarClass> = state
+        .classes
+        .iter()
+        .map(|c| c.unwrap_or(VarClass::Unused))
+        .collect();
+
+    let mut stats = state.stats;
+    stats.circuit_ops = state.netlist.op_count();
+    stats.transform_time = start.elapsed();
+    Ok(TransformResult {
+        netlist: state.netlist,
+        classes,
+        stats,
+    })
+}
+
+struct TransformState {
+    netlist: Netlist,
+    classes: Vec<Option<VarClass>>,
+    pending_const: HashMap<VarId, bool>,
+    stats: TransformStats,
+    config: TransformConfig,
+}
+
+impl TransformState {
+    fn is_eligible(&self, var: Var) -> bool {
+        !matches!(
+            self.classes[var.as_usize()],
+            Some(VarClass::PrimaryInput) | Some(VarClass::Intermediate)
+        )
+    }
+
+    fn mark(&mut self, var: Var, class: VarClass) {
+        let slot = &mut self.classes[var.as_usize()];
+        match (*slot, class) {
+            // Primary-output status always wins: a variable the formula
+            // constrains to a constant is an output of the circuit even if it
+            // is also driven by an extracted expression (Fig. 1's x10).
+            (_, VarClass::PrimaryOutput) => *slot = Some(VarClass::PrimaryOutput),
+            (Some(VarClass::PrimaryOutput), _) => {}
+            (Some(VarClass::Intermediate), _) => {}
+            (Some(VarClass::PrimaryInput), VarClass::Intermediate) => {}
+            _ => *slot = Some(class),
+        }
+    }
+
+    /// Attempts to extract one Boolean sub-expression from the window.
+    /// Returns `Ok(true)` when a group was consumed.
+    fn try_extract(&mut self, window: &mut Vec<Clause>) -> Result<bool, TransformError> {
+        // Fast path: the whole window is the signature of a primitive gate.
+        if self.config.use_signatures {
+            let eligible = |v: Var| self.is_eligible(v);
+            if let Some(found) = signature::match_gate(window, eligible) {
+                // Accept only if every window clause mentions the output (the
+                // signature describes the complete group).
+                if window.iter().all(|c| c.mentions(found.output)) {
+                    self.stats.signature_hits += 1;
+                    self.accept(found.output, found.expr, window)?;
+                    return Ok(true);
+                }
+            }
+        }
+        // General path: candidate output variables in descending index order.
+        // Tseitin encoders allocate gate outputs after their inputs, so the
+        // highest-indexed variable of a group is the natural output choice
+        // (this reproduces the classification of the paper's Fig. 1 example).
+        let mut candidates: Vec<Var> = Vec::new();
+        for clause in window.iter() {
+            for var in clause.vars() {
+                if self.is_eligible(var) && !candidates.contains(&var) {
+                    candidates.push(var);
+                }
+            }
+        }
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for candidate in candidates {
+            if let Some(expr) = self.derive_expression(candidate, window) {
+                self.accept(candidate, expr, window)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Derives the Boolean expression of `candidate` from the window clauses
+    /// mentioning it, returning it when the on-set and off-set derivations
+    /// are exact complements.
+    fn derive_expression(&self, candidate: Var, window: &[Clause]) -> Option<Expr> {
+        let id = candidate.index() as VarId;
+        let mut on_terms = Vec::new(); // from clauses containing ¬candidate
+        let mut off_terms = Vec::new(); // from clauses containing candidate
+        let mut support = std::collections::BTreeSet::new();
+        for clause in window.iter().filter(|c| c.mentions(candidate)) {
+            let residual: Vec<Expr> = clause
+                .lits()
+                .iter()
+                .filter(|l| l.var() != candidate)
+                .map(|l| Expr::literal(l.var().index() as VarId, l.is_positive()))
+                .collect();
+            for l in clause.lits() {
+                if l.var() != candidate {
+                    support.insert(l.var().index() as VarId);
+                }
+            }
+            let term = Expr::or(residual);
+            let negated = clause.lits().iter().any(|l| l.var() == candidate && l.is_negative());
+            let positive = clause.lits().iter().any(|l| l.var() == candidate && l.is_positive());
+            if negated && positive {
+                return None; // tautological clause mentioning candidate twice
+            }
+            if negated {
+                on_terms.push(term);
+            } else {
+                off_terms.push(term);
+            }
+        }
+        if support.len() > self.config.max_support {
+            return None;
+        }
+        let f = Expr::and(on_terms);
+        let g = Expr::and(off_terms);
+        let support_vec: Vec<VarId> = support.into_iter().collect();
+        let tf = TruthTable::try_from_expr_with_support(&f, &support_vec)?;
+        let tg = TruthTable::try_from_expr_with_support(&g, &support_vec)?;
+        if tf.is_complement_of(&tg) {
+            let _ = id;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// Accepts `output ⇔ expr`, updating the netlist, classifications and the
+    /// window (clauses mentioning `output` are consumed).
+    fn accept(
+        &mut self,
+        output: Var,
+        expr: Expr,
+        window: &mut Vec<Clause>,
+    ) -> Result<(), TransformError> {
+        let expr = if self.config.simplify {
+            simplify::simplify(&expr)
+        } else {
+            expr
+        };
+        self.stats.gate_groups += 1;
+        let consumed_vars: Vec<Var> = window
+            .iter()
+            .filter(|c| c.mentions(output))
+            .flat_map(|c| c.vars().collect::<Vec<_>>())
+            .collect();
+        window.retain(|c| !c.mentions(output));
+
+        match expr.as_const() {
+            Some(value) => {
+                // The clause group forces `output` to a constant: a primary output.
+                let id = output.index() as VarId;
+                if let Some(&prev) = self.pending_const.get(&id) {
+                    if prev != value {
+                        return Err(TransformError::ConstantConflict);
+                    }
+                } else {
+                    self.pending_const.insert(id, value);
+                    self.stats.constant_outputs += 1;
+                }
+                self.mark(output, VarClass::PrimaryOutput);
+            }
+            None => {
+                let node = self.netlist.add_expr(&expr);
+                self.netlist.bind_var(output.index() as VarId, node);
+                self.mark(output, VarClass::Intermediate);
+                for v in expr.support() {
+                    self.mark(Var::new(v), VarClass::PrimaryInput);
+                }
+            }
+        }
+        // Remaining variables of the consumed clauses become primary inputs
+        // unless already classified otherwise.
+        for v in consumed_vars {
+            if v != output && self.classes[v.as_usize()].is_none() {
+                self.netlist.add_input(v.index() as VarId);
+                self.mark(v, VarClass::PrimaryInput);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the window as an auxiliary constraint: the conjunction of its
+    /// clauses is constrained to 1 and its variables become inputs (or keep
+    /// their intermediate drivers).
+    fn flush_window(&mut self, window: &mut Vec<Clause>) {
+        if window.is_empty() {
+            return;
+        }
+        // A single unit clause over an already-driven variable is the common
+        // "output forced to a constant" case of the paper's Fig. 1 (x10 = 1):
+        // constrain the driver directly and classify the variable as a
+        // primary output rather than introducing an auxiliary output.
+        if window.len() == 1 && window[0].is_unit() {
+            let lit = window[0].lits()[0];
+            let id = lit.var().index() as VarId;
+            if let Some(node) = self.netlist.driver_of(id) {
+                self.netlist.add_output(node, lit.is_positive(), Some(id));
+                self.mark(lit.var(), VarClass::PrimaryOutput);
+                self.stats.constant_outputs += 1;
+                window.clear();
+                return;
+            }
+        }
+        let conjuncts: Vec<Expr> = window
+            .iter()
+            .map(|clause| {
+                Expr::or(
+                    clause
+                        .lits()
+                        .iter()
+                        .map(|l| Expr::literal(l.var().index() as VarId, l.is_positive()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let expr = Expr::and(conjuncts);
+        let expr = if self.config.simplify && expr.support().len() <= self.config.max_support {
+            simplify::simplify(&expr)
+        } else {
+            expr
+        };
+        for clause in window.iter() {
+            for v in clause.vars() {
+                if self.classes[v.as_usize()].is_none() {
+                    self.netlist.add_input(v.index() as VarId);
+                    self.mark(v, VarClass::PrimaryInput);
+                }
+            }
+        }
+        let node = self.netlist.add_expr(&expr);
+        self.netlist.add_output(node, true, None);
+        self.stats.aux_constraints += 1;
+        window.clear();
+    }
+
+    /// Turns pending constant constraints into output constraints on the
+    /// drivers of the affected variables.
+    fn resolve_pending_constants(&mut self) -> Result<(), TransformError> {
+        let pending: Vec<(VarId, bool)> = {
+            let mut v: Vec<_> = self.pending_const.iter().map(|(&k, &b)| (k, b)).collect();
+            v.sort_unstable();
+            v
+        };
+        for (var_id, value) in pending {
+            let node = match self.netlist.driver_of(var_id) {
+                Some(node) => node,
+                None => self.netlist.add_input(var_id),
+            };
+            self.netlist.add_output(node, value, Some(var_id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsat_cnf::dimacs;
+
+    /// The CNF of the paper's Fig. 1 example (comments omitted).
+    fn fig1_cnf() -> Cnf {
+        dimacs::parse_str(
+            "p cnf 14 21\n\
+             -1 -2 0\n1 2 0\n\
+             -2 3 0\n2 -3 0\n\
+             -3 4 0\n3 -4 0\n\
+             -4 -11 5 0\n-4 11 -5 0\n4 -12 5 0\n4 12 -5 0\n\
+             -6 7 0\n6 -7 0\n\
+             -7 8 0\n7 -8 0\n\
+             -8 -9 0\n8 9 0\n\
+             -9 -13 10 0\n-9 13 -10 0\n9 -14 10 0\n9 14 -10 0\n\
+             10 0\n",
+        )
+        .expect("valid DIMACS")
+    }
+
+    #[test]
+    fn fig1_example_classification_matches_paper() {
+        let cnf = fig1_cnf();
+        let result = transform(&cnf).expect("transform");
+        // Primary inputs per the paper: x1, x11, x12 (unconstrained side) and
+        // x6, x13, x14 (constrained side).
+        let pis: Vec<u32> = result.primary_inputs().iter().map(|v| v.index()).collect();
+        for expected in [1u32, 11, 12, 6, 13, 14] {
+            assert!(pis.contains(&expected), "x{expected} should be a PI, got {pis:?}");
+        }
+        // x10 is the constrained primary output.
+        assert_eq!(result.class_of(Var::new(10)), VarClass::PrimaryOutput);
+        // x2..x5 and x7..x9 are intermediate.
+        for v in [2u32, 3, 4, 5, 7, 8, 9] {
+            assert_eq!(
+                result.class_of(Var::new(v)),
+                VarClass::Intermediate,
+                "x{v} should be intermediate"
+            );
+        }
+        // Exactly one constrained output (x10 = 1).
+        assert_eq!(result.netlist.outputs().len(), 1);
+        assert!(result.netlist.outputs()[0].target);
+    }
+
+    #[test]
+    fn fig1_transformation_is_equisatisfiable() {
+        let cnf = fig1_cnf();
+        let result = transform(&cnf).expect("transform");
+        // Any PI assignment satisfying the output constraints must satisfy the CNF.
+        let pis = result.primary_inputs();
+        let n = pis.len();
+        assert!(n <= 8, "example has few inputs");
+        let mut satisfying = 0usize;
+        for mask in 0..(1u32 << n) {
+            let value_of = |v: Var| {
+                pis.iter()
+                    .position(|&p| p == v)
+                    .map(|i| (mask >> i) & 1 == 1)
+                    .unwrap_or(false)
+            };
+            let ok = result.netlist.outputs_satisfied(|v| value_of(Var::new(v)));
+            let bits = result.assignment_from_inputs(value_of, |_| false);
+            if ok {
+                satisfying += 1;
+                assert!(cnf.is_satisfied_by_bits(&bits), "mask {mask:b} should satisfy CNF");
+            } else {
+                assert!(!cnf.is_satisfied_by_bits(&bits));
+            }
+        }
+        assert!(satisfying > 0, "constrained outputs must be achievable");
+    }
+
+    #[test]
+    fn mux_group_from_eq5_is_recognised() {
+        // Eq. (5): x5(x4, x107, x108) = (x107 ∧ x4) ∨ (x108 ∧ ¬x4)
+        let mut cnf = Cnf::new(108);
+        cnf.add_dimacs_clause([-4, -107, 5]);
+        cnf.add_dimacs_clause([-4, 107, -5]);
+        cnf.add_dimacs_clause([4, -108, 5]);
+        cnf.add_dimacs_clause([4, 108, -5]);
+        let result = transform(&cnf).expect("transform");
+        assert_eq!(result.class_of(Var::new(5)), VarClass::Intermediate);
+        assert_eq!(result.class_of(Var::new(4)), VarClass::PrimaryInput);
+        assert_eq!(result.class_of(Var::new(107)), VarClass::PrimaryInput);
+        assert_eq!(result.class_of(Var::new(108)), VarClass::PrimaryInput);
+        assert_eq!(result.stats.gate_groups, 1);
+        // The recognised expression must implement the MUX.
+        for mask in 0..8u32 {
+            let x4 = mask & 1 == 1;
+            let x107 = mask >> 1 & 1 == 1;
+            let x108 = mask >> 2 & 1 == 1;
+            let value_of = |v: Var| match v.index() {
+                4 => x4,
+                107 => x107,
+                108 => x108,
+                _ => false,
+            };
+            let bits = result.assignment_from_inputs(value_of, |_| false);
+            let expected_x5 = if x4 { x107 } else { x108 };
+            assert_eq!(bits[4], expected_x5, "x5 value for mask {mask:03b}");
+            assert!(cnf.is_satisfied_by_bits(&bits));
+        }
+    }
+
+    #[test]
+    fn under_specified_or_clause_becomes_aux_constraint() {
+        // A lone clause (x1 ∨ x2) with no output variable.
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, 2]);
+        let result = transform(&cnf).expect("transform");
+        assert_eq!(result.stats.aux_constraints + result.stats.constant_outputs, 1);
+        assert_eq!(result.netlist.outputs().len(), 1);
+        // Satisfying the aux output ⇔ satisfying the clause.
+        for mask in 0..4u32 {
+            let value_of = |v: Var| (mask >> (v.index() - 1)) & 1 == 1;
+            let ok = result.netlist.outputs_satisfied(|v| value_of(Var::new(v)));
+            let bits = result.assignment_from_inputs(value_of, |_| false);
+            assert_eq!(ok, cnf.is_satisfied_by_bits(&bits));
+        }
+    }
+
+    #[test]
+    fn unit_clause_yields_constant_output() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        let result = transform(&cnf).expect("transform");
+        assert_eq!(result.class_of(Var::new(1)), VarClass::PrimaryOutput);
+        assert_eq!(result.netlist.outputs().len(), 1);
+        let bits = result.assignment_from_inputs(|_| true, |_| false);
+        assert!(cnf.is_satisfied_by_bits(&bits) || !result.netlist.outputs_satisfied(|_| true));
+    }
+
+    #[test]
+    fn contradictory_units_reported() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        cnf.add_dimacs_clause([-1]);
+        assert_eq!(transform(&cnf).err(), Some(TransformError::ConstantConflict));
+    }
+
+    #[test]
+    fn empty_clause_is_trivially_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.push_clause(Clause::new());
+        assert_eq!(transform(&cnf).err(), Some(TransformError::TriviallyUnsat));
+    }
+
+    #[test]
+    fn ops_reduction_is_positive_on_gate_structured_cnf() {
+        let cnf = fig1_cnf();
+        let result = transform(&cnf).expect("transform");
+        assert!(result.stats.cnf_ops > 0);
+        assert!(result.stats.circuit_ops > 0);
+        assert!(
+            result.stats.ops_reduction() > 1.0,
+            "expected reduction, got {}",
+            result.stats.ops_reduction()
+        );
+    }
+
+    #[test]
+    fn disabling_simplify_and_signatures_still_equisatisfiable() {
+        let cnf = fig1_cnf();
+        let config = TransformConfig {
+            simplify: false,
+            use_signatures: false,
+            ..TransformConfig::default()
+        };
+        let result = transform_with_config(&cnf, &config).expect("transform");
+        assert_eq!(result.stats.signature_hits, 0);
+        // Spot-check equisatisfiability on a few assignments.
+        let pis = result.primary_inputs();
+        for mask in [0u32, 1, 7, 13, 21, 37, 63] {
+            let value_of = |v: Var| {
+                pis.iter()
+                    .position(|&p| p == v)
+                    .map(|i| (mask >> i) & 1 == 1)
+                    .unwrap_or(false)
+            };
+            let ok = result.netlist.outputs_satisfied(|v| value_of(Var::new(v)));
+            let bits = result.assignment_from_inputs(value_of, |_| false);
+            assert_eq!(ok, cnf.is_satisfied_by_bits(&bits), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn unused_variables_are_classified_unused() {
+        let mut cnf = Cnf::new(5);
+        cnf.add_dimacs_clause([1, 2]);
+        let result = transform(&cnf).expect("transform");
+        assert_eq!(result.class_of(Var::new(5)), VarClass::Unused);
+    }
+
+    #[test]
+    fn stats_record_sizes_and_time() {
+        let cnf = fig1_cnf();
+        let result = transform(&cnf).expect("transform");
+        assert_eq!(result.stats.cnf_vars, 14);
+        assert_eq!(result.stats.cnf_clauses, 21);
+        assert!(result.stats.gate_groups >= 5);
+    }
+}

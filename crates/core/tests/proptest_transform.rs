@@ -1,0 +1,176 @@
+//! Property-based tests of the CNF-to-circuit transformation: on randomly
+//! generated Tseitin-encoded circuits, the transformation must preserve
+//! equisatisfiability and the sampler must only emit valid solutions.
+
+use htsat_cnf::{Cnf, Var};
+use htsat_core::{transform, GdSampler, SamplerConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A tiny random circuit description: a list of gates over earlier signals.
+#[derive(Debug, Clone)]
+enum GateSpec {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+}
+
+/// Builds a Tseitin CNF from a gate list over `num_inputs` inputs, with the
+/// last signal constrained to `target`. Returns the CNF and a simulation
+/// closure for reference evaluation.
+fn encode(num_inputs: usize, gates: &[GateSpec], target: bool) -> (Cnf, impl Fn(&[bool]) -> Vec<bool> + '_) {
+    let mut cnf = Cnf::new(num_inputs);
+    let mut signal_vars: Vec<i64> = (1..=num_inputs as i64).collect();
+    for gate in gates {
+        let out = cnf.fresh_var().index() as i64;
+        match gate {
+            GateSpec::Not(a) => {
+                let a = signal_vars[*a];
+                cnf.add_dimacs_clause([out, a]);
+                cnf.add_dimacs_clause([-out, -a]);
+            }
+            GateSpec::And(a, b) => {
+                let (a, b) = (signal_vars[*a], signal_vars[*b]);
+                cnf.add_dimacs_clause([out, -a, -b]);
+                cnf.add_dimacs_clause([-out, a]);
+                cnf.add_dimacs_clause([-out, b]);
+            }
+            GateSpec::Or(a, b) => {
+                let (a, b) = (signal_vars[*a], signal_vars[*b]);
+                cnf.add_dimacs_clause([-out, a, b]);
+                cnf.add_dimacs_clause([out, -a]);
+                cnf.add_dimacs_clause([out, -b]);
+            }
+            GateSpec::Xor(a, b) => {
+                let (a, b) = (signal_vars[*a], signal_vars[*b]);
+                cnf.add_dimacs_clause([-out, a, b]);
+                cnf.add_dimacs_clause([-out, -a, -b]);
+                cnf.add_dimacs_clause([out, -a, b]);
+                cnf.add_dimacs_clause([out, a, -b]);
+            }
+        }
+        signal_vars.push(out);
+    }
+    let last = *signal_vars.last().expect("at least the inputs exist");
+    if !gates.is_empty() {
+        cnf.add_dimacs_clause([if target { last } else { -last }]);
+    }
+    let simulate = move |inputs: &[bool]| -> Vec<bool> {
+        let mut values: Vec<bool> = inputs.to_vec();
+        for gate in gates {
+            let v = match gate {
+                GateSpec::Not(a) => !values[*a],
+                GateSpec::And(a, b) => values[*a] && values[*b],
+                GateSpec::Or(a, b) => values[*a] || values[*b],
+                GateSpec::Xor(a, b) => values[*a] ^ values[*b],
+            };
+            values.push(v);
+        }
+        values
+    };
+    (cnf, simulate)
+}
+
+fn arb_gates(num_inputs: usize, max_gates: usize) -> impl Strategy<Value = Vec<GateSpec>> {
+    prop::collection::vec(any::<(u8, u16, u16)>(), 1..=max_gates).prop_map(move |raw| {
+        let mut gates = Vec::new();
+        for (kind, a, b) in raw {
+            let available = num_inputs + gates.len();
+            let a = a as usize % available;
+            let b = b as usize % available;
+            gates.push(match kind % 4 {
+                0 => GateSpec::Not(a),
+                1 => GateSpec::And(a, b),
+                2 => GateSpec::Or(a, b),
+                _ => GateSpec::Xor(a, b),
+            });
+        }
+        gates
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every input assignment, the circuit simulation extends to a model
+    /// of the Tseitin CNF iff the constrained output matches — and the
+    /// transformed netlist agrees with the CNF on that assignment.
+    #[test]
+    fn transformation_is_equisatisfiable_on_random_circuits(
+        gates in arb_gates(4, 6),
+        target in any::<bool>(),
+    ) {
+        let num_inputs = 4usize;
+        let (cnf, simulate) = encode(num_inputs, &gates, target);
+        let result = match transform(&cnf) {
+            Ok(r) => r,
+            Err(_) => {
+                // The constrained output may be structurally impossible
+                // (e.g. forced constant conflicting with `target`); that is a
+                // legitimate UNSAT verdict, checked against simulation below.
+                for mask in 0..(1u32 << num_inputs) {
+                    let inputs: Vec<bool> = (0..num_inputs).map(|i| (mask >> i) & 1 == 1).collect();
+                    let values = simulate(&inputs);
+                    prop_assert_ne!(*values.last().expect("non-empty"), target);
+                }
+                return Ok(());
+            }
+        };
+        let pis = result.primary_inputs();
+        prop_assume!(pis.len() <= 12);
+        for mask in 0..(1u32 << pis.len()) {
+            let value_of = |v: Var| {
+                pis.iter()
+                    .position(|&p| p == v)
+                    .map(|i| (mask >> i) & 1 == 1)
+                    .unwrap_or(false)
+            };
+            let circuit_ok = result.netlist.outputs_satisfied(|v| value_of(Var::new(v)));
+            let bits = result.assignment_from_inputs(value_of, |_| false);
+            prop_assert_eq!(
+                circuit_ok,
+                cnf.is_satisfied_by_bits(&bits),
+                "mask {} disagrees", mask
+            );
+        }
+    }
+
+    /// The sampler never returns an invalid or duplicate assignment, on any
+    /// random circuit instance.
+    #[test]
+    fn sampler_solutions_are_always_valid_and_unique(
+        gates in arb_gates(5, 5),
+        target in any::<bool>(),
+    ) {
+        let (cnf, _) = encode(5, &gates, target);
+        let config = SamplerConfig {
+            batch_size: 32,
+            ..SamplerConfig::default()
+        };
+        if let Ok(mut sampler) = GdSampler::new(&cnf, config) {
+            let report = sampler.sample(16, Duration::from_millis(500));
+            let mut seen = std::collections::HashSet::new();
+            for s in &report.solutions {
+                prop_assert!(cnf.is_satisfied_by_bits(s));
+                prop_assert!(seen.insert(s.clone()));
+            }
+        }
+    }
+
+    /// The ops count of the transformed circuit never exceeds the CNF's op
+    /// count on Tseitin-encoded circuits (the transformation undoes the
+    /// encoding blow-up).
+    #[test]
+    fn ops_never_increase_on_tseitin_cnfs(gates in arb_gates(4, 8)) {
+        let (cnf, _) = encode(4, &gates, true);
+        if let Ok(result) = transform(&cnf) {
+            prop_assert!(
+                result.stats.circuit_ops <= result.stats.cnf_ops,
+                "circuit {} vs cnf {}",
+                result.stats.circuit_ops,
+                result.stats.cnf_ops
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `gen-suite` — export the synthetic benchmark suite as DIMACS files.
+//!
+//! ```sh
+//! cargo run --release -p htsat-instances --bin gen_suite -- out_dir [--scale small|paper] [--table2-only]
+//! ```
+//!
+//! Writes one `.cnf` file per instance plus a `MANIFEST.tsv` listing the
+//! family, variable count, clause count and generator parameters — useful for
+//! running external samplers or solvers on exactly the same instances this
+//! repository benchmarks.
+
+use htsat_cnf::dimacs;
+use htsat_instances::suite::{full_suite, table2_instances, SuiteScale};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_dir = match args.next() {
+        Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
+        _ => {
+            eprintln!("usage: gen_suite <output-dir> [--scale small|paper] [--table2-only]");
+            std::process::exit(2);
+        }
+    };
+    let mut scale = SuiteScale::Small;
+    let mut table2_only = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("paper") => scale = SuiteScale::Paper,
+                Some("small") => scale = SuiteScale::Small,
+                other => {
+                    eprintln!("invalid --scale value {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--table2-only" => table2_only = true,
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let instances = if table2_only {
+        table2_instances(scale)
+    } else {
+        full_suite(scale)
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let mut manifest = String::from("name\tfamily\tvars\tclauses\tinputs\toutputs\n");
+    for instance in &instances {
+        let file = out_dir.join(format!("{}.cnf", instance.name.replace('/', "_")));
+        if let Err(e) = dimacs::write_file(&instance.cnf, &file) {
+            eprintln!("cannot write {}: {e}", file.display());
+            std::process::exit(1);
+        }
+        manifest.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            instance.name,
+            instance.family.label(),
+            instance.num_vars(),
+            instance.num_clauses(),
+            instance.num_inputs,
+            instance.num_outputs
+        ));
+    }
+    if let Err(e) = std::fs::write(out_dir.join("MANIFEST.tsv"), manifest) {
+        eprintln!("cannot write manifest: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} instances ({:?} scale) to {}",
+        instances.len(),
+        scale,
+        out_dir.display()
+    );
+}

@@ -1,0 +1,340 @@
+//! Generators for the four benchmark families of the paper's evaluation.
+//!
+//! Every generator builds a gate-level circuit, Tseitin-encodes it, simulates
+//! it under one random input vector and constrains the selected outputs to
+//! the simulated values — so every instance is satisfiable by construction
+//! and retains a large solution space (only a few outputs are pinned).
+
+use crate::tseitin::{CircuitEncoder, Signal};
+use crate::{Family, Instance};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_inputs(rng: &mut SmallRng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// Constrains `outputs` to their simulated values, guaranteeing
+/// satisfiability, and returns the finished instance.
+fn finish(
+    mut enc: CircuitEncoder,
+    outputs: &[Signal],
+    name: &str,
+    family: Family,
+    rng: &mut SmallRng,
+) -> Instance {
+    let num_inputs = enc.num_inputs();
+    let input_values = random_inputs(rng, num_inputs);
+    let sim = enc.simulate(&input_values);
+    let targets: Vec<bool> = outputs.iter().map(|&o| enc.signal_value(&sim, o)).collect();
+    for (&o, &t) in outputs.iter().zip(targets.iter()) {
+        enc.constrain(o, t);
+    }
+    enc.comment(format!("synthetic {} instance `{}`", family.label(), name));
+    Instance {
+        name: name.to_string(),
+        family,
+        cnf: enc.into_cnf(),
+        num_inputs,
+        num_outputs: outputs.len(),
+    }
+}
+
+/// `or-*` family: a forest of small OR/AND trees over many free inputs whose
+/// roots are combined into a few constrained outputs.
+///
+/// Mirrors the shape of the benchmark's `or-k-n-m-UC-*` instances: roughly
+/// `2×` as many CNF variables as circuit inputs and ~2.5 clauses per
+/// variable.
+pub fn or_chain(name: &str, num_inputs: usize, num_outputs: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut enc = CircuitEncoder::new();
+    let inputs: Vec<Signal> = (0..num_inputs.max(2)).map(|_| enc.input()).collect();
+
+    // Pair inputs into alternating OR / AND nodes, then reduce each output's
+    // slice of nodes with an OR tree.
+    let mut layer: Vec<Signal> = Vec::new();
+    for pair in inputs.chunks(2) {
+        let gate = if pair.len() == 1 {
+            pair[0]
+        } else if rng.gen_bool(0.6) {
+            enc.or_gate(pair)
+        } else {
+            enc.and_gate(pair)
+        };
+        layer.push(gate);
+    }
+    let num_outputs = num_outputs.clamp(1, layer.len());
+    let chunk = layer.len().div_ceil(num_outputs);
+    let mut outputs = Vec::new();
+    for group in layer.chunks(chunk) {
+        let mut acc = group[0];
+        for &g in &group[1..] {
+            acc = if rng.gen_bool(0.8) {
+                enc.or_gate(&[acc, g])
+            } else {
+                enc.and_gate(&[acc, g])
+            };
+        }
+        outputs.push(acc);
+    }
+    finish(enc, &outputs, name, Family::OrChain, &mut rng)
+}
+
+/// `*-q` family (QIF-style): long buffer/inverter chains fed by free inputs,
+/// joined pairwise by multiplexers into a single constrained output — the
+/// structure of the paper's Fig. 1 example scaled up.
+pub fn qif_chain(name: &str, num_inputs: usize, chain_depth: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut enc = CircuitEncoder::new();
+    let num_inputs = num_inputs.max(3);
+    let inputs: Vec<Signal> = (0..num_inputs).map(|_| enc.input()).collect();
+
+    // Every third input seeds a buffer/inverter chain used as a MUX select;
+    // the other two become the MUX data inputs.
+    let mut mux_outputs = Vec::new();
+    for triple in inputs.chunks(3) {
+        if triple.len() < 3 {
+            // Leftover inputs stay unconstrained (pure unconstrained paths).
+            continue;
+        }
+        let mut select = triple[0];
+        for level in 0..chain_depth.max(1) {
+            select = if level % 3 == 2 {
+                enc.not_gate(select)
+            } else {
+                enc.buf_gate(select)
+            };
+        }
+        mux_outputs.push(enc.mux_gate(select, triple[1], triple[2]));
+    }
+    // Join the MUX outputs with a chain of MUXes driven by chained selects.
+    let mut acc = mux_outputs[0];
+    for (i, &m) in mux_outputs.iter().enumerate().skip(1) {
+        let select_source = inputs[i % inputs.len()];
+        let mut select = select_source;
+        for _ in 0..(chain_depth / 2).max(1) {
+            select = enc.buf_gate(select);
+        }
+        if rng.gen_bool(0.5) {
+            select = enc.not_gate(select);
+        }
+        acc = enc.mux_gate(select, acc, m);
+    }
+    finish(enc, &[acc], name, Family::Qif, &mut rng)
+}
+
+/// `s15850a_*`-like family: a wide, deep random-logic DAG of 2-input
+/// AND/OR/XOR/NOT gates over many inputs, with a few observed outputs
+/// constrained.
+pub fn iscas_like(
+    name: &str,
+    num_inputs: usize,
+    num_gates: usize,
+    num_outputs: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut enc = CircuitEncoder::new();
+    let num_inputs = num_inputs.max(4);
+    let mut signals: Vec<Signal> = (0..num_inputs).map(|_| enc.input()).collect();
+
+    for _ in 0..num_gates {
+        // Bias fan-in selection towards recent signals to build depth.
+        let pick = |rng: &mut SmallRng, signals: &[Signal]| {
+            let n = signals.len();
+            let recent_window = (n / 4).max(8).min(n);
+            if rng.gen_bool(0.7) {
+                signals[n - 1 - rng.gen_range(0..recent_window)]
+            } else {
+                signals[rng.gen_range(0..n)]
+            }
+        };
+        let a = pick(&mut rng, &signals);
+        let b = pick(&mut rng, &signals);
+        let g = match rng.gen_range(0..10) {
+            0..=3 => enc.and_gate(&[a, b]),
+            4..=7 => enc.or_gate(&[a, b]),
+            8 => enc.xor_gate(a, b),
+            _ => enc.not_gate(a),
+        };
+        signals.push(g);
+    }
+    let num_outputs = num_outputs.clamp(1, signals.len());
+    let outputs: Vec<Signal> = (0..num_outputs)
+        .map(|i| signals[signals.len() - 1 - i * 7 % signals.len().max(1)])
+        .collect();
+    finish(enc, &outputs, name, Family::IscasLike, &mut rng)
+}
+
+/// `Prod-*` family: an array multiplier over two `bits`-wide operands built
+/// from AND partial products and full-adder rows, with two product bits
+/// constrained — a dense, arithmetic-heavy CNF like the benchmark's product
+/// instances.
+pub fn product(name: &str, bits: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut enc = CircuitEncoder::new();
+    let bits = bits.max(2);
+    let a: Vec<Signal> = (0..bits).map(|_| enc.input()).collect();
+    let b: Vec<Signal> = (0..bits).map(|_| enc.input()).collect();
+
+    // Partial products.
+    let mut rows: Vec<Vec<Signal>> = Vec::with_capacity(bits);
+    for (j, &bj) in b.iter().enumerate() {
+        let mut row = Vec::with_capacity(bits + j);
+        for &ai in &a {
+            row.push(enc.and_gate(&[ai, bj]));
+        }
+        rows.push(row);
+    }
+    // Ripple-carry accumulation of the shifted rows.
+    let mut acc: Vec<Signal> = rows[0].clone();
+    for (j, row) in rows.iter().enumerate().skip(1) {
+        let mut next: Vec<Signal> = Vec::new();
+        // Low bits of acc below the shift are already final.
+        next.extend_from_slice(&acc[..j.min(acc.len())]);
+        let mut carry: Option<Signal> = None;
+        for (k, &pp) in row.iter().enumerate() {
+            let position = j + k;
+            let existing = acc.get(position).copied();
+            let (sum, c) = match (existing, carry) {
+                (Some(x), Some(cin)) => enc.full_adder(x, pp, cin),
+                (Some(x), None) => {
+                    let s = enc.xor_gate(x, pp);
+                    let c = enc.and_gate(&[x, pp]);
+                    (s, c)
+                }
+                (None, Some(cin)) => {
+                    let s = enc.xor_gate(pp, cin);
+                    let c = enc.and_gate(&[pp, cin]);
+                    (s, c)
+                }
+                (None, None) => (pp, enc.and_gate(&[pp, pp])),
+            };
+            next.push(sum);
+            carry = Some(c);
+        }
+        if let Some(c) = carry {
+            next.push(c);
+        }
+        acc = next;
+    }
+    // Constrain two bits of the product, as in the benchmark's Prod instances
+    // (few primary outputs over a very large CNF).
+    let hi = acc[acc.len() - 1];
+    let mid = acc[acc.len() / 2];
+    finish(enc, &[hi, mid], name, Family::Product, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsat_solver::{CdclSolver, SolveResult};
+
+    fn assert_satisfiable(instance: &Instance) {
+        match CdclSolver::new(&instance.cnf).solve() {
+            SolveResult::Sat(model) => assert!(instance.cnf.is_satisfied_by_bits(&model)),
+            other => panic!("instance {} should be SAT, got {other:?}", instance.name),
+        }
+    }
+
+    #[test]
+    fn or_chain_is_satisfiable_and_sized() {
+        let inst = or_chain("or-20-test", 20, 2, 1);
+        assert!(inst.num_vars() >= 20);
+        assert!(inst.num_clauses() > inst.num_vars());
+        assert_satisfiable(&inst);
+    }
+
+    #[test]
+    fn qif_chain_is_satisfiable_and_deep() {
+        let inst = qif_chain("qif-test", 15, 4, 2);
+        assert!(inst.num_vars() > inst.num_inputs * 2);
+        assert_satisfiable(&inst);
+    }
+
+    #[test]
+    fn iscas_like_is_satisfiable() {
+        let inst = iscas_like("iscas-test", 30, 120, 3, 3);
+        assert!(inst.num_vars() >= 150);
+        assert_eq!(inst.num_outputs, 3);
+        assert_satisfiable(&inst);
+    }
+
+    #[test]
+    fn product_is_satisfiable_and_dense() {
+        let inst = product("prod-test", 5, 4);
+        assert!(inst.num_clauses() as f64 / inst.num_vars() as f64 > 2.0);
+        assert_satisfiable(&inst);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = or_chain("or-det", 16, 2, 42);
+        let b = or_chain("or-det", 16, 2, 42);
+        assert_eq!(a.cnf.clauses(), b.cnf.clauses());
+        let c = or_chain("or-det", 16, 2, 43);
+        assert!(a.cnf.clauses() != c.cnf.clauses() || a.num_vars() != c.num_vars());
+    }
+
+    #[test]
+    fn product_multiplier_computes_products() {
+        // Rebuild a tiny multiplier and check the accumulated sum against
+        // integer multiplication for a few operand pairs.
+        let bits = 3usize;
+        let mut enc = CircuitEncoder::new();
+        let a: Vec<Signal> = (0..bits).map(|_| enc.input()).collect();
+        let b: Vec<Signal> = (0..bits).map(|_| enc.input()).collect();
+        let mut rows: Vec<Vec<Signal>> = Vec::new();
+        for &bj in b.iter() {
+            rows.push(a.iter().map(|&ai| enc.and_gate(&[ai, bj])).collect());
+        }
+        let mut acc: Vec<Signal> = rows[0].clone();
+        for (j, row) in rows.iter().enumerate().skip(1) {
+            let mut next: Vec<Signal> = Vec::new();
+            next.extend_from_slice(&acc[..j.min(acc.len())]);
+            let mut carry: Option<Signal> = None;
+            for (k, &pp) in row.iter().enumerate() {
+                let position = j + k;
+                let existing = acc.get(position).copied();
+                let (sum, c) = match (existing, carry) {
+                    (Some(x), Some(cin)) => enc.full_adder(x, pp, cin),
+                    (Some(x), None) => {
+                        let s = enc.xor_gate(x, pp);
+                        let c = enc.and_gate(&[x, pp]);
+                        (s, c)
+                    }
+                    (None, Some(cin)) => {
+                        let s = enc.xor_gate(pp, cin);
+                        let c = enc.and_gate(&[pp, cin]);
+                        (s, c)
+                    }
+                    (None, None) => (pp, enc.and_gate(&[pp, pp])),
+                };
+                next.push(sum);
+                carry = Some(c);
+            }
+            if let Some(c) = carry {
+                next.push(c);
+            }
+            acc = next;
+        }
+        for (x, y) in [(3u32, 5u32), (7, 6), (2, 2), (0, 7)] {
+            let mut input_values = Vec::new();
+            for i in 0..bits {
+                input_values.push((x >> i) & 1 == 1);
+            }
+            for i in 0..bits {
+                input_values.push((y >> i) & 1 == 1);
+            }
+            let sim = enc.simulate(&input_values);
+            let mut prod = 0u32;
+            for (i, &s) in acc.iter().enumerate() {
+                if enc.signal_value(&sim, s) {
+                    prod |= 1 << i;
+                }
+            }
+            assert_eq!(prod, x * y, "{x} * {y}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! # htsat-instances
+//!
+//! Synthetic benchmark-instance generators for the high-throughput SAT
+//! sampling library.
+//!
+//! The paper evaluates on 60 instances of a public sampling benchmark suite
+//! (Meel, "Model counting and uniform sampling instances", Zenodo 3793090),
+//! spanning four families referenced in Table II:
+//!
+//! * `or-*` — OR/AND tree circuits over many free inputs,
+//! * `*-q` — QIF-style chains of buffers/inverters joined by multiplexers,
+//! * `s15850a_*` — CNFs of a large ISCAS'89-class sequential circuit with a
+//!   handful of constrained outputs,
+//! * `Prod-*` — product (multiplier-like) circuits with very large CNFs.
+//!
+//! The original files are not redistributable here, so this crate generates
+//! structurally equivalent instances: each family is built as a gate-level
+//! circuit, Tseitin-encoded to CNF ([`tseitin::CircuitEncoder`]), and its
+//! outputs are constrained to values observed under a random simulation so
+//! every generated instance is guaranteed to be satisfiable (and, by
+//! construction, to have a large solution space). `DESIGN.md` documents the
+//! substitution.
+//!
+//! # Example
+//!
+//! ```
+//! use htsat_instances::{families, suite};
+//!
+//! let instance = families::or_chain("or-demo", 20, 2, 7);
+//! assert!(instance.cnf.num_clauses() > 0);
+//!
+//! let table2 = suite::table2_instances(suite::SuiteScale::Small);
+//! assert_eq!(table2.len(), 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod suite;
+pub mod tseitin;
+
+use htsat_cnf::Cnf;
+
+/// The benchmark family an instance belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `or-*`: OR/AND tree circuits.
+    OrChain,
+    /// `*-q`: QIF-style buffer/inverter chains with multiplexers.
+    Qif,
+    /// `s15850a_*`: large ISCAS-like random-logic circuits.
+    IscasLike,
+    /// `Prod-*`: multiplier-style product circuits.
+    Product,
+}
+
+impl Family {
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::OrChain => "or",
+            Family::Qif => "qif",
+            Family::IscasLike => "iscas",
+            Family::Product => "prod",
+        }
+    }
+}
+
+/// A generated benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name (mirrors the paper's naming scheme).
+    pub name: String,
+    /// The family the instance belongs to.
+    pub family: Family,
+    /// The CNF formula.
+    pub cnf: Cnf,
+    /// Number of circuit-level primary inputs used during generation.
+    pub num_inputs: usize,
+    /// Number of circuit-level outputs constrained during generation.
+    pub num_outputs: usize,
+}
+
+impl Instance {
+    /// Number of variables of the CNF.
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars()
+    }
+
+    /// Number of clauses of the CNF.
+    pub fn num_clauses(&self) -> usize {
+        self.cnf.num_clauses()
+    }
+}

@@ -1,0 +1,266 @@
+//! The synthetic counterpart of the paper's 60-instance benchmark suite.
+//!
+//! [`table2_instances`] returns the 14 representative instances listed in
+//! Table II (same names, same family mix, comparable primary-input counts);
+//! [`full_suite`] returns all 60 instances used for Fig. 2. Because our
+//! instances are generated rather than downloaded, each instance can be
+//! produced at two scales: [`SuiteScale::Paper`] approximates the paper's
+//! variable/clause counts, while [`SuiteScale::Small`] shrinks every instance
+//! by roughly an order of magnitude so tests and quick benchmark runs finish
+//! in seconds.
+
+use crate::{families, Instance};
+
+/// How large the generated instances should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteScale {
+    /// Shrunk instances for tests and quick runs.
+    #[default]
+    Small,
+    /// Sizes approximating the paper's Table II.
+    Paper,
+}
+
+impl SuiteScale {
+    /// Shrinks a size parameter of the *large* families (ISCAS-like and
+    /// product circuits). The `or-*` and `*-q` families are small in the
+    /// original benchmark (a few hundred variables), so they are generated at
+    /// paper size even under [`SuiteScale::Small`].
+    fn shrink(self, value: usize, minimum: usize) -> usize {
+        match self {
+            SuiteScale::Paper => value,
+            SuiteScale::Small => (value / 10).max(minimum),
+        }
+    }
+}
+
+/// Specification of one suite entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Spec {
+    name: &'static str,
+    family: SpecFamily,
+    inputs: usize,
+    outputs: usize,
+    /// Family-specific size knob: gate count (iscas), chain depth (qif) or
+    /// operand width (product). Unused for the or family.
+    size: usize,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecFamily {
+    Or,
+    Qif,
+    Iscas,
+    Prod,
+}
+
+impl Spec {
+    fn generate(&self, scale: SuiteScale) -> Instance {
+        match self.family {
+            SpecFamily::Or => families::or_chain(
+                self.name,
+                self.inputs,
+                self.outputs,
+                self.seed,
+            ),
+            SpecFamily::Qif => families::qif_chain(
+                self.name,
+                self.inputs,
+                self.size,
+                self.seed,
+            ),
+            SpecFamily::Iscas => families::iscas_like(
+                self.name,
+                scale.shrink(self.inputs, 16),
+                scale.shrink(self.size, 64),
+                self.outputs,
+                self.seed,
+            ),
+            SpecFamily::Prod => families::product(
+                self.name,
+                scale.shrink(self.size, 4),
+                self.seed,
+            ),
+        }
+    }
+}
+
+/// The 14 representative instances of Table II.
+const TABLE2: [Spec; 14] = [
+    Spec { name: "or-50-10-7-UC-10", family: SpecFamily::Or, inputs: 50, outputs: 4, size: 0, seed: 0x0150 },
+    Spec { name: "or-60-20-10-UC-10", family: SpecFamily::Or, inputs: 60, outputs: 5, size: 0, seed: 0x0160 },
+    Spec { name: "or-70-5-5-UC-10", family: SpecFamily::Or, inputs: 69, outputs: 7, size: 0, seed: 0x0170 },
+    Spec { name: "or-100-20-8-UC-10", family: SpecFamily::Or, inputs: 98, outputs: 10, size: 0, seed: 0x0190 },
+    Spec { name: "75-10-1-q", family: SpecFamily::Qif, inputs: 83, outputs: 1, size: 12, seed: 0x7511 },
+    Spec { name: "75-10-10-q", family: SpecFamily::Qif, inputs: 79, outputs: 1, size: 12, seed: 0x7520 },
+    Spec { name: "90-10-1-q", family: SpecFamily::Qif, inputs: 51, outputs: 1, size: 20, seed: 0x9011 },
+    Spec { name: "90-10-10-q", family: SpecFamily::Qif, inputs: 31, outputs: 1, size: 28, seed: 0x9020 },
+    Spec { name: "s15850a_3_2", family: SpecFamily::Iscas, inputs: 600, outputs: 3, size: 10_000, seed: 0x1585 },
+    Spec { name: "s15850a_7_4", family: SpecFamily::Iscas, inputs: 600, outputs: 7, size: 10_000, seed: 0x1586 },
+    Spec { name: "s15850a_15_7", family: SpecFamily::Iscas, inputs: 600, outputs: 15, size: 10_000, seed: 0x1587 },
+    Spec { name: "Prod-8", family: SpecFamily::Prod, inputs: 293, outputs: 2, size: 72, seed: 0x0808 },
+    Spec { name: "Prod-20", family: SpecFamily::Prod, inputs: 677, outputs: 2, size: 120, seed: 0x2020 },
+    Spec { name: "Prod-32", family: SpecFamily::Prod, inputs: 1061, outputs: 2, size: 160, seed: 0x3232 },
+];
+
+/// Generates the 14 representative Table II instances.
+pub fn table2_instances(scale: SuiteScale) -> Vec<Instance> {
+    TABLE2.iter().map(|s| s.generate(scale)).collect()
+}
+
+/// Generates one Table II instance by name, if it exists.
+pub fn table2_instance(name: &str, scale: SuiteScale) -> Option<Instance> {
+    TABLE2
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.generate(scale))
+}
+
+/// Names of the 14 Table II instances, in table order.
+pub fn table2_names() -> Vec<&'static str> {
+    TABLE2.iter().map(|s| s.name).collect()
+}
+
+/// Generates the full 60-instance suite used for the paper's Fig. 2.
+///
+/// The suite contains the 14 Table II instances plus 46 additional instances
+/// drawn from the same four families at varied sizes and seeds.
+pub fn full_suite(scale: SuiteScale) -> Vec<Instance> {
+    let mut instances = table2_instances(scale);
+    // or-* variants.
+    for (i, inputs) in [30usize, 40, 55, 65, 75, 80, 85, 90, 95, 100, 110, 120]
+        .iter()
+        .enumerate()
+    {
+        let name = format!("or-{inputs}-10-{}-UC-20", i + 1);
+        instances.push(families::or_chain(&name, *inputs, 2 + i % 5, 0x4000 + i as u64));
+    }
+    // *-q variants.
+    for (i, (inputs, depth)) in [
+        (45usize, 8usize),
+        (55, 10),
+        (60, 12),
+        (65, 14),
+        (70, 10),
+        (75, 16),
+        (80, 8),
+        (85, 12),
+        (90, 14),
+        (95, 10),
+        (100, 12),
+        (105, 16),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let name = format!("{}-10-{}-q", inputs, i + 1);
+        instances.push(families::qif_chain(&name, *inputs, *depth, 0x5000 + i as u64));
+    }
+    // ISCAS-like variants (smaller circuits from the same class).
+    for (i, (inputs, gates, outputs)) in [
+        (150usize, 1_500usize, 2usize),
+        (200, 2_500, 3),
+        (250, 3_500, 4),
+        (300, 4_500, 5),
+        (350, 5_500, 6),
+        (400, 6_500, 7),
+        (450, 7_500, 8),
+        (500, 8_500, 9),
+        (550, 9_500, 10),
+        (600, 10_500, 12),
+        (620, 11_000, 14),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let name = format!("s13207a_{}_{}", i + 1, outputs);
+        instances.push(families::iscas_like(
+            &name,
+            scale.shrink(*inputs, 16),
+            scale.shrink(*gates, 64),
+            *outputs,
+            0x6000 + i as u64,
+        ));
+    }
+    // Product variants.
+    for (i, bits) in [16usize, 24, 36, 48, 56, 64, 80, 96, 104, 128, 144]
+        .iter()
+        .enumerate()
+    {
+        let name = format!("Prod-{}", i * 2 + 5);
+        instances.push(families::product(
+            &name,
+            scale.shrink(*bits, 4),
+            0x7000 + i as u64,
+        ));
+    }
+    instances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    #[test]
+    fn table2_has_fourteen_named_instances() {
+        let instances = table2_instances(SuiteScale::Small);
+        assert_eq!(instances.len(), 14);
+        assert_eq!(table2_names().len(), 14);
+        for (inst, name) in instances.iter().zip(table2_names()) {
+            assert_eq!(inst.name, name);
+            assert!(inst.num_clauses() > 0);
+        }
+    }
+
+    #[test]
+    fn table2_lookup_by_name() {
+        let inst = table2_instance("Prod-8", SuiteScale::Small).expect("exists");
+        assert_eq!(inst.family, Family::Product);
+        assert!(table2_instance("nope", SuiteScale::Small).is_none());
+    }
+
+    #[test]
+    fn full_suite_has_sixty_instances_with_unique_names() {
+        let suite = full_suite(SuiteScale::Small);
+        assert_eq!(suite.len(), 60);
+        let names: std::collections::HashSet<&str> =
+            suite.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names.len(), 60);
+    }
+
+    #[test]
+    fn full_suite_covers_all_families() {
+        let suite = full_suite(SuiteScale::Small);
+        for family in [Family::OrChain, Family::Qif, Family::IscasLike, Family::Product] {
+            assert!(
+                suite.iter().filter(|i| i.family == family).count() >= 10,
+                "family {family:?} under-represented"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_larger_than_small_scale_for_large_families() {
+        let small = table2_instance("s15850a_3_2", SuiteScale::Small).expect("exists");
+        let paper = table2_instance("s15850a_3_2", SuiteScale::Paper).expect("exists");
+        assert!(paper.num_vars() > small.num_vars());
+        assert!(paper.num_clauses() > small.num_clauses());
+        // Small families are identical at both scales.
+        let q_small = table2_instance("75-10-1-q", SuiteScale::Small).expect("exists");
+        let q_paper = table2_instance("75-10-1-q", SuiteScale::Paper).expect("exists");
+        assert_eq!(q_small.num_vars(), q_paper.num_vars());
+    }
+
+    #[test]
+    fn paper_scale_sizes_are_in_the_right_ballpark() {
+        // The qif instance should have a few hundred variables, like the
+        // paper's 75-10-1-q (452 vars / 443 clauses).
+        let inst = table2_instance("75-10-1-q", SuiteScale::Paper).expect("exists");
+        assert!(inst.num_vars() > 150 && inst.num_vars() < 2_000, "{}", inst.num_vars());
+        // The or instance mirrors or-50-10-7-UC-10 (100 vars / 254 clauses).
+        let or = table2_instance("or-50-10-7-UC-10", SuiteScale::Paper).expect("exists");
+        assert!(or.num_vars() >= 50 && or.num_vars() < 400, "{}", or.num_vars());
+    }
+}

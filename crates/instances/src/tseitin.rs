@@ -1,0 +1,346 @@
+//! A gate-level circuit builder with Tseitin CNF encoding and simulation.
+//!
+//! Every gate allocates a fresh CNF variable for its output and emits the
+//! standard Tseitin clauses (the CNF signatures of Section III-A of the
+//! paper). The builder also records the gate list so the circuit can be
+//! simulated; instance generators use the simulation to pick output
+//! constraints that are guaranteed to be satisfiable.
+
+use htsat_cnf::{Cnf, Lit, Var};
+
+/// A signal in the circuit: a CNF variable, possibly complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signal {
+    var: Var,
+    negated: bool,
+}
+
+impl Signal {
+    /// The literal representing this signal.
+    pub fn lit(self) -> Lit {
+        Lit::new(self.var, !self.negated)
+    }
+
+    /// The complemented signal (free: no gate or clauses are created).
+    pub fn invert(self) -> Signal {
+        Signal {
+            var: self.var,
+            negated: !self.negated,
+        }
+    }
+
+    /// The underlying CNF variable.
+    pub fn var(self) -> Var {
+        self.var
+    }
+}
+
+#[derive(Debug, Clone)]
+enum GateOp {
+    Input,
+    Not(Signal),
+    Buf(Signal),
+    And(Vec<Signal>),
+    Or(Vec<Signal>),
+    Xor(Signal, Signal),
+    Mux {
+        select: Signal,
+        when_true: Signal,
+        when_false: Signal,
+    },
+}
+
+/// Builds a combinational circuit while emitting its Tseitin CNF encoding.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitEncoder {
+    cnf: Cnf,
+    gates: Vec<(Var, GateOp)>,
+    inputs: Vec<Var>,
+}
+
+impl CircuitEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        CircuitEncoder::default()
+    }
+
+    /// The number of primary inputs allocated so far.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The primary-input variables in allocation order.
+    pub fn inputs(&self) -> &[Var] {
+        &self.inputs
+    }
+
+    /// Current number of CNF variables.
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars()
+    }
+
+    fn fresh(&mut self, op: GateOp) -> Signal {
+        let var = self.cnf.fresh_var();
+        self.gates.push((var, op));
+        Signal {
+            var,
+            negated: false,
+        }
+    }
+
+    /// Allocates a primary input.
+    pub fn input(&mut self) -> Signal {
+        let s = self.fresh(GateOp::Input);
+        self.inputs.push(s.var);
+        s
+    }
+
+    /// Adds an explicit inverter gate (`out = ¬a`), emitting its clauses.
+    pub fn not_gate(&mut self, a: Signal) -> Signal {
+        let out = self.fresh(GateOp::Not(a));
+        self.cnf.add_clause([out.lit(), a.lit()]);
+        self.cnf.add_clause([!out.lit(), !a.lit()]);
+        out
+    }
+
+    /// Adds a buffer gate (`out = a`), emitting its clauses.
+    pub fn buf_gate(&mut self, a: Signal) -> Signal {
+        let out = self.fresh(GateOp::Buf(a));
+        self.cnf.add_clause([!out.lit(), a.lit()]);
+        self.cnf.add_clause([out.lit(), !a.lit()]);
+        out
+    }
+
+    /// Adds an n-ary AND gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn and_gate(&mut self, inputs: &[Signal]) -> Signal {
+        assert!(!inputs.is_empty(), "AND gate needs at least one input");
+        let out = self.fresh(GateOp::And(inputs.to_vec()));
+        let mut wide: Vec<Lit> = vec![out.lit()];
+        for i in inputs {
+            wide.push(!i.lit());
+            self.cnf.add_clause([!out.lit(), i.lit()]);
+        }
+        self.cnf.add_clause(wide);
+        out
+    }
+
+    /// Adds an n-ary OR gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn or_gate(&mut self, inputs: &[Signal]) -> Signal {
+        assert!(!inputs.is_empty(), "OR gate needs at least one input");
+        let out = self.fresh(GateOp::Or(inputs.to_vec()));
+        let mut wide: Vec<Lit> = vec![!out.lit()];
+        for i in inputs {
+            wide.push(i.lit());
+            self.cnf.add_clause([out.lit(), !i.lit()]);
+        }
+        self.cnf.add_clause(wide);
+        out
+    }
+
+    /// Adds a 2-input XOR gate.
+    pub fn xor_gate(&mut self, a: Signal, b: Signal) -> Signal {
+        let out = self.fresh(GateOp::Xor(a, b));
+        self.cnf.add_clause([!out.lit(), a.lit(), b.lit()]);
+        self.cnf.add_clause([!out.lit(), !a.lit(), !b.lit()]);
+        self.cnf.add_clause([out.lit(), !a.lit(), b.lit()]);
+        self.cnf.add_clause([out.lit(), a.lit(), !b.lit()]);
+        out
+    }
+
+    /// Adds a 2:1 multiplexer: `out = select ? when_true : when_false`,
+    /// encoded with the four clauses of the paper's Eq. (5).
+    pub fn mux_gate(&mut self, select: Signal, when_true: Signal, when_false: Signal) -> Signal {
+        let out = self.fresh(GateOp::Mux {
+            select,
+            when_true,
+            when_false,
+        });
+        self.cnf
+            .add_clause([!select.lit(), !when_true.lit(), out.lit()]);
+        self.cnf
+            .add_clause([!select.lit(), when_true.lit(), !out.lit()]);
+        self.cnf
+            .add_clause([select.lit(), !when_false.lit(), out.lit()]);
+        self.cnf
+            .add_clause([select.lit(), when_false.lit(), !out.lit()]);
+        out
+    }
+
+    /// A full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: Signal, b: Signal, c: Signal) -> (Signal, Signal) {
+        let ab = self.xor_gate(a, b);
+        let sum = self.xor_gate(ab, c);
+        let and1 = self.and_gate(&[a, b]);
+        let and2 = self.and_gate(&[ab, c]);
+        let carry = self.or_gate(&[and1, and2]);
+        (sum, carry)
+    }
+
+    /// Constrains `signal` to a constant value with a unit clause.
+    pub fn constrain(&mut self, signal: Signal, value: bool) {
+        let lit = if value { signal.lit() } else { !signal.lit() };
+        self.cnf.add_clause([lit]);
+    }
+
+    /// Attaches a comment to the CNF.
+    pub fn comment(&mut self, text: impl Into<String>) {
+        self.cnf.add_comment(text);
+    }
+
+    /// Simulates the circuit under the given input values (indexed in input
+    /// allocation order) and returns the value of every signal variable.
+    pub fn simulate(&self, input_values: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.cnf.num_vars()];
+        let mut input_idx = 0usize;
+        let signal_value = |values: &[bool], s: Signal| values[s.var.as_usize()] ^ s.negated;
+        for (var, op) in &self.gates {
+            let v = match op {
+                GateOp::Input => {
+                    let value = input_values.get(input_idx).copied().unwrap_or(false);
+                    input_idx += 1;
+                    value
+                }
+                GateOp::Not(a) => !signal_value(&values, *a),
+                GateOp::Buf(a) => signal_value(&values, *a),
+                GateOp::And(ins) => ins.iter().all(|s| signal_value(&values, *s)),
+                GateOp::Or(ins) => ins.iter().any(|s| signal_value(&values, *s)),
+                GateOp::Xor(a, b) => signal_value(&values, *a) ^ signal_value(&values, *b),
+                GateOp::Mux {
+                    select,
+                    when_true,
+                    when_false,
+                } => {
+                    if signal_value(&values, *select) {
+                        signal_value(&values, *when_true)
+                    } else {
+                        signal_value(&values, *when_false)
+                    }
+                }
+            };
+            values[var.as_usize()] = v;
+        }
+        values
+    }
+
+    /// The value of a signal in a simulation result.
+    pub fn signal_value(&self, values: &[bool], signal: Signal) -> bool {
+        values[signal.var.as_usize()] ^ signal.negated
+    }
+
+    /// Finalises the encoder and returns the CNF.
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
+    /// A reference to the CNF built so far.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that the Tseitin encoding of a small circuit agrees
+    /// with its simulation on every input assignment.
+    fn check_encoding<F>(build: F, num_inputs: usize)
+    where
+        F: Fn(&mut CircuitEncoder, &[Signal]) -> Signal,
+    {
+        let mut enc = CircuitEncoder::new();
+        let inputs: Vec<Signal> = (0..num_inputs).map(|_| enc.input()).collect();
+        let out = build(&mut enc, &inputs);
+        for mask in 0..(1u32 << num_inputs) {
+            let input_values: Vec<bool> = (0..num_inputs).map(|i| (mask >> i) & 1 == 1).collect();
+            let sim = enc.simulate(&input_values);
+            // The simulated assignment must satisfy the CNF.
+            assert!(
+                enc.cnf().is_satisfied_by_bits(&sim),
+                "simulation must satisfy the encoding (mask {mask:b})"
+            );
+            // And flipping the output value must falsify it.
+            let mut flipped = sim.clone();
+            let out_idx = out.var().as_usize();
+            flipped[out_idx] = !flipped[out_idx];
+            assert!(
+                !enc.cnf().is_satisfied_by_bits(&flipped),
+                "flipping the output must violate the encoding (mask {mask:b})"
+            );
+        }
+    }
+
+    #[test]
+    fn and_or_not_encodings_are_consistent() {
+        check_encoding(|enc, ins| enc.and_gate(ins), 3);
+        check_encoding(|enc, ins| enc.or_gate(ins), 3);
+        check_encoding(|enc, ins| enc.not_gate(ins[0]), 1);
+        check_encoding(|enc, ins| enc.buf_gate(ins[0]), 1);
+    }
+
+    #[test]
+    fn xor_and_mux_encodings_are_consistent() {
+        check_encoding(|enc, ins| enc.xor_gate(ins[0], ins[1]), 2);
+        check_encoding(|enc, ins| enc.mux_gate(ins[0], ins[1], ins[2]), 3);
+    }
+
+    #[test]
+    fn full_adder_counts_ones() {
+        let mut enc = CircuitEncoder::new();
+        let a = enc.input();
+        let b = enc.input();
+        let c = enc.input();
+        let (sum, carry) = enc.full_adder(a, b, c);
+        for mask in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (mask >> i) & 1 == 1).collect();
+            let ones = bits.iter().filter(|&&x| x).count();
+            let sim = enc.simulate(&bits);
+            assert_eq!(enc.signal_value(&sim, sum), ones % 2 == 1);
+            assert_eq!(enc.signal_value(&sim, carry), ones >= 2);
+            assert!(enc.cnf().is_satisfied_by_bits(&sim));
+        }
+    }
+
+    #[test]
+    fn constrain_restricts_solutions() {
+        let mut enc = CircuitEncoder::new();
+        let a = enc.input();
+        let b = enc.input();
+        let g = enc.and_gate(&[a, b]);
+        enc.constrain(g, true);
+        let cnf = enc.into_cnf();
+        // Only a=b=1 satisfies the constrained circuit.
+        assert!(cnf.is_satisfied_by_bits(&[true, true, true]));
+        assert!(!cnf.is_satisfied_by_bits(&[true, false, false]));
+        assert!(!cnf.is_satisfied_by_bits(&[true, false, true]));
+    }
+
+    #[test]
+    fn inverted_signals_need_no_extra_clauses() {
+        let mut enc = CircuitEncoder::new();
+        let a = enc.input();
+        let before = enc.cnf().num_clauses();
+        let na = a.invert();
+        assert_eq!(enc.cnf().num_clauses(), before);
+        assert_eq!(na.lit(), !a.lit());
+        assert_eq!(na.invert(), a);
+    }
+
+    #[test]
+    fn simulation_defaults_missing_inputs_to_false() {
+        let mut enc = CircuitEncoder::new();
+        let a = enc.input();
+        let b = enc.input();
+        let g = enc.or_gate(&[a, b]);
+        let sim = enc.simulate(&[true]);
+        assert!(enc.signal_value(&sim, g));
+    }
+}

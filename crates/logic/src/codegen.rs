@@ -1,0 +1,209 @@
+//! Code generation from netlists.
+//!
+//! The paper's workflow (Fig. 1c) emits a PyTorch description of the
+//! probabilistic multi-level Boolean function; this module reproduces that
+//! emitter so transformed circuits can be inspected or executed under the
+//! original PyTorch prototype, and additionally provides Graphviz DOT export
+//! for visualising the recovered circuit structure.
+
+use crate::{GateKind, Netlist, NodeRef};
+use std::fmt::Write;
+
+/// Emits a PyTorch `nn.Module` describing the probabilistic form of the
+/// netlist, mirroring the paper's Fig. 1(c).
+///
+/// Primary inputs become the module's input tuple (named `x<var>`), gate
+/// nodes become assignments using the soft `AND`/`OR`/`NOT`/`XOR` helper
+/// functions, and the constrained outputs are returned as a tuple.
+pub fn to_pytorch(netlist: &Netlist, module_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str("import torch.nn as nn\n\n");
+    out.push_str("def AND(*xs):\n    y = xs[0]\n    for x in xs[1:]:\n        y = y * x\n    return y\n\n");
+    out.push_str("def OR(*xs):\n    y = 1 - xs[0]\n    for x in xs[1:]:\n        y = y * (1 - x)\n    return 1 - y\n\n");
+    out.push_str("def NOT(a):\n    return 1 - a\n\n");
+    out.push_str("def XOR(a, b):\n    return a + b - 2 * a * b\n\n");
+    let _ = writeln!(out, "class {module_name}(nn.Module):");
+    out.push_str("    def __init__(self):\n        super().__init__()\n\n");
+    out.push_str("    def forward(self, inputs):\n");
+    let inputs: Vec<String> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|v| format!("x{v}"))
+        .collect();
+    if inputs.is_empty() {
+        out.push_str("        _ = inputs\n");
+    } else {
+        let _ = writeln!(out, "        {} = inputs", inputs.join(", "));
+    }
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let name = node_name(netlist, idx);
+        match node {
+            NodeRef::Input(_) => {}
+            NodeRef::Const(b) => {
+                let _ = writeln!(out, "        {name} = {}", if *b { "1.0" } else { "0.0" });
+            }
+            NodeRef::Gate { kind, fanin } => {
+                let args: Vec<String> = fanin
+                    .iter()
+                    .map(|f| node_name(netlist, f.index()))
+                    .collect();
+                let expr = match kind {
+                    GateKind::Buf => args[0].clone(),
+                    GateKind::Not => format!("NOT({})", args[0]),
+                    GateKind::And => format!("AND({})", args.join(", ")),
+                    GateKind::Or => format!("OR({})", args.join(", ")),
+                    GateKind::Nand => format!("NOT(AND({}))", args.join(", ")),
+                    GateKind::Nor => format!("NOT(OR({}))", args.join(", ")),
+                    GateKind::Xor => fold_xor(&args, false),
+                    GateKind::Xnor => fold_xor(&args, true),
+                };
+                let _ = writeln!(out, "        {name} = {expr}");
+            }
+        }
+    }
+    let outputs: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|o| node_name(netlist, o.node.index()))
+        .collect();
+    if outputs.is_empty() {
+        out.push_str("        return ()\n");
+    } else {
+        let _ = writeln!(out, "        outputs = ({},)", outputs.join(", "));
+        out.push_str("        return outputs\n");
+    }
+    out
+}
+
+fn fold_xor(args: &[String], complemented: bool) -> String {
+    let mut expr = args[0].clone();
+    for a in &args[1..] {
+        expr = format!("XOR({expr}, {a})");
+    }
+    if complemented {
+        format!("NOT({expr})")
+    } else {
+        expr
+    }
+}
+
+/// A stable textual name for a node: `x<var>` when the node drives a CNF
+/// variable, otherwise `n<index>`.
+fn node_name(netlist: &Netlist, index: usize) -> String {
+    if let NodeRef::Input(v) = netlist.nodes()[index] {
+        return format!("x{v}");
+    }
+    // Prefer the lowest bound variable name if one exists.
+    let mut best: Option<u32> = None;
+    for (var, node) in netlist.bound_vars() {
+        if node.index() == index {
+            best = Some(best.map_or(var, |b| b.min(var)));
+        }
+    }
+    match best {
+        Some(var) => format!("x{var}"),
+        None => format!("n{index}"),
+    }
+}
+
+/// Emits a Graphviz DOT description of the netlist: inputs as boxes, gates as
+/// ellipses labelled with their function, constrained outputs double-circled
+/// with their target value.
+pub fn to_dot(netlist: &Netlist, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    out.push_str("  rankdir=LR;\n");
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let name = node_name(netlist, idx);
+        match node {
+            NodeRef::Input(v) => {
+                let _ = writeln!(out, "  \"{name}\" [shape=box, label=\"x{v}\"];");
+            }
+            NodeRef::Const(b) => {
+                let _ = writeln!(out, "  \"{name}\" [shape=box, label=\"{}\"];", u8::from(*b));
+            }
+            NodeRef::Gate { kind, fanin } => {
+                let _ = writeln!(out, "  \"{name}\" [shape=ellipse, label=\"{kind}\"];");
+                for f in fanin {
+                    let src = node_name(netlist, f.index());
+                    let _ = writeln!(out, "  \"{src}\" -> \"{name}\";");
+                }
+            }
+        }
+    }
+    for (i, output) in netlist.outputs().iter().enumerate() {
+        let src = node_name(netlist, output.node.index());
+        let _ = writeln!(
+            out,
+            "  \"out{i}\" [shape=doublecircle, label=\"= {}\"];",
+            u8::from(output.target)
+        );
+        let _ = writeln!(out, "  \"{src}\" -> \"out{i}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    fn mux_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let expr = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(3)]),
+        ]);
+        let node = nl.add_expr(&expr);
+        nl.bind_var(4, node);
+        nl.add_output(node, true, Some(4));
+        nl
+    }
+
+    #[test]
+    fn pytorch_output_contains_module_and_gates() {
+        let nl = mux_netlist();
+        let code = to_pytorch(&nl, "DUT");
+        assert!(code.contains("class DUT(nn.Module):"));
+        assert!(code.contains("x1, x2, x3 = inputs"));
+        assert!(code.contains("AND("));
+        assert!(code.contains("OR("));
+        assert!(code.contains("return outputs"));
+        // The output node is bound to x4 and returned.
+        assert!(code.contains("outputs = (x4,)"));
+    }
+
+    #[test]
+    fn pytorch_output_handles_xor_and_constants() {
+        let mut nl = Netlist::new();
+        let x = nl.add_expr(&Expr::xor(vec![Expr::var(1), Expr::var(2), Expr::var(3)]));
+        let k = nl.add_const(true);
+        nl.add_output(x, true, None);
+        nl.add_output(k, true, None);
+        let code = to_pytorch(&nl, "XorDut");
+        assert!(code.contains("XOR(XOR(x1, x2), x3)") || code.contains("XOR(x1, x2)"));
+        assert!(code.contains("= 1.0"));
+    }
+
+    #[test]
+    fn dot_output_lists_nodes_and_constraints() {
+        let nl = mux_netlist();
+        let dot = to_dot(&nl, "mux");
+        assert!(dot.starts_with("digraph mux {"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("-> \"out0\";"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_netlist_produces_valid_skeletons() {
+        let nl = Netlist::new();
+        let code = to_pytorch(&nl, "Empty");
+        assert!(code.contains("return ()"));
+        let dot = to_dot(&nl, "empty");
+        assert!(dot.contains("digraph empty"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Boolean expression AST.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a Boolean variable inside an [`Expr`].
+///
+/// The transformation algorithm uses the CNF variable index (1-based) as the
+/// identifier so expressions and clauses talk about the same variables.
+pub type VarId = u32;
+
+/// A Boolean expression over variables identified by [`VarId`].
+///
+/// `And`, `Or` and `Xor` are n-ary to keep expressions produced by the
+/// CNF-to-circuit transformation shallow.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A Boolean constant.
+    Const(bool),
+    /// A variable reference.
+    Var(VarId),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// n-ary conjunction. Empty conjunction is `true`.
+    And(Vec<Expr>),
+    /// n-ary disjunction. Empty disjunction is `false`.
+    Or(Vec<Expr>),
+    /// n-ary exclusive or. Empty XOR is `false`.
+    Xor(Vec<Expr>),
+}
+
+impl Expr {
+    /// The constant `true`.
+    pub const TRUE: Expr = Expr::Const(true);
+    /// The constant `false`.
+    pub const FALSE: Expr = Expr::Const(false);
+
+    /// Creates a variable reference.
+    pub fn var(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// Creates a constant.
+    pub fn constant(value: bool) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// Creates the negation of `e`, flattening double negation.
+    pub fn not(e: Expr) -> Expr {
+        match e {
+            Expr::Const(b) => Expr::Const(!b),
+            Expr::Not(inner) => *inner,
+            other => Expr::Not(Box::new(other)),
+        }
+    }
+
+    /// Creates an n-ary AND, flattening nested ANDs and constant-folding.
+    pub fn and(operands: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(operands.len());
+        for op in operands {
+            match op {
+                Expr::Const(true) => {}
+                Expr::Const(false) => return Expr::FALSE,
+                Expr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::TRUE,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// Creates an n-ary OR, flattening nested ORs and constant-folding.
+    pub fn or(operands: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(operands.len());
+        for op in operands {
+            match op {
+                Expr::Const(false) => {}
+                Expr::Const(true) => return Expr::TRUE,
+                Expr::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::FALSE,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Creates an n-ary XOR, flattening nested XORs and constant-folding.
+    pub fn xor(operands: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(operands.len());
+        let mut parity = false;
+        for op in operands {
+            match op {
+                Expr::Const(b) => parity ^= b,
+                Expr::Xor(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        let base = match flat.len() {
+            0 => Expr::FALSE,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Xor(flat),
+        };
+        if parity {
+            Expr::not(base)
+        } else {
+            base
+        }
+    }
+
+    /// A literal: the variable `id` or its negation.
+    pub fn literal(id: VarId, positive: bool) -> Expr {
+        if positive {
+            Expr::var(id)
+        } else {
+            Expr::not(Expr::var(id))
+        }
+    }
+
+    /// Structural complement (`¬self`), without deep rewriting.
+    pub fn complement(&self) -> Expr {
+        Expr::not(self.clone())
+    }
+
+    /// Returns `Some(value)` when the expression is a constant.
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            Expr::Const(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The sorted set of variables referenced by the expression.
+    pub fn support(&self) -> Vec<VarId> {
+        let mut set = BTreeSet::new();
+        self.collect_support(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_support(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Not(e) => e.collect_support(out),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                for e in es {
+                    e.collect_support(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression using a lookup function for variable values.
+    pub fn eval_with<F: Fn(VarId) -> bool + Copy>(&self, lookup: F) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => lookup(*v),
+            Expr::Not(e) => !e.eval_with(lookup),
+            Expr::And(es) => es.iter().all(|e| e.eval_with(lookup)),
+            Expr::Or(es) => es.iter().any(|e| e.eval_with(lookup)),
+            Expr::Xor(es) => es.iter().fold(false, |acc, e| acc ^ e.eval_with(lookup)),
+        }
+    }
+
+    /// Substitutes constants for some variables and constant-folds.
+    pub fn assign<F: Fn(VarId) -> Option<bool> + Copy>(&self, lookup: F) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Var(v) => match lookup(*v) {
+                Some(b) => Expr::Const(b),
+                None => Expr::Var(*v),
+            },
+            Expr::Not(e) => Expr::not(e.assign(lookup)),
+            Expr::And(es) => Expr::and(es.iter().map(|e| e.assign(lookup)).collect()),
+            Expr::Or(es) => Expr::or(es.iter().map(|e| e.assign(lookup)).collect()),
+            Expr::Xor(es) => Expr::xor(es.iter().map(|e| e.assign(lookup)).collect()),
+        }
+    }
+
+    /// Number of 2-input gate equivalents needed to evaluate the expression
+    /// tree naively (without sharing).
+    pub fn op_count(&self) -> u64 {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(e) => 1 + e.op_count(),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                (es.len() as u64).saturating_sub(1) + es.iter().map(Expr::op_count).sum::<u64>()
+            }
+        }
+    }
+
+    /// Depth of the expression tree (constants and variables have depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(e) => 1 + e.depth(),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                1 + es.iter().map(Expr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, es: &[Expr], sep: &str) -> fmt::Result {
+            write!(f, "(")?;
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " {sep} ")?;
+                }
+                write!(f, "{e:?}")?;
+            }
+            write!(f, ")")
+        }
+        match self {
+            Expr::Const(b) => write!(f, "{}", if *b { "1" } else { "0" }),
+            Expr::Var(v) => write!(f, "x{v}"),
+            Expr::Not(e) => write!(f, "¬{e:?}"),
+            Expr::And(es) => join(f, es, "∧"),
+            Expr::Or(es) => join(f, es, "∨"),
+            Expr::Xor(es) => join(f, es, "⊕"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_constant_fold() {
+        assert_eq!(Expr::and(vec![Expr::TRUE, Expr::var(1)]), Expr::var(1));
+        assert_eq!(Expr::and(vec![Expr::FALSE, Expr::var(1)]), Expr::FALSE);
+        assert_eq!(Expr::or(vec![Expr::TRUE, Expr::var(1)]), Expr::TRUE);
+        assert_eq!(Expr::or(vec![Expr::FALSE, Expr::var(1)]), Expr::var(1));
+        assert_eq!(Expr::not(Expr::not(Expr::var(2))), Expr::var(2));
+        assert_eq!(Expr::xor(vec![Expr::TRUE, Expr::TRUE]), Expr::FALSE);
+    }
+
+    #[test]
+    fn nary_constructors_flatten() {
+        let e = Expr::and(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::var(3),
+        ]);
+        assert_eq!(
+            e,
+            Expr::And(vec![Expr::var(1), Expr::var(2), Expr::var(3)])
+        );
+    }
+
+    #[test]
+    fn support_is_sorted_and_unique() {
+        let e = Expr::or(vec![
+            Expr::and(vec![Expr::var(5), Expr::var(2)]),
+            Expr::not(Expr::var(2)),
+        ]);
+        assert_eq!(e.support(), vec![2, 5]);
+    }
+
+    #[test]
+    fn eval_mux_semantics() {
+        // f = (s ∧ a) ∨ (¬s ∧ b)
+        let f = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(3)]),
+        ]);
+        for s in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let lookup = |v: VarId| match v {
+                        1 => s,
+                        2 => a,
+                        3 => b,
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(f.eval_with(lookup), if s { a } else { b });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_partially_evaluates() {
+        let f = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::var(3),
+        ]);
+        let g = f.assign(|v| if v == 1 { Some(false) } else { None });
+        assert_eq!(g, Expr::var(3));
+    }
+
+    #[test]
+    fn op_count_and_depth() {
+        let f = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::not(Expr::var(3)),
+        ]);
+        assert_eq!(f.op_count(), 3);
+        assert_eq!(f.depth(), 2);
+        assert_eq!(Expr::var(1).op_count(), 0);
+    }
+
+    #[test]
+    fn xor_parity_folding() {
+        let e = Expr::xor(vec![Expr::var(1), Expr::TRUE]);
+        assert_eq!(e, Expr::not(Expr::var(1)));
+        let e = Expr::xor(vec![]);
+        assert_eq!(e, Expr::FALSE);
+    }
+}

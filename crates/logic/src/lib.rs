@@ -1,0 +1,53 @@
+//! # htsat-logic
+//!
+//! Symbolic Boolean algebra and multi-level netlists for the high-throughput
+//! SAT sampling library.
+//!
+//! The paper's transformation algorithm (Algorithm 1) needs three symbolic
+//! capabilities that it obtains from SymPy in the reference implementation:
+//!
+//! 1. deriving a Boolean expression from a group of clauses,
+//! 2. checking whether two expressions are complements of each other, and
+//! 3. simplifying the accepted expression before adding it to the circuit.
+//!
+//! This crate supplies Rust-native replacements:
+//!
+//! * [`Expr`] — a Boolean expression AST over integer-identified variables,
+//! * [`TruthTable`] — exact canonical forms over small supports, used for
+//!   complement/equivalence checking ([`TruthTable::is_complement_of`]),
+//! * [`simplify`] — Quine–McCluskey-based two-level minimisation lifted back
+//!   into factored expressions,
+//! * [`Netlist`] — the multi-level, multi-output Boolean function produced by
+//!   the transformation, with structural hashing, topological evaluation and
+//!   2-input gate-equivalent operation counting,
+//! * [`codegen`] — PyTorch (the paper's Fig. 1c) and Graphviz DOT emitters
+//!   for recovered netlists.
+//!
+//! # Example
+//!
+//! ```
+//! use htsat_logic::{Expr, TruthTable};
+//!
+//! // f = (x1 ∧ x2) ∨ (¬x1 ∧ x3)   (a 2:1 multiplexer)
+//! let f = Expr::or(vec![
+//!     Expr::and(vec![Expr::var(1), Expr::var(2)]),
+//!     Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(3)]),
+//! ]);
+//! let g = f.complement();
+//! assert!(TruthTable::from_expr(&f).is_complement_of(&TruthTable::from_expr(&g)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+mod expr;
+mod gate;
+mod netlist;
+pub mod simplify;
+mod truth_table;
+
+pub use expr::{Expr, VarId};
+pub use gate::GateKind;
+pub use netlist::{Netlist, NodeId, NodeRef, OutputConstraint};
+pub use truth_table::{TruthTable, MAX_SUPPORT};

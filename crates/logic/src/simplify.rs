@@ -1,0 +1,302 @@
+//! Two-level minimisation and expression simplification.
+//!
+//! The paper simplifies every Boolean expression accepted by the
+//! transformation before adding it to the circuit (Section III-A, "The
+//! obtained Boolean expression is simplified before adoption in the final
+//! circuit structure"). We implement Quine–McCluskey prime-implicant
+//! generation with a greedy cover over the exact truth table, and pick the
+//! cheaper of the minimised function and the minimised complement (returned
+//! negated), which captures the common case where the off-set has a much
+//! smaller cover than the on-set.
+
+use crate::{Expr, TruthTable, VarId};
+
+/// Supports larger than this skip exact two-level minimisation and fall back
+/// to the structurally-folded input expression. Quine–McCluskey is exponential
+/// in the support size; clause groups produced by Tseitin encodings are far
+/// below this limit.
+pub const MAX_MINIMIZE_SUPPORT: usize = 12;
+
+/// A product term (cube) over a positional support: `care` marks the positions
+/// that appear in the term and `values` their required polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Cube {
+    care: u32,
+    values: u32,
+}
+
+impl Cube {
+    fn covers(&self, minterm: u32) -> bool {
+        (minterm & self.care) == (self.values & self.care)
+    }
+
+    /// Attempts to merge two cubes differing in exactly one cared bit.
+    fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = (self.values ^ other.values) & self.care;
+        if diff.count_ones() == 1 {
+            Some(Cube {
+                care: self.care & !diff,
+                values: self.values & !diff,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Computes the prime implicants of the on-set given as minterm indices over
+/// `num_vars` positional variables.
+fn prime_implicants(minterms: &[usize], num_vars: usize) -> Vec<Cube> {
+    let full_care = if num_vars == 32 {
+        u32::MAX
+    } else {
+        (1u32 << num_vars) - 1
+    };
+    let mut current: Vec<Cube> = minterms
+        .iter()
+        .map(|&m| Cube {
+            care: full_care,
+            values: m as u32,
+        })
+        .collect();
+    current.sort_by_key(|c| (c.care, c.values));
+    current.dedup();
+
+    let mut primes = Vec::new();
+    while !current.is_empty() {
+        let mut merged_flags = vec![false; current.len()];
+        let mut next = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                if let Some(m) = current[i].merge(&current[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.push(m);
+                }
+            }
+        }
+        for (i, cube) in current.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.push(*cube);
+            }
+        }
+        next.sort_by_key(|c| (c.care, c.values));
+        next.dedup();
+        current = next;
+    }
+    primes.sort_by_key(|c| (c.care, c.values));
+    primes.dedup();
+    primes
+}
+
+/// Greedy set cover of the minterms by prime implicants, preferring essential
+/// primes first and then the prime covering the most uncovered minterms.
+fn cover(minterms: &[usize], primes: &[Cube]) -> Vec<Cube> {
+    let mut uncovered: Vec<u32> = minterms.iter().map(|&m| m as u32).collect();
+    let mut chosen = Vec::new();
+
+    // Essential primes: minterms covered by exactly one prime.
+    let mut essential_idx: Vec<usize> = Vec::new();
+    for &m in &uncovered {
+        let covering: Vec<usize> = primes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.covers(m).then_some(i))
+            .collect();
+        if covering.len() == 1 && !essential_idx.contains(&covering[0]) {
+            essential_idx.push(covering[0]);
+        }
+    }
+    for &i in &essential_idx {
+        chosen.push(primes[i]);
+    }
+    uncovered.retain(|&m| !chosen.iter().any(|c| c.covers(m)));
+
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .max_by_key(|p| uncovered.iter().filter(|&&m| p.covers(m)).count())
+            .copied()
+            .expect("primes cover every minterm");
+        chosen.push(best);
+        uncovered.retain(|&m| !best.covers(m));
+    }
+    chosen
+}
+
+fn cube_to_expr(cube: &Cube, support: &[VarId]) -> Expr {
+    let mut literals = Vec::new();
+    for (pos, &var) in support.iter().enumerate() {
+        if cube.care >> pos & 1 == 1 {
+            literals.push(Expr::literal(var, cube.values >> pos & 1 == 1));
+        }
+    }
+    Expr::and(literals)
+}
+
+/// Builds a minimal sum-of-products expression for the function described by
+/// `table`.
+///
+/// Returns a constant expression when the function is constant.
+pub fn minimize_sop(table: &TruthTable) -> Expr {
+    if let Some(c) = table.as_const() {
+        return Expr::constant(c);
+    }
+    let minterms = table.on_set();
+    let primes = prime_implicants(&minterms, table.support().len());
+    let cubes = cover(&minterms, &primes);
+    Expr::or(cubes.iter().map(|c| cube_to_expr(c, table.support())).collect())
+}
+
+/// Simplifies a Boolean expression.
+///
+/// For supports of at most [`MAX_MINIMIZE_SUPPORT`] variables the result is an
+/// exact two-level minimisation of either the function or its complement
+/// (whichever is cheaper, the latter returned under a negation). Larger
+/// supports are returned after structural folding only.
+///
+/// The result is always logically equivalent to the input.
+pub fn simplify(expr: &Expr) -> Expr {
+    let support = expr.support();
+    if support.is_empty() {
+        // Constant-valued expression: evaluate it.
+        return Expr::constant(expr.eval_with(|_| false));
+    }
+    if support.len() > MAX_MINIMIZE_SUPPORT {
+        return expr.clone();
+    }
+    let table = match TruthTable::try_from_expr(expr) {
+        Some(t) => t,
+        None => return expr.clone(),
+    };
+    if let Some(c) = table.as_const() {
+        return Expr::constant(c);
+    }
+    let sop = minimize_sop(&table);
+    let complement_table = match TruthTable::try_from_expr(&Expr::not(expr.clone())) {
+        Some(t) => t,
+        None => return sop,
+    };
+    let complement_sop = Expr::not(minimize_sop(&complement_table));
+    let mut best = sop;
+    if complement_sop.op_count() < best.op_count() {
+        best = complement_sop;
+    }
+    if expr.op_count() < best.op_count() {
+        best = expr.clone();
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent(a: &Expr, b: &Expr) -> bool {
+        let mut support = a.support();
+        support.extend(b.support());
+        support.sort_unstable();
+        support.dedup();
+        let ta = TruthTable::try_from_expr_with_support(a, &support).expect("fits");
+        let tb = TruthTable::try_from_expr_with_support(b, &support).expect("fits");
+        ta.is_equivalent_to(&tb)
+    }
+
+    #[test]
+    fn minimizes_redundant_sop() {
+        // a·b + a·¬b  →  a
+        let e = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::and(vec![Expr::var(1), Expr::not(Expr::var(2))]),
+        ]);
+        let s = simplify(&e);
+        assert!(equivalent(&e, &s));
+        assert_eq!(s, Expr::var(1));
+    }
+
+    #[test]
+    fn consensus_term_removed() {
+        // a·b + ¬a·c + b·c  →  a·b + ¬a·c
+        let e = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(3)]),
+            Expr::and(vec![Expr::var(2), Expr::var(3)]),
+        ]);
+        let s = simplify(&e);
+        assert!(equivalent(&e, &s));
+        assert!(s.op_count() <= 5);
+    }
+
+    #[test]
+    fn tautology_and_contradiction_become_constants() {
+        let taut = Expr::or(vec![Expr::var(1), Expr::not(Expr::var(1))]);
+        assert_eq!(simplify(&taut), Expr::TRUE);
+        let contra = Expr::and(vec![Expr::var(1), Expr::not(Expr::var(1))]);
+        assert_eq!(simplify(&contra), Expr::FALSE);
+    }
+
+    #[test]
+    fn xor_is_preserved_semantically() {
+        let e = Expr::xor(vec![Expr::var(1), Expr::var(2), Expr::var(3)]);
+        let s = simplify(&e);
+        assert!(equivalent(&e, &s));
+    }
+
+    #[test]
+    fn complemented_cover_chosen_when_cheaper() {
+        // ¬(a ∨ b ∨ c ∨ d) has a 1-term off-set cover; its on-set SOP needs 1 cube
+        // too, so just verify equivalence and that we do not blow up.
+        let e = Expr::not(Expr::or(vec![
+            Expr::var(1),
+            Expr::var(2),
+            Expr::var(3),
+            Expr::var(4),
+        ]));
+        let s = simplify(&e);
+        assert!(equivalent(&e, &s));
+        assert!(s.op_count() <= e.op_count());
+    }
+
+    #[test]
+    fn wide_support_returned_unchanged() {
+        let wide = Expr::or((1..=(MAX_MINIMIZE_SUPPORT as u32 + 2)).map(Expr::var).collect());
+        assert_eq!(simplify(&wide), wide);
+    }
+
+    #[test]
+    fn simplify_never_increases_ops() {
+        let e = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2), Expr::var(3)]),
+            Expr::and(vec![Expr::var(1), Expr::var(2), Expr::not(Expr::var(3))]),
+            Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(4)]),
+        ]);
+        let s = simplify(&e);
+        assert!(equivalent(&e, &s));
+        assert!(s.op_count() <= e.op_count());
+    }
+
+    #[test]
+    fn constant_expression_with_empty_support() {
+        assert_eq!(simplify(&Expr::TRUE), Expr::TRUE);
+        assert_eq!(simplify(&Expr::and(vec![])), Expr::TRUE);
+        assert_eq!(simplify(&Expr::or(vec![])), Expr::FALSE);
+    }
+
+    #[test]
+    fn prime_implicant_generation_matches_classic_example() {
+        // Classic QM example: f(a,b,c,d) with on-set {4,8,10,11,12,15}
+        // and don't-cares ignored → standard result has 3-4 cubes.
+        let minterms = vec![4usize, 8, 10, 11, 12, 15];
+        let primes = prime_implicants(&minterms, 4);
+        let cubes = cover(&minterms, &primes);
+        // Every minterm covered, no minterm outside the on-set covered twice
+        // incorrectly (coverage check only — minimality asserted loosely).
+        for &m in &minterms {
+            assert!(cubes.iter().any(|c| c.covers(m as u32)));
+        }
+        assert!(cubes.len() <= 4);
+    }
+}

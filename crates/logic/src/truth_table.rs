@@ -1,0 +1,296 @@
+//! Exact truth-table canonical forms over small supports.
+//!
+//! The transformation algorithm only manipulates sub-expressions whose support
+//! is a handful of variables (the clause groups produced by Tseitin-encoding a
+//! gate), so an explicit truth table is an exact and fast canonical form for
+//! complement checking, equivalence checking and two-level minimisation.
+
+use crate::{Expr, VarId};
+
+/// Maximum support size for which truth tables are constructed (2^20 rows,
+/// 128 KiB of bits). Larger supports are rejected with `None` by the fallible
+/// constructors.
+pub const MAX_SUPPORT: usize = 20;
+
+/// An explicit truth table of a Boolean function over a fixed, sorted support.
+///
+/// Row `i` (for `i` in `0..2^k`) assigns bit `j` of `i` to the `j`-th support
+/// variable; `bits` stores the function value of each row packed in `u64`
+/// words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    support: Vec<VarId>,
+    bits: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Builds the truth table of `expr` over its own support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the support exceeds [`MAX_SUPPORT`]; use
+    /// [`TruthTable::try_from_expr`] for a fallible version.
+    pub fn from_expr(expr: &Expr) -> Self {
+        Self::try_from_expr(expr).expect("expression support exceeds MAX_SUPPORT")
+    }
+
+    /// Builds the truth table of `expr` over its own support, or `None` if the
+    /// support exceeds [`MAX_SUPPORT`].
+    pub fn try_from_expr(expr: &Expr) -> Option<Self> {
+        let support = expr.support();
+        Self::try_from_expr_with_support(expr, &support)
+    }
+
+    /// Builds the truth table of `expr` over an explicitly given support.
+    ///
+    /// Every variable of `expr` must be contained in `support`. Returns `None`
+    /// if `support` exceeds [`MAX_SUPPORT`].
+    pub fn try_from_expr_with_support(expr: &Expr, support: &[VarId]) -> Option<Self> {
+        if support.len() > MAX_SUPPORT {
+            return None;
+        }
+        let mut support = support.to_vec();
+        support.sort_unstable();
+        support.dedup();
+        debug_assert!(
+            expr.support().iter().all(|v| support.contains(v)),
+            "expression support must be a subset of the given support"
+        );
+        let rows = 1usize << support.len();
+        let words = rows.div_ceil(64);
+        let mut bits = vec![0u64; words];
+        for row in 0..rows {
+            let lookup = |v: VarId| {
+                let pos = support
+                    .binary_search(&v)
+                    .expect("variable outside declared support");
+                (row >> pos) & 1 == 1
+            };
+            if expr.eval_with(lookup) {
+                bits[row / 64] |= 1u64 << (row % 64);
+            }
+        }
+        Some(TruthTable { support, bits })
+    }
+
+    /// The sorted support of the function.
+    pub fn support(&self) -> &[VarId] {
+        &self.support
+    }
+
+    /// Number of rows (`2^k` for a support of size `k`).
+    pub fn num_rows(&self) -> usize {
+        1usize << self.support.len()
+    }
+
+    /// The value of the function on `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn value(&self, row: usize) -> bool {
+        assert!(row < self.num_rows(), "row out of range");
+        self.bits[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Number of satisfying rows (the on-set size).
+    pub fn count_ones(&self) -> u64 {
+        let rows = self.num_rows();
+        let mut total = 0u64;
+        for (w, word) in self.bits.iter().enumerate() {
+            let valid = if (w + 1) * 64 <= rows {
+                *word
+            } else {
+                let keep = rows - w * 64;
+                if keep == 0 {
+                    0
+                } else {
+                    word & ((1u64 << keep) - 1)
+                }
+            };
+            total += valid.count_ones() as u64;
+        }
+        total
+    }
+
+    /// Whether the function is constantly true.
+    pub fn is_const_true(&self) -> bool {
+        self.count_ones() == self.num_rows() as u64
+    }
+
+    /// Whether the function is constantly false.
+    pub fn is_const_false(&self) -> bool {
+        self.count_ones() == 0
+    }
+
+    /// Returns `Some(value)` if the function is constant.
+    pub fn as_const(&self) -> Option<bool> {
+        if self.is_const_true() {
+            Some(true)
+        } else if self.is_const_false() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Checks semantic equality with `other` after aligning supports.
+    ///
+    /// Functions over different supports are compared over the union of their
+    /// supports (variables absent from one function are don't-cares there,
+    /// i.e. the function must not depend on them to be equal).
+    pub fn is_equivalent_to(&self, other: &TruthTable) -> bool {
+        self.compare_with(other, false)
+    }
+
+    /// Checks whether `other` is the pointwise complement of `self`.
+    ///
+    /// This is the core validity check of the transformation algorithm: the
+    /// on-set expression derived for a candidate output variable must be the
+    /// complement of its off-set expression.
+    pub fn is_complement_of(&self, other: &TruthTable) -> bool {
+        self.compare_with(other, true)
+    }
+
+    fn compare_with(&self, other: &TruthTable, complemented: bool) -> bool {
+        let mut union: Vec<VarId> = self
+            .support
+            .iter()
+            .chain(other.support.iter())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        if union.len() > MAX_SUPPORT {
+            // Fall back to comparing only if supports are identical.
+            if self.support != other.support {
+                return false;
+            }
+            let rows = self.num_rows();
+            return (0..rows).all(|r| self.value(r) == (other.value(r) ^ complemented));
+        }
+        let rows = 1usize << union.len();
+        for row in 0..rows {
+            let a = self.eval_on_union(&union, row);
+            let b = other.eval_on_union(&union, row);
+            if a != (b ^ complemented) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn eval_on_union(&self, union: &[VarId], row: usize) -> bool {
+        let mut local_row = 0usize;
+        for (pos, v) in self.support.iter().enumerate() {
+            let union_pos = union.binary_search(v).expect("support subset of union");
+            if (row >> union_pos) & 1 == 1 {
+                local_row |= 1 << pos;
+            }
+        }
+        self.value(local_row)
+    }
+
+    /// The rows of the on-set (minterm indices where the function is true).
+    pub fn on_set(&self) -> Vec<usize> {
+        (0..self.num_rows()).filter(|&r| self.value(r)).collect()
+    }
+}
+
+impl std::fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TruthTable{{support: {:?}, on-set: ", self.support)?;
+        write!(f, "{}/{} rows}}", self.count_ones(), self.num_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux() -> Expr {
+        Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::var(2)]),
+            Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(3)]),
+        ])
+    }
+
+    #[test]
+    fn truth_table_matches_direct_evaluation() {
+        let f = mux();
+        let tt = TruthTable::from_expr(&f);
+        assert_eq!(tt.support(), &[1, 2, 3]);
+        for row in 0..8usize {
+            let lookup = |v: VarId| (row >> (v - 1)) & 1 == 1;
+            assert_eq!(tt.value(row), f.eval_with(lookup));
+        }
+    }
+
+    #[test]
+    fn complement_detection() {
+        let f = mux();
+        let g = Expr::or(vec![
+            Expr::and(vec![Expr::var(1), Expr::not(Expr::var(2))]),
+            Expr::and(vec![Expr::not(Expr::var(1)), Expr::not(Expr::var(3))]),
+        ]);
+        let tf = TruthTable::from_expr(&f);
+        let tg = TruthTable::from_expr(&g);
+        assert!(tf.is_complement_of(&tg));
+        assert!(!tf.is_equivalent_to(&tg));
+        assert!(tf.is_equivalent_to(&tf));
+    }
+
+    #[test]
+    fn complement_with_different_supports() {
+        // f = x1 ∨ x2, g = ¬x1 ∧ ¬x2 ∧ (x3 ∨ ¬x3)  → still complements
+        let f = Expr::or(vec![Expr::var(1), Expr::var(2)]);
+        let g = Expr::and(vec![
+            Expr::not(Expr::var(1)),
+            Expr::not(Expr::var(2)),
+            Expr::or(vec![Expr::var(3), Expr::not(Expr::var(3))]),
+        ]);
+        let tf = TruthTable::from_expr(&f);
+        let tg = TruthTable::from_expr(&g);
+        assert!(tf.is_complement_of(&tg));
+    }
+
+    #[test]
+    fn non_complements_rejected() {
+        let f = Expr::or(vec![Expr::var(1), Expr::var(2)]);
+        let g = Expr::and(vec![Expr::not(Expr::var(1)), Expr::var(2)]);
+        assert!(!TruthTable::from_expr(&f).is_complement_of(&TruthTable::from_expr(&g)));
+    }
+
+    #[test]
+    fn constant_detection() {
+        let taut = Expr::or(vec![Expr::var(1), Expr::not(Expr::var(1))]);
+        let tt = TruthTable::from_expr(&taut);
+        assert_eq!(tt.as_const(), Some(true));
+        let contradiction = Expr::and(vec![Expr::var(1), Expr::not(Expr::var(1))]);
+        assert_eq!(TruthTable::from_expr(&contradiction).as_const(), Some(false));
+        assert_eq!(TruthTable::from_expr(&Expr::var(1)).as_const(), None);
+    }
+
+    #[test]
+    fn count_ones_on_large_word_boundary() {
+        // 7-variable parity: exactly half the 128 rows are true.
+        let parity = Expr::xor((1..=7).map(Expr::var).collect());
+        let tt = TruthTable::from_expr(&parity);
+        assert_eq!(tt.count_ones(), 64);
+        assert_eq!(tt.num_rows(), 128);
+    }
+
+    #[test]
+    fn oversized_support_rejected() {
+        let wide = Expr::or((1..=(MAX_SUPPORT as u32 + 1)).map(Expr::var).collect());
+        assert!(TruthTable::try_from_expr(&wide).is_none());
+    }
+
+    #[test]
+    fn explicit_support_allows_padding() {
+        let f = Expr::var(2);
+        let tt = TruthTable::try_from_expr_with_support(&f, &[1, 2, 3]).expect("fits");
+        assert_eq!(tt.num_rows(), 8);
+        assert_eq!(tt.count_ones(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the Boolean algebra substrate.
+
+use htsat_logic::{simplify, Expr, GateKind, Netlist, TruthTable, VarId};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary expressions over variables 1..=max_var with bounded
+/// depth.
+fn arb_expr(max_var: u32, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (1..=max_var).prop_map(Expr::var),
+        any::<bool>().prop_map(Expr::constant),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Expr::not),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::and),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::or),
+            prop::collection::vec(inner, 1..4).prop_map(Expr::xor),
+        ]
+    })
+    .boxed()
+}
+
+fn lookup_from_bits(bits: &[bool]) -> impl Fn(VarId) -> bool + Copy + '_ {
+    move |v: VarId| bits[(v - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_semantics(e in arb_expr(5, 3), bits in prop::collection::vec(any::<bool>(), 5)) {
+        let s = simplify::simplify(&e);
+        prop_assert_eq!(e.eval_with(lookup_from_bits(&bits)), s.eval_with(lookup_from_bits(&bits)));
+    }
+
+    #[test]
+    fn simplify_never_increases_op_count_for_small_support(e in arb_expr(4, 3)) {
+        let s = simplify::simplify(&e);
+        prop_assert!(s.op_count() <= e.op_count());
+    }
+
+    #[test]
+    fn truth_table_matches_eval(e in arb_expr(5, 3), bits in prop::collection::vec(any::<bool>(), 5)) {
+        let tt = TruthTable::try_from_expr_with_support(&e, &[1, 2, 3, 4, 5]).expect("small support");
+        let mut row = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                row |= 1 << i;
+            }
+        }
+        prop_assert_eq!(tt.value(row), e.eval_with(lookup_from_bits(&bits)));
+    }
+
+    #[test]
+    fn expression_and_complement_are_complements(e in arb_expr(5, 3)) {
+        let tt = TruthTable::from_expr(&e);
+        let tc = TruthTable::from_expr(&e.complement());
+        prop_assert!(tt.is_complement_of(&tc));
+        prop_assert!(tc.is_complement_of(&tt));
+    }
+
+    #[test]
+    fn netlist_matches_expression_evaluation(e in arb_expr(5, 3), bits in prop::collection::vec(any::<bool>(), 5)) {
+        let mut nl = Netlist::new();
+        let node = nl.add_expr(&e);
+        let values = nl.evaluate(lookup_from_bits(&bits));
+        prop_assert_eq!(values[node.index()], e.eval_with(lookup_from_bits(&bits)));
+    }
+
+    #[test]
+    fn netlist_op_count_never_exceeds_tree_op_count(e in arb_expr(5, 4)) {
+        // Hash-consing may only reduce (or match) the naive tree cost.
+        let mut nl = Netlist::new();
+        nl.add_expr(&e);
+        prop_assert!(nl.op_count() <= e.op_count().max(1));
+    }
+
+    #[test]
+    fn minimize_sop_is_exact(e in arb_expr(4, 3)) {
+        let tt = TruthTable::from_expr(&e);
+        let sop = simplify::minimize_sop(&tt);
+        let tt_sop = TruthTable::try_from_expr_with_support(&sop, tt.support()).expect("fits");
+        prop_assert!(tt.is_equivalent_to(&tt_sop));
+    }
+
+    #[test]
+    fn gate_eval_matches_expr_constructors(
+        kind in prop_oneof![Just(GateKind::And), Just(GateKind::Or), Just(GateKind::Xor)],
+        inputs in prop::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let exprs: Vec<Expr> = inputs.iter().map(|&b| Expr::constant(b)).collect();
+        let expr = match kind {
+            GateKind::And => Expr::and(exprs),
+            GateKind::Or => Expr::or(exprs),
+            GateKind::Xor => Expr::xor(exprs),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(kind.eval(&inputs), expr.eval_with(|_| false));
+    }
+}

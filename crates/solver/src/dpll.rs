@@ -1,0 +1,142 @@
+//! A simple recursive DPLL solver.
+//!
+//! Used as an independent oracle in tests (cross-checking the CDCL solver)
+//! and for exhaustively counting models of small formulas. It is deliberately
+//! straightforward: unit propagation, pure-literal elimination and
+//! chronological backtracking.
+
+use htsat_cnf::propagate::{propagate_units, simplify_under, PropagationResult};
+use htsat_cnf::{Assignment, Cnf, Var};
+
+/// Solves `cnf` with DPLL. Returns a model (as bits indexed by zero-based
+/// variable) or `None` when unsatisfiable.
+///
+/// Variables not constrained by any clause are set to `false` in the returned
+/// model.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let assignment = Assignment::new(cnf.num_vars());
+    search(cnf, &assignment).map(|a| a.to_bits_or(false))
+}
+
+fn search(cnf: &Cnf, assignment: &Assignment) -> Option<Assignment> {
+    let propagated = match propagate_units(cnf, assignment) {
+        PropagationResult::Conflict { .. } => return None,
+        PropagationResult::Consistent { assignment, .. } => assignment,
+    };
+    match cnf.eval(&propagated) {
+        Some(true) => return Some(propagated),
+        Some(false) => return None,
+        None => {}
+    }
+    // Pure-literal elimination on the simplified residual formula.
+    let residual = simplify_under(cnf, &propagated);
+    let mut with_pures = propagated.clone();
+    let pures = htsat_cnf::propagate::pure_literals(&residual);
+    for lit in &pures {
+        if with_pures.value(lit.var()).is_none() {
+            with_pures.assign(lit.var(), lit.is_positive());
+        }
+    }
+    if !pures.is_empty() {
+        match cnf.eval(&with_pures) {
+            Some(true) => return Some(with_pures),
+            Some(false) => {}
+            None => {}
+        }
+    }
+    // Branch on the first unassigned variable that occurs in an unsatisfied clause.
+    let branch_var = pick_branch(cnf, &propagated)?;
+    for value in [true, false] {
+        let mut next = propagated.clone();
+        next.assign(branch_var, value);
+        if let Some(model) = search(cnf, &next) {
+            return Some(model);
+        }
+    }
+    None
+}
+
+fn pick_branch(cnf: &Cnf, assignment: &Assignment) -> Option<Var> {
+    for clause in cnf.clauses() {
+        if clause.eval(assignment) == Some(true) {
+            continue;
+        }
+        for lit in clause.lits() {
+            if assignment.value(lit.var()).is_none() {
+                return Some(lit.var());
+            }
+        }
+    }
+    None
+}
+
+/// Counts the number of satisfying assignments of `cnf` over the variables
+/// that actually occur in it, by exhaustive enumeration.
+///
+/// Intended for testing on small formulas only.
+///
+/// # Panics
+///
+/// Panics if more than 25 variables occur in the formula.
+pub fn count_models_exhaustive(cnf: &Cnf) -> u64 {
+    let vars = cnf.occurring_vars();
+    assert!(vars.len() <= 25, "exhaustive counting limited to 25 variables");
+    let mut count = 0u64;
+    let mut bits = vec![false; cnf.num_vars()];
+    for mask in 0u64..(1u64 << vars.len()) {
+        for (i, v) in vars.iter().enumerate() {
+            bits[v.as_usize()] = (mask >> i) & 1 == 1;
+        }
+        if cnf.is_satisfied_by_bits(&bits) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_satisfiable_formula() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([-1, 3]);
+        cnf.add_dimacs_clause([-2, -3]);
+        let model = solve(&cnf).expect("satisfiable");
+        assert!(cnf.is_satisfied_by_bits(&model));
+    }
+
+    #[test]
+    fn detects_unsatisfiable_formula() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([1, -2]);
+        cnf.add_dimacs_clause([-1, 2]);
+        cnf.add_dimacs_clause([-1, -2]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn counts_models_of_or_clause() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, 2]);
+        assert_eq!(count_models_exhaustive(&cnf), 3);
+    }
+
+    #[test]
+    fn counts_models_of_xor() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([-1, -2]);
+        assert_eq!(count_models_exhaustive(&cnf), 2);
+    }
+
+    #[test]
+    fn empty_formula_has_trivial_model() {
+        let cnf = Cnf::new(4);
+        assert!(solve(&cnf).is_some());
+        assert_eq!(count_models_exhaustive(&cnf), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Model enumeration with blocking clauses.
+//!
+//! UniGen-style hash-based samplers repeatedly partition the solution space
+//! with random XOR constraints and then *enumerate* the models inside one
+//! cell. This module provides that enumeration on top of the CDCL solver: a
+//! model is extracted, a blocking clause over a chosen projection set is
+//! added, and the search continues until the cell is empty or a budget is
+//! reached.
+
+use crate::{CdclConfig, CdclSolver, SolveResult};
+use htsat_cnf::{Cnf, Lit, Var};
+
+/// Limits for a model-enumeration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationBudget {
+    /// Maximum number of models to enumerate.
+    pub max_models: usize,
+    /// Conflict budget per individual solver call (`None` = unlimited).
+    pub max_conflicts_per_call: Option<u64>,
+}
+
+impl Default for EnumerationBudget {
+    fn default() -> Self {
+        EnumerationBudget {
+            max_models: 1 << 12,
+            max_conflicts_per_call: None,
+        }
+    }
+}
+
+/// Result of a model-enumeration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerationResult {
+    /// Enumerated models (complete assignments over the formula's universe).
+    pub models: Vec<Vec<bool>>,
+    /// Whether enumeration stopped because the space was exhausted (`true`)
+    /// or because a budget was hit (`false`).
+    pub exhausted: bool,
+}
+
+/// Enumerates models of `cnf`, blocking each found model on the projection
+/// variables `projection` (or on every variable when `projection` is empty).
+///
+/// Two models that agree on the projection set are counted once.
+pub fn enumerate_models(
+    cnf: &Cnf,
+    projection: &[Var],
+    budget: EnumerationBudget,
+    config: CdclConfig,
+) -> EnumerationResult {
+    let mut solver = CdclSolver::with_config(cnf, config);
+    let projection: Vec<Var> = if projection.is_empty() {
+        (1..=cnf.num_vars() as u32).map(Var::new).collect()
+    } else {
+        projection.to_vec()
+    };
+    let mut models = Vec::new();
+    loop {
+        if models.len() >= budget.max_models {
+            return EnumerationResult {
+                models,
+                exhausted: false,
+            };
+        }
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                let blocking: Vec<Lit> = projection
+                    .iter()
+                    .map(|&v| Lit::new(v, !model[v.as_usize()]))
+                    .collect();
+                models.push(model);
+                solver.add_clause(blocking);
+            }
+            SolveResult::Unsat => {
+                return EnumerationResult {
+                    models,
+                    exhausted: true,
+                }
+            }
+            SolveResult::Unknown => {
+                return EnumerationResult {
+                    models,
+                    exhausted: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll;
+
+    #[test]
+    fn enumerates_all_models_of_small_formula() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_dimacs_clause([1, 2, 3]);
+        let result = enumerate_models(
+            &cnf,
+            &[],
+            EnumerationBudget::default(),
+            CdclConfig::default(),
+        );
+        assert!(result.exhausted);
+        assert_eq!(
+            result.models.len() as u64,
+            dpll::count_models_exhaustive(&cnf)
+        );
+        for m in &result.models {
+            assert!(cnf.is_satisfied_by_bits(m));
+        }
+    }
+
+    #[test]
+    fn projection_collapses_equivalent_models() {
+        // x1 free, x2 unconstrained: projecting on x1 yields 2 models.
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, -1]);
+        cnf.add_dimacs_clause([2, -2]);
+        let result = enumerate_models(
+            &cnf,
+            &[Var::new(1)],
+            EnumerationBudget::default(),
+            CdclConfig::default(),
+        );
+        assert!(result.exhausted);
+        assert_eq!(result.models.len(), 2);
+    }
+
+    #[test]
+    fn budget_limits_model_count() {
+        let mut cnf = Cnf::new(5);
+        cnf.add_dimacs_clause([1, 2, 3, 4, 5]);
+        let result = enumerate_models(
+            &cnf,
+            &[],
+            EnumerationBudget {
+                max_models: 3,
+                max_conflicts_per_call: None,
+            },
+            CdclConfig::default(),
+        );
+        assert!(!result.exhausted);
+        assert_eq!(result.models.len(), 3);
+    }
+
+    #[test]
+    fn unsat_formula_yields_no_models() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        cnf.add_dimacs_clause([-1]);
+        let result = enumerate_models(
+            &cnf,
+            &[],
+            EnumerationBudget::default(),
+            CdclConfig::default(),
+        );
+        assert!(result.exhausted);
+        assert!(result.models.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # htsat-solver
+//!
+//! SAT-solving substrate for the baseline samplers of the high-throughput SAT
+//! sampling library.
+//!
+//! The paper compares its sampler against UniGen3, CMSGen and DiffSampler,
+//! all of which are built on top of a conflict-driven clause learning (CDCL)
+//! SAT solver (CryptoMiniSat in the reference tools). This crate provides
+//! that substrate from scratch:
+//!
+//! * [`CdclSolver`] — a CDCL solver with two-watched-literal propagation,
+//!   VSIDS-style activity branching, first-UIP clause learning, Luby
+//!   restarts, phase saving, and hooks for randomised branching/polarity
+//!   (which is exactly what a CMSGen-style sampler needs),
+//! * [`dpll`] — a simple recursive DPLL solver, used as a cross-check oracle
+//!   in tests and for tiny formulas,
+//! * [`walksat`] — stochastic local search, used by the WalkSAT baseline
+//!   sampler,
+//! * [`enumerate`] — model enumeration with blocking clauses, used by the
+//!   UniGen-style hash-based sampler to count/list solutions inside a cell.
+//!
+//! # Example
+//!
+//! ```
+//! use htsat_cnf::{Cnf, Lit};
+//! use htsat_solver::{CdclSolver, SolveResult};
+//!
+//! let mut cnf = Cnf::new(2);
+//! cnf.add_clause([Lit::pos(1), Lit::pos(2)]);
+//! cnf.add_clause([Lit::neg(1)]);
+//!
+//! let mut solver = CdclSolver::new(&cnf);
+//! match solver.solve() {
+//!     SolveResult::Sat(model) => assert!(cnf.is_satisfied_by_bits(&model)),
+//!     SolveResult::Unsat => unreachable!("formula is satisfiable"),
+//!     SolveResult::Unknown => unreachable!("no budget was set"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdcl;
+pub mod dpll;
+pub mod enumerate;
+pub mod walksat;
+
+pub use cdcl::{CdclConfig, CdclSolver, CdclStats, SolveResult};

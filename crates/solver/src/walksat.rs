@@ -1,0 +1,177 @@
+//! WalkSAT stochastic local search.
+//!
+//! WalkSAT starts from a random complete assignment and repeatedly repairs an
+//! unsatisfied clause by flipping one of its variables, choosing greedily with
+//! probability `1 - noise` and uniformly at random with probability `noise`.
+//! The paper cites WalkSAT as one of the classic stochastic approaches to SAT
+//! solving; we use it both as a solver fallback and as the engine of a simple
+//! baseline sampler.
+
+use htsat_cnf::{Cnf, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a WalkSAT run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkSatConfig {
+    /// Maximum number of variable flips before giving up.
+    pub max_flips: u64,
+    /// Probability of a random (non-greedy) flip inside the chosen clause.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkSatConfig {
+    fn default() -> Self {
+        WalkSatConfig {
+            max_flips: 100_000,
+            noise: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a WalkSAT run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkSatResult {
+    /// A satisfying assignment was found.
+    Sat(Vec<bool>),
+    /// The flip budget was exhausted. Contains the best assignment seen and
+    /// its number of falsified clauses.
+    Exhausted {
+        /// Assignment with the fewest falsified clauses seen during search.
+        best: Vec<bool>,
+        /// Number of clauses that assignment falsifies.
+        falsified: usize,
+    },
+}
+
+/// Runs WalkSAT on `cnf` from a random initial assignment.
+pub fn walksat(cnf: &Cnf, config: WalkSatConfig) -> WalkSatResult {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n = cnf.num_vars();
+    let mut bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    walksat_from(cnf, &mut bits, config, &mut rng)
+}
+
+/// Runs WalkSAT starting from (and mutating) the provided assignment.
+pub fn walksat_from(
+    cnf: &Cnf,
+    bits: &mut [bool],
+    config: WalkSatConfig,
+    rng: &mut SmallRng,
+) -> WalkSatResult {
+    let mut best = bits.to_vec();
+    let mut best_falsified = cnf.count_falsified(bits);
+    if best_falsified == 0 {
+        return WalkSatResult::Sat(bits.to_vec());
+    }
+    for _ in 0..config.max_flips {
+        let falsified: Vec<usize> = cnf
+            .clauses()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (!c.eval_bits(bits)).then_some(i))
+            .collect();
+        if falsified.is_empty() {
+            return WalkSatResult::Sat(bits.to_vec());
+        }
+        if falsified.len() < best_falsified {
+            best_falsified = falsified.len();
+            best.copy_from_slice(bits);
+        }
+        let clause = &cnf.clauses()[falsified[rng.gen_range(0..falsified.len())]];
+        let vars: Vec<Var> = clause.vars().collect();
+        if vars.is_empty() {
+            break; // empty clause can never be repaired
+        }
+        let flip_var = if rng.gen_bool(config.noise) {
+            vars[rng.gen_range(0..vars.len())]
+        } else {
+            // Greedy: flip the variable minimising the resulting break count.
+            let mut best_var = vars[0];
+            let mut best_broken = usize::MAX;
+            for &v in &vars {
+                bits[v.as_usize()] = !bits[v.as_usize()];
+                let broken = cnf.count_falsified(bits);
+                bits[v.as_usize()] = !bits[v.as_usize()];
+                if broken < best_broken {
+                    best_broken = broken;
+                    best_var = v;
+                }
+            }
+            best_var
+        };
+        bits[flip_var.as_usize()] = !bits[flip_var.as_usize()];
+    }
+    if cnf.count_falsified(bits) == 0 {
+        WalkSatResult::Sat(bits.to_vec())
+    } else {
+        WalkSatResult::Exhausted {
+            best,
+            falsified: best_falsified,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_easy_formula() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_dimacs_clause([1, 2]);
+        cnf.add_dimacs_clause([-1, 3]);
+        cnf.add_dimacs_clause([-3, 4]);
+        match walksat(&cnf, WalkSatConfig::default()) {
+            WalkSatResult::Sat(model) => assert!(cnf.is_satisfied_by_bits(&model)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_exhaustion_on_unsat_formula() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_dimacs_clause([1]);
+        cnf.add_dimacs_clause([-1]);
+        let config = WalkSatConfig {
+            max_flips: 50,
+            ..WalkSatConfig::default()
+        };
+        match walksat(&cnf, config) {
+            WalkSatResult::Exhausted { falsified, .. } => assert!(falsified >= 1),
+            WalkSatResult::Sat(_) => panic!("formula is unsatisfiable"),
+        }
+    }
+
+    #[test]
+    fn different_seeds_find_different_models_of_loose_formula() {
+        let mut cnf = Cnf::new(6);
+        cnf.add_dimacs_clause([1, 2, 3, 4, 5, 6]);
+        let mut models = std::collections::HashSet::new();
+        for seed in 0..8 {
+            let config = WalkSatConfig {
+                seed,
+                ..WalkSatConfig::default()
+            };
+            if let WalkSatResult::Sat(m) = walksat(&cnf, config) {
+                models.insert(m);
+            }
+        }
+        assert!(models.len() > 1);
+    }
+
+    #[test]
+    fn already_satisfying_start_returns_immediately() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1]);
+        let mut bits = vec![true, false];
+        let mut rng = SmallRng::seed_from_u64(1);
+        match walksat_from(&cnf, &mut bits, WalkSatConfig::default(), &mut rng) {
+            WalkSatResult::Sat(m) => assert_eq!(m, vec![true, false]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based cross-checks between the CDCL solver, the DPLL oracle and
+//! exhaustive enumeration.
+
+use htsat_cnf::Cnf;
+use htsat_solver::{dpll, enumerate, walksat, CdclConfig, CdclSolver, SolveResult};
+use proptest::prelude::*;
+
+fn arb_cnf(max_vars: u32, max_clauses: usize, max_width: usize) -> impl Strategy<Value = Cnf> {
+    let lit = (1..=max_vars, any::<bool>())
+        .prop_map(|(v, pos)| if pos { v as i64 } else { -(v as i64) });
+    let clause = prop::collection::vec(lit, 1..=max_width);
+    prop::collection::vec(clause, 1..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new(max_vars as usize);
+        for c in clauses {
+            cnf.add_dimacs_clause(c);
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdcl_agrees_with_dpll_on_satisfiability(cnf in arb_cnf(8, 20, 3)) {
+        let cdcl_result = CdclSolver::new(&cnf).solve();
+        let dpll_result = dpll::solve(&cnf);
+        match (&cdcl_result, &dpll_result) {
+            (SolveResult::Sat(model), Some(_)) => prop_assert!(cnf.is_satisfied_by_bits(model)),
+            (SolveResult::Unsat, None) => {}
+            other => prop_assert!(false, "solvers disagree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdcl_models_always_satisfy(cnf in arb_cnf(10, 30, 4)) {
+        if let SolveResult::Sat(model) = CdclSolver::new(&cnf).solve() {
+            prop_assert!(cnf.is_satisfied_by_bits(&model));
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_exhaustive_count(cnf in arb_cnf(5, 8, 3)) {
+        let expected = dpll::count_models_exhaustive(&cnf);
+        // Enumeration over the full universe counts every variable (including
+        // ones not occurring in clauses), so project onto occurring variables.
+        let projection = cnf.occurring_vars();
+        let result = enumerate::enumerate_models(
+            &cnf,
+            &projection,
+            enumerate::EnumerationBudget::default(),
+            CdclConfig::default(),
+        );
+        prop_assert!(result.exhausted);
+        // Each enumerated model is distinct on the projection and satisfying.
+        for m in &result.models {
+            prop_assert!(cnf.is_satisfied_by_bits(m));
+        }
+        prop_assert_eq!(result.models.len() as u64, expected);
+    }
+
+    #[test]
+    fn randomised_cdcl_still_sound(cnf in arb_cnf(8, 20, 3), seed in 0u64..100) {
+        let config = CdclConfig {
+            random_polarity: true,
+            random_branch_freq: 0.3,
+            seed,
+            ..CdclConfig::default()
+        };
+        match CdclSolver::with_config(&cnf, config).solve() {
+            SolveResult::Sat(model) => prop_assert!(cnf.is_satisfied_by_bits(&model)),
+            SolveResult::Unsat => prop_assert!(dpll::solve(&cnf).is_none()),
+            SolveResult::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn walksat_models_always_satisfy(cnf in arb_cnf(8, 15, 3), seed in 0u64..50) {
+        let config = walksat::WalkSatConfig { max_flips: 2_000, noise: 0.5, seed };
+        if let walksat::WalkSatResult::Sat(model) = walksat::walksat(&cnf, config) {
+            prop_assert!(cnf.is_satisfied_by_bits(&model));
+        }
+    }
+}

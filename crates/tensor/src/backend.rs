@@ -1,0 +1,110 @@
+//! Execution backends: sequential (CPU) or data-parallel (GPU stand-in).
+
+use rayon::prelude::*;
+
+/// How batch elements are processed.
+///
+/// The paper's ablation (Fig. 4, left) compares GPU execution against CPU
+/// execution of the same sampler. On a CPU-only machine we reproduce the
+/// comparison as `DataParallel` (all cores, rayon work stealing, one batch
+/// element per task — the same independence the GPU exploits) versus
+/// `Sequential` (a single core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Process batch elements one after another on the calling thread.
+    Sequential,
+    /// Process batch elements concurrently across all available cores.
+    #[default]
+    DataParallel,
+}
+
+impl Backend {
+    /// Runs `f(batch_index, row)` over every row of a mutable row-chunked
+    /// buffer, sequentially or in parallel according to the backend, and sums
+    /// the returned values.
+    pub fn for_each_row<F>(self, rows: &mut [f32], width: usize, f: F) -> f64
+    where
+        F: Fn(usize, &mut [f32]) -> f64 + Sync + Send,
+    {
+        if width == 0 {
+            return 0.0;
+        }
+        match self {
+            Backend::Sequential => rows
+                .chunks_mut(width)
+                .enumerate()
+                .map(|(i, row)| f(i, row))
+                .sum(),
+            Backend::DataParallel => rows
+                .par_chunks_mut(width)
+                .enumerate()
+                .map(|(i, row)| f(i, row))
+                .sum(),
+        }
+    }
+
+    /// Maps `f` over the indices `0..n`, sequentially or in parallel, and
+    /// collects the results in index order.
+    pub fn map_indices<T, F>(self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync + Send,
+    {
+        match self {
+            Backend::Sequential => (0..n).map(f).collect(),
+            Backend::DataParallel => (0..n).into_par_iter().map(f).collect(),
+        }
+    }
+
+    /// A short human-readable label, used in benchmark reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sequential => "cpu-sequential",
+            Backend::DataParallel => "data-parallel",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_produce_identical_results() {
+        let n = 257;
+        let seq = Backend::Sequential.map_indices(n, |i| i * i);
+        let par = Backend::DataParallel.map_indices(n, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_row_sums_and_mutates() {
+        let width = 4;
+        let mut a = vec![1.0f32; 3 * width];
+        let mut b = a.clone();
+        let total_seq = Backend::Sequential.for_each_row(&mut a, width, |i, row| {
+            row[0] = i as f32;
+            row.iter().map(|&v| v as f64).sum()
+        });
+        let total_par = Backend::DataParallel.for_each_row(&mut b, width, |i, row| {
+            row[0] = i as f32;
+            row.iter().map(|&v| v as f64).sum()
+        });
+        assert_eq!(a, b);
+        assert!((total_seq - total_par).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_is_a_no_op() {
+        let mut empty: Vec<f32> = Vec::new();
+        assert_eq!(
+            Backend::DataParallel.for_each_row(&mut empty, 0, |_, _| 1.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Backend::Sequential.label(), Backend::DataParallel.label());
+    }
+}

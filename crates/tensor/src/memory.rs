@@ -1,0 +1,90 @@
+//! Memory-usage model for the batched sampler.
+//!
+//! The paper's Fig. 3 (right) plots GPU memory usage versus batch size for a
+//! subset of instances, observing that memory grows with both the complexity
+//! of the transformed Boolean function and the batch size. This module models
+//! the same quantity for our backend: the buffers a training step allocates
+//! are the input logits, the input probabilities, their gradients, and the
+//! per-batch-element node activations and node gradients.
+
+/// Memory model of one gradient-descent sampling run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Number of learnable input columns.
+    pub num_inputs: usize,
+    /// Number of circuit nodes.
+    pub num_nodes: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl MemoryModel {
+    /// Creates a model for a circuit of `num_nodes` nodes with `num_inputs`
+    /// learnable inputs at the given batch size.
+    pub fn new(num_inputs: usize, num_nodes: usize, batch: usize) -> Self {
+        MemoryModel {
+            num_inputs,
+            num_nodes,
+            batch,
+        }
+    }
+
+    /// Bytes used by persistent batch-wide buffers (logits, probabilities and
+    /// input gradients).
+    pub fn persistent_bytes(&self) -> u64 {
+        // V (logits), P (probabilities), dL/dP — three [batch, inputs] f32
+        // matrices — plus the hardened bit matrix (1 byte per entry).
+        let f32s = 3u64 * self.batch as u64 * self.num_inputs as u64;
+        f32s * 4 + self.batch as u64 * self.num_inputs as u64
+    }
+
+    /// Bytes used by transient per-batch-element buffers (node activations
+    /// and node gradients), summed over the whole batch as a GPU would hold
+    /// them resident simultaneously.
+    pub fn activation_bytes(&self) -> u64 {
+        2u64 * self.batch as u64 * self.num_nodes as u64 * 4
+    }
+
+    /// Total modelled bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.persistent_bytes() + self.activation_bytes()
+    }
+
+    /// Total modelled mebibytes, the unit used in the paper's figure.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_grows_linearly_with_batch() {
+        let small = MemoryModel::new(100, 1000, 1_000);
+        let large = MemoryModel::new(100, 1000, 10_000);
+        let ratio = large.total_bytes() as f64 / small.total_bytes() as f64;
+        assert!((ratio - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn memory_grows_with_circuit_size() {
+        let small = MemoryModel::new(100, 1_000, 1_000);
+        let large = MemoryModel::new(100, 50_000, 1_000);
+        assert!(large.total_bytes() > small.total_bytes());
+    }
+
+    #[test]
+    fn component_breakdown_sums_to_total() {
+        let m = MemoryModel::new(64, 256, 128);
+        assert_eq!(m.total_bytes(), m.persistent_bytes() + m.activation_bytes());
+        assert!(m.total_mib() > 0.0);
+    }
+
+    #[test]
+    fn zero_batch_uses_no_memory() {
+        let m = MemoryModel::new(10, 10, 0);
+        assert_eq!(m.total_bytes(), 0);
+    }
+}

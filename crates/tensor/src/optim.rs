@@ -1,0 +1,177 @@
+//! Optimizers for the input logits.
+
+use crate::BatchMatrix;
+
+/// A first-order optimizer updating a matrix of parameters from a gradient of
+/// the same shape.
+pub trait Optimizer {
+    /// Applies one update step: `params ← params - f(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the shapes of `params` and `grads`
+    /// differ.
+    fn step(&mut self, params: &mut BatchMatrix, grads: &BatchMatrix);
+
+    /// Resets any internal state (moments, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent, the optimizer used in the paper
+/// (learning rate 10, five iterations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate γ.
+    pub learning_rate: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd { learning_rate }
+    }
+}
+
+impl Default for Sgd {
+    /// The paper's default learning rate of 10.
+    fn default() -> Self {
+        Sgd::new(10.0)
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut BatchMatrix, grads: &BatchMatrix) {
+        params.saxpy_neg(self.learning_rate, grads);
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Adam optimizer, provided as an extension for instances where plain SGD
+/// converges slowly.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub epsilon: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and standard
+    /// moment-decay defaults (0.9, 0.999).
+    pub fn new(learning_rate: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut BatchMatrix, grads: &BatchMatrix) {
+        assert_eq!(params.batch(), grads.batch(), "batch mismatch");
+        assert_eq!(params.width(), grads.width(), "width mismatch");
+        let n = params.as_slice().len();
+        if self.m.len() != n {
+            self.m = vec![0.0; n];
+            self.v = vec![0.0; n];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let p = params.as_mut_slice();
+        let g = grads.as_slice();
+        for i in 0..n {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            p[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(params: &BatchMatrix) -> BatchMatrix {
+        // L = sum (p - 3)^2, dL/dp = 2(p - 3)
+        let mut g = params.clone();
+        g.map_inplace(|p| 2.0 * (p - 3.0));
+        g
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut params = BatchMatrix::filled(2, 2, 0.0);
+        let mut opt = Sgd::new(0.25);
+        for _ in 0..100 {
+            let g = quadratic_grad(&params);
+            opt.step(&mut params, &g);
+        }
+        assert!(params.as_slice().iter().all(|&p| (p - 3.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn sgd_default_matches_paper_learning_rate() {
+        assert_eq!(Sgd::default().learning_rate, 10.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = BatchMatrix::filled(1, 4, 0.0);
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            let g = quadratic_grad(&params);
+            opt.step(&mut params, &g);
+        }
+        assert!(params.as_slice().iter().all(|&p| (p - 3.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut params = BatchMatrix::filled(1, 2, 0.0);
+        let mut opt = Adam::new(0.1);
+        let g = quadratic_grad(&params);
+        opt.step(&mut params, &g);
+        opt.reset();
+        // After reset the next step behaves like the first (no stale moments).
+        let mut p2 = BatchMatrix::filled(1, 2, 0.0);
+        let mut opt2 = Adam::new(0.1);
+        let g2 = quadratic_grad(&p2);
+        opt2.step(&mut p2, &g2);
+        let mut p1 = BatchMatrix::filled(1, 2, 0.0);
+        let g1 = quadratic_grad(&p1);
+        opt.step(&mut p1, &g1);
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn adam_rejects_shape_mismatch() {
+        let mut params = BatchMatrix::zeros(1, 2);
+        let grads = BatchMatrix::zeros(1, 3);
+        Adam::new(0.1).step(&mut params, &grads);
+    }
+}

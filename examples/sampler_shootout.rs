@@ -1,0 +1,81 @@
+//! Sampler shootout: compare the transformed-circuit GD sampler against every
+//! baseline on one benchmark instance.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example sampler_shootout [instance-name] [target]
+//! ```
+//!
+//! Without arguments it uses the Table II instance `90-10-10-q` (small scale)
+//! and a target of 1000 unique solutions — a miniature of the paper's
+//! Table II experiment.
+
+use htsat::baselines::{
+    CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, TransformedGdSampler,
+    UniGenLike, WalkSatSampler,
+};
+use htsat::instances::suite::{table2_instance, SuiteScale};
+use std::error::Error;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "90-10-10-q".to_string());
+    let target: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let timeout = Duration::from_secs(20);
+
+    let instance = table2_instance(&name, SuiteScale::Small)
+        .ok_or_else(|| format!("unknown Table II instance `{name}`"))?;
+    println!(
+        "instance `{}` ({:?}): {} vars, {} clauses — target {} unique solutions, timeout {:?}",
+        instance.name,
+        instance.family,
+        instance.num_vars(),
+        instance.num_clauses(),
+        target,
+        timeout
+    );
+
+    let mut samplers: Vec<Box<dyn SatSampler>> = vec![
+        Box::new(TransformedGdSampler::new()),
+        Box::new(DiffSamplerLike::new()),
+        Box::new(CmsGenLike::new()),
+        Box::new(UniGenLike::new()),
+        Box::new(QuickSamplerLike::new()),
+        Box::new(WalkSatSampler::new()),
+    ];
+
+    println!(
+        "\n{:<18} {:>10} {:>12} {:>16}",
+        "sampler", "unique", "time (s)", "throughput (/s)"
+    );
+    let mut baseline_best = 0.0f64;
+    let mut ours = 0.0f64;
+    for sampler in samplers.iter_mut() {
+        let run = sampler.sample(&instance.cnf, target, timeout);
+        for s in &run.solutions {
+            assert!(instance.cnf.is_satisfied_by_bits(s));
+        }
+        let throughput = run.throughput();
+        println!(
+            "{:<18} {:>10} {:>12.3} {:>16.1}",
+            sampler.name(),
+            run.solutions.len(),
+            run.elapsed.as_secs_f64(),
+            throughput
+        );
+        if sampler.name() == "transformed-gd" {
+            ours = throughput;
+        } else {
+            baseline_best = baseline_best.max(throughput);
+        }
+    }
+    if baseline_best > 0.0 {
+        println!(
+            "\nspeedup of transformed-gd over the best baseline: {:.1}x",
+            ours / baseline_best
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # htsat
+//!
+//! High-throughput SAT sampling via CNF-to-circuit transformation and
+//! gradient descent — a Rust reproduction of *High-Throughput SAT Sampling*
+//! (DATE 2025).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`cnf`] — CNF formulas, DIMACS I/O, evaluation ([`htsat_cnf`]),
+//! * [`logic`] — Boolean expressions, simplification and netlists
+//!   ([`htsat_logic`]),
+//! * [`tensor`] — batched tensors and the differentiable circuit engine
+//!   ([`htsat_tensor`]),
+//! * [`solver`] — the CDCL / DPLL / WalkSAT substrate ([`htsat_solver`]),
+//! * [`core`] — the paper's transformation and gradient-descent sampler
+//!   ([`htsat_core`]),
+//! * [`baselines`] — UniGen-like, CMSGen-like, DiffSampler-like and other
+//!   baseline samplers ([`htsat_baselines`]),
+//! * [`instances`] — synthetic benchmark-instance generators
+//!   ([`htsat_instances`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use htsat::core::{GdSampler, SamplerConfig};
+//! use htsat::cnf::dimacs;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cnf = dimacs::parse_str("p cnf 3 2\n-1 -2 3 0\n3 0\n")?;
+//! let mut sampler = GdSampler::new(&cnf, SamplerConfig::default())?;
+//! let report = sampler.sample(10, Duration::from_secs(5));
+//! for solution in &report.solutions {
+//!     assert!(cnf.is_satisfied_by_bits(solution));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use htsat_baselines as baselines;
+pub use htsat_cnf as cnf;
+pub use htsat_core as core;
+pub use htsat_instances as instances;
+pub use htsat_logic as logic;
+pub use htsat_solver as solver;
+pub use htsat_tensor as tensor;
