@@ -110,8 +110,9 @@ impl SatSampler for DiffSamplerLike {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         while !collector.done() {
             let scale = self.config.init_scale;
-            let mut logits =
-                BatchMatrix::from_fn(self.config.batch_size, n, |_, _| rng.gen_range(-scale..=scale));
+            let mut logits = BatchMatrix::from_fn(self.config.batch_size, n, |_, _| {
+                rng.gen_range(-scale..=scale)
+            });
             for _ in 0..self.config.iterations {
                 let mut probs = logits.clone();
                 probs.map_inplace(ops::sigmoid);
@@ -152,7 +153,11 @@ mod tests {
             let bits: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
             let probs = BatchMatrix::from_fn(1, n, |_, c| if bits[c] { 1.0 } else { 0.0 });
             let (loss, _) = circuit.loss_and_input_grads(&probs, Backend::Sequential);
-            assert_eq!(loss < 1e-9, cnf.is_satisfied_by_bits(&bits), "mask {mask:b}");
+            assert_eq!(
+                loss < 1e-9,
+                cnf.is_satisfied_by_bits(&bits),
+                "mask {mask:b}"
+            );
         }
     }
 

@@ -104,7 +104,11 @@ mod tests {
             for mask in 0..8u32 {
                 let bits: Vec<bool> = (0..3).map(|i| (mask >> i) & 1 == 1).collect();
                 let expected = parity_of(&bits, &vars) == rhs;
-                assert_eq!(cnf.is_satisfied_by_bits(&bits), expected, "mask {mask} rhs {rhs}");
+                assert_eq!(
+                    cnf.is_satisfied_by_bits(&bits),
+                    expected,
+                    "mask {mask} rhs {rhs}"
+                );
             }
         }
     }

@@ -19,11 +19,9 @@ fn bench_backends(c: &mut Criterion) {
             };
             let mut sampler = GdSampler::new(&instance.cnf, config).expect("transform");
             group.throughput(Throughput::Elements(512));
-            group.bench_with_input(
-                BenchmarkId::new(backend.label(), name),
-                &backend,
-                |b, _| b.iter(|| sampler.sample_round()),
-            );
+            group.bench_with_input(BenchmarkId::new(backend.label(), name), &backend, |b, _| {
+                b.iter(|| sampler.sample_round())
+            });
         }
     }
     group.finish();

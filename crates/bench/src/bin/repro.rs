@@ -13,8 +13,7 @@
 //! `--batch N`, `--instances N` (fig2 only).
 
 use htsat_bench::{
-    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2,
-    RunOptions,
+    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2, RunOptions,
 };
 use htsat_instances::suite::SuiteScale;
 use std::time::Duration;
@@ -31,7 +30,10 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut options = RunOptions::default();
     let mut fig2_instances = 12usize;
     while let Some(flag) = args.next() {
-        let mut value = || args.next().ok_or_else(|| format!("missing value for {flag}"));
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
         match flag.as_str() {
             "--scale" => {
                 options.scale = match value()?.as_str() {
@@ -85,7 +87,10 @@ fn run_table2(options: &RunOptions) {
         .map(|r| r.speedup.ln())
         .sum::<f64>()
         / rows.len().max(1) as f64;
-    println!("\ngeometric-mean speedup over the best baseline: {:.1}x", geo.exp());
+    println!(
+        "\ngeometric-mean speedup over the best baseline: {:.1}x",
+        geo.exp()
+    );
 }
 
 fn run_fig2(options: &RunOptions, instances: usize) {

@@ -144,12 +144,7 @@ pub fn table2_row(instance: &Instance, options: &RunOptions) -> Table2Row {
     let transform_result = transform(&instance.cnf).ok();
     let (pi, po) = transform_result
         .as_ref()
-        .map(|t| {
-            (
-                t.primary_inputs().len(),
-                t.netlist.outputs().len(),
-            )
-        })
+        .map(|t| (t.primary_inputs().len(), t.netlist.outputs().len()))
         .unwrap_or((0, 0));
     let mut results = vec![run_gd(instance, options, Backend::DataParallel)];
     let mut unigen = UniGenLike::new();
@@ -287,7 +282,9 @@ pub struct Fig3MemPoint {
 pub fn fig3_memory(options: &RunOptions, batches: &[usize]) -> Vec<Fig3MemPoint> {
     let mut points = Vec::new();
     for instance in ablation_instances(options.scale) {
-        if let Ok(sampler) = GdSampler::new(&instance.cnf, gd_config(options, Backend::DataParallel)) {
+        if let Ok(sampler) =
+            GdSampler::new(&instance.cnf, gd_config(options, Backend::DataParallel))
+        {
             for &batch in batches {
                 points.push(Fig3MemPoint {
                     instance: instance.name.clone(),
@@ -326,7 +323,12 @@ pub fn fig4(options: &RunOptions) -> Vec<Fig4Row> {
             let parallel = run_gd(instance, options, Backend::DataParallel);
             let sequential = run_gd(instance, options, Backend::Sequential);
             let stats = transform(&instance.cnf)
-                .map(|t| (t.stats.ops_reduction(), t.stats.transform_time.as_secs_f64()))
+                .map(|t| {
+                    (
+                        t.stats.ops_reduction(),
+                        t.stats.transform_time.as_secs_f64(),
+                    )
+                })
                 .unwrap_or((0.0, 0.0));
             Fig4Row {
                 instance: instance.name.clone(),
@@ -373,7 +375,16 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<20} {:>6} {:>6} {:>8} {:>9} {:>14} {:>12} {:>12} {:>14} {:>9}\n",
-        "instance", "PI", "PO", "vars", "clauses", "this-work", "unigen", "cmsgen", "diffsampler", "speedup"
+        "instance",
+        "PI",
+        "PO",
+        "vars",
+        "clauses",
+        "this-work",
+        "unigen",
+        "cmsgen",
+        "diffsampler",
+        "speedup"
     ));
     for row in rows {
         let t = |name: &str| {
@@ -415,8 +426,8 @@ mod tests {
 
     #[test]
     fn table2_row_produces_all_samplers() {
-        let instance =
-            htsat_instances::suite::table2_instance("90-10-10-q", SuiteScale::Small).expect("exists");
+        let instance = htsat_instances::suite::table2_instance("90-10-10-q", SuiteScale::Small)
+            .expect("exists");
         let row = table2_row(&instance, &quick_options());
         assert_eq!(row.results.len(), 4);
         assert_eq!(row.results[0].sampler, "this-work");

@@ -153,7 +153,8 @@ impl Cnf {
         }
         seen.iter()
             .enumerate()
-            .filter(|&(_i, &s)| s).map(|(i, &_s)| Var::from_zero_based(i))
+            .filter(|&(_i, &s)| s)
+            .map(|(i, &_s)| Var::from_zero_based(i))
             .collect()
     }
 

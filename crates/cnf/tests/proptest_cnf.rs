@@ -6,8 +6,8 @@ use proptest::prelude::*;
 /// Strategy producing an arbitrary CNF with `max_vars` variables and up to
 /// `max_clauses` clauses of up to `max_width` literals.
 fn arb_cnf(max_vars: u32, max_clauses: usize, max_width: usize) -> impl Strategy<Value = Cnf> {
-    let lit = (1..=max_vars, any::<bool>())
-        .prop_map(|(v, pos)| if pos { v as i64 } else { -(v as i64) });
+    let lit =
+        (1..=max_vars, any::<bool>()).prop_map(|(v, pos)| if pos { v as i64 } else { -(v as i64) });
     let clause = prop::collection::vec(lit, 1..=max_width);
     prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
         let mut cnf = Cnf::new(max_vars as usize);

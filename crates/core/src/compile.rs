@@ -38,7 +38,11 @@ impl CompiledCircuit {
 /// soft-circuit node `i`.
 pub fn compile(result: &TransformResult) -> CompiledCircuit {
     let netlist = &result.netlist;
-    let input_vars: Vec<Var> = netlist.primary_inputs().iter().map(|&v| Var::new(v)).collect();
+    let input_vars: Vec<Var> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|&v| Var::new(v))
+        .collect();
     let column: HashMap<u32, usize> = netlist
         .primary_inputs()
         .iter()
@@ -119,7 +123,9 @@ mod tests {
         let n = compiled.num_inputs();
         for mask in 0..(1u32 << n) {
             let probs = BatchMatrix::from_fn(1, n, |_, c| ((mask >> c) & 1) as f32);
-            let out = compiled.circuit.forward_outputs(&probs, Backend::Sequential);
+            let out = compiled
+                .circuit
+                .forward_outputs(&probs, Backend::Sequential);
             let netlist_ok = result.netlist.outputs_satisfied(|v| {
                 compiled
                     .column_of(Var::new(v))

@@ -79,7 +79,11 @@ pub fn diversity(solutions: &[Vec<bool>]) -> Option<DiversityReport> {
         num_solutions: n,
         num_vars,
         mean_normalized_hamming,
-        min_hamming: if min_distance == usize::MAX { 0 } else { min_distance },
+        min_hamming: if min_distance == usize::MAX {
+            0
+        } else {
+            min_distance
+        },
         mean_bias,
     })
 }
@@ -105,7 +109,12 @@ pub fn coverage(cnf: &Cnf, solutions: &[Vec<bool>], max_vars_exhaustive: usize) 
         }
         if cnf.is_satisfied_by_bits(&bits) {
             total += 1;
-            models.insert(occurring.iter().map(|v| bits[v.as_usize()]).collect::<Vec<_>>());
+            models.insert(
+                occurring
+                    .iter()
+                    .map(|v| bits[v.as_usize()])
+                    .collect::<Vec<_>>(),
+            );
         }
     }
     if total == 0 {

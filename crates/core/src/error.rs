@@ -23,7 +23,10 @@ impl fmt::Display for TransformError {
                 write!(f, "formula contains an empty clause and is unsatisfiable")
             }
             TransformError::ConstantConflict => {
-                write!(f, "transformation derived contradictory constant constraints")
+                write!(
+                    f,
+                    "transformation derived contradictory constant constraints"
+                )
             }
             TransformError::InvalidConfig(msg) => write!(f, "invalid sampler configuration: {msg}"),
         }

@@ -107,10 +107,14 @@ impl GdSampler {
     /// unsatisfiable or the configuration is invalid.
     pub fn new(cnf: &Cnf, config: SamplerConfig) -> Result<Self, TransformError> {
         if config.batch_size == 0 {
-            return Err(TransformError::InvalidConfig("batch size must be non-zero".into()));
+            return Err(TransformError::InvalidConfig(
+                "batch size must be non-zero".into(),
+            ));
         }
         if config.iterations == 0 {
-            return Err(TransformError::InvalidConfig("iterations must be non-zero".into()));
+            return Err(TransformError::InvalidConfig(
+                "iterations must be non-zero".into(),
+            ));
         }
         let transform = transform_with_config(cnf, &config.transform)?;
         let compiled = compile(&transform);
@@ -160,9 +164,7 @@ impl GdSampler {
         let batch = self.config.batch_size;
         let n = self.compiled.num_inputs();
         let scale = self.config.init_scale;
-        let mut logits = BatchMatrix::from_fn(batch, n, |_, _| {
-            self.rng.gen_range(-scale..=scale)
-        });
+        let mut logits = BatchMatrix::from_fn(batch, n, |_, _| self.rng.gen_range(-scale..=scale));
 
         for _ in 0..self.config.iterations {
             // Continuous embedding: P = σ(V).
@@ -203,7 +205,9 @@ impl GdSampler {
                 h = h.wrapping_mul(0x2545f4914f6cdd1d);
                 (h >> 63) & 1 == 1
             };
-            let bits = self.transform.assignment_from_inputs(input_value, free_value);
+            let bits = self
+                .transform
+                .assignment_from_inputs(input_value, free_value);
             debug_assert_eq!(bits.len(), num_vars);
             if self.cnf.is_satisfied_by_bits(&bits) {
                 Some(bits)
@@ -368,6 +372,10 @@ mod tests {
         };
         let mut sampler = GdSampler::new(&cnf, config).expect("build");
         let report = sampler.sample(8, Duration::from_secs(10));
-        assert!(report.solutions.len() >= 8, "found {}", report.solutions.len());
+        assert!(
+            report.solutions.len() >= 8,
+            "found {}",
+            report.solutions.len()
+        );
     }
 }

@@ -76,7 +76,10 @@ fn try_not_buf(clauses: &[Clause], output: Var) -> Option<Expr> {
     if x_on == x_off {
         return None;
     }
-    Some(Expr::literal(x_on.var().index() as VarId, x_on.is_positive()))
+    Some(Expr::literal(
+        x_on.var().index() as VarId,
+        x_on.is_positive(),
+    ))
 }
 
 /// AND/OR (and complemented) signature with `n` inputs:
@@ -183,7 +186,7 @@ fn try_xor(clauses: &[Clause], output: Var) -> Option<Expr> {
         .map(|v| Expr::var(v.index() as VarId))
         .collect();
     match forbidden_parity? {
-        true => Some(Expr::xor(operands)),  // forbids out ≠ parity ⇒ f = XOR
+        true => Some(Expr::xor(operands)), // forbids out ≠ parity ⇒ f = XOR
         false => Some(Expr::not(Expr::xor(operands))), // f = XNOR
     }
 }
@@ -195,13 +198,20 @@ mod tests {
     use htsat_logic::TruthTable;
 
     fn clauses(spec: &[&[i64]]) -> Vec<Clause> {
-        spec.iter().map(|c| Clause::from_dimacs(c.iter().copied())).collect()
+        spec.iter()
+            .map(|c| Clause::from_dimacs(c.iter().copied()))
+            .collect()
     }
 
     fn assert_defines(m: &GateMatch, expected: &Expr) {
         let got = TruthTable::from_expr(&m.expr);
         let want = TruthTable::from_expr(expected);
-        assert!(got.is_equivalent_to(&want), "{:?} vs {:?}", m.expr, expected);
+        assert!(
+            got.is_equivalent_to(&want),
+            "{:?} vs {:?}",
+            m.expr,
+            expected
+        );
     }
 
     #[test]
@@ -237,7 +247,10 @@ mod tests {
         let group = clauses(&[&[4, -1, -2, -3], &[-4, 1], &[-4, 2], &[-4, 3]]);
         let m = match_gate(&group, |_| true).expect("match");
         assert_eq!(m.output, Var::new(4));
-        assert_defines(&m, &Expr::and(vec![Expr::var(1), Expr::var(2), Expr::var(3)]));
+        assert_defines(
+            &m,
+            &Expr::and(vec![Expr::var(1), Expr::var(2), Expr::var(3)]),
+        );
     }
 
     #[test]
@@ -259,12 +272,7 @@ mod tests {
     #[test]
     fn rejects_mux_pattern() {
         // The paper's Eq. (5) MUX-like group is not a primitive-gate signature.
-        let group = clauses(&[
-            &[-4, -107, 5],
-            &[-4, 107, -5],
-            &[4, -108, 5],
-            &[4, 108, -5],
-        ]);
+        let group = clauses(&[&[-4, -107, 5], &[-4, 107, -5], &[4, -108, 5], &[4, 108, -5]]);
         assert!(match_gate(&group, |_| true).is_none());
     }
 

@@ -152,7 +152,8 @@ impl TransformResult {
         self.classes
             .iter()
             .enumerate()
-            .filter(|&(_i, &c)| c == class).map(|(i, &_c)| Var::from_zero_based(i))
+            .filter(|&(_i, &c)| c == class)
+            .map(|(i, &_c)| Var::from_zero_based(i))
             .collect()
     }
 
@@ -365,8 +366,14 @@ impl TransformState {
                 }
             }
             let term = Expr::or(residual);
-            let negated = clause.lits().iter().any(|l| l.var() == candidate && l.is_negative());
-            let positive = clause.lits().iter().any(|l| l.var() == candidate && l.is_positive());
+            let negated = clause
+                .lits()
+                .iter()
+                .any(|l| l.var() == candidate && l.is_negative());
+            let positive = clause
+                .lits()
+                .iter()
+                .any(|l| l.var() == candidate && l.is_positive());
             if negated && positive {
                 return None; // tautological clause mentioning candidate twice
             }
@@ -550,7 +557,10 @@ mod tests {
         // x6, x13, x14 (constrained side).
         let pis: Vec<u32> = result.primary_inputs().iter().map(|v| v.index()).collect();
         for expected in [1u32, 11, 12, 6, 13, 14] {
-            assert!(pis.contains(&expected), "x{expected} should be a PI, got {pis:?}");
+            assert!(
+                pis.contains(&expected),
+                "x{expected} should be a PI, got {pis:?}"
+            );
         }
         // x10 is the constrained primary output.
         assert_eq!(result.class_of(Var::new(10)), VarClass::PrimaryOutput);
@@ -587,7 +597,10 @@ mod tests {
             let bits = result.assignment_from_inputs(value_of, |_| false);
             if ok {
                 satisfying += 1;
-                assert!(cnf.is_satisfied_by_bits(&bits), "mask {mask:b} should satisfy CNF");
+                assert!(
+                    cnf.is_satisfied_by_bits(&bits),
+                    "mask {mask:b} should satisfy CNF"
+                );
             } else {
                 assert!(!cnf.is_satisfied_by_bits(&bits));
             }
@@ -633,7 +646,10 @@ mod tests {
         let mut cnf = Cnf::new(2);
         cnf.add_dimacs_clause([1, 2]);
         let result = transform(&cnf).expect("transform");
-        assert_eq!(result.stats.aux_constraints + result.stats.constant_outputs, 1);
+        assert_eq!(
+            result.stats.aux_constraints + result.stats.constant_outputs,
+            1
+        );
         assert_eq!(result.netlist.outputs().len(), 1);
         // Satisfying the aux output ⇔ satisfying the clause.
         for mask in 0..4u32 {
@@ -660,7 +676,10 @@ mod tests {
         let mut cnf = Cnf::new(1);
         cnf.add_dimacs_clause([1]);
         cnf.add_dimacs_clause([-1]);
-        assert_eq!(transform(&cnf).err(), Some(TransformError::ConstantConflict));
+        assert_eq!(
+            transform(&cnf).err(),
+            Some(TransformError::ConstantConflict)
+        );
     }
 
     #[test]

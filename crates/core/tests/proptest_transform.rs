@@ -19,7 +19,11 @@ enum GateSpec {
 /// Builds a Tseitin CNF from a gate list over `num_inputs` inputs, with the
 /// last signal constrained to `target`. Returns the CNF and a simulation
 /// closure for reference evaluation.
-fn encode(num_inputs: usize, gates: &[GateSpec], target: bool) -> (Cnf, impl Fn(&[bool]) -> Vec<bool> + '_) {
+fn encode(
+    num_inputs: usize,
+    gates: &[GateSpec],
+    target: bool,
+) -> (Cnf, impl Fn(&[bool]) -> Vec<bool> + '_) {
     let mut cnf = Cnf::new(num_inputs);
     let mut signal_vars: Vec<i64> = (1..=num_inputs as i64).collect();
     for gate in gates {

@@ -58,18 +58,8 @@ enum SpecFamily {
 impl Spec {
     fn generate(&self, scale: SuiteScale) -> Instance {
         match self.family {
-            SpecFamily::Or => families::or_chain(
-                self.name,
-                self.inputs,
-                self.outputs,
-                self.seed,
-            ),
-            SpecFamily::Qif => families::qif_chain(
-                self.name,
-                self.inputs,
-                self.size,
-                self.seed,
-            ),
+            SpecFamily::Or => families::or_chain(self.name, self.inputs, self.outputs, self.seed),
+            SpecFamily::Qif => families::qif_chain(self.name, self.inputs, self.size, self.seed),
             SpecFamily::Iscas => families::iscas_like(
                 self.name,
                 scale.shrink(self.inputs, 16),
@@ -77,31 +67,125 @@ impl Spec {
                 self.outputs,
                 self.seed,
             ),
-            SpecFamily::Prod => families::product(
-                self.name,
-                scale.shrink(self.size, 4),
-                self.seed,
-            ),
+            SpecFamily::Prod => families::product(self.name, scale.shrink(self.size, 4), self.seed),
         }
     }
 }
 
 /// The 14 representative instances of Table II.
 const TABLE2: [Spec; 14] = [
-    Spec { name: "or-50-10-7-UC-10", family: SpecFamily::Or, inputs: 50, outputs: 4, size: 0, seed: 0x0150 },
-    Spec { name: "or-60-20-10-UC-10", family: SpecFamily::Or, inputs: 60, outputs: 5, size: 0, seed: 0x0160 },
-    Spec { name: "or-70-5-5-UC-10", family: SpecFamily::Or, inputs: 69, outputs: 7, size: 0, seed: 0x0170 },
-    Spec { name: "or-100-20-8-UC-10", family: SpecFamily::Or, inputs: 98, outputs: 10, size: 0, seed: 0x0190 },
-    Spec { name: "75-10-1-q", family: SpecFamily::Qif, inputs: 83, outputs: 1, size: 12, seed: 0x7511 },
-    Spec { name: "75-10-10-q", family: SpecFamily::Qif, inputs: 79, outputs: 1, size: 12, seed: 0x7520 },
-    Spec { name: "90-10-1-q", family: SpecFamily::Qif, inputs: 51, outputs: 1, size: 20, seed: 0x9011 },
-    Spec { name: "90-10-10-q", family: SpecFamily::Qif, inputs: 31, outputs: 1, size: 28, seed: 0x9020 },
-    Spec { name: "s15850a_3_2", family: SpecFamily::Iscas, inputs: 600, outputs: 3, size: 10_000, seed: 0x1585 },
-    Spec { name: "s15850a_7_4", family: SpecFamily::Iscas, inputs: 600, outputs: 7, size: 10_000, seed: 0x1586 },
-    Spec { name: "s15850a_15_7", family: SpecFamily::Iscas, inputs: 600, outputs: 15, size: 10_000, seed: 0x1587 },
-    Spec { name: "Prod-8", family: SpecFamily::Prod, inputs: 293, outputs: 2, size: 72, seed: 0x0808 },
-    Spec { name: "Prod-20", family: SpecFamily::Prod, inputs: 677, outputs: 2, size: 120, seed: 0x2020 },
-    Spec { name: "Prod-32", family: SpecFamily::Prod, inputs: 1061, outputs: 2, size: 160, seed: 0x3232 },
+    Spec {
+        name: "or-50-10-7-UC-10",
+        family: SpecFamily::Or,
+        inputs: 50,
+        outputs: 4,
+        size: 0,
+        seed: 0x0150,
+    },
+    Spec {
+        name: "or-60-20-10-UC-10",
+        family: SpecFamily::Or,
+        inputs: 60,
+        outputs: 5,
+        size: 0,
+        seed: 0x0160,
+    },
+    Spec {
+        name: "or-70-5-5-UC-10",
+        family: SpecFamily::Or,
+        inputs: 69,
+        outputs: 7,
+        size: 0,
+        seed: 0x0170,
+    },
+    Spec {
+        name: "or-100-20-8-UC-10",
+        family: SpecFamily::Or,
+        inputs: 98,
+        outputs: 10,
+        size: 0,
+        seed: 0x0190,
+    },
+    Spec {
+        name: "75-10-1-q",
+        family: SpecFamily::Qif,
+        inputs: 83,
+        outputs: 1,
+        size: 12,
+        seed: 0x7511,
+    },
+    Spec {
+        name: "75-10-10-q",
+        family: SpecFamily::Qif,
+        inputs: 79,
+        outputs: 1,
+        size: 12,
+        seed: 0x7520,
+    },
+    Spec {
+        name: "90-10-1-q",
+        family: SpecFamily::Qif,
+        inputs: 51,
+        outputs: 1,
+        size: 20,
+        seed: 0x9011,
+    },
+    Spec {
+        name: "90-10-10-q",
+        family: SpecFamily::Qif,
+        inputs: 31,
+        outputs: 1,
+        size: 28,
+        seed: 0x9020,
+    },
+    Spec {
+        name: "s15850a_3_2",
+        family: SpecFamily::Iscas,
+        inputs: 600,
+        outputs: 3,
+        size: 10_000,
+        seed: 0x1585,
+    },
+    Spec {
+        name: "s15850a_7_4",
+        family: SpecFamily::Iscas,
+        inputs: 600,
+        outputs: 7,
+        size: 10_000,
+        seed: 0x1586,
+    },
+    Spec {
+        name: "s15850a_15_7",
+        family: SpecFamily::Iscas,
+        inputs: 600,
+        outputs: 15,
+        size: 10_000,
+        seed: 0x1587,
+    },
+    Spec {
+        name: "Prod-8",
+        family: SpecFamily::Prod,
+        inputs: 293,
+        outputs: 2,
+        size: 72,
+        seed: 0x0808,
+    },
+    Spec {
+        name: "Prod-20",
+        family: SpecFamily::Prod,
+        inputs: 677,
+        outputs: 2,
+        size: 120,
+        seed: 0x2020,
+    },
+    Spec {
+        name: "Prod-32",
+        family: SpecFamily::Prod,
+        inputs: 1061,
+        outputs: 2,
+        size: 160,
+        seed: 0x3232,
+    },
 ];
 
 /// Generates the 14 representative Table II instances.
@@ -134,7 +218,12 @@ pub fn full_suite(scale: SuiteScale) -> Vec<Instance> {
         .enumerate()
     {
         let name = format!("or-{inputs}-10-{}-UC-20", i + 1);
-        instances.push(families::or_chain(&name, *inputs, 2 + i % 5, 0x4000 + i as u64));
+        instances.push(families::or_chain(
+            &name,
+            *inputs,
+            2 + i % 5,
+            0x4000 + i as u64,
+        ));
     }
     // *-q variants.
     for (i, (inputs, depth)) in [
@@ -155,7 +244,12 @@ pub fn full_suite(scale: SuiteScale) -> Vec<Instance> {
     .enumerate()
     {
         let name = format!("{}-10-{}-q", inputs, i + 1);
-        instances.push(families::qif_chain(&name, *inputs, *depth, 0x5000 + i as u64));
+        instances.push(families::qif_chain(
+            &name,
+            *inputs,
+            *depth,
+            0x5000 + i as u64,
+        ));
     }
     // ISCAS-like variants (smaller circuits from the same class).
     for (i, (inputs, gates, outputs)) in [
@@ -233,7 +327,12 @@ mod tests {
     #[test]
     fn full_suite_covers_all_families() {
         let suite = full_suite(SuiteScale::Small);
-        for family in [Family::OrChain, Family::Qif, Family::IscasLike, Family::Product] {
+        for family in [
+            Family::OrChain,
+            Family::Qif,
+            Family::IscasLike,
+            Family::Product,
+        ] {
             assert!(
                 suite.iter().filter(|i| i.family == family).count() >= 10,
                 "family {family:?} under-represented"
@@ -258,9 +357,17 @@ mod tests {
         // The qif instance should have a few hundred variables, like the
         // paper's 75-10-1-q (452 vars / 443 clauses).
         let inst = table2_instance("75-10-1-q", SuiteScale::Paper).expect("exists");
-        assert!(inst.num_vars() > 150 && inst.num_vars() < 2_000, "{}", inst.num_vars());
+        assert!(
+            inst.num_vars() > 150 && inst.num_vars() < 2_000,
+            "{}",
+            inst.num_vars()
+        );
         // The or instance mirrors or-50-10-7-UC-10 (100 vars / 254 clauses).
         let or = table2_instance("or-50-10-7-UC-10", SuiteScale::Paper).expect("exists");
-        assert!(or.num_vars() >= 50 && or.num_vars() < 400, "{}", or.num_vars());
+        assert!(
+            or.num_vars() >= 50 && or.num_vars() < 400,
+            "{}",
+            or.num_vars()
+        );
     }
 }

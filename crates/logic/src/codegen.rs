@@ -18,7 +18,9 @@ use std::fmt::Write;
 pub fn to_pytorch(netlist: &Netlist, module_name: &str) -> String {
     let mut out = String::new();
     out.push_str("import torch.nn as nn\n\n");
-    out.push_str("def AND(*xs):\n    y = xs[0]\n    for x in xs[1:]:\n        y = y * x\n    return y\n\n");
+    out.push_str(
+        "def AND(*xs):\n    y = xs[0]\n    for x in xs[1:]:\n        y = y * x\n    return y\n\n",
+    );
     out.push_str("def OR(*xs):\n    y = 1 - xs[0]\n    for x in xs[1:]:\n        y = y * (1 - x)\n    return 1 - y\n\n");
     out.push_str("def NOT(a):\n    return 1 - a\n\n");
     out.push_str("def XOR(a, b):\n    return a + b - 2 * a * b\n\n");

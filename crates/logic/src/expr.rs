@@ -46,6 +46,9 @@ impl Expr {
     }
 
     /// Creates the negation of `e`, flattening double negation.
+    // A by-value constructor in the `and`/`or`/`xor` family, not `ops::Not`,
+    // which would take `self` and break `Expr::not(..)` call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         match e {
             Expr::Const(b) => Expr::Const(!b),
@@ -257,10 +260,7 @@ mod tests {
             Expr::and(vec![Expr::var(1), Expr::var(2)]),
             Expr::var(3),
         ]);
-        assert_eq!(
-            e,
-            Expr::And(vec![Expr::var(1), Expr::var(2), Expr::var(3)])
-        );
+        assert_eq!(e, Expr::And(vec![Expr::var(1), Expr::var(2), Expr::var(3)]));
     }
 
     #[test]

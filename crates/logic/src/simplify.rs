@@ -148,7 +148,12 @@ pub fn minimize_sop(table: &TruthTable) -> Expr {
     let minterms = table.on_set();
     let primes = prime_implicants(&minterms, table.support().len());
     let cubes = cover(&minterms, &primes);
-    Expr::or(cubes.iter().map(|c| cube_to_expr(c, table.support())).collect())
+    Expr::or(
+        cubes
+            .iter()
+            .map(|c| cube_to_expr(c, table.support()))
+            .collect(),
+    )
 }
 
 /// Simplifies a Boolean expression.
@@ -262,7 +267,11 @@ mod tests {
 
     #[test]
     fn wide_support_returned_unchanged() {
-        let wide = Expr::or((1..=(MAX_MINIMIZE_SUPPORT as u32 + 2)).map(Expr::var).collect());
+        let wide = Expr::or(
+            (1..=(MAX_MINIMIZE_SUPPORT as u32 + 2))
+                .map(Expr::var)
+                .collect(),
+        );
         assert_eq!(simplify(&wide), wide);
     }
 

@@ -267,7 +267,10 @@ mod tests {
         let tt = TruthTable::from_expr(&taut);
         assert_eq!(tt.as_const(), Some(true));
         let contradiction = Expr::and(vec![Expr::var(1), Expr::not(Expr::var(1))]);
-        assert_eq!(TruthTable::from_expr(&contradiction).as_const(), Some(false));
+        assert_eq!(
+            TruthTable::from_expr(&contradiction).as_const(),
+            Some(false)
+        );
         assert_eq!(TruthTable::from_expr(&Expr::var(1)).as_const(), None);
     }
 

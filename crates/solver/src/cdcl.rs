@@ -205,9 +205,7 @@ impl CdclSolver {
                 self.root_conflict = true;
             }
             1 => {
-                if !self.enqueue(reduced[0], None) {
-                    self.root_conflict = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(reduced[0], None) || self.propagate().is_some() {
                     self.root_conflict = true;
                 }
             }
@@ -360,7 +358,8 @@ impl CdclSolver {
             // Second-highest decision level in the learned clause.
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().as_usize()] > self.level[learnt[max_i].var().as_usize()]
+                if self.level[learnt[i].var().as_usize()]
+                    > self.level[learnt[max_i].var().as_usize()]
                 {
                     max_i = i;
                 }
@@ -402,8 +401,7 @@ impl CdclSolver {
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
-        if self.config.random_branch_freq > 0.0
-            && self.rng.gen_bool(self.config.random_branch_freq)
+        if self.config.random_branch_freq > 0.0 && self.rng.gen_bool(self.config.random_branch_freq)
         {
             let unassigned: Vec<usize> = (0..self.num_vars)
                 .filter(|&v| self.values[v] == UNASSIGNED)

@@ -80,7 +80,10 @@ fn pick_branch(cnf: &Cnf, assignment: &Assignment) -> Option<Var> {
 /// Panics if more than 25 variables occur in the formula.
 pub fn count_models_exhaustive(cnf: &Cnf) -> u64 {
     let vars = cnf.occurring_vars();
-    assert!(vars.len() <= 25, "exhaustive counting limited to 25 variables");
+    assert!(
+        vars.len() <= 25,
+        "exhaustive counting limited to 25 variables"
+    );
     let mut count = 0u64;
     let mut bits = vec![false; cnf.num_vars()];
     for mask in 0u64..(1u64 << vars.len()) {

@@ -6,8 +6,8 @@ use htsat_solver::{dpll, enumerate, walksat, CdclConfig, CdclSolver, SolveResult
 use proptest::prelude::*;
 
 fn arb_cnf(max_vars: u32, max_clauses: usize, max_width: usize) -> impl Strategy<Value = Cnf> {
-    let lit = (1..=max_vars, any::<bool>())
-        .prop_map(|(v, pos)| if pos { v as i64 } else { -(v as i64) });
+    let lit =
+        (1..=max_vars, any::<bool>()).prop_map(|(v, pos)| if pos { v as i64 } else { -(v as i64) });
     let clause = prop::collection::vec(lit, 1..=max_width);
     prop::collection::vec(clause, 1..=max_clauses).prop_map(move |clauses| {
         let mut cnf = Cnf::new(max_vars as usize);

@@ -264,7 +264,11 @@ impl SoftCircuit {
     /// # Panics
     ///
     /// Panics if `probs.width() != num_inputs`.
-    pub fn loss_and_input_grads(&self, probs: &BatchMatrix, backend: Backend) -> (f64, BatchMatrix) {
+    pub fn loss_and_input_grads(
+        &self,
+        probs: &BatchMatrix,
+        backend: Backend,
+    ) -> (f64, BatchMatrix) {
         assert_eq!(probs.width(), self.num_inputs, "input width mismatch");
         let batch = probs.batch();
         let mut grads = BatchMatrix::zeros(batch, self.num_inputs);
@@ -282,9 +286,11 @@ impl SoftCircuit {
                 .sum();
             return (loss, grads);
         }
-        let loss = backend.for_each_row(grads.as_mut_slice(), self.num_inputs, |row_idx, grad_row| {
-            self.loss_and_grad_single(probs.row(row_idx), grad_row)
-        });
+        let loss = backend.for_each_row(
+            grads.as_mut_slice(),
+            self.num_inputs,
+            |row_idx, grad_row| self.loss_and_grad_single(probs.row(row_idx), grad_row),
+        );
         (loss, grads)
     }
 
@@ -362,7 +368,12 @@ mod tests {
             let lp = c.loss_and_grad_single(&plus, &mut scratch);
             let lm = c.loss_and_grad_single(&minus, &mut scratch);
             let fd = ((lp - lm) / (2.0 * h as f64)) as f32;
-            assert!((grads[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", grads[i], fd);
+            assert!(
+                (grads[i] - fd).abs() < 1e-2,
+                "i={i}: {} vs {}",
+                grads[i],
+                fd
+            );
         }
     }
 

@@ -34,7 +34,11 @@ impl BatchMatrix {
     ///
     /// Panics if `data.len() != batch * width`.
     pub fn from_vec(batch: usize, width: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), batch * width, "data length must be batch * width");
+        assert_eq!(
+            data.len(),
+            batch * width,
+            "data length must be batch * width"
+        );
         BatchMatrix { data, batch, width }
     }
 

@@ -189,9 +189,9 @@ mod tests {
         let ps = [0.3f32, 0.8, 0.5];
         let mut g = vec![0.0; 3];
         and_grad(&ps, &mut g);
-        for i in 0..3 {
+        for (i, &gi) in g.iter().enumerate() {
             let fd = finite_diff(and, &ps, i);
-            assert!((g[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", g[i], fd);
+            assert!((gi - fd).abs() < 1e-2, "i={i}: {gi} vs {fd}");
         }
     }
 
@@ -200,9 +200,9 @@ mod tests {
         let ps = [0.3f32, 0.8, 0.5];
         let mut g = vec![0.0; 3];
         or_grad(&ps, &mut g);
-        for i in 0..3 {
+        for (i, &gi) in g.iter().enumerate() {
             let fd = finite_diff(or, &ps, i);
-            assert!((g[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", g[i], fd);
+            assert!((gi - fd).abs() < 1e-2, "i={i}: {gi} vs {fd}");
         }
     }
 
@@ -211,9 +211,9 @@ mod tests {
         let ps = [0.3f32, 0.8, 0.5, 0.9];
         let mut g = vec![0.0; 4];
         xor_grad(&ps, &mut g);
-        for i in 0..4 {
+        for (i, &gi) in g.iter().enumerate() {
             let fd = finite_diff(xor, &ps, i);
-            assert!((g[i] - fd).abs() < 1e-2, "i={i}: {} vs {}", g[i], fd);
+            assert!((gi - fd).abs() < 1e-2, "i={i}: {gi} vs {fd}");
         }
     }
 

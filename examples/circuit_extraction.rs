@@ -63,9 +63,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Sanity check: a random input assignment that satisfies the circuit's
     // output constraints must satisfy the original CNF.
     let inputs = result.primary_inputs();
-    let value_of = |v: htsat::cnf::Var| inputs.iter().position(|&p| p == v).map(|i| i % 2 == 0).unwrap_or(false);
+    let value_of = |v: htsat::cnf::Var| {
+        inputs
+            .iter()
+            .position(|&p| p == v)
+            .map(|i| i % 2 == 0)
+            .unwrap_or(false)
+    };
     let bits = result.assignment_from_inputs(value_of, |_| false);
-    let circuit_ok = result.netlist.outputs_satisfied(|v| value_of(htsat::cnf::Var::new(v)));
+    let circuit_ok = result
+        .netlist
+        .outputs_satisfied(|v| value_of(htsat::cnf::Var::new(v)));
     let cnf_ok = cnf.is_satisfied_by_bits(&bits);
     println!("\nequisatisfiability spot check: circuit={circuit_ok} cnf={cnf_ok}");
     assert_eq!(circuit_ok, cnf_ok);

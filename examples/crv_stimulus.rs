@@ -57,14 +57,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let gd_report = gd.sample(500, Duration::from_secs(10));
     println!("\ntransformed-GD sampler:");
     println!("  unique legal stimuli : {}", gd_report.solutions.len());
-    println!("  throughput           : {:.0} stimuli/s", gd_report.throughput());
+    println!(
+        "  throughput           : {:.0} stimuli/s",
+        gd_report.throughput()
+    );
 
     // CMSGen-style CPU baseline.
     let mut cms = CmsGenLike::new();
     let cms_run = cms.sample(&cnf, 500, Duration::from_secs(10));
     println!("\ncmsgen-like baseline:");
     println!("  unique legal stimuli : {}", cms_run.solutions.len());
-    println!("  throughput           : {:.0} stimuli/s", cms_run.throughput());
+    println!(
+        "  throughput           : {:.0} stimuli/s",
+        cms_run.throughput()
+    );
 
     // Decode a few stimuli into protocol fields to show they are sensible.
     println!("\nsample stimuli (addr, burst, mode, we):");

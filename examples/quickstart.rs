@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  gate groups recognised : {}", result.stats.gate_groups);
     println!("  CNF ops (2-input eq.)  : {}", result.stats.cnf_ops);
     println!("  circuit ops            : {}", result.stats.circuit_ops);
-    println!("  ops reduction          : {:.2}x", result.stats.ops_reduction());
+    println!(
+        "  ops reduction          : {:.2}x",
+        result.stats.ops_reduction()
+    );
 
     println!("\nvariable classification:");
     for class in [
@@ -80,11 +83,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  unique solutions : {}", report.solutions.len());
     println!("  attempts         : {}", report.attempts);
     println!("  valid rate       : {:.1}%", report.valid_rate() * 100.0);
-    println!("  throughput       : {:.0} unique solutions/s", report.throughput());
+    println!(
+        "  throughput       : {:.0} unique solutions/s",
+        report.throughput()
+    );
 
     for solution in report.solutions.iter().take(3) {
         assert!(cnf.is_satisfied_by_bits(solution));
-        let rendered: String = solution.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let rendered: String = solution
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         println!("  example solution : {rendered}");
     }
     Ok(())

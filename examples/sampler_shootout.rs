@@ -12,8 +12,8 @@
 //! Table II experiment.
 
 use htsat::baselines::{
-    CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, TransformedGdSampler,
-    UniGenLike, WalkSatSampler,
+    CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, TransformedGdSampler, UniGenLike,
+    WalkSatSampler,
 };
 use htsat::instances::suite::{table2_instance, SuiteScale};
 use std::error::Error;

@@ -61,7 +61,10 @@ fn transformation_preserves_satisfiability_verdict() {
                 break;
             }
         }
-        assert!(found, "constrained outputs must be achievable for a SAT instance");
+        assert!(
+            found,
+            "constrained outputs must be achievable for a SAT instance"
+        );
     }
 }
 
@@ -96,10 +99,8 @@ fn gd_sampler_and_baselines_agree_on_solution_validity() {
 fn sampled_solution_counts_never_exceed_model_count() {
     // On a formula small enough to count exhaustively, every sampler must
     // return at most the true number of models.
-    let cnf = dimacs::parse_str(
-        "p cnf 5 5\n-1 -2 3 0\n1 -3 0\n2 -3 0\n3 4 5 0\n-4 -5 0\n",
-    )
-    .expect("parse");
+    let cnf = dimacs::parse_str("p cnf 5 5\n-1 -2 3 0\n1 -3 0\n2 -3 0\n3 4 5 0\n-4 -5 0\n")
+        .expect("parse");
     let total = dpll::count_models_exhaustive(&cnf);
     assert!(total > 0);
 

@@ -1,0 +1,291 @@
+//! A minimal, API-compatible subset of [`criterion`](https://crates.io/crates/criterion),
+//! vendored because the build environment has no network access to crates.io.
+//!
+//! Benchmarks written against the real criterion API compile and run: each
+//! `Bencher::iter` call performs a short warm-up, then times a fixed number
+//! of samples and prints min / median / mean wall-clock times per iteration.
+//! There is no statistical outlier analysis, HTML report, or comparison with
+//! saved baselines — swap `[workspace.dependencies] criterion` back to the
+//! crates.io release to regain those.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. Accepted for API compatibility;
+/// this subset always re-runs setup per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id: `&str`, `String` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the id as the printed label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; times the routine.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up call then `samples` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut times = bencher.recorded;
+    if times.is_empty() {
+        println!("{label:<50} (no samples recorded)");
+        return;
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let mut line = format!(
+        "{label:<50} min {:>12}  median {:>12}  mean {:>12}",
+        format_duration(min),
+        format_duration(median),
+        format_duration(mean)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                format!("{:.0}", count as f64 / secs)
+            } else {
+                "inf".to_string()
+            }
+        };
+        match tp {
+            Throughput::Elements(n) => line.push_str(&format!("  ({} elem/s)", per_sec(n))),
+            Throughput::Bytes(n) => line.push_str(&format!("  ({} B/s)", per_sec(n))),
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this subset; groups print as they run).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into_id(), 10, None, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(8));
+        let mut runs = 0usize;
+        group.bench_function("inc", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

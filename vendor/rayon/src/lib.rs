@@ -1,0 +1,101 @@
+//! A minimal, API-compatible subset of [`rayon`](https://crates.io/crates/rayon),
+//! vendored because the build environment has no network access to crates.io.
+//!
+//! **This fallback executes sequentially.** The `par_*` adaptors return the
+//! corresponding standard-library iterators, so code written against the
+//! rayon API compiles and runs correctly, just without work stealing. The
+//! htsat `Backend::DataParallel` path therefore currently degrades to the
+//! sequential path; swapping `[workspace.dependencies] rayon` back to the
+//! crates.io release restores true parallelism with no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Conversion into a (here: sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// Converts `self` into an iterator. Sequential in this fallback.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Chunked mutable slice access, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// Returns mutable chunks of `chunk_size` elements. Sequential in this
+    /// fallback.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+
+    /// Returns a mutable iterator over the elements. Sequential in this
+    /// fallback.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Shared read-only slice access, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    /// Returns chunks of `chunk_size` elements. Sequential in this fallback.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+
+    /// Returns an iterator over the elements. Sequential in this fallback.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// Returns the number of threads rayon would use. Always 1 in this fallback.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// The traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_adaptors_match_sequential() {
+        let sum: usize = (0..100usize).into_par_iter().map(|i| i * 2).sum();
+        assert_eq!(sum, 9900);
+
+        let mut data = [1u32; 8];
+        let total: u32 = data
+            .par_chunks_mut(4)
+            .enumerate()
+            .map(|(i, chunk)| chunk.iter().sum::<u32>() + i as u32)
+            .sum();
+        assert_eq!(total, 9);
+    }
+}
