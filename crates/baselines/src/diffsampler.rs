@@ -10,6 +10,7 @@
 
 use crate::{RunCollector, SampleRun, SatSampler};
 use htsat_cnf::Cnf;
+use htsat_runtime::derive_stream_seed;
 use htsat_tensor::{ops, Backend, BatchMatrix, SoftCircuit, SoftGate};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,7 +39,7 @@ impl Default for DiffSamplerConfig {
             batch_size: 256,
             iterations: 20,
             learning_rate: 2.0,
-            backend: Backend::DataParallel,
+            backend: Backend::default(),
             seed: 0,
             init_scale: 2.0,
         }
@@ -110,9 +111,20 @@ impl SatSampler for DiffSamplerLike {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         while !collector.done() {
             let scale = self.config.init_scale;
-            let mut logits = BatchMatrix::from_fn(self.config.batch_size, n, |_, _| {
-                rng.gen_range(-scale..=scale)
-            });
+            // Per-row RNG streams, like the transformed sampler: the drawn
+            // candidates depend on (seed, row) only, never on how the
+            // backend schedules the batch across threads.
+            let round_seed: u64 = rng.gen();
+            let mut logits = BatchMatrix::zeros(self.config.batch_size, n);
+            self.config
+                .backend
+                .for_each_row(logits.as_mut_slice(), n, |b, row| {
+                    let mut row_rng = SmallRng::seed_from_u64(derive_stream_seed(round_seed, b));
+                    for v in row.iter_mut() {
+                        *v = row_rng.gen_range(-scale..=scale);
+                    }
+                    0.0
+                });
             for _ in 0..self.config.iterations {
                 let mut probs = logits.clone();
                 probs.map_inplace(ops::sigmoid);

@@ -11,7 +11,11 @@ fn bench_backends(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["or-100-20-8-UC-10", "90-10-10-q", "s15850a_15_7", "Prod-32"] {
         let instance = table2_instance(name, SuiteScale::Small).expect("known instance");
-        for backend in [Backend::Sequential, Backend::DataParallel] {
+        for backend in [
+            Backend::Sequential,
+            Backend::Threads(0),
+            Backend::DataParallel,
+        ] {
             let config = SamplerConfig {
                 batch_size: 512,
                 backend,

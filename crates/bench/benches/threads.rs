@@ -1,0 +1,37 @@
+//! Criterion bench: one sampling round at 1/2/4/8 worker threads — the
+//! scaling curve of the htsat-runtime executor over the batch dimension.
+//!
+//! On a multi-core machine the per-round latency should drop with the
+//! worker count until it saturates the hardware; on a single core the curve
+//! is flat, which bounds the pool's scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use htsat_core::{GdSampler, SamplerConfig};
+use htsat_instances::suite::{table2_instance, SuiteScale};
+use htsat_tensor::Backend;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    for name in ["90-10-10-q", "s15850a_15_7"] {
+        let instance = table2_instance(name, SuiteScale::Small).expect("known instance");
+        for threads in [1usize, 2, 4, 8] {
+            let config = SamplerConfig {
+                batch_size: 512,
+                backend: Backend::Threads(threads),
+                ..SamplerConfig::default()
+            };
+            let mut sampler = GdSampler::new(&instance.cnf, config).expect("transform");
+            group.throughput(Throughput::Elements(512));
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads-{threads}"), name),
+                &threads,
+                |b, _| b.iter(|| sampler.sample_round()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -2,18 +2,23 @@
 //!
 //! ```sh
 //! cargo run --release -p htsat-bench --bin repro -- table2
+//! cargo run --release -p htsat-bench --bin repro -- table2 --threads 8 --stream
 //! cargo run --release -p htsat-bench --bin repro -- fig2 --instances 20
+//! cargo run --release -p htsat-bench --bin repro -- threads --counts 1,2,4,8
 //! cargo run --release -p htsat-bench --bin repro -- all --scale paper --timeout 30
 //! ```
 //!
 //! Subcommands: `table2`, `fig2`, `fig3-iters`, `fig3-mem`, `fig4-speedup`,
-//! `fig4-ops`, `fig4-transform`, `fig4`, `all`.
+//! `fig4-ops`, `fig4-transform`, `fig4`, `threads`, `all`.
 //!
 //! Options: `--scale small|paper`, `--target N`, `--timeout SECONDS`,
-//! `--batch N`, `--instances N` (fig2 only).
+//! `--batch N`, `--threads N` (`0` = one worker per core), `--stream`
+//! (collect through the streaming API), `--instances N` (fig2 only),
+//! `--counts A,B,...` (threads only).
 
 use htsat_bench::{
-    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2, RunOptions,
+    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2,
+    threads_sweep, RunOptions,
 };
 use htsat_instances::suite::SuiteScale;
 use std::time::Duration;
@@ -22,6 +27,7 @@ struct CliArgs {
     command: String,
     options: RunOptions,
     fig2_instances: usize,
+    thread_counts: Vec<usize>,
 }
 
 fn parse_args() -> Result<CliArgs, String> {
@@ -29,7 +35,12 @@ fn parse_args() -> Result<CliArgs, String> {
     let command = args.next().unwrap_or_else(|| "all".to_string());
     let mut options = RunOptions::default();
     let mut fig2_instances = 12usize;
+    let mut thread_counts = vec![1, 2, 4, 8];
     while let Some(flag) = args.next() {
+        if flag == "--stream" {
+            options.stream = true;
+            continue;
+        }
         let mut value = || {
             args.next()
                 .ok_or_else(|| format!("missing value for {flag}"))
@@ -58,10 +69,27 @@ fn parse_args() -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|e| format!("invalid --batch: {e}"))?;
             }
+            "--threads" => {
+                options.threads = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("invalid --threads: {e}"))?,
+                );
+            }
             "--instances" => {
                 fig2_instances = value()?
                     .parse()
                     .map_err(|e| format!("invalid --instances: {e}"))?;
+            }
+            "--counts" => {
+                thread_counts = value()?
+                    .split(',')
+                    .map(|c| c.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| format!("invalid --counts: {e}"))?;
+                if thread_counts.is_empty() {
+                    return Err("--counts needs at least one thread count".to_string());
+                }
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -70,14 +98,20 @@ fn parse_args() -> Result<CliArgs, String> {
         command,
         options,
         fig2_instances,
+        thread_counts,
     })
 }
 
 fn run_table2(options: &RunOptions) {
     println!("== Table II: unique-solution throughput (solutions/second) ==");
     println!(
-        "   target {} unique solutions, timeout {:?}, batch {}, scale {:?}\n",
-        options.target, options.timeout, options.batch_size, options.scale
+        "   target {} unique solutions, timeout {:?}, batch {}, scale {:?}, backend {}{}\n",
+        options.target,
+        options.timeout,
+        options.batch_size,
+        options.scale,
+        options.gd_backend().label(),
+        if options.stream { ", streaming" } else { "" }
     );
     let rows = table2(options);
     print!("{}", format_table2(&rows));
@@ -143,12 +177,26 @@ fn run_fig4(options: &RunOptions) {
     }
 }
 
+fn run_threads(options: &RunOptions, counts: &[usize]) {
+    println!("== Thread scaling: unique-solution throughput per worker count ==\n");
+    println!(
+        "{:<22} {:>8} {:>10} {:>18}",
+        "instance", "threads", "unique", "throughput (/s)"
+    );
+    for p in threads_sweep(options, counts) {
+        println!(
+            "{:<22} {:>8} {:>10} {:>18.1}",
+            p.instance, p.threads, p.unique, p.throughput
+        );
+    }
+}
+
 fn main() {
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--instances N]");
+            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|threads|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--threads N] [--stream] [--instances N] [--counts A,B,...]");
             std::process::exit(2);
         }
     };
@@ -163,6 +211,7 @@ fn main() {
         "fig3-iters" => run_fig3_iters(options),
         "fig3-mem" => run_fig3_mem(options),
         "fig4" | "fig4-speedup" | "fig4-ops" | "fig4-transform" => run_fig4(options),
+        "threads" => run_threads(options, &cli.thread_counts),
         "all" => {
             run_table2(options);
             println!();

@@ -40,6 +40,13 @@ pub struct RunOptions {
     pub timeout: Duration,
     /// Batch size of the gradient-descent samplers.
     pub batch_size: usize,
+    /// Worker threads for the gradient-descent sampler: `Some(0)` sizes the
+    /// pool to the machine, `Some(n)` pins it, `None` uses the default
+    /// backend (also auto-sized).
+    pub threads: Option<usize>,
+    /// Collect the gradient-descent sampler through the streaming API
+    /// ([`GdSampler::stream`]) instead of the blocking `sample` call.
+    pub stream: bool,
 }
 
 impl Default for RunOptions {
@@ -49,6 +56,19 @@ impl Default for RunOptions {
             target: 200,
             timeout: Duration::from_secs(3),
             batch_size: 512,
+            threads: None,
+            stream: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The backend the gradient-descent sampler runs on under these options.
+    #[must_use]
+    pub fn gd_backend(&self) -> Backend {
+        match self.threads {
+            Some(n) => Backend::Threads(n),
+            None => Backend::default(),
         }
     }
 }
@@ -97,13 +117,26 @@ fn run_gd(instance: &Instance, options: &RunOptions, backend: Backend) -> Sample
     let started = std::time::Instant::now();
     match GdSampler::new(&instance.cnf, gd_config(options, backend)) {
         Ok(mut sampler) => {
-            let report = sampler.sample(options.target, options.timeout);
+            let unique = if options.stream {
+                // Streaming path: pull unique solutions lazily off the
+                // iterator until the target or the deadline is hit. Count
+                // the final round's surplus too, so the blocking and
+                // streaming modes report the same measure.
+                let mut stream = sampler.stream().with_timeout(options.timeout);
+                let consumed = stream.by_ref().take(options.target).count();
+                consumed + stream.drain_ready().len()
+            } else {
+                sampler
+                    .sample(options.target, options.timeout)
+                    .solutions
+                    .len()
+            };
             let elapsed = started.elapsed();
             SamplerResult {
                 sampler: "this-work",
-                unique: report.solutions.len(),
+                unique,
                 elapsed,
-                throughput: report.solutions.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+                throughput: unique as f64 / elapsed.as_secs_f64().max(1e-9),
             }
         }
         Err(_) => SamplerResult {
@@ -146,7 +179,7 @@ pub fn table2_row(instance: &Instance, options: &RunOptions) -> Table2Row {
         .as_ref()
         .map(|t| (t.primary_inputs().len(), t.netlist.outputs().len()))
         .unwrap_or((0, 0));
-    let mut results = vec![run_gd(instance, options, Backend::DataParallel)];
+    let mut results = vec![run_gd(instance, options, options.gd_backend())];
     let mut unigen = UniGenLike::new();
     let mut cmsgen = CmsGenLike::new();
     let mut diff = DiffSamplerLike::new();
@@ -191,7 +224,7 @@ pub struct Fig2Point {
 pub fn fig2(options: &RunOptions, max_instances: usize) -> Vec<Fig2Point> {
     let mut points = Vec::new();
     for instance in full_suite(options.scale).into_iter().take(max_instances) {
-        let gd = run_gd(&instance, options, Backend::DataParallel);
+        let gd = run_gd(&instance, options, options.gd_backend());
         points.push(Fig2Point {
             instance: instance.name.clone(),
             sampler: "this-work",
@@ -282,8 +315,7 @@ pub struct Fig3MemPoint {
 pub fn fig3_memory(options: &RunOptions, batches: &[usize]) -> Vec<Fig3MemPoint> {
     let mut points = Vec::new();
     for instance in ablation_instances(options.scale) {
-        if let Ok(sampler) =
-            GdSampler::new(&instance.cnf, gd_config(options, Backend::DataParallel))
+        if let Ok(sampler) = GdSampler::new(&instance.cnf, gd_config(options, options.gd_backend()))
         {
             for &batch in batches {
                 points.push(Fig3MemPoint {
@@ -320,7 +352,7 @@ pub fn fig4(options: &RunOptions) -> Vec<Fig4Row> {
     ablation_instances(options.scale)
         .iter()
         .map(|instance| {
-            let parallel = run_gd(instance, options, Backend::DataParallel);
+            let parallel = run_gd(instance, options, options.gd_backend());
             let sequential = run_gd(instance, options, Backend::Sequential);
             let stats = transform(&instance.cnf)
                 .map(|t| {
@@ -368,6 +400,38 @@ pub fn fig4_transform(options: &RunOptions) -> Vec<(String, f64)> {
         .into_iter()
         .map(|r| (r.instance, r.transform_seconds))
         .collect()
+}
+
+/// One measurement of the thread-scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadsPoint {
+    /// Instance name.
+    pub instance: String,
+    /// Worker-thread count of the sampler's pool.
+    pub threads: usize,
+    /// Unique solutions obtained.
+    pub unique: usize,
+    /// Unique-solution throughput (solutions / second).
+    pub throughput: f64,
+}
+
+/// Runs the gradient-descent sampler on the ablation instances at each
+/// requested worker-thread count — the executor's scaling curve, and the
+/// measurement behind `docs/BASELINES.md`.
+pub fn threads_sweep(options: &RunOptions, counts: &[usize]) -> Vec<ThreadsPoint> {
+    let mut points = Vec::new();
+    for instance in ablation_instances(options.scale) {
+        for &threads in counts {
+            let result = run_gd(&instance, options, Backend::Threads(threads));
+            points.push(ThreadsPoint {
+                instance: instance.name.clone(),
+                threads,
+                unique: result.unique,
+                throughput: result.throughput,
+            });
+        }
+    }
+    points
 }
 
 /// Formats the Table II rows as a text table.
@@ -421,6 +485,8 @@ mod tests {
             target: 20,
             timeout: Duration::from_millis(500),
             batch_size: 64,
+            threads: None,
+            stream: false,
         }
     }
 
@@ -437,6 +503,36 @@ mod tests {
     #[test]
     fn ablation_instances_resolve() {
         assert_eq!(ablation_instances(SuiteScale::Small).len(), 4);
+    }
+
+    #[test]
+    fn gd_backend_reflects_thread_option() {
+        let mut options = quick_options();
+        assert_eq!(options.gd_backend(), Backend::default());
+        options.threads = Some(2);
+        assert_eq!(options.gd_backend(), Backend::Threads(2));
+    }
+
+    #[test]
+    fn streaming_and_blocking_paths_find_solutions() {
+        let instance = htsat_instances::suite::table2_instance("90-10-10-q", SuiteScale::Small)
+            .expect("exists");
+        let blocking = quick_options();
+        let streaming = RunOptions {
+            stream: true,
+            ..blocking
+        };
+        let a = run_gd(&instance, &blocking, blocking.gd_backend());
+        let b = run_gd(&instance, &streaming, streaming.gd_backend());
+        assert!(a.unique > 0);
+        assert!(b.unique > 0);
+    }
+
+    #[test]
+    fn threads_sweep_produces_a_point_per_instance_and_count() {
+        let points = threads_sweep(&quick_options(), &[1, 2]);
+        assert_eq!(points.len(), 4 * 2);
+        assert!(points.iter().all(|p| p.threads == 1 || p.threads == 2));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!    embedding, the ℓ2 loss against the constrained outputs is minimised
 //!    with gradient descent (learning rate 10, five iterations by default),
 //!    hardened assignments are validated against the *original* CNF and the
-//!    unique valid ones are returned as samples.
+//!    unique valid ones are served as samples — lazily through
+//!    [`GdSampler::stream`] (an `Iterator` with cancellation and deadlines,
+//!    built on [`htsat_runtime::SampleStream`]) or collected by the blocking
+//!    [`GdSampler::sample`] wrapper.
 //!
 //! # Example
 //!
@@ -55,5 +58,6 @@ pub mod signature;
 pub mod transform;
 
 pub use error::TransformError;
+pub use htsat_runtime::{SampleStream, StopToken, StreamStats};
 pub use sampler::{GdSampler, SampleReport, SamplerConfig};
 pub use transform::{transform, TransformConfig, TransformResult, TransformStats, VarClass};

@@ -6,16 +6,30 @@
 //! against the constrained targets is minimised with plain gradient descent
 //! (learning rate 10, five iterations by default), the logits are hardened to
 //! bits, validated against the *original* CNF and deduplicated.
+//!
+//! The primary consumption API is **streaming**: [`GdSampler::stream`]
+//! returns a [`SampleStream`] — a lazy `Iterator` of unique solutions that
+//! runs gradient-descent rounds on demand on the configured
+//! [`Backend`], deduplicates incrementally and supports cancellation
+//! (stop token) and deadlines. The blocking [`GdSampler::sample`] call is a
+//! thin wrapper that collects the stream.
+//!
+//! Sampling is deterministic in the seed *and independent of the thread
+//! count*: every batch row draws its logits from a private RNG stream
+//! derived with [`htsat_runtime::derive_stream_seed`], and rounds emit rows
+//! in index order, so `Backend::Threads(1)` and `Backend::Threads(8)`
+//! produce the identical solution sequence for the same seed.
 
 use crate::compile::{compile, CompiledCircuit};
 use crate::transform::{transform_with_config, TransformConfig, TransformResult};
 use crate::TransformError;
 use htsat_cnf::{Cnf, Var};
+use htsat_runtime::{derive_stream_seed, RoundSource, SampleStream, StopToken};
 use htsat_tensor::{ops, Backend, BatchMatrix, MemoryModel};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the gradient-descent sampler.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,8 +40,9 @@ pub struct SamplerConfig {
     pub iterations: usize,
     /// Learning rate γ (the paper uses 10).
     pub learning_rate: f32,
-    /// Execution backend: sequential (CPU baseline) or data-parallel (the
-    /// GPU stand-in).
+    /// Execution backend for the batch dimension: `Sequential` (the CPU
+    /// baseline), `Threads(n)` (the runtime pool, the GPU stand-in and the
+    /// default) or `DataParallel` (the rayon API).
     pub backend: Backend,
     /// Seed of the sampler's RNG (logit initialisation and free variables).
     pub seed: u64,
@@ -43,7 +58,7 @@ impl Default for SamplerConfig {
             batch_size: 256,
             iterations: 5,
             learning_rate: 10.0,
-            backend: Backend::DataParallel,
+            backend: Backend::default(),
             seed: 0,
             init_scale: 2.0,
             transform: TransformConfig::default(),
@@ -161,12 +176,35 @@ impl GdSampler {
     /// Runs one gradient-descent round and returns the valid (but not
     /// deduplicated) hardened assignments.
     pub fn sample_round(&mut self) -> Vec<Vec<bool>> {
+        self.sample_round_cancellable(&StopToken::new())
+    }
+
+    /// Like [`GdSampler::sample_round`], but polls `stop` at every
+    /// gradient-descent iteration and per hardened row, returning early
+    /// (possibly with a partial batch) once it is set.
+    pub fn sample_round_cancellable(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
         let batch = self.config.batch_size;
         let n = self.compiled.num_inputs();
         let scale = self.config.init_scale;
-        let mut logits = BatchMatrix::from_fn(batch, n, |_, _| self.rng.gen_range(-scale..=scale));
+        // One master draw per round; every row then owns a private RNG
+        // stream, so the initialisation (and therefore the produced samples)
+        // is a function of (seed, row) alone — not of the thread count.
+        let round_seed: u64 = self.rng.gen();
+        let mut logits = BatchMatrix::zeros(batch, n);
+        self.config
+            .backend
+            .for_each_row(logits.as_mut_slice(), n, |b, row| {
+                let mut row_rng = SmallRng::seed_from_u64(derive_stream_seed(round_seed, b));
+                for v in row.iter_mut() {
+                    *v = row_rng.gen_range(-scale..=scale);
+                }
+                0.0
+            });
 
         for _ in 0..self.config.iterations {
+            if stop.is_stopped() {
+                return Vec::new();
+            }
             // Continuous embedding: P = σ(V).
             let mut probs = logits.clone();
             probs.map_inplace(ops::sigmoid);
@@ -190,6 +228,9 @@ impl GdSampler {
         let num_vars = self.cnf.num_vars();
         let free_seed: u64 = self.rng.gen();
         let rows: Vec<Option<Vec<bool>>> = self.config.backend.map_indices(batch, |b| {
+            if stop.is_stopped() {
+                return None;
+            }
             let row = logits.row(b);
             let input_value = |v: Var| {
                 self.compiled
@@ -218,52 +259,92 @@ impl GdSampler {
         rows.into_iter().flatten().collect()
     }
 
+    /// Returns a lazy stream of unique solutions, borrowing the sampler.
+    ///
+    /// The stream runs gradient-descent rounds on demand and deduplicates
+    /// incrementally — including against solutions returned by previous
+    /// `sample`/`stream` calls on this sampler. Deadlines, stale-round
+    /// limits and an external stop token can be attached with the
+    /// [`SampleStream`] builder methods:
+    ///
+    /// ```
+    /// # use htsat_cnf::Cnf;
+    /// # use htsat_core::{GdSampler, SamplerConfig};
+    /// # let mut cnf = Cnf::new(3);
+    /// # cnf.add_dimacs_clause([1, 2, 3]);
+    /// # let mut sampler = GdSampler::new(&cnf, SamplerConfig::default())?;
+    /// let solutions: Vec<Vec<bool>> = sampler.stream().take(3).collect();
+    /// assert_eq!(solutions.len(), 3);
+    /// # Ok::<(), htsat_core::TransformError>(())
+    /// ```
+    pub fn stream(&mut self) -> SampleStream<&mut GdSampler> {
+        SampleStream::new(self)
+    }
+
+    /// Consumes the sampler into an owning stream of unique solutions.
+    ///
+    /// Like [`GdSampler::stream`] but `'static`: the stream can be moved to
+    /// another thread or stored, which is what a long-lived sampling service
+    /// needs.
+    pub fn into_stream(self) -> SampleStream<GdSampler> {
+        SampleStream::new(self)
+    }
+
     /// Samples until at least `min_solutions` unique solutions are collected
     /// or `timeout` elapses, whichever comes first.
     ///
-    /// Solutions found in previous calls are remembered, so repeated calls
-    /// keep extending the unique set.
+    /// This is a thin wrapper that collects [`GdSampler::stream`]: it drives
+    /// the stream until the target is met, the deadline passes, or eight
+    /// consecutive rounds stop producing new solutions (a formula with fewer
+    /// solutions than the target would otherwise burn the whole timeout
+    /// re-discovering known models). Unique solutions discovered by the
+    /// final round beyond `min_solutions` are included, and solutions found
+    /// in previous calls are remembered, so repeated calls keep extending
+    /// the unique set.
     pub fn sample(&mut self, min_solutions: usize, timeout: Duration) -> SampleReport {
-        let start = Instant::now();
-        let mut report = SampleReport {
-            solutions: Vec::new(),
-            attempts: 0,
-            valid: 0,
-            rounds: 0,
-            elapsed: Duration::ZERO,
-        };
-        let mut rounds_without_progress = 0u32;
-        while report.solutions.len() < min_solutions && start.elapsed() < timeout {
-            let valid = self.sample_round();
-            report.rounds += 1;
-            report.attempts += self.config.batch_size;
-            report.valid += valid.len();
-            let before = report.solutions.len();
-            for bits in valid {
-                if self.seen.insert(bits.clone()) {
-                    report.solutions.push(bits);
-                }
-            }
-            // A formula with fewer solutions than the target would otherwise
-            // burn the whole timeout re-discovering known models; stop once
-            // several consecutive rounds add nothing new (the CPU baselines
-            // apply the same early exit).
-            if report.solutions.len() == before {
-                rounds_without_progress += 1;
-                if rounds_without_progress >= 8 {
-                    break;
-                }
-            } else {
-                rounds_without_progress = 0;
-            }
+        let mut stream = self.stream().with_timeout(timeout);
+        let mut solutions: Vec<Vec<bool>> = stream.by_ref().take(min_solutions).collect();
+        // The final round usually discovers more unique solutions than the
+        // `take` consumed; deliver them instead of hiding them in the
+        // dedup-filter (the pre-streaming API returned them too).
+        solutions.append(&mut stream.drain_ready());
+        let stats = stream.stats().clone();
+        let elapsed = stream.elapsed();
+        SampleReport {
+            solutions,
+            attempts: stats.attempts,
+            valid: stats.valid,
+            rounds: stats.rounds,
+            elapsed,
         }
-        report.elapsed = start.elapsed();
-        report
     }
 
     /// Clears the memory of previously returned solutions.
     pub fn reset_unique_filter(&mut self) {
         self.seen.clear();
+    }
+}
+
+/// A [`GdSampler`] is a round source for the runtime's streaming service:
+/// one round is one cancellable gradient-descent batch, and the sampler's
+/// cross-call dedup memory is lent to the stream for its lifetime.
+impl RoundSource for GdSampler {
+    type Item = Vec<bool>;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
+        self.sample_round_cancellable(stop)
+    }
+
+    fn round_size(&self) -> usize {
+        self.config.batch_size
+    }
+
+    fn take_seen(&mut self) -> HashSet<Vec<bool>> {
+        std::mem::take(&mut self.seen)
+    }
+
+    fn restore_seen(&mut self, seen: HashSet<Vec<bool>>) {
+        self.seen = seen;
     }
 }
 

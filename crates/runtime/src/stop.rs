@@ -1,0 +1,69 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag.
+///
+/// All clones share one `AtomicBool`: setting any clone stops every holder.
+/// The token is the cancellation and deadline channel of
+/// [`crate::SampleStream`] — the stream checks it between items, and
+/// long-running round producers are handed a reference so they can bail out
+/// mid-round.
+///
+/// ```
+/// use htsat_runtime::StopToken;
+///
+/// let token = StopToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_stopped());
+/// token.stop();
+/// assert!(shared.is_stopped());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StopToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl StopToken {
+    /// Creates a token in the running (not stopped) state.
+    #[must_use]
+    pub fn new() -> Self {
+        StopToken::default()
+    }
+
+    /// Signals cancellation to every clone of this token.
+    pub fn stop(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been signalled.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_is_visible_through_clones_and_threads() {
+        let token = StopToken::new();
+        let clone = token.clone();
+        let handle = std::thread::spawn(move || {
+            clone.stop();
+        });
+        handle.join().expect("thread");
+        assert!(token.is_stopped());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = StopToken::new();
+        let b = StopToken::new();
+        a.stop();
+        assert!(!b.is_stopped());
+    }
+}

@@ -1,0 +1,399 @@
+//! The streaming sampling service: turn a round-based producer into a
+//! deduplicated, cancellable iterator of unique items.
+
+use crate::StopToken;
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// A producer of sampling rounds.
+///
+/// One `round` call produces a batch of candidate items (for the SAT
+/// samplers: valid, not-yet-deduplicated satisfying assignments).
+/// [`SampleStream`] drives rounds lazily and handles deduplication,
+/// deadlines and cancellation on top.
+pub trait RoundSource {
+    /// The item type produced by a round.
+    type Item: Clone + Eq + Hash;
+
+    /// Produces the next batch of candidate items.
+    ///
+    /// Implementations should poll `stop` at natural cut points (per
+    /// gradient-descent iteration, per row) and return early — possibly with
+    /// a partial batch — once it is set.
+    fn round(&mut self, stop: &StopToken) -> Vec<Self::Item>;
+
+    /// Number of candidates attempted per round (batch size), used for
+    /// statistics. `0` when unknown.
+    fn round_size(&self) -> usize {
+        0
+    }
+
+    /// Hands the source's memory of previously emitted items to the stream.
+    ///
+    /// Sources that deduplicate across API calls (e.g. a sampler whose
+    /// repeated `sample` calls must never repeat a solution) return their
+    /// seen-set here; the stream extends it and returns it through
+    /// [`RoundSource::restore_seen`] when dropped. The default is an empty
+    /// set (no cross-stream memory).
+    fn take_seen(&mut self) -> HashSet<Self::Item> {
+        HashSet::new()
+    }
+
+    /// Receives the seen-set back when the stream is dropped.
+    fn restore_seen(&mut self, _seen: HashSet<Self::Item>) {}
+}
+
+impl<S: RoundSource> RoundSource for &mut S {
+    type Item = S::Item;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Self::Item> {
+        (**self).round(stop)
+    }
+
+    fn round_size(&self) -> usize {
+        (**self).round_size()
+    }
+
+    fn take_seen(&mut self) -> HashSet<Self::Item> {
+        (**self).take_seen()
+    }
+
+    fn restore_seen(&mut self, seen: HashSet<Self::Item>) {
+        (**self).restore_seen(seen);
+    }
+}
+
+/// Progress counters of a [`SampleStream`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Rounds executed so far.
+    pub rounds: usize,
+    /// Candidates attempted (`rounds × round_size`).
+    pub attempts: usize,
+    /// Valid candidates produced by the source (before deduplication).
+    pub valid: usize,
+    /// Unique items yielded to the consumer.
+    pub yielded: usize,
+    /// Valid candidates dropped as duplicates.
+    pub duplicates: usize,
+}
+
+/// A lazy, deduplicated, cancellable stream of unique items.
+///
+/// `SampleStream` is an `Iterator`: each `next` first drains items already
+/// discovered, then — while the stop token is clear, the deadline (if any)
+/// has not passed, and the source still makes progress — runs further rounds
+/// on demand. Items are deduplicated incrementally against a seen-set, and
+/// because rounds return items in a deterministic order, the *stream order*
+/// is deterministic too for a deterministic source.
+///
+/// Termination:
+///
+/// * **Cancellation** — once the [`StopToken`] is set the stream returns
+///   `None` immediately, even if undelivered items are pending (use
+///   [`SampleStream::drain_ready`] to recover them).
+/// * **Deadline** — after the deadline no further rounds run, but pending
+///   items are still delivered.
+/// * **Exhaustion** — [`SampleStream::with_stale_limit`] consecutive rounds
+///   without a new unique item mark the stream exhausted (sources over a
+///   finite solution space would otherwise spin forever re-discovering known
+///   items).
+pub struct SampleStream<S: RoundSource> {
+    source: S,
+    stop: StopToken,
+    deadline: Option<Instant>,
+    stale_limit: u32,
+    stale_rounds: u32,
+    exhausted: bool,
+    seen: HashSet<S::Item>,
+    pending: VecDeque<S::Item>,
+    stats: StreamStats,
+    started: Instant,
+}
+
+impl<S: RoundSource> SampleStream<S> {
+    /// Default number of progress-free rounds after which the stream reports
+    /// exhaustion.
+    pub const DEFAULT_STALE_LIMIT: u32 = 8;
+
+    /// Creates a stream over `source` with no deadline, a fresh stop token
+    /// and the default stale limit.
+    pub fn new(mut source: S) -> Self {
+        let seen = source.take_seen();
+        SampleStream {
+            source,
+            stop: StopToken::new(),
+            deadline: None,
+            stale_limit: Self::DEFAULT_STALE_LIMIT,
+            stale_rounds: 0,
+            exhausted: false,
+            seen,
+            pending: VecDeque::new(),
+            stats: StreamStats::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Uses `stop` for cancellation instead of a private token.
+    #[must_use]
+    pub fn with_stop_token(mut self, stop: StopToken) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Stops starting new rounds once `deadline` has passed.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops starting new rounds once `timeout` has elapsed from now.
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let deadline = Instant::now() + timeout;
+        self.with_deadline(deadline)
+    }
+
+    /// Marks the stream exhausted after `limit` consecutive rounds without a
+    /// new unique item (`0` disables the early exit).
+    #[must_use]
+    pub fn with_stale_limit(mut self, limit: u32) -> Self {
+        self.stale_limit = limit;
+        self
+    }
+
+    /// A clone of the stream's stop token; set it (from any thread) to
+    /// cancel the stream.
+    #[must_use]
+    pub fn stop_token(&self) -> StopToken {
+        self.stop.clone()
+    }
+
+    /// Progress counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Time since the stream was created.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether the source has stopped making progress (stale-limit hit).
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Yields every already-discovered item without running new rounds.
+    ///
+    /// Useful after `take(n)` (the final round usually discovers more unique
+    /// items than were consumed) and after cancellation.
+    pub fn drain_ready(&mut self) -> Vec<S::Item> {
+        let drained: Vec<S::Item> = self.pending.drain(..).collect();
+        self.stats.yielded += drained.len();
+        drained
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+impl<S: RoundSource> Iterator for SampleStream<S> {
+    type Item = S::Item;
+
+    fn next(&mut self) -> Option<S::Item> {
+        loop {
+            if self.stop.is_stopped() {
+                return None;
+            }
+            if let Some(item) = self.pending.pop_front() {
+                self.stats.yielded += 1;
+                return Some(item);
+            }
+            if self.exhausted || self.deadline_passed() {
+                return None;
+            }
+            let batch = self.source.round(&self.stop);
+            self.stats.rounds += 1;
+            self.stats.attempts += self.source.round_size();
+            self.stats.valid += batch.len();
+            let unique_before = self.seen.len();
+            for item in batch {
+                if self.seen.insert(item.clone()) {
+                    self.pending.push_back(item);
+                } else {
+                    self.stats.duplicates += 1;
+                }
+            }
+            if self.seen.len() == unique_before {
+                self.stale_rounds += 1;
+                if self.stale_limit > 0 && self.stale_rounds >= self.stale_limit {
+                    self.exhausted = true;
+                }
+            } else {
+                self.stale_rounds = 0;
+            }
+        }
+    }
+}
+
+impl<S: RoundSource> Drop for SampleStream<S> {
+    fn drop(&mut self) {
+        self.source.restore_seen(std::mem::take(&mut self.seen));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emits `0..width`, then `batch..batch+width`, ... — every round half
+    /// overlapping the previous one, so deduplication is exercised.
+    struct Counter {
+        next: usize,
+        width: usize,
+        overlap: usize,
+        memory: HashSet<usize>,
+    }
+
+    impl Counter {
+        fn new(width: usize, overlap: usize) -> Self {
+            Counter {
+                next: 0,
+                width,
+                overlap,
+                memory: HashSet::new(),
+            }
+        }
+    }
+
+    impl RoundSource for Counter {
+        type Item = usize;
+
+        fn round(&mut self, _stop: &StopToken) -> Vec<usize> {
+            let start = self.next.saturating_sub(self.overlap);
+            let batch: Vec<usize> = (start..self.next + self.width).collect();
+            self.next += self.width;
+            batch
+        }
+
+        fn round_size(&self) -> usize {
+            self.width + self.overlap
+        }
+
+        fn take_seen(&mut self) -> HashSet<usize> {
+            std::mem::take(&mut self.memory)
+        }
+
+        fn restore_seen(&mut self, seen: HashSet<usize>) {
+            self.memory = seen;
+        }
+    }
+
+    /// A source whose solution space has exactly `total` items.
+    struct Finite {
+        total: usize,
+    }
+
+    impl RoundSource for Finite {
+        type Item = usize;
+
+        fn round(&mut self, _stop: &StopToken) -> Vec<usize> {
+            (0..self.total).collect()
+        }
+    }
+
+    #[test]
+    fn yields_unique_items_in_order() {
+        let stream = SampleStream::new(Counter::new(4, 2));
+        let items: Vec<usize> = stream.take(10).collect();
+        assert_eq!(items, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_yielded() {
+        let mut stream = SampleStream::new(Counter::new(4, 2));
+        let items: Vec<usize> = stream.by_ref().take(8).collect();
+        assert_eq!(items, (0..8).collect::<Vec<usize>>());
+        assert!(stream.stats().duplicates > 0);
+        assert_eq!(stream.stats().yielded, 8);
+    }
+
+    #[test]
+    fn stale_limit_ends_a_finite_stream() {
+        let mut stream = SampleStream::new(Finite { total: 5 }).with_stale_limit(3);
+        let items: Vec<usize> = stream.by_ref().collect();
+        assert_eq!(items.len(), 5);
+        assert!(stream.is_exhausted());
+        // 1 productive round + 3 stale rounds.
+        assert_eq!(stream.stats().rounds, 4);
+    }
+
+    #[test]
+    fn stop_token_cancels_immediately_even_with_pending_items() {
+        let mut stream = SampleStream::new(Counter::new(8, 0));
+        assert_eq!(stream.next(), Some(0)); // 7 items still pending
+        stream.stop_token().stop();
+        assert_eq!(stream.next(), None);
+        let recovered = stream.drain_ready();
+        assert_eq!(recovered, (1..8).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn deadline_stops_new_rounds_but_delivers_pending() {
+        let mut stream = SampleStream::new(Counter::new(4, 0))
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        // Deadline already passed: no round ever runs.
+        assert_eq!(stream.next(), None);
+        assert_eq!(stream.stats().rounds, 0);
+
+        // With items already discovered, a passed deadline still delivers them.
+        let mut stream = SampleStream::new(Counter::new(4, 0));
+        assert_eq!(stream.next(), Some(0));
+        let mut stream = stream.with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(stream.next(), Some(1));
+        assert_eq!(stream.next(), Some(2));
+        assert_eq!(stream.next(), Some(3));
+        assert_eq!(stream.next(), None);
+    }
+
+    #[test]
+    fn seen_set_round_trips_through_the_source() {
+        let mut counter = Counter::new(4, 4);
+        {
+            let stream = SampleStream::new(&mut counter);
+            let first: Vec<usize> = stream.take(4).collect();
+            assert_eq!(first, vec![0, 1, 2, 3]);
+        }
+        // The counter restarts half-overlapping, but the restored seen-set
+        // suppresses everything already emitted by the first stream.
+        let stream = SampleStream::new(&mut counter);
+        let second: Vec<usize> = stream.take(4).collect();
+        assert_eq!(second, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn stats_track_attempts_and_valid() {
+        let mut stream = SampleStream::new(Counter::new(2, 0));
+        let _: Vec<usize> = stream.by_ref().take(4).collect();
+        assert_eq!(stream.stats().rounds, 2);
+        assert_eq!(stream.stats().attempts, 4);
+        assert_eq!(stream.stats().valid, 4);
+    }
+
+    #[test]
+    fn external_stop_token_is_respected() {
+        let token = StopToken::new();
+        let mut stream = SampleStream::new(Counter::new(2, 0)).with_stop_token(token.clone());
+        assert_eq!(stream.next(), Some(0));
+        token.stop();
+        assert_eq!(stream.next(), None);
+    }
+}

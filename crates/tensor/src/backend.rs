@@ -1,24 +1,70 @@
-//! Execution backends: sequential (CPU) or data-parallel (GPU stand-in).
+//! Execution backends: how batch elements are scheduled onto cores.
 
+use htsat_runtime::{Executor, SequentialExecutor, ThreadPool};
 use rayon::prelude::*;
 
 /// How batch elements are processed.
 ///
 /// The paper's ablation (Fig. 4, left) compares GPU execution against CPU
-/// execution of the same sampler. On a CPU-only machine we reproduce the
-/// comparison as `DataParallel` (all cores, rayon work stealing, one batch
-/// element per task — the same independence the GPU exploits) versus
-/// `Sequential` (a single core).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// execution of the same sampler. On a CPU-only machine the GPU's role — one
+/// independent task per batch element — is played by a thread pool. Each
+/// variant documents what it *actually* dispatches to:
+///
+/// * [`Backend::Sequential`] — every batch element on the calling thread, in
+///   index order. The paper's CPU baseline.
+/// * [`Backend::Threads`] — the [`htsat_runtime::ThreadPool`] scoped
+///   work-stealing pool with the given worker count (`0` = one worker per
+///   available core). This is the real parallel path and the default.
+/// * [`Backend::DataParallel`] — the `rayon` parallel-iterator API, kept for
+///   compatibility with builds that point `[workspace.dependencies] rayon`
+///   at crates.io. **With the vendored rayon stub this executes
+///   sequentially** (the stub's `par_*` adaptors are the standard-library
+///   iterators); use [`Backend::Threads`] for real parallelism in offline
+///   builds.
+///
+/// Every backend observes the same contract: per-row kernels run exactly
+/// once per row and [`Backend::map_indices`] preserves index order, so for a
+/// pure kernel the choice of backend (and thread count) never changes the
+/// result — only the wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Process batch elements one after another on the calling thread.
     Sequential,
-    /// Process batch elements concurrently across all available cores.
-    #[default]
+    /// Process batch elements on the htsat-runtime thread pool with this
+    /// many workers; `0` sizes the pool to the available hardware threads.
+    Threads(usize),
+    /// Process batch elements through the `rayon` API. Parallel with the
+    /// real rayon crate; sequential with the vendored offline stub.
     DataParallel,
 }
 
+impl Default for Backend {
+    /// The default backend is the thread pool sized to the machine
+    /// (`Threads(0)`).
+    fn default() -> Self {
+        Backend::Threads(0)
+    }
+}
+
 impl Backend {
+    /// The thread pool sized to the available hardware parallelism.
+    #[must_use]
+    pub fn auto() -> Self {
+        Backend::Threads(0)
+    }
+
+    /// Number of worker threads this backend resolves to on this machine.
+    #[must_use]
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Backend::Sequential => 1,
+            Backend::Threads(n) => ThreadPool::new(n).threads(),
+            // The vendored stub reports 1; the real rayon reports the pool
+            // size.
+            Backend::DataParallel => rayon::current_num_threads(),
+        }
+    }
+
     /// Runs `f(batch_index, row)` over every row of a mutable row-chunked
     /// buffer, sequentially or in parallel according to the backend, and sums
     /// the returned values.
@@ -30,11 +76,8 @@ impl Backend {
             return 0.0;
         }
         match self {
-            Backend::Sequential => rows
-                .chunks_mut(width)
-                .enumerate()
-                .map(|(i, row)| f(i, row))
-                .sum(),
+            Backend::Sequential => SequentialExecutor.reduce_rows(rows, width, f),
+            Backend::Threads(n) => ThreadPool::new(n).reduce_rows(rows, width, f),
             Backend::DataParallel => rows
                 .par_chunks_mut(width)
                 .enumerate()
@@ -51,16 +94,20 @@ impl Backend {
         F: Fn(usize) -> T + Sync + Send,
     {
         match self {
-            Backend::Sequential => (0..n).map(f).collect(),
+            Backend::Sequential => SequentialExecutor.map_indices(n, f),
+            Backend::Threads(t) => ThreadPool::new(t).map_indices(n, f),
             Backend::DataParallel => (0..n).into_par_iter().map(f).collect(),
         }
     }
 
     /// A short human-readable label, used in benchmark reports.
-    pub fn label(self) -> &'static str {
+    #[must_use]
+    pub fn label(self) -> String {
         match self {
-            Backend::Sequential => "cpu-sequential",
-            Backend::DataParallel => "data-parallel",
+            Backend::Sequential => "cpu-sequential".to_string(),
+            Backend::Threads(0) => format!("threads-auto({})", self.effective_threads()),
+            Backend::Threads(n) => format!("threads-{n}"),
+            Backend::DataParallel => "data-parallel".to_string(),
         }
     }
 }
@@ -69,42 +116,64 @@ impl Backend {
 mod tests {
     use super::*;
 
+    const ALL: [Backend; 5] = [
+        Backend::Sequential,
+        Backend::Threads(0),
+        Backend::Threads(2),
+        Backend::Threads(8),
+        Backend::DataParallel,
+    ];
+
     #[test]
-    fn both_backends_produce_identical_results() {
+    fn all_backends_produce_identical_map_results() {
         let n = 257;
-        let seq = Backend::Sequential.map_indices(n, |i| i * i);
-        let par = Backend::DataParallel.map_indices(n, |i| i * i);
-        assert_eq!(seq, par);
+        let reference = Backend::Sequential.map_indices(n, |i| i * i);
+        for backend in ALL {
+            assert_eq!(
+                backend.map_indices(n, |i| i * i),
+                reference,
+                "backend {backend:?}"
+            );
+        }
     }
 
     #[test]
-    fn for_each_row_sums_and_mutates() {
+    fn for_each_row_sums_and_mutates_identically_everywhere() {
         let width = 4;
-        let mut a = vec![1.0f32; 3 * width];
-        let mut b = a.clone();
-        let total_seq = Backend::Sequential.for_each_row(&mut a, width, |i, row| {
+        let mut reference = vec![1.0f32; 33 * width];
+        let kernel = |i: usize, row: &mut [f32]| {
             row[0] = i as f32;
-            row.iter().map(|&v| v as f64).sum()
-        });
-        let total_par = Backend::DataParallel.for_each_row(&mut b, width, |i, row| {
-            row[0] = i as f32;
-            row.iter().map(|&v| v as f64).sum()
-        });
-        assert_eq!(a, b);
-        assert!((total_seq - total_par).abs() < 1e-9);
+            row.iter().map(|&v| f64::from(v)).sum()
+        };
+        let expected = Backend::Sequential.for_each_row(&mut reference, width, kernel);
+        for backend in ALL {
+            let mut data = vec![1.0f32; 33 * width];
+            let total = backend.for_each_row(&mut data, width, kernel);
+            assert_eq!(data, reference, "backend {backend:?}");
+            assert!((total - expected).abs() < 1e-9, "backend {backend:?}");
+        }
     }
 
     #[test]
     fn zero_width_is_a_no_op() {
-        let mut empty: Vec<f32> = Vec::new();
-        assert_eq!(
-            Backend::DataParallel.for_each_row(&mut empty, 0, |_, _| 1.0),
-            0.0
-        );
+        for backend in ALL {
+            let mut empty: Vec<f32> = Vec::new();
+            assert_eq!(backend.for_each_row(&mut empty, 0, |_, _| 1.0), 0.0);
+        }
     }
 
     #[test]
     fn labels_are_distinct() {
-        assert_ne!(Backend::Sequential.label(), Backend::DataParallel.label());
+        let labels: Vec<String> = ALL.iter().map(|b| b.label()).collect();
+        let unique: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn default_is_the_auto_sized_pool() {
+        assert_eq!(Backend::default(), Backend::auto());
+        assert!(Backend::default().effective_threads() >= 1);
+        assert_eq!(Backend::Threads(3).effective_threads(), 3);
+        assert_eq!(Backend::Sequential.effective_threads(), 1);
     }
 }

@@ -16,8 +16,9 @@
 //! * [`SoftCircuit`] — a topologically ordered differentiable circuit with a
 //!   reverse-mode gradient pass per batch element,
 //! * [`Sgd`] / [`Adam`] — optimizers updating the input logits,
-//! * [`Backend`] — `Sequential` (the paper's CPU baseline) or `DataParallel`
-//!   (rayon across the batch, standing in for the GPU),
+//! * [`Backend`] — `Sequential` (the paper's CPU baseline), `Threads(n)`
+//!   (the [`htsat_runtime`] thread pool across the batch, standing in for
+//!   the GPU) or `DataParallel` (the rayon API, kept for compatibility),
 //! * [`MemoryModel`] — the memory-usage model behind the paper's Fig. 3.
 //!
 //! # Example

@@ -7,6 +7,8 @@
 //! This facade crate re-exports the workspace members so applications can
 //! depend on a single crate:
 //!
+//! * [`runtime`] — the thread-pool executor and streaming sampling service
+//!   ([`htsat_runtime`]),
 //! * [`cnf`] — CNF formulas, DIMACS I/O, evaluation ([`htsat_cnf`]),
 //! * [`logic`] — Boolean expressions, simplification and netlists
 //!   ([`htsat_logic`]),
@@ -47,5 +49,6 @@ pub use htsat_cnf as cnf;
 pub use htsat_core as core;
 pub use htsat_instances as instances;
 pub use htsat_logic as logic;
+pub use htsat_runtime as runtime;
 pub use htsat_solver as solver;
 pub use htsat_tensor as tensor;
