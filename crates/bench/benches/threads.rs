@@ -1,5 +1,8 @@
 //! Criterion bench: one sampling round at 1/2/4/8 worker threads — the
-//! scaling curve of the htsat-runtime executor over the batch dimension.
+//! scaling curve of the htsat-runtime executor over the batch dimension,
+//! on the fused flat-kernel path (each worker owns one reusable workspace
+//! per parallel region; the whole GD trajectory of a row runs inside a
+//! single region).
 //!
 //! On a multi-core machine the per-round latency should drop with the
 //! worker count until it saturates the hardware; on a single core the curve

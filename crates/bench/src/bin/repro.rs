@@ -13,13 +13,15 @@
 //!
 //! Options: `--scale small|paper`, `--target N`, `--timeout SECONDS`,
 //! `--batch N`, `--threads N` (`0` = one worker per core), `--stream`
-//! (collect through the streaming API), `--instances N` (fig2 only),
-//! `--counts A,B,...` (threads only).
+//! (collect through the streaming API), `--kernel flat|reference` (fused
+//! flat kernel, the default, or the staged reference circuit),
+//! `--instances N` (fig2 only), `--counts A,B,...` (threads only).
 
 use htsat_bench::{
     ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2,
     threads_sweep, RunOptions,
 };
+use htsat_core::KernelChoice;
 use htsat_instances::suite::SuiteScale;
 use std::time::Duration;
 
@@ -76,6 +78,13 @@ fn parse_args() -> Result<CliArgs, String> {
                         .map_err(|e| format!("invalid --threads: {e}"))?,
                 );
             }
+            "--kernel" => {
+                options.kernel = match value()?.as_str() {
+                    "flat" => KernelChoice::Flat,
+                    "reference" => KernelChoice::Reference,
+                    other => return Err(format!("unknown kernel `{other}`")),
+                };
+            }
             "--instances" => {
                 fig2_instances = value()?
                     .parse()
@@ -105,12 +114,13 @@ fn parse_args() -> Result<CliArgs, String> {
 fn run_table2(options: &RunOptions) {
     println!("== Table II: unique-solution throughput (solutions/second) ==");
     println!(
-        "   target {} unique solutions, timeout {:?}, batch {}, scale {:?}, backend {}{}\n",
+        "   target {} unique solutions, timeout {:?}, batch {}, scale {:?}, backend {}, kernel {:?}{}\n",
         options.target,
         options.timeout,
         options.batch_size,
         options.scale,
         options.gd_backend().label(),
+        options.kernel,
         if options.stream { ", streaming" } else { "" }
     );
     let rows = table2(options);
@@ -196,7 +206,7 @@ fn main() {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|threads|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--threads N] [--stream] [--instances N] [--counts A,B,...]");
+            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|threads|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--threads N] [--stream] [--kernel flat|reference] [--instances N] [--counts A,B,...]");
             std::process::exit(2);
         }
     };

@@ -23,7 +23,7 @@
 use htsat_baselines::{
     CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, UniGenLike, WalkSatSampler,
 };
-use htsat_core::{transform, GdSampler, SamplerConfig};
+use htsat_core::{transform, GdSampler, KernelChoice, SamplerConfig};
 use htsat_instances::suite::{full_suite, table2_instances, SuiteScale};
 use htsat_instances::Instance;
 use htsat_tensor::Backend;
@@ -47,6 +47,9 @@ pub struct RunOptions {
     /// Collect the gradient-descent sampler through the streaming API
     /// ([`GdSampler::stream`]) instead of the blocking `sample` call.
     pub stream: bool,
+    /// Execution form of the gradient-descent inner loop: the fused flat
+    /// kernel (default) or the staged reference circuit.
+    pub kernel: KernelChoice,
 }
 
 impl Default for RunOptions {
@@ -58,6 +61,7 @@ impl Default for RunOptions {
             batch_size: 512,
             threads: None,
             stream: false,
+            kernel: KernelChoice::default(),
         }
     }
 }
@@ -109,6 +113,7 @@ fn gd_config(options: &RunOptions, backend: Backend) -> SamplerConfig {
     SamplerConfig {
         batch_size: options.batch_size,
         backend,
+        kernel: options.kernel,
         ..SamplerConfig::default()
     }
 }
@@ -487,7 +492,30 @@ mod tests {
             batch_size: 64,
             threads: None,
             stream: false,
+            kernel: KernelChoice::default(),
         }
+    }
+
+    #[test]
+    fn flat_and_reference_kernel_options_find_identical_unique_counts() {
+        let instance = htsat_instances::suite::table2_instance("90-10-10-q", SuiteScale::Small)
+            .expect("exists");
+        // A tight target both kernels reach within their first round, so
+        // the wall-clock timeout never truncates either run and the unique
+        // counts (target + the final round's deterministic surplus) must
+        // match exactly — the kernels are bit-identical.
+        let flat = RunOptions {
+            target: 5,
+            ..quick_options()
+        };
+        let reference = RunOptions {
+            kernel: KernelChoice::Reference,
+            ..flat
+        };
+        let a = run_gd(&instance, &flat, flat.gd_backend());
+        let b = run_gd(&instance, &reference, reference.gd_backend());
+        assert!(a.unique >= 5);
+        assert_eq!(a.unique, b.unique);
     }
 
     #[test]

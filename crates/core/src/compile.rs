@@ -7,15 +7,22 @@
 use crate::TransformResult;
 use htsat_cnf::Var;
 use htsat_logic::{GateKind, NodeRef};
-use htsat_tensor::{SoftCircuit, SoftGate};
+use htsat_tensor::{FlatKernel, SoftCircuit, SoftGate};
 use std::collections::HashMap;
 
 /// A compiled differentiable circuit together with the mapping from input
 /// columns back to CNF variables.
+///
+/// Both execution forms are carried: [`SoftCircuit`] is the auditable
+/// reference implementation, and [`FlatKernel`] is the same circuit
+/// compiled into the allocation-free flat layout the sampler's hot path
+/// runs on. The two produce bit-identical losses and gradients.
 #[derive(Debug, Clone)]
 pub struct CompiledCircuit {
-    /// The differentiable circuit.
+    /// The differentiable circuit (reference implementation).
     pub circuit: SoftCircuit,
+    /// The flat fused kernel compiled from `circuit`.
+    pub kernel: FlatKernel,
     /// CNF variable corresponding to each input column.
     pub input_vars: Vec<Var>,
 }
@@ -79,8 +86,10 @@ pub fn compile(result: &TransformResult) -> CompiledCircuit {
     for output in netlist.outputs() {
         circuit.constrain(output.node.index(), if output.target { 1.0 } else { 0.0 });
     }
+    let kernel = FlatKernel::compile(&circuit);
     CompiledCircuit {
         circuit,
+        kernel,
         input_vars,
     }
 }
@@ -113,6 +122,32 @@ mod tests {
             compiled.circuit.outputs().len(),
             result.netlist.outputs().len()
         );
+        assert_eq!(compiled.kernel.num_nodes(), compiled.circuit.num_nodes());
+        assert_eq!(compiled.kernel.num_inputs(), compiled.num_inputs());
+    }
+
+    #[test]
+    fn flat_kernel_matches_reference_on_compiled_circuits() {
+        let cnf = and_constrained_cnf();
+        let result = transform(&cnf).expect("transform");
+        let compiled = compile(&result);
+        let n = compiled.num_inputs();
+        let mut ws = compiled.kernel.workspace();
+        let mut ref_grad = vec![0.0f32; n];
+        let mut flat_grad = vec![0.0f32; n];
+        for trial in 0..8u32 {
+            let inputs: Vec<f32> = (0..n)
+                .map(|c| ((trial as usize + c * 3) % 7) as f32 / 7.0)
+                .collect();
+            let ref_loss = compiled
+                .circuit
+                .loss_and_grad_single(&inputs, &mut ref_grad);
+            let flat_loss = compiled
+                .kernel
+                .loss_and_grad(&inputs, &mut flat_grad, &mut ws);
+            assert_eq!(ref_loss.to_bits(), flat_loss.to_bits(), "trial {trial}");
+            assert_eq!(ref_grad, flat_grad, "trial {trial}");
+        }
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! Gradient-descent SAT sampling over the transformed circuit.
 //!
 //! The sampler reproduces the training loop of the paper: a batch of input
-//! logits `V ∈ R^{b×n}` is embedded into probabilities with a sigmoid, the
-//! probabilistic circuit maps them to output probabilities, an ℓ2 loss
-//! against the constrained targets is minimised with plain gradient descent
-//! (learning rate 10, five iterations by default), the logits are hardened to
-//! bits, validated against the *original* CNF and deduplicated.
+//! logits `V ∈ R^{b×n}` is embedded into probabilities with a clamped
+//! sigmoid ([`ops::embed_logit`]), the probabilistic circuit maps them to
+//! output probabilities, an ℓ2 loss against the constrained targets is
+//! minimised with plain gradient descent (learning rate 10, five iterations
+//! by default), the logits are hardened to bits, validated against the
+//! *original* CNF and deduplicated.
+//!
+//! By default the inner loop runs on the fused
+//! [`htsat_tensor::FlatKernel`]: embedding, forward, backward, chain rule
+//! and the descent update execute as one pass per row over a flat circuit
+//! layout, writing into per-worker [`htsat_tensor::Workspace`]s and
+//! updating the persistent logit matrix in place — zero allocations per
+//! row. [`KernelChoice::Reference`] selects the stage-by-stage
+//! [`htsat_tensor::SoftCircuit`] baseline, which computes the identical
+//! math (bit for bit) and exists to verify the kernel.
 //!
 //! The primary consumption API is **streaming**: [`GdSampler::stream`]
 //! returns a [`SampleStream`] — a lazy `Iterator` of unique solutions that
@@ -31,6 +41,28 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::time::Duration;
 
+/// Which execution form of the compiled circuit the gradient-descent inner
+/// loop runs on.
+///
+/// Both forms compute the identical math — the flat kernel replicates the
+/// reference implementation operation for operation, so for the same seed
+/// they produce the identical solution sequence (asserted by tests and the
+/// CI corpus-equivalence step). The choice only affects speed and memory
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// The fused allocation-free [`htsat_tensor::FlatKernel`] path:
+    /// sigmoid embedding, forward, backward, chain rule and the descent
+    /// update in one pass per row, out of per-worker workspaces. The
+    /// default.
+    #[default]
+    Flat,
+    /// The [`htsat_tensor::SoftCircuit`] reference path: one pass per
+    /// stage, with a probability-matrix clone per iteration. Kept as the
+    /// auditable baseline the flat kernel is verified against.
+    Reference,
+}
+
 /// Configuration of the gradient-descent sampler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplerConfig {
@@ -38,7 +70,7 @@ pub struct SamplerConfig {
     pub batch_size: usize,
     /// Gradient-descent iterations per round (the paper uses 5).
     pub iterations: usize,
-    /// Learning rate γ (the paper uses 10).
+    /// Learning rate γ (the paper uses 10). Must be positive and finite.
     pub learning_rate: f32,
     /// Execution backend for the batch dimension: `Sequential` (the CPU
     /// baseline), `Threads(n)` (the runtime pool, the GPU stand-in and the
@@ -46,8 +78,12 @@ pub struct SamplerConfig {
     pub backend: Backend,
     /// Seed of the sampler's RNG (logit initialisation and free variables).
     pub seed: u64,
-    /// Scale of the uniform logit initialisation `V ~ U(-s, s)`.
+    /// Scale of the uniform logit initialisation `V ~ U(-s, s)`. Must be
+    /// positive and finite.
     pub init_scale: f32,
+    /// Execution form of the inner loop: the fused flat kernel (default)
+    /// or the reference circuit.
+    pub kernel: KernelChoice,
     /// Options forwarded to the CNF-to-circuit transformation.
     pub transform: TransformConfig,
 }
@@ -61,6 +97,7 @@ impl Default for SamplerConfig {
             backend: Backend::default(),
             seed: 0,
             init_scale: 2.0,
+            kernel: KernelChoice::default(),
             transform: TransformConfig::default(),
         }
     }
@@ -82,13 +119,20 @@ pub struct SampleReport {
 }
 
 impl SampleReport {
-    /// Unique-solution throughput in solutions per second — the headline
-    /// metric of the paper's Table II.
+    /// The smallest elapsed time [`SampleReport::throughput`] divides by:
+    /// one microsecond, the resolution the repro tables report at.
+    pub const MIN_MEASURABLE_TICK: Duration = Duration::from_micros(1);
+
+    /// Unique-solution throughput in **unique solutions per second** — the
+    /// headline metric of the paper's Table II.
+    ///
+    /// The denominator is clamped to [`SampleReport::MIN_MEASURABLE_TICK`]:
+    /// a run that completes faster than the clock can resolve yields the
+    /// finite upper bound `solutions / 1µs` instead of silently returning
+    /// the raw solution *count* (which repro tables would then print as a
+    /// rate).
     pub fn throughput(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
-            return self.solutions.len() as f64;
-        }
+        let secs = self.elapsed.max(Self::MIN_MEASURABLE_TICK).as_secs_f64();
         self.solutions.len() as f64 / secs
     }
 
@@ -110,16 +154,23 @@ pub struct GdSampler {
     config: SamplerConfig,
     rng: SmallRng,
     seen: HashSet<Vec<bool>>,
+    /// The batch logit matrix, allocated once and reused every round: the
+    /// fused kernel updates it in place, so the GD inner loop performs no
+    /// per-row (or per-iteration) allocations.
+    logits: BatchMatrix,
 }
 
 impl GdSampler {
     /// Builds a sampler for `cnf`: runs the CNF-to-circuit transformation and
-    /// compiles the differentiable circuit.
+    /// compiles the differentiable circuit (both the reference form and the
+    /// flat fused kernel).
     ///
     /// # Errors
     ///
     /// Returns a [`TransformError`] if the formula is structurally
-    /// unsatisfiable or the configuration is invalid.
+    /// unsatisfiable or the configuration is invalid (zero batch size or
+    /// iterations; NaN, infinite or non-positive learning rate or
+    /// initialisation scale).
     pub fn new(cnf: &Cnf, config: SamplerConfig) -> Result<Self, TransformError> {
         if config.batch_size == 0 {
             return Err(TransformError::InvalidConfig(
@@ -131,9 +182,24 @@ impl GdSampler {
                 "iterations must be non-zero".into(),
             ));
         }
+        // A NaN learning rate or scale would silently poison every logit;
+        // a non-positive scale panics inside `gen_range`. Reject both here.
+        if !(config.learning_rate.is_finite() && config.learning_rate > 0.0) {
+            return Err(TransformError::InvalidConfig(format!(
+                "learning rate must be positive and finite, got {}",
+                config.learning_rate
+            )));
+        }
+        if !(config.init_scale.is_finite() && config.init_scale > 0.0) {
+            return Err(TransformError::InvalidConfig(format!(
+                "init scale must be positive and finite, got {}",
+                config.init_scale
+            )));
+        }
         let transform = transform_with_config(cnf, &config.transform)?;
         let compiled = compile(&transform);
         let rng = SmallRng::seed_from_u64(config.seed);
+        let logits = BatchMatrix::zeros(config.batch_size, compiled.num_inputs());
         Ok(GdSampler {
             cnf: cnf.clone(),
             transform,
@@ -141,6 +207,7 @@ impl GdSampler {
             config,
             rng,
             seen: HashSet::new(),
+            logits,
         })
     }
 
@@ -155,22 +222,30 @@ impl GdSampler {
     }
 
     /// Memory model of one sampling round at the configured batch size — the
-    /// quantity plotted in the paper's Fig. 3 (right).
+    /// quantity plotted in the paper's Fig. 3 (right), under the
+    /// workspace-based buffer model (persistent logits per batch row,
+    /// one workspace per pool worker).
     pub fn memory_model(&self) -> MemoryModel {
-        MemoryModel::new(
-            self.compiled.num_inputs(),
-            self.compiled.circuit.num_nodes(),
-            self.config.batch_size,
-        )
+        self.memory_model_for_batch(self.config.batch_size)
     }
 
-    /// Memory model at an arbitrary batch size.
+    /// Memory model at an arbitrary batch size. Reflects the configured
+    /// [`KernelChoice`]: the staged reference path keeps two extra
+    /// `[batch, inputs]` matrices resident per iteration (the cloned
+    /// probabilities and the gradient matrix) that the fused path does not.
     pub fn memory_model_for_batch(&self, batch: usize) -> MemoryModel {
+        let staged = match self.config.kernel {
+            KernelChoice::Flat => 0,
+            KernelChoice::Reference => 2,
+        };
         MemoryModel::new(
             self.compiled.num_inputs(),
             self.compiled.circuit.num_nodes(),
             batch,
         )
+        .with_workers(self.config.backend.effective_threads())
+        .with_max_fanin(self.compiled.kernel.max_fanin())
+        .with_staged_matrices(staged)
     }
 
     /// Runs one gradient-descent round and returns the valid (but not
@@ -179,50 +254,83 @@ impl GdSampler {
         self.sample_round_cancellable(&StopToken::new())
     }
 
-    /// Like [`GdSampler::sample_round`], but polls `stop` at every
-    /// gradient-descent iteration and per hardened row, returning early
-    /// (possibly with a partial batch) once it is set.
+    /// Like [`GdSampler::sample_round`], but polls `stop` during the
+    /// gradient-descent loop and per hardened row, returning early (with an
+    /// empty or partial batch) once it is set.
     pub fn sample_round_cancellable(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
         let batch = self.config.batch_size;
         let n = self.compiled.num_inputs();
         let scale = self.config.init_scale;
+        let backend = self.config.backend;
         // One master draw per round; every row then owns a private RNG
         // stream, so the initialisation (and therefore the produced samples)
         // is a function of (seed, row) alone — not of the thread count.
         let round_seed: u64 = self.rng.gen();
-        let mut logits = BatchMatrix::zeros(batch, n);
-        self.config
-            .backend
-            .for_each_row(logits.as_mut_slice(), n, |b, row| {
-                let mut row_rng = SmallRng::seed_from_u64(derive_stream_seed(round_seed, b));
-                for v in row.iter_mut() {
-                    *v = row_rng.gen_range(-scale..=scale);
-                }
-                0.0
-            });
+        let logits = &mut self.logits;
+        backend.for_each_row(logits.as_mut_slice(), n, |b, row| {
+            let mut row_rng = SmallRng::seed_from_u64(derive_stream_seed(round_seed, b));
+            for v in row.iter_mut() {
+                *v = row_rng.gen_range(-scale..=scale);
+            }
+            0.0
+        });
 
-        for _ in 0..self.config.iterations {
-            if stop.is_stopped() {
-                return Vec::new();
+        let iterations = self.config.iterations;
+        let learning_rate = self.config.learning_rate;
+        match self.config.kernel {
+            KernelChoice::Flat => {
+                // The fused hot path: one parallel region runs every row's
+                // whole gradient-descent trajectory (rows are independent),
+                // each worker reusing one preallocated workspace. The kernel
+                // embeds, evaluates, differentiates and descends in a single
+                // pass per iteration with zero allocations per row.
+                let kernel = &self.compiled.kernel;
+                backend.for_each_row_with(
+                    logits.as_mut_slice(),
+                    n,
+                    || kernel.workspace(),
+                    |_, row, ws| {
+                        let mut loss = 0.0;
+                        for _ in 0..iterations {
+                            if stop.is_stopped() {
+                                break;
+                            }
+                            loss = kernel.fused_gd_step(row, learning_rate, ws);
+                        }
+                        loss
+                    },
+                );
+                if stop.is_stopped() {
+                    return Vec::new();
+                }
             }
-            // Continuous embedding: P = σ(V).
-            let mut probs = logits.clone();
-            probs.map_inplace(ops::sigmoid);
-            let (_loss, grad_p) = self
-                .compiled
-                .circuit
-                .loss_and_input_grads(&probs, self.config.backend);
-            // Chain rule through the sigmoid: dL/dV = dL/dP · σ'(V).
-            let mut grad_v = grad_p;
-            for (g, &p) in grad_v
-                .as_mut_slice()
-                .iter_mut()
-                .zip(probs.as_slice().iter())
-            {
-                *g *= ops::sigmoid_grad_from_output(p);
+            KernelChoice::Reference => {
+                // The auditable baseline: the same math in one pass per
+                // stage over the whole batch. Kept for verification; the
+                // flat path above must match it bit for bit.
+                for _ in 0..iterations {
+                    if stop.is_stopped() {
+                        return Vec::new();
+                    }
+                    // Continuous embedding: P = clamp(σ(V)).
+                    let mut probs = logits.clone();
+                    probs.map_inplace(ops::embed_logit);
+                    let (_loss, grad_p) =
+                        self.compiled.circuit.loss_and_input_grads(&probs, backend);
+                    // Chain rule through the sigmoid: dL/dV = dL/dP · σ'(P).
+                    let mut grad_v = grad_p;
+                    for (g, &p) in grad_v
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(probs.as_slice().iter())
+                    {
+                        *g *= ops::sigmoid_grad_from_output(p);
+                    }
+                    logits.saxpy_neg(learning_rate, &grad_v);
+                }
             }
-            logits.saxpy_neg(self.config.learning_rate, &grad_v);
         }
+        let logits = &self.logits;
 
         // Harden, reconstruct full assignments and validate against the CNF.
         let num_vars = self.cnf.num_vars();
@@ -415,22 +523,81 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let cnf = mux_constrained_cnf();
-        let zero_batch = SamplerConfig {
+        let rejected = |config: SamplerConfig| {
+            matches!(
+                GdSampler::new(&cnf, config),
+                Err(TransformError::InvalidConfig(_))
+            )
+        };
+        assert!(rejected(SamplerConfig {
             batch_size: 0,
             ..SamplerConfig::default()
-        };
-        assert!(matches!(
-            GdSampler::new(&cnf, zero_batch),
-            Err(TransformError::InvalidConfig(_))
-        ));
-        let zero_iters = SamplerConfig {
+        }));
+        assert!(rejected(SamplerConfig {
             iterations: 0,
             ..SamplerConfig::default()
+        }));
+        // A NaN learning rate or init scale silently poisons every logit; a
+        // non-positive init scale panics inside gen_range. All rejected.
+        for learning_rate in [f32::NAN, 0.0, -1.0, f32::INFINITY] {
+            assert!(
+                rejected(SamplerConfig {
+                    learning_rate,
+                    ..SamplerConfig::default()
+                }),
+                "learning_rate {learning_rate} must be rejected"
+            );
+        }
+        for init_scale in [f32::NAN, 0.0, -2.0, f32::NEG_INFINITY] {
+            assert!(
+                rejected(SamplerConfig {
+                    init_scale,
+                    ..SamplerConfig::default()
+                }),
+                "init_scale {init_scale} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_and_reference_kernels_produce_identical_solution_sequences() {
+        let cnf = mux_constrained_cnf();
+        for backend in [Backend::Sequential, Backend::Threads(2)] {
+            let run = |kernel: KernelChoice| {
+                let config = SamplerConfig {
+                    batch_size: 64,
+                    backend,
+                    kernel,
+                    ..SamplerConfig::default()
+                };
+                let mut sampler = GdSampler::new(&cnf, config).expect("build");
+                let mut rounds = Vec::new();
+                for _ in 0..3 {
+                    rounds.push(sampler.sample_round());
+                }
+                rounds
+            };
+            let flat = run(KernelChoice::Flat);
+            let reference = run(KernelChoice::Reference);
+            assert_eq!(flat, reference, "backend {backend:?}");
+            assert!(flat.iter().any(|round| !round.is_empty()));
+        }
+    }
+
+    #[test]
+    fn throughput_is_finite_when_elapsed_rounds_to_zero() {
+        let report = SampleReport {
+            solutions: vec![vec![true]; 5],
+            attempts: 5,
+            valid: 5,
+            rounds: 1,
+            elapsed: Duration::ZERO,
         };
-        assert!(matches!(
-            GdSampler::new(&cnf, zero_iters),
-            Err(TransformError::InvalidConfig(_))
-        ));
+        // Clamped to the minimum measurable tick (1µs): an upper bound in
+        // solutions *per second*, never the raw count.
+        let expected = 5.0 / SampleReport::MIN_MEASURABLE_TICK.as_secs_f64();
+        assert!((report.throughput() - expected).abs() < 1e-3);
+        assert!(report.throughput().is_finite());
     }
 
     #[test]

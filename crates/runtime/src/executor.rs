@@ -5,20 +5,40 @@ use std::ops::Range;
 
 /// An execution strategy for embarrassingly parallel, index-addressed work.
 ///
-/// The two methods cover the workspace's needs: [`Executor::reduce_rows`] is
-/// the shape of a batched kernel (each batch row mutated independently, one
-/// scalar reduced across the batch) and [`Executor::map_indices`] is the
-/// shape of a batched collection (one value per index, order preserved).
+/// The methods cover the workspace's needs: [`Executor::reduce_rows_with`]
+/// is the shape of a batched kernel with per-worker scratch state (each
+/// batch row mutated independently, one scalar reduced across the batch,
+/// one workspace per worker per parallel region), [`Executor::reduce_rows`]
+/// is its stateless convenience wrapper, and [`Executor::map_indices`] is
+/// the shape of a batched collection (one value per index, order preserved).
 ///
 /// Implementations must be *order-transparent*: `map_indices` returns results
-/// in index order and `reduce_rows` visits every row exactly once, so for a
-/// pure `f` every executor produces the same output. The floating-point sum
-/// returned by `reduce_rows` is accumulated per chunk and then in chunk
-/// order, so it is deterministic for a fixed executor but may differ in the
-/// last bits between executors with different chunking.
+/// in index order and `reduce_rows`/`reduce_rows_with` visit every row
+/// exactly once, so for a pure `f` every executor produces the same output.
+/// The workspace handed to `f` must therefore never leak information between
+/// rows — kernels must fully overwrite whatever scratch they read. The
+/// floating-point sum returned by the reductions is accumulated per chunk
+/// and then in chunk order, so it is deterministic for a fixed executor but
+/// may differ in the last bits between executors with different chunking.
 pub trait Executor {
     /// Number of worker threads this executor uses (1 for sequential).
     fn threads(&self) -> usize;
+
+    /// Runs `f(row_index, row, workspace)` over every `width`-sized row of
+    /// `rows`, mutating rows in place, and returns the sum of the per-row
+    /// results.
+    ///
+    /// `init` builds one workspace **per worker thread per parallel
+    /// region** — not per row. This is the executor entry point for
+    /// allocation-free kernels: a worker claims rows until the region
+    /// drains, reusing the same workspace for every row it visits.
+    ///
+    /// Returns `0.0` when `width == 0` (no rows, no workspaces).
+    fn reduce_rows_with<W, I, F>(&self, rows: &mut [f32], width: usize, init: I, f: F) -> f64
+    where
+        W: Send,
+        I: Fn() -> W + Send + Sync,
+        F: Fn(usize, &mut [f32], &mut W) -> f64 + Send + Sync;
 
     /// Runs `f(row_index, row)` over every `width`-sized row of `rows`,
     /// mutating rows in place, and returns the sum of the per-row results.
@@ -26,7 +46,10 @@ pub trait Executor {
     /// Returns `0.0` when `width == 0`.
     fn reduce_rows<F>(&self, rows: &mut [f32], width: usize, f: F) -> f64
     where
-        F: Fn(usize, &mut [f32]) -> f64 + Send + Sync;
+        F: Fn(usize, &mut [f32]) -> f64 + Send + Sync,
+    {
+        self.reduce_rows_with(rows, width, || (), |i, row, (): &mut ()| f(i, row))
+    }
 
     /// Maps `f` over `0..n` and collects the results in index order.
     fn map_indices<T, F>(&self, n: usize, f: F) -> Vec<T>
@@ -47,16 +70,19 @@ impl Executor for SequentialExecutor {
         1
     }
 
-    fn reduce_rows<F>(&self, rows: &mut [f32], width: usize, f: F) -> f64
+    fn reduce_rows_with<W, I, F>(&self, rows: &mut [f32], width: usize, init: I, f: F) -> f64
     where
-        F: Fn(usize, &mut [f32]) -> f64 + Send + Sync,
+        W: Send,
+        I: Fn() -> W + Send + Sync,
+        F: Fn(usize, &mut [f32], &mut W) -> f64 + Send + Sync,
     {
         if width == 0 {
             return 0.0;
         }
+        let mut workspace = init();
         rows.chunks_mut(width)
             .enumerate()
-            .map(|(i, row)| f(i, row))
+            .map(|(i, row)| f(i, row, &mut workspace))
             .sum()
     }
 
@@ -143,5 +169,45 @@ mod tests {
     #[test]
     fn zero_width_reduce_is_zero() {
         assert_eq!(SequentialExecutor.reduce_rows(&mut [], 0, |_, _| 1.0), 0.0);
+    }
+
+    #[test]
+    fn sequential_reduce_rows_with_builds_one_workspace_for_the_region() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let width = 2;
+        let mut rows = vec![1.0f32; 8 * width];
+        let total = SequentialExecutor.reduce_rows_with(
+            &mut rows,
+            width,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                vec![0.0f32; 4]
+            },
+            |i, row, ws: &mut Vec<f32>| {
+                ws[0] = i as f32;
+                row[0] += ws[0];
+                1.0
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert!((total - 8.0).abs() < 1e-12);
+        assert_eq!(rows[3 * width], 1.0 + 3.0);
+    }
+
+    #[test]
+    fn zero_width_reduce_with_never_builds_a_workspace() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let total = SequentialExecutor.reduce_rows_with(
+            &mut [],
+            0,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, _, ()| 1.0,
+        );
+        assert_eq!(total, 0.0);
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
     }
 }

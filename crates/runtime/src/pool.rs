@@ -1,6 +1,6 @@
 //! A scoped `std::thread` worker pool with counter-based chunk stealing.
 
-use crate::executor::{chunk_ranges, Executor};
+use crate::executor::{chunk_ranges, Executor, SequentialExecutor};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -53,38 +53,44 @@ impl ThreadPool {
         ThreadPool::new(0)
     }
 
-    /// Runs `work(chunk_id)` for every chunk id in `0..num_chunks` across the
-    /// worker threads and returns the results in chunk-id order.
+    /// Runs `work(chunk_id, worker_state)` for every chunk id in
+    /// `0..num_chunks` across the worker threads and returns the results in
+    /// chunk-id order. `init` builds one state value per worker (once per
+    /// call), which the worker reuses for every chunk it claims.
     ///
-    /// This is the pool's one scheduling primitive; both [`Executor`] methods
-    /// are built on it.
+    /// This is the pool's one scheduling primitive; both [`Executor`]
+    /// methods are built on it.
     ///
     /// # Panics
     ///
     /// Propagates a panic from any worker.
-    fn dispatch<T, F>(&self, num_chunks: usize, work: F) -> Vec<T>
+    fn dispatch_with<W, T, I, F>(&self, num_chunks: usize, init: I, work: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Send + Sync,
+        I: Fn() -> W + Send + Sync,
+        F: Fn(usize, &mut W) -> T + Send + Sync,
     {
         if self.threads <= 1 || num_chunks <= 1 {
-            return (0..num_chunks).map(work).collect();
+            let mut state = init();
+            return (0..num_chunks)
+                .map(|chunk| work(chunk, &mut state))
+                .collect();
         }
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(num_chunks);
-        let work = &work;
-        let cursor = &cursor;
+        let (cursor, init, work) = (&cursor, &init, &work);
         let per_worker: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(move || {
+                        let mut state = init();
                         let mut claimed = Vec::new();
                         loop {
                             let chunk = cursor.fetch_add(1, Ordering::Relaxed);
                             if chunk >= num_chunks {
                                 break;
                             }
-                            claimed.push((chunk, work(chunk)));
+                            claimed.push((chunk, work(chunk, &mut state)));
                         }
                         claimed
                     })
@@ -95,6 +101,8 @@ impl ThreadPool {
                 .map(|h| h.join().expect("htsat-runtime worker panicked"))
                 .collect()
         });
+        // Re-assemble in chunk order so results are deterministic regardless
+        // of claim order.
         let mut out: Vec<Option<T>> = (0..num_chunks).map(|_| None).collect();
         for (chunk, value) in per_worker.into_iter().flatten() {
             out[chunk] = Some(value);
@@ -102,6 +110,15 @@ impl ThreadPool {
         out.into_iter()
             .map(|slot| slot.expect("every chunk claimed exactly once"))
             .collect()
+    }
+
+    /// Stateless convenience over [`ThreadPool::dispatch_with`].
+    fn dispatch<T, F>(&self, num_chunks: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        self.dispatch_with(num_chunks, || (), |chunk, ()| work(chunk))
     }
 
     fn chunk_count(&self, n: usize) -> usize {
@@ -117,9 +134,11 @@ impl Executor for ThreadPool {
         self.threads
     }
 
-    fn reduce_rows<F>(&self, rows: &mut [f32], width: usize, f: F) -> f64
+    fn reduce_rows_with<W, I, F>(&self, rows: &mut [f32], width: usize, init: I, f: F) -> f64
     where
-        F: Fn(usize, &mut [f32]) -> f64 + Send + Sync,
+        W: Send,
+        I: Fn() -> W + Send + Sync,
+        F: Fn(usize, &mut [f32], &mut W) -> f64 + Send + Sync,
     {
         if width == 0 {
             return 0.0;
@@ -128,6 +147,10 @@ impl Executor for ThreadPool {
         // therefore `SequentialExecutor` and the rayon path) exactly.
         let num_rows = rows.len().div_ceil(width);
         let ranges = chunk_ranges(num_rows, self.chunk_count(num_rows));
+        if self.threads <= 1 || ranges.len() <= 1 {
+            // Calling-thread short-circuit: exactly the sequential contract.
+            return SequentialExecutor.reduce_rows_with(rows, width, init, f);
+        }
         // Pre-split the buffer along chunk boundaries. Each slot is locked
         // exactly once — by the worker that claims the chunk id — so the
         // mutexes carry the disjoint `&mut` borrows across threads without
@@ -140,7 +163,11 @@ impl Executor for ThreadPool {
             slots.push(Mutex::new(Some((range.start, head))));
             rest = tail;
         }
-        let partials = self.dispatch(slots.len(), |chunk| {
+        // Each worker builds its workspace once per parallel region
+        // (dispatch_with's per-worker state) and reuses it for every chunk
+        // it claims; the chunk-ordered result vector keeps the final
+        // floating-point accumulation deterministic.
+        let partials = self.dispatch_with(slots.len(), &init, |chunk, workspace: &mut W| {
             let (first_row, chunk_rows) = slots[chunk]
                 .lock()
                 .expect("chunk slot poisoned")
@@ -149,7 +176,7 @@ impl Executor for ThreadPool {
             chunk_rows
                 .chunks_mut(width)
                 .enumerate()
-                .map(|(offset, row)| f(first_row + offset, row))
+                .map(|(offset, row)| f(first_row + offset, row, workspace))
                 .sum::<f64>()
         });
         partials.into_iter().sum()
@@ -241,6 +268,55 @@ mod tests {
             let total = ThreadPool::new(threads).reduce_rows(&mut data, 4, kernel);
             assert_eq!(data, reference, "threads={threads}");
             assert!((total - expected).abs() < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_rows_with_matches_sequential_at_every_thread_count() {
+        let width = 3;
+        let rows = 41;
+        let kernel = |i: usize, row: &mut [f32], scratch: &mut Vec<f32>| {
+            scratch.resize(width, 0.0);
+            scratch[0] = i as f32;
+            row[0] += scratch[0];
+            row.iter().map(|&v| f64::from(v)).sum::<f64>()
+        };
+        let mut reference = vec![1.0f32; rows * width];
+        let expected = SequentialExecutor.reduce_rows_with(&mut reference, width, Vec::new, kernel);
+        for threads in [1usize, 2, 4, 8] {
+            let mut data = vec![1.0f32; rows * width];
+            let total =
+                ThreadPool::new(threads).reduce_rows_with(&mut data, width, Vec::new, kernel);
+            assert_eq!(data, reference, "threads={threads}");
+            assert!((total - expected).abs() < 1e-9, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workspaces_are_built_per_worker_not_per_row() {
+        use std::sync::atomic::AtomicUsize;
+        let width = 2;
+        let rows = 64;
+        for threads in [1usize, 2, 4] {
+            let inits = AtomicUsize::new(0);
+            let mut data = vec![0.0f32; rows * width];
+            let visits = ThreadPool::new(threads).reduce_rows_with(
+                &mut data,
+                width,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |_, row, ()| {
+                    row[0] += 1.0;
+                    1.0
+                },
+            );
+            assert!((visits - rows as f64).abs() < 1e-12);
+            let built = inits.load(Ordering::Relaxed);
+            assert!(
+                (1..=threads).contains(&built),
+                "threads={threads} built {built} workspaces for {rows} rows"
+            );
         }
     }
 

@@ -86,6 +86,39 @@ impl Backend {
         }
     }
 
+    /// Runs `f(batch_index, row, workspace)` over every row of a mutable
+    /// row-chunked buffer and sums the returned values, building one
+    /// workspace with `init` **per worker per parallel region** — the entry
+    /// point for allocation-free kernels such as
+    /// [`FlatKernel::fused_gd_step`](crate::FlatKernel::fused_gd_step).
+    ///
+    /// `Sequential` and `Threads` amortise the workspace across every row a
+    /// worker claims. `DataParallel` builds a workspace per row (the rayon
+    /// adaptor API offers no per-worker hook) — it remains correct, but use
+    /// `Threads` for the allocation-free hot path.
+    pub fn for_each_row_with<W, I, F>(self, rows: &mut [f32], width: usize, init: I, f: F) -> f64
+    where
+        W: Send,
+        I: Fn() -> W + Sync + Send,
+        F: Fn(usize, &mut [f32], &mut W) -> f64 + Sync + Send,
+    {
+        if width == 0 {
+            return 0.0;
+        }
+        match self {
+            Backend::Sequential => SequentialExecutor.reduce_rows_with(rows, width, init, f),
+            Backend::Threads(n) => ThreadPool::new(n).reduce_rows_with(rows, width, init, f),
+            Backend::DataParallel => rows
+                .par_chunks_mut(width)
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut workspace = init();
+                    f(i, row, &mut workspace)
+                })
+                .sum(),
+        }
+    }
+
     /// Maps `f` over the indices `0..n`, sequentially or in parallel, and
     /// collects the results in index order.
     pub fn map_indices<T, F>(self, n: usize, f: F) -> Vec<T>
@@ -155,10 +188,40 @@ mod tests {
     }
 
     #[test]
+    fn for_each_row_with_agrees_with_for_each_row_everywhere() {
+        let width = 3;
+        let make = || vec![2.0f32; 17 * width];
+        let mut reference = make();
+        let expected = Backend::Sequential.for_each_row(&mut reference, width, |i, row| {
+            row[0] = i as f32;
+            row.iter().map(|&v| f64::from(v)).sum()
+        });
+        for backend in ALL {
+            let mut data = make();
+            let total = backend.for_each_row_with(
+                &mut data,
+                width,
+                || vec![0.0f32; width],
+                |i, row, scratch: &mut Vec<f32>| {
+                    scratch[0] = i as f32;
+                    row[0] = scratch[0];
+                    row.iter().map(|&v| f64::from(v)).sum()
+                },
+            );
+            assert_eq!(data, reference, "backend {backend:?}");
+            assert!((total - expected).abs() < 1e-9, "backend {backend:?}");
+        }
+    }
+
+    #[test]
     fn zero_width_is_a_no_op() {
         for backend in ALL {
             let mut empty: Vec<f32> = Vec::new();
             assert_eq!(backend.for_each_row(&mut empty, 0, |_, _| 1.0), 0.0);
+            assert_eq!(
+                backend.for_each_row_with(&mut empty, 0, || (), |_, _, ()| 1.0),
+                0.0
+            );
         }
     }
 

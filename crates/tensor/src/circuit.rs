@@ -85,6 +85,11 @@ impl SoftCircuit {
         &self.nodes
     }
 
+    /// The widest fan-in of any node (0 for a circuit of leaves).
+    pub fn max_fanin(&self) -> usize {
+        self.max_fanin
+    }
+
     /// Adds a node reading input column `col`.
     ///
     /// # Panics
@@ -273,18 +278,17 @@ impl SoftCircuit {
         let batch = probs.batch();
         let mut grads = BatchMatrix::zeros(batch, self.num_inputs);
         if self.num_inputs == 0 {
-            // Degenerate circuit with no learnable inputs: loss is constant.
-            let loss: f64 = (0..batch)
-                .map(|_| {
-                    let mut scratch = Vec::new();
-                    self.forward_single(&[], &mut scratch);
-                    self.outputs
-                        .iter()
-                        .map(|&(n, t)| ops::l2_loss_and_grad(scratch[n], t).0 as f64)
-                        .sum::<f64>()
-                })
+            // Degenerate circuit with no learnable inputs: every batch row
+            // sees the identical constant loss, so run the forward pass once
+            // and scale instead of re-evaluating per row.
+            let mut scratch = Vec::new();
+            self.forward_single(&[], &mut scratch);
+            let per_row: f64 = self
+                .outputs
+                .iter()
+                .map(|&(n, t)| ops::l2_loss_and_grad(scratch[n], t).0 as f64)
                 .sum();
-            return (loss, grads);
+            return (per_row * batch as f64, grads);
         }
         let loss = backend.for_each_row(
             grads.as_mut_slice(),
@@ -302,19 +306,23 @@ impl SoftCircuit {
     /// Panics if `probs.width() != num_inputs`.
     pub fn forward_outputs(&self, probs: &BatchMatrix, backend: Backend) -> BatchMatrix {
         assert_eq!(probs.width(), self.num_inputs, "input width mismatch");
-        let rows = backend.map_indices(probs.batch(), |b| {
-            let mut acts = Vec::new();
-            self.forward_single(probs.row(b), &mut acts);
-            self.outputs
-                .iter()
-                .map(|&(n, _)| acts[n])
-                .collect::<Vec<f32>>()
-        });
+        // Write each result row straight into the output matrix (no
+        // intermediate Vec<Vec<f32>>, no copy pass); the activation scratch
+        // is a per-worker workspace reused across rows.
         let width = self.outputs.len();
         let mut out = BatchMatrix::zeros(probs.batch(), width);
-        for (b, row) in rows.into_iter().enumerate() {
-            out.row_mut(b).copy_from_slice(&row);
-        }
+        backend.for_each_row_with(
+            out.as_mut_slice(),
+            width,
+            Vec::new,
+            |b, out_row, acts: &mut Vec<f32>| {
+                self.forward_single(probs.row(b), acts);
+                for (slot, &(node, _)) in out_row.iter_mut().zip(self.outputs.iter()) {
+                    *slot = acts[node];
+                }
+                0.0
+            },
+        );
         out
     }
 }
@@ -408,6 +416,26 @@ mod tests {
         let out = c.forward_outputs(&probs, Backend::DataParallel);
         assert_eq!(out.batch(), 5);
         assert_eq!(out.width(), 1);
+    }
+
+    #[test]
+    fn forward_outputs_values_match_forward_single_on_every_backend() {
+        let c = mux_circuit();
+        let probs = BatchMatrix::from_fn(9, 3, |b, w| ((b * 5 + w * 2) % 11) as f32 / 11.0);
+        let mut acts = Vec::new();
+        for backend in [
+            Backend::Sequential,
+            Backend::Threads(4),
+            Backend::DataParallel,
+        ] {
+            let out = c.forward_outputs(&probs, backend);
+            for b in 0..probs.batch() {
+                c.forward_single(probs.row(b), &mut acts);
+                for (o, &(node, _)) in c.outputs().iter().enumerate() {
+                    assert_eq!(out.get(b, o), acts[node], "backend {backend:?} row {b}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //! * [`BatchMatrix`] — a dense row-major `[batch, width]` `f32` matrix,
 //! * [`ops`] — the soft gate forward rules and their derivatives,
 //! * [`SoftCircuit`] — a topologically ordered differentiable circuit with a
-//!   reverse-mode gradient pass per batch element,
+//!   reverse-mode gradient pass per batch element (the reference
+//!   implementation),
+//! * [`FlatKernel`] / [`Workspace`] — the same circuit compiled once into a
+//!   CSR-style flat layout, executing the sampler's fused
+//!   sigmoid + forward + backward + descent step with zero allocations per
+//!   row out of reusable per-worker workspaces,
 //! * [`Sgd`] / [`Adam`] — optimizers updating the input logits,
 //! * [`Backend`] — `Sequential` (the paper's CPU baseline), `Threads(n)`
 //!   (the [`htsat_runtime`] thread pool across the batch, standing in for
@@ -43,6 +48,7 @@
 
 mod backend;
 mod circuit;
+mod flat;
 mod matrix;
 mod memory;
 pub mod ops;
@@ -50,6 +56,7 @@ mod optim;
 
 pub use backend::Backend;
 pub use circuit::{NodeIdx, SoftCircuit, SoftGate, SoftNode};
+pub use flat::{FlatKernel, Workspace};
 pub use matrix::BatchMatrix;
 pub use memory::MemoryModel;
 pub use optim::{Adam, Optimizer, Sgd};

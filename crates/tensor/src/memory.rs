@@ -3,9 +3,21 @@
 //! The paper's Fig. 3 (right) plots GPU memory usage versus batch size for a
 //! subset of instances, observing that memory grows with both the complexity
 //! of the transformed Boolean function and the batch size. This module models
-//! the same quantity for our backend: the buffers a training step allocates
-//! are the input logits, the input probabilities, their gradients, and the
-//! per-batch-element node activations and node gradients.
+//! the same quantity for the workspace-based execution model of
+//! [`FlatKernel`](crate::FlatKernel):
+//!
+//! * **Persistent buffers** scale with the batch: the logit matrix
+//!   `[batch, inputs]` the gradient-descent loop updates in place, plus one
+//!   hardened bit per input per row.
+//! * **Workspaces** scale with the worker count, *not* the batch: each pool
+//!   worker owns one [`Workspace`](crate::Workspace) per parallel region
+//!   (probabilities, input gradients, node activations, node gradients and
+//!   fan-in scratch), reused for every row it claims.
+//!
+//! This is the key difference from a GPU resident-activation model (and
+//! from this crate's pre-flat-kernel execution model): activations cost
+//! `workers × nodes`, not `batch × nodes`, so circuit complexity no longer
+//! multiplies the batch size.
 
 /// Memory model of one gradient-descent sampling run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,38 +28,80 @@ pub struct MemoryModel {
     pub num_nodes: usize,
     /// Batch size.
     pub batch: usize,
+    /// Worker threads holding a live workspace (1 for sequential).
+    pub workers: usize,
+    /// Widest gate fan-in (sizes the per-workspace gather scratch).
+    pub max_fanin: usize,
+    /// Extra `[batch, inputs]` f32 matrices resident during a step — 0 for
+    /// the fused flat kernel; 2 for the staged reference path (the cloned
+    /// probability matrix and the gradient matrix).
+    pub staged_matrices: usize,
 }
 
 impl MemoryModel {
     /// Creates a model for a circuit of `num_nodes` nodes with `num_inputs`
-    /// learnable inputs at the given batch size.
+    /// learnable inputs at the given batch size, assuming one worker and no
+    /// fan-in scratch. Refine with [`MemoryModel::with_workers`] and
+    /// [`MemoryModel::with_max_fanin`].
     pub fn new(num_inputs: usize, num_nodes: usize, batch: usize) -> Self {
         MemoryModel {
             num_inputs,
             num_nodes,
             batch,
+            workers: 1,
+            max_fanin: 0,
+            staged_matrices: 0,
         }
     }
 
-    /// Bytes used by persistent batch-wide buffers (logits, probabilities and
-    /// input gradients).
-    pub fn persistent_bytes(&self) -> u64 {
-        // V (logits), P (probabilities), dL/dP — three [batch, inputs] f32
-        // matrices — plus the hardened bit matrix (1 byte per entry).
-        let f32s = 3u64 * self.batch as u64 * self.num_inputs as u64;
-        f32s * 4 + self.batch as u64 * self.num_inputs as u64
+    /// Sets the worker count whose workspaces are resident simultaneously.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
-    /// Bytes used by transient per-batch-element buffers (node activations
-    /// and node gradients), summed over the whole batch as a GPU would hold
-    /// them resident simultaneously.
-    pub fn activation_bytes(&self) -> u64 {
-        2u64 * self.batch as u64 * self.num_nodes as u64 * 4
+    /// Sets the widest fan-in of the modelled circuit.
+    #[must_use]
+    pub fn with_max_fanin(mut self, max_fanin: usize) -> Self {
+        self.max_fanin = max_fanin;
+        self
+    }
+
+    /// Sets how many extra `[batch, inputs]` matrices the execution form
+    /// keeps resident (0 = fused flat kernel, 2 = staged reference path).
+    #[must_use]
+    pub fn with_staged_matrices(mut self, staged_matrices: usize) -> Self {
+        self.staged_matrices = staged_matrices;
+        self
+    }
+
+    /// Bytes of the execution form's extra batch-wide staging matrices
+    /// (zero on the fused path).
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged_matrices as u64 * self.batch as u64 * self.num_inputs as u64 * 4
+    }
+
+    /// Bytes used by persistent batch-wide buffers: the in-place logit
+    /// matrix (`[batch, inputs]` f32) plus the hardened bit per entry.
+    pub fn persistent_bytes(&self) -> u64 {
+        let cells = self.batch as u64 * self.num_inputs as u64;
+        cells * 4 + cells
+    }
+
+    /// Bytes used by the per-worker workspaces: per worker, two
+    /// input-width rows (probabilities and input gradients), two node-width
+    /// buffers (activations and node gradients) and two fan-in gather
+    /// buffers, all f32 — independent of the batch size.
+    pub fn workspace_bytes(&self) -> u64 {
+        let per_worker =
+            2 * (self.num_inputs as u64 + self.num_nodes as u64 + self.max_fanin as u64);
+        self.workers as u64 * per_worker * 4
     }
 
     /// Total modelled bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.persistent_bytes() + self.activation_bytes()
+        self.persistent_bytes() + self.staged_bytes() + self.workspace_bytes()
     }
 
     /// Total modelled mebibytes, the unit used in the paper's figure.
@@ -61,11 +115,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn memory_grows_linearly_with_batch() {
+    fn persistent_memory_grows_linearly_with_batch() {
         let small = MemoryModel::new(100, 1000, 1_000);
         let large = MemoryModel::new(100, 1000, 10_000);
-        let ratio = large.total_bytes() as f64 / small.total_bytes() as f64;
-        assert!((ratio - 10.0).abs() < 0.01);
+        let ratio = large.persistent_bytes() as f64 / small.persistent_bytes() as f64;
+        assert!((ratio - 10.0).abs() < 1e-9);
+        assert!(large.total_bytes() > small.total_bytes());
+    }
+
+    #[test]
+    fn workspaces_scale_with_workers_not_batch() {
+        let one = MemoryModel::new(100, 1000, 1_000).with_workers(1);
+        let eight = MemoryModel::new(100, 1000, 1_000).with_workers(8);
+        assert_eq!(eight.workspace_bytes(), 8 * one.workspace_bytes());
+        let huge_batch = MemoryModel::new(100, 1000, 1_000_000).with_workers(8);
+        assert_eq!(huge_batch.workspace_bytes(), eight.workspace_bytes());
     }
 
     #[test]
@@ -76,15 +140,38 @@ mod tests {
     }
 
     #[test]
+    fn fanin_scratch_is_counted() {
+        let narrow = MemoryModel::new(10, 100, 10).with_max_fanin(2);
+        let wide = MemoryModel::new(10, 100, 10).with_max_fanin(64);
+        assert!(wide.workspace_bytes() > narrow.workspace_bytes());
+    }
+
+    #[test]
     fn component_breakdown_sums_to_total() {
-        let m = MemoryModel::new(64, 256, 128);
-        assert_eq!(m.total_bytes(), m.persistent_bytes() + m.activation_bytes());
+        let m = MemoryModel::new(64, 256, 128)
+            .with_workers(4)
+            .with_max_fanin(8)
+            .with_staged_matrices(2);
+        assert_eq!(
+            m.total_bytes(),
+            m.persistent_bytes() + m.staged_bytes() + m.workspace_bytes()
+        );
         assert!(m.total_mib() > 0.0);
     }
 
     #[test]
-    fn zero_batch_uses_no_memory() {
-        let m = MemoryModel::new(10, 10, 0);
-        assert_eq!(m.total_bytes(), 0);
+    fn staged_reference_path_costs_more_than_the_fused_path() {
+        let fused = MemoryModel::new(100, 1000, 512);
+        let staged = MemoryModel::new(100, 1000, 512).with_staged_matrices(2);
+        assert_eq!(fused.staged_bytes(), 0);
+        assert_eq!(staged.staged_bytes(), 2 * 512 * 100 * 4);
+        assert!(staged.total_bytes() > fused.total_bytes());
+    }
+
+    #[test]
+    fn zero_batch_keeps_only_workspaces() {
+        let m = MemoryModel::new(10, 10, 0).with_workers(2);
+        assert_eq!(m.persistent_bytes(), 0);
+        assert_eq!(m.total_bytes(), m.workspace_bytes());
     }
 }

@@ -150,6 +150,22 @@ pub fn clamp_prob(p: f32, eps: f32) -> f32 {
     p.clamp(eps, 1.0 - eps)
 }
 
+/// The clamp width used by [`embed_logit`]: probabilities produced from
+/// logits stay inside `(PROB_EPS, 1 - PROB_EPS)`.
+pub const PROB_EPS: f32 = 1e-6;
+
+/// The sampler's sigmoid embedding of a logit into a probability:
+/// `clamp_prob(sigmoid(v), PROB_EPS)`.
+///
+/// An `f32` sigmoid saturates to exactly `0.0` or `1.0` once `|v| ≳ 17`,
+/// where `sigmoid_grad_from_output` returns `0` and gradient descent can
+/// never pull the logit back — the clamp keeps saturated logits
+/// differentiable, as the paper's continuous relaxation intends.
+#[inline]
+pub fn embed_logit(v: f32) -> f32 {
+    clamp_prob(sigmoid(v), PROB_EPS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +288,17 @@ mod tests {
         assert_eq!(clamp_prob(1.5, 1e-6), 1.0 - 1e-6);
         assert_eq!(clamp_prob(-0.2, 1e-6), 1e-6);
         assert_eq!(clamp_prob(0.4, 1e-6), 0.4);
+    }
+
+    #[test]
+    fn embed_logit_keeps_saturated_logits_differentiable() {
+        // At |v| = 100 the f32 sigmoid saturates exactly; the embedding pins
+        // the output just inside the unit interval so σ'(p) stays non-zero.
+        assert_eq!(embed_logit(100.0), 1.0 - PROB_EPS);
+        assert_eq!(embed_logit(-100.0), PROB_EPS);
+        assert!(sigmoid_grad_from_output(embed_logit(100.0)) > 0.0);
+        assert!(sigmoid_grad_from_output(embed_logit(-100.0)) > 0.0);
+        // Interior logits are the plain sigmoid.
+        assert_eq!(embed_logit(0.3), sigmoid(0.3));
     }
 }
