@@ -9,7 +9,12 @@
 //! ```
 //!
 //! Subcommands: `table2`, `fig2`, `fig3-iters`, `fig3-mem`, `fig4-speedup`,
-//! `fig4-ops`, `fig4-transform`, `fig4`, `threads`, `all`.
+//! `fig4-ops`, `fig4-transform`, `fig4`, `threads`, `serve-bench`, `all`.
+//!
+//! `serve-bench` starts the `htsat-serve` daemon on a loopback ephemeral
+//! port, measures cold-load vs registry-hit round-trip latency, and fails
+//! unless the daemon's `SAMPLE` reproduces the in-process stream
+//! bit-for-bit at 1 and 8 threads — the CI loopback end-to-end gate.
 //!
 //! Options: `--scale small|paper`, `--target N`, `--timeout SECONDS`,
 //! `--batch N`, `--threads N` (`0` = one worker per core), `--stream`
@@ -18,8 +23,8 @@
 //! `--instances N` (fig2 only), `--counts A,B,...` (threads only).
 
 use htsat_bench::{
-    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, table2,
-    threads_sweep, RunOptions,
+    ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, serve_bench,
+    table2, threads_sweep, RunOptions,
 };
 use htsat_core::KernelChoice;
 use htsat_instances::suite::SuiteScale;
@@ -201,12 +206,41 @@ fn run_threads(options: &RunOptions, counts: &[usize]) {
     }
 }
 
+fn run_serve_bench(options: &RunOptions) {
+    println!("== serve-bench: daemon round-trip latency and wire determinism ==\n");
+    let report = serve_bench(options);
+    println!("instance: {}\n", report.instance);
+    println!("{:<42} {:>16} {:>8}", "leg", "round-trip (ms)", "unique");
+    for leg in &report.legs {
+        println!(
+            "{:<42} {:>16.2} {:>8}",
+            leg.label, leg.round_trip_ms, leg.unique
+        );
+    }
+    println!(
+        "\ncompiles: {} (warm legs ride the registry hit path)",
+        report.compiles
+    );
+    println!(
+        "wire determinism vs in-process stream at 1 and 8 threads: {}",
+        if report.deterministic {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if report.compiles != 1 || !report.deterministic {
+        // CI runs this subcommand as the loopback end-to-end gate.
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|threads|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--threads N] [--stream] [--kernel flat|reference] [--instances N] [--counts A,B,...]");
+            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|threads|serve-bench|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--threads N] [--stream] [--kernel flat|reference] [--instances N] [--counts A,B,...]");
             std::process::exit(2);
         }
     };
@@ -222,6 +256,7 @@ fn main() {
         "fig3-mem" => run_fig3_mem(options),
         "fig4" | "fig4-speedup" | "fig4-ops" | "fig4-transform" => run_fig4(options),
         "threads" => run_threads(options, &cli.thread_counts),
+        "serve-bench" => run_serve_bench(options),
         "all" => {
             run_table2(options);
             println!();

@@ -439,6 +439,111 @@ pub fn threads_sweep(options: &RunOptions, counts: &[usize]) -> Vec<ThreadsPoint
     points
 }
 
+/// One measured leg of the daemon round-trip benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchLeg {
+    /// What the leg measured.
+    pub label: String,
+    /// Client-observed round-trip latency in milliseconds.
+    pub round_trip_ms: f64,
+    /// Unique solutions carried back over the wire (0 for `LOAD` legs).
+    pub unique: usize,
+}
+
+/// The outcome of [`serve_bench`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchReport {
+    /// Instance the daemon served.
+    pub instance: String,
+    /// The measured legs, in execution order.
+    pub legs: Vec<ServeBenchLeg>,
+    /// Transform+compile runs the daemon performed (must stay 1: the warm
+    /// legs ride the registry hit path).
+    pub compiles: u64,
+    /// Whether every daemon `SAMPLE` reproduced the in-process
+    /// `GdSampler::stream()` sequence bit-for-bit (at 1 and 8 threads).
+    pub deterministic: bool,
+}
+
+/// Round-trips the daemon on a loopback ephemeral port: cold `LOAD`
+/// (parse + transform + compile), warm re-`LOAD` (registry hit), and warm
+/// `SAMPLE`s at 1 and 8 worker threads whose solution sequences are checked
+/// bit-for-bit against the in-process streaming API.
+///
+/// This is both a latency benchmark (what does the wire cost over calling
+/// the library directly?) and the CI loopback end-to-end gate.
+pub fn serve_bench(options: &RunOptions) -> ServeBenchReport {
+    use htsat_serve::proto::SampleParams;
+    use htsat_serve::{serve, Client, ServeConfig};
+    use std::time::Instant;
+
+    let instance = htsat_instances::suite::table2_instance("or-60-20-10-UC-10", options.scale)
+        .expect("table2 instance exists");
+    let dimacs_text = htsat_cnf::dimacs::to_string(&instance.cnf);
+    let server = serve(ServeConfig::default()).expect("bind loopback daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect to daemon");
+    let mut legs = Vec::new();
+
+    let started = Instant::now();
+    let load = client
+        .load_dimacs(Some(&instance.name), &dimacs_text)
+        .expect("cold load");
+    legs.push(ServeBenchLeg {
+        label: "LOAD cold (parse+transform+compile)".to_string(),
+        round_trip_ms: started.elapsed().as_secs_f64() * 1e3,
+        unique: 0,
+    });
+    assert!(!load.cached, "first load cannot be cached");
+
+    let started = Instant::now();
+    let reload = client
+        .load_dimacs(Some(&instance.name), &dimacs_text)
+        .expect("warm load");
+    legs.push(ServeBenchLeg {
+        label: "LOAD warm (registry hit)".to_string(),
+        round_trip_ms: started.elapsed().as_secs_f64() * 1e3,
+        unique: 0,
+    });
+    assert!(reload.cached, "second load must hit the registry");
+
+    let seed = 0xBEEF;
+    let mut deterministic = true;
+    for threads in [1usize, 8] {
+        // In-process reference sequence for the same seed and thread count.
+        let config = SamplerConfig {
+            seed,
+            backend: Backend::Threads(threads),
+            ..SamplerConfig::default()
+        };
+        let mut reference = GdSampler::new(&instance.cnf, config).expect("reference sampler");
+        let expected: Vec<Vec<bool>> = reference.stream().take(options.target).collect();
+
+        let started = Instant::now();
+        let reply = client
+            .sample(&SampleParams {
+                n: options.target,
+                seed,
+                threads: Some(threads),
+                ..SampleParams::new(load.fingerprint)
+            })
+            .expect("warm sample");
+        legs.push(ServeBenchLeg {
+            label: format!("SAMPLE warm, {threads} thread(s)"),
+            round_trip_ms: started.elapsed().as_secs_f64() * 1e3,
+            unique: reply.solutions.len(),
+        });
+        deterministic &= reply.solutions == expected;
+    }
+    let compiles = server.registry().counters().compiles;
+    client.shutdown().expect("graceful shutdown");
+    ServeBenchReport {
+        instance: instance.name,
+        legs,
+        compiles,
+        deterministic,
+    }
+}
+
 /// Formats the Table II rows as a text table.
 pub fn format_table2(rows: &[Table2Row]) -> String {
     let mut out = String::new();

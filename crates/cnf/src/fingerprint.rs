@@ -1,0 +1,255 @@
+//! Canonical content fingerprints for CNF formulas.
+//!
+//! A [`Fingerprint`] is a 128-bit content hash of a formula that is stable
+//! under the two reorderings that leave a CNF semantically unchanged:
+//!
+//! * **literal order inside a clause** — every clause is hashed over its
+//!   *sorted* literal codes, and
+//! * **clause order inside the formula** — the per-clause hashes are folded
+//!   with commutative combiners (a wrapping sum and an xor over two
+//!   independently mixed lanes), so permuting the clause list does not
+//!   change the result.
+//!
+//! Everything else is content: the declared variable count, the clause
+//! count and the exact literal multiset of every clause (duplicate literals
+//! and duplicate clauses are *not* collapsed — `(x1 ∨ x1)` hashes
+//! differently from `(x1)`). Comments are ignored.
+//!
+//! The fingerprint is the registry key of the serving layer: a daemon that
+//! has already transformed and compiled a formula recognises a re-submitted
+//! copy of it — even one whose clauses arrive in a different order — and
+//! skips parse-side recompilation entirely.
+
+use crate::Cnf;
+use std::fmt;
+use std::str::FromStr;
+
+/// Mixes a 64-bit value with the SplitMix64 finalizer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A 128-bit canonical content hash of a [`Cnf`].
+///
+/// Two formulas with the same variable universe and the same multiset of
+/// clauses (each clause compared as a multiset of literals) produce the same
+/// fingerprint regardless of clause or literal ordering: clauses are
+/// hashed over their sorted literal codes and folded with commutative
+/// combiners, with the declared variable universe and clause count mixed
+/// in. Duplicate literals/clauses and the variable count are content;
+/// comments are not.
+///
+/// ```
+/// use htsat_cnf::{Cnf, Fingerprint};
+///
+/// let mut a = Cnf::new(3);
+/// a.add_dimacs_clause([1, -2]);
+/// a.add_dimacs_clause([2, 3]);
+///
+/// // Same clauses, both lists reordered.
+/// let mut b = Cnf::new(3);
+/// b.add_dimacs_clause([3, 2]);
+/// b.add_dimacs_clause([-2, 1]);
+///
+/// assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// Computes the canonical fingerprint of `cnf`.
+    #[must_use]
+    pub fn of(cnf: &Cnf) -> Self {
+        // Two independent lanes per clause (different seeds), combined
+        // commutatively across clauses: `lo` accumulates a wrapping sum,
+        // `hi` an xor of a re-mixed value. An order-dependent hash of the
+        // sorted literal list feeds both.
+        let mut sum: u64 = 0;
+        let mut xor: u64 = 0;
+        let mut codes: Vec<u64> = Vec::new();
+        for clause in cnf.clauses() {
+            codes.clear();
+            codes.extend(clause.lits().iter().map(|l| l.code() as u64));
+            codes.sort_unstable();
+            let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ codes.len() as u64;
+            for &code in &codes {
+                h = mix64(h ^ code.wrapping_mul(0xd6e8_feb8_6659_fd93));
+            }
+            sum = sum.wrapping_add(mix64(h ^ 0x5851_f42d_4c95_7f2d));
+            xor ^= mix64(h ^ 0x1405_7b7e_f767_814f);
+        }
+        // Fold in the shape (variable universe and clause count) so an
+        // empty formula over 3 variables differs from one over 5.
+        let shape = mix64((cnf.num_vars() as u64) << 32 ^ cnf.num_clauses() as u64);
+        Fingerprint {
+            hi: mix64(xor ^ shape),
+            lo: mix64(sum.wrapping_add(shape)),
+        }
+    }
+
+    /// The fingerprint as a fixed-width 32-digit lowercase hex string.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses a fingerprint from the 32-digit hex form of
+    /// [`Fingerprint::to_hex`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the string is not exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Result<Self, ParseFingerprintError> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseFingerprintError);
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).map_err(|_| ParseFingerprintError)?;
+        let lo = u64::from_str_radix(&s[16..], 16).map_err(|_| ParseFingerprintError)?;
+        Ok(Fingerprint { hi, lo })
+    }
+}
+
+/// Error returned when parsing a malformed fingerprint string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseFingerprintError;
+
+impl fmt::Display for ParseFingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fingerprint must be exactly 32 hex digits")
+    }
+}
+
+impl std::error::Error for ParseFingerprintError {}
+
+impl FromStr for Fingerprint {
+    type Err = ParseFingerprintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Fingerprint::from_hex(s)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cnf() -> Cnf {
+        let mut cnf = Cnf::new(4);
+        cnf.add_dimacs_clause([1, -2, 3]);
+        cnf.add_dimacs_clause([-1, 4]);
+        cnf.add_dimacs_clause([2, 3, -4]);
+        cnf
+    }
+
+    #[test]
+    fn stable_under_clause_reordering() {
+        let mut shuffled = Cnf::new(4);
+        shuffled.add_dimacs_clause([2, 3, -4]);
+        shuffled.add_dimacs_clause([1, -2, 3]);
+        shuffled.add_dimacs_clause([-1, 4]);
+        assert_eq!(Fingerprint::of(&base_cnf()), Fingerprint::of(&shuffled));
+    }
+
+    #[test]
+    fn stable_under_literal_reordering() {
+        let mut shuffled = Cnf::new(4);
+        shuffled.add_dimacs_clause([3, 1, -2]);
+        shuffled.add_dimacs_clause([4, -1]);
+        shuffled.add_dimacs_clause([-4, 3, 2]);
+        assert_eq!(Fingerprint::of(&base_cnf()), Fingerprint::of(&shuffled));
+    }
+
+    #[test]
+    fn ignores_comments() {
+        let mut commented = base_cnf();
+        commented.add_comment("generated for a test");
+        assert_eq!(Fingerprint::of(&base_cnf()), Fingerprint::of(&commented));
+    }
+
+    #[test]
+    fn sensitive_to_content_changes() {
+        let base = Fingerprint::of(&base_cnf());
+
+        // Flipped literal polarity.
+        let mut flipped = Cnf::new(4);
+        flipped.add_dimacs_clause([1, 2, 3]);
+        flipped.add_dimacs_clause([-1, 4]);
+        flipped.add_dimacs_clause([2, 3, -4]);
+        assert_ne!(base, Fingerprint::of(&flipped));
+
+        // Dropped clause.
+        let mut fewer = Cnf::new(4);
+        fewer.add_dimacs_clause([1, -2, 3]);
+        fewer.add_dimacs_clause([-1, 4]);
+        assert_ne!(base, Fingerprint::of(&fewer));
+
+        // Same clauses, larger declared universe.
+        let mut wider = base_cnf();
+        wider.grow_vars(9);
+        assert_ne!(base, Fingerprint::of(&wider));
+    }
+
+    #[test]
+    fn duplicate_literals_and_clauses_are_content() {
+        let mut single = Cnf::new(2);
+        single.add_dimacs_clause([1]);
+        let mut doubled_lit = Cnf::new(2);
+        doubled_lit.add_dimacs_clause([1, 1]);
+        assert_ne!(Fingerprint::of(&single), Fingerprint::of(&doubled_lit));
+
+        let mut once = Cnf::new(2);
+        once.add_dimacs_clause([1, 2]);
+        let mut twice = Cnf::new(2);
+        twice.add_dimacs_clause([1, 2]);
+        twice.add_dimacs_clause([1, 2]);
+        assert_ne!(Fingerprint::of(&once), Fingerprint::of(&twice));
+    }
+
+    #[test]
+    fn empty_formulas_differ_by_universe() {
+        assert_ne!(Fingerprint::of(&Cnf::new(3)), Fingerprint::of(&Cnf::new(5)));
+        assert_eq!(Fingerprint::of(&Cnf::new(3)), Fingerprint::of(&Cnf::new(3)));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let fp = Fingerprint::of(&base_cnf());
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Ok(fp));
+        assert_eq!(hex.parse::<Fingerprint>(), Ok(fp));
+        assert_eq!(fp.to_string(), hex);
+    }
+
+    #[test]
+    fn malformed_hex_is_rejected() {
+        assert!(Fingerprint::from_hex("deadbeef").is_err());
+        assert!(Fingerprint::from_hex(&"g".repeat(32)).is_err());
+        assert!(Fingerprint::from_hex(&"0".repeat(33)).is_err());
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_fingerprint() {
+        let cnf = base_cnf();
+        let text = crate::dimacs::to_string(&cnf);
+        let parsed = crate::dimacs::parse_str(&text).expect("round trip");
+        assert_eq!(Fingerprint::of(&cnf), Fingerprint::of(&parsed));
+    }
+}

@@ -13,6 +13,8 @@
 //!   count,
 //! * [`Assignment`] — a (possibly partial) mapping from variables to truth
 //!   values,
+//! * [`Fingerprint`] — a canonical content hash stable under clause and
+//!   literal reordering, the registry key of the serving layer,
 //! * DIMACS parsing and writing ([`dimacs`]),
 //! * unit propagation and formula simplification ([`propagate`]),
 //! * bit-wise operation counting in 2-input gate equivalents ([`ops`]), used
@@ -39,6 +41,7 @@ mod assignment;
 mod clause;
 pub mod dimacs;
 mod error;
+mod fingerprint;
 mod formula;
 mod lit;
 pub mod ops;
@@ -47,5 +50,6 @@ pub mod propagate;
 pub use assignment::Assignment;
 pub use clause::Clause;
 pub use error::ParseDimacsError;
+pub use fingerprint::{Fingerprint, ParseFingerprintError};
 pub use formula::Cnf;
 pub use lit::{Lit, Var};

@@ -59,5 +59,5 @@ pub mod transform;
 
 pub use error::TransformError;
 pub use htsat_runtime::{SampleStream, StopToken, StreamStats};
-pub use sampler::{GdSampler, KernelChoice, SampleReport, SamplerConfig};
+pub use sampler::{GdSampler, KernelChoice, PreparedFormula, SampleReport, SamplerConfig};
 pub use transform::{transform, TransformConfig, TransformResult, TransformStats, VarClass};

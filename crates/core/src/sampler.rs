@@ -39,6 +39,7 @@ use htsat_tensor::{ops, Backend, BatchMatrix, MemoryModel};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which execution form of the compiled circuit the gradient-descent inner
@@ -145,12 +146,142 @@ impl SampleReport {
     }
 }
 
+/// A formula carried through transformation and compilation, ready to mint
+/// samplers without repeating either stage.
+///
+/// This is the reuse hook of the serving layer: a long-lived registry keeps
+/// one `PreparedFormula` per formula fingerprint and builds a fresh
+/// [`GdSampler`] per request with [`PreparedFormula::sampler`]. The
+/// immutable artifacts (CNF, transform result, compiled circuit) are held
+/// behind [`Arc`]s and *shared* with every minted sampler — per-request
+/// cost is three reference-count bumps plus the sampler's own mutable
+/// state (logit matrix, RNG, dedup set), not a copy of the circuit. The
+/// minted sampler is bit-identical to one built with [`GdSampler::new`]
+/// from the same CNF and configuration, so determinism survives the reuse
+/// path.
+#[derive(Debug, Clone)]
+pub struct PreparedFormula {
+    cnf: Arc<Cnf>,
+    transform_config: TransformConfig,
+    transform: Arc<TransformResult>,
+    compiled: Arc<CompiledCircuit>,
+}
+
+impl PreparedFormula {
+    /// Runs the CNF-to-circuit transformation and compiles both execution
+    /// forms, capturing everything a sampler needs except the run-time
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransformError`] if the formula is structurally
+    /// unsatisfiable.
+    pub fn prepare(cnf: &Cnf, transform_config: &TransformConfig) -> Result<Self, TransformError> {
+        let transform = transform_with_config(cnf, transform_config)?;
+        let compiled = compile(&transform);
+        Ok(PreparedFormula {
+            cnf: Arc::new(cnf.clone()),
+            transform_config: transform_config.clone(),
+            transform: Arc::new(transform),
+            compiled: Arc::new(compiled),
+        })
+    }
+
+    /// The original CNF.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The transformation configuration the artifacts were built with.
+    pub fn transform_config(&self) -> &TransformConfig {
+        &self.transform_config
+    }
+
+    /// Number of learnable input columns of the compiled circuit.
+    pub fn num_inputs(&self) -> usize {
+        self.compiled.num_inputs()
+    }
+
+    /// Number of nodes of the compiled circuit.
+    pub fn num_nodes(&self) -> usize {
+        self.compiled.circuit.num_nodes()
+    }
+
+    /// Widest gate fan-in of the compiled kernel (sizes workspace scratch).
+    pub fn max_fanin(&self) -> usize {
+        self.compiled.kernel.max_fanin()
+    }
+
+    /// Memory model of a sampling round at `batch` rows over `workers`
+    /// pool workers — the quantity a serving registry budgets by.
+    pub fn memory_model(&self, batch: usize, workers: usize) -> MemoryModel {
+        MemoryModel::new(self.num_inputs(), self.num_nodes(), batch)
+            .with_workers(workers)
+            .with_max_fanin(self.max_fanin())
+    }
+
+    /// Builds a sampler from the prepared artifacts, skipping the
+    /// transformation and compilation stages entirely and sharing the
+    /// artifacts by reference count (no circuit copy).
+    ///
+    /// `config.transform` is ignored: the artifacts were built with
+    /// [`PreparedFormula::transform_config`], and silently mixing two
+    /// transformation configurations would produce a sampler whose circuit
+    /// does not match its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransformError::InvalidConfig`] for the same invalid
+    /// run-time configurations [`GdSampler::new`] rejects.
+    pub fn sampler(&self, mut config: SamplerConfig) -> Result<GdSampler, TransformError> {
+        config.transform = self.transform_config.clone();
+        validate_sampler_config(&config)?;
+        Ok(GdSampler::from_parts(
+            self.cnf.clone(),
+            self.transform.clone(),
+            self.compiled.clone(),
+            config,
+        ))
+    }
+}
+
+/// Rejects run-time configurations that would poison or panic the sampling
+/// loop (zero batch/iterations; NaN, infinite or non-positive learning rate
+/// or initialisation scale).
+fn validate_sampler_config(config: &SamplerConfig) -> Result<(), TransformError> {
+    if config.batch_size == 0 {
+        return Err(TransformError::InvalidConfig(
+            "batch size must be non-zero".into(),
+        ));
+    }
+    if config.iterations == 0 {
+        return Err(TransformError::InvalidConfig(
+            "iterations must be non-zero".into(),
+        ));
+    }
+    // A NaN learning rate or scale would silently poison every logit;
+    // a non-positive scale panics inside `gen_range`. Reject both here.
+    if !(config.learning_rate.is_finite() && config.learning_rate > 0.0) {
+        return Err(TransformError::InvalidConfig(format!(
+            "learning rate must be positive and finite, got {}",
+            config.learning_rate
+        )));
+    }
+    if !(config.init_scale.is_finite() && config.init_scale > 0.0) {
+        return Err(TransformError::InvalidConfig(format!(
+            "init scale must be positive and finite, got {}",
+            config.init_scale
+        )));
+    }
+    Ok(())
+}
+
 /// The gradient-descent SAT sampler: transformation, compilation and the
 /// batched learning loop behind one API.
 pub struct GdSampler {
-    cnf: Cnf,
-    transform: TransformResult,
-    compiled: CompiledCircuit,
+    cnf: Arc<Cnf>,
+    transform: Arc<TransformResult>,
+    compiled: Arc<CompiledCircuit>,
     config: SamplerConfig,
     rng: SmallRng,
     seen: HashSet<Vec<bool>>,
@@ -172,43 +303,36 @@ impl GdSampler {
     /// iterations; NaN, infinite or non-positive learning rate or
     /// initialisation scale).
     pub fn new(cnf: &Cnf, config: SamplerConfig) -> Result<Self, TransformError> {
-        if config.batch_size == 0 {
-            return Err(TransformError::InvalidConfig(
-                "batch size must be non-zero".into(),
-            ));
-        }
-        if config.iterations == 0 {
-            return Err(TransformError::InvalidConfig(
-                "iterations must be non-zero".into(),
-            ));
-        }
-        // A NaN learning rate or scale would silently poison every logit;
-        // a non-positive scale panics inside `gen_range`. Reject both here.
-        if !(config.learning_rate.is_finite() && config.learning_rate > 0.0) {
-            return Err(TransformError::InvalidConfig(format!(
-                "learning rate must be positive and finite, got {}",
-                config.learning_rate
-            )));
-        }
-        if !(config.init_scale.is_finite() && config.init_scale > 0.0) {
-            return Err(TransformError::InvalidConfig(format!(
-                "init scale must be positive and finite, got {}",
-                config.init_scale
-            )));
-        }
+        validate_sampler_config(&config)?;
         let transform = transform_with_config(cnf, &config.transform)?;
         let compiled = compile(&transform);
+        Ok(GdSampler::from_parts(
+            Arc::new(cnf.clone()),
+            Arc::new(transform),
+            Arc::new(compiled),
+            config,
+        ))
+    }
+
+    /// Assembles a sampler from already-built artifacts. The configuration
+    /// must have been validated and the artifacts must belong to `cnf`.
+    fn from_parts(
+        cnf: Arc<Cnf>,
+        transform: Arc<TransformResult>,
+        compiled: Arc<CompiledCircuit>,
+        config: SamplerConfig,
+    ) -> Self {
         let rng = SmallRng::seed_from_u64(config.seed);
         let logits = BatchMatrix::zeros(config.batch_size, compiled.num_inputs());
-        Ok(GdSampler {
-            cnf: cnf.clone(),
+        GdSampler {
+            cnf,
             transform,
             compiled,
             config,
             rng,
             seen: HashSet::new(),
             logits,
-        })
+        }
     }
 
     /// The transformation result backing this sampler.
@@ -416,7 +540,7 @@ impl GdSampler {
         // `take` consumed; deliver them instead of hiding them in the
         // dedup-filter (the pre-streaming API returned them too).
         solutions.append(&mut stream.drain_ready());
-        let stats = stream.stats().clone();
+        let stats = *stream.stats();
         let elapsed = stream.elapsed();
         SampleReport {
             solutions,
@@ -607,6 +731,49 @@ mod tests {
         let small = sampler.memory_model_for_batch(100).total_bytes();
         let large = sampler.memory_model_for_batch(10_000).total_bytes();
         assert!(large > small);
+    }
+
+    #[test]
+    fn prepared_formula_mints_bit_identical_samplers() {
+        let cnf = mux_constrained_cnf();
+        let prepared =
+            PreparedFormula::prepare(&cnf, &TransformConfig::default()).expect("prepare");
+        for threads in [1usize, 4] {
+            let config = SamplerConfig {
+                batch_size: 64,
+                seed: 99,
+                backend: Backend::Threads(threads),
+                ..SamplerConfig::default()
+            };
+            // The reuse path (no transform/compile) must reproduce the exact
+            // solution sequence of the from-scratch path.
+            let mut fresh = GdSampler::new(&cnf, config.clone()).expect("fresh");
+            let mut minted = prepared.sampler(config).expect("minted");
+            let from_scratch: Vec<Vec<bool>> = fresh.stream().take(6).collect();
+            let reused: Vec<Vec<bool>> = minted.stream().take(6).collect();
+            assert_eq!(from_scratch, reused, "threads={threads}");
+        }
+        assert_eq!(
+            prepared.num_inputs(),
+            prepared.memory_model(1, 1).num_inputs
+        );
+        assert!(prepared.num_nodes() > 0);
+        assert!(prepared.memory_model(256, 4).total_bytes() > 0);
+    }
+
+    #[test]
+    fn prepared_formula_rejects_invalid_runtime_configs() {
+        let cnf = mux_constrained_cnf();
+        let prepared =
+            PreparedFormula::prepare(&cnf, &TransformConfig::default()).expect("prepare");
+        let invalid = SamplerConfig {
+            batch_size: 0,
+            ..SamplerConfig::default()
+        };
+        assert!(matches!(
+            prepared.sampler(invalid),
+            Err(TransformError::InvalidConfig(_))
+        ));
     }
 
     #[test]

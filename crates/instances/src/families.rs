@@ -167,21 +167,18 @@ pub fn iscas_like(
     finish(enc, &outputs, name, Family::IscasLike, &mut rng)
 }
 
-/// `Prod-*` family: an array multiplier over two `bits`-wide operands built
-/// from AND partial products and full-adder rows, with two product bits
-/// constrained — a dense, arithmetic-heavy CNF like the benchmark's product
-/// instances.
-pub fn product(name: &str, bits: usize, seed: u64) -> Instance {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut enc = CircuitEncoder::new();
-    let bits = bits.max(2);
+/// Builds an array multiplier over two `bits`-wide free operands: AND
+/// partial products accumulated with ripple-carry full-adder rows. Returns
+/// the product bits, least significant first. Shared by the `Prod-*` and
+/// `mult-*` families.
+fn multiplier_array(enc: &mut CircuitEncoder, bits: usize) -> Vec<Signal> {
     let a: Vec<Signal> = (0..bits).map(|_| enc.input()).collect();
     let b: Vec<Signal> = (0..bits).map(|_| enc.input()).collect();
 
     // Partial products.
     let mut rows: Vec<Vec<Signal>> = Vec::with_capacity(bits);
-    for (j, &bj) in b.iter().enumerate() {
-        let mut row = Vec::with_capacity(bits + j);
+    for &bj in &b {
+        let mut row = Vec::with_capacity(bits);
         for &ai in &a {
             row.push(enc.and_gate(&[ai, bj]));
         }
@@ -219,11 +216,65 @@ pub fn product(name: &str, bits: usize, seed: u64) -> Instance {
         }
         acc = next;
     }
+    acc
+}
+
+/// `Prod-*` family: an array multiplier over two `bits`-wide operands built
+/// from AND partial products and full-adder rows, with two product bits
+/// constrained — a dense, arithmetic-heavy CNF like the benchmark's product
+/// instances.
+pub fn product(name: &str, bits: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut enc = CircuitEncoder::new();
+    let bits = bits.max(2);
+    let acc = multiplier_array(&mut enc, bits);
     // Constrain two bits of the product, as in the benchmark's Prod instances
     // (few primary outputs over a very large CNF).
     let hi = acc[acc.len() - 1];
     let mid = acc[acc.len() / 2];
     finish(enc, &[hi, mid], name, Family::Product, &mut rng)
+}
+
+/// `mult-*` family (industrial-style multiplier): the same array-multiplier
+/// core as [`product`], post-processed the way synthesized arithmetic
+/// blocks are — a parity (XOR) tree over the product, a sticky OR-reduction
+/// over the high half (an overflow/status flag) and a zero-detect NOR over
+/// the low half. Parity, flag, zero-detect and one mid product bit are
+/// constrained, so the CNF is XOR-denser and more widely observed than the
+/// plain `Prod-*` instances while staying satisfiable by construction.
+pub fn industrial_multiplier(name: &str, bits: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut enc = CircuitEncoder::new();
+    let bits = bits.max(2);
+    let acc = multiplier_array(&mut enc, bits);
+
+    // Parity tree over every product bit.
+    let mut parity = acc[0];
+    for &bit in &acc[1..] {
+        parity = enc.xor_gate(parity, bit);
+    }
+    // Sticky overflow flag: OR-reduction over the high half of the product.
+    let high_half = &acc[acc.len() / 2..];
+    let mut flag = high_half[0];
+    for &bit in &high_half[1..] {
+        flag = enc.or_gate(&[flag, bit]);
+    }
+    // Zero-detect on the low half: NOT(OR(low bits)).
+    let low_half = &acc[..acc.len() / 2];
+    let mut any_low = low_half[0];
+    for &bit in &low_half[1..] {
+        any_low = enc.or_gate(&[any_low, bit]);
+    }
+    let zero_low = enc.not_gate(any_low);
+
+    let mid = acc[acc.len() / 2];
+    finish(
+        enc,
+        &[parity, flag, zero_low, mid],
+        name,
+        Family::Multiplier,
+        &mut rng,
+    )
 }
 
 #[cfg(test)]
@@ -265,6 +316,19 @@ mod tests {
     fn product_is_satisfiable_and_dense() {
         let inst = product("prod-test", 5, 4);
         assert!(inst.num_clauses() as f64 / inst.num_vars() as f64 > 2.0);
+        assert_satisfiable(&inst);
+    }
+
+    #[test]
+    fn industrial_multiplier_is_satisfiable_and_xor_dense() {
+        let inst = industrial_multiplier("mult-test", 6, 9);
+        assert_eq!(inst.family, Family::Multiplier);
+        assert_eq!(inst.num_outputs, 4);
+        assert!(inst.num_clauses() as f64 / inst.num_vars() as f64 > 2.0);
+        // The parity/flag/zero-detect post-processing makes it strictly
+        // bigger than the plain product of the same width.
+        let plain = product("prod-ref", 6, 9);
+        assert!(inst.num_vars() > plain.num_vars());
         assert_satisfiable(&inst);
     }
 

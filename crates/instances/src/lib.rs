@@ -53,6 +53,9 @@ pub enum Family {
     IscasLike,
     /// `Prod-*`: multiplier-style product circuits.
     Product,
+    /// `mult-*`: industrial-style multipliers (array core plus parity,
+    /// overflow-flag and zero-detect post-processing).
+    Multiplier,
 }
 
 impl Family {
@@ -63,6 +66,7 @@ impl Family {
             Family::Qif => "qif",
             Family::IscasLike => "iscas",
             Family::Product => "prod",
+            Family::Multiplier => "mult",
         }
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! [`table2_instances`] returns the 14 representative instances listed in
 //! Table II (same names, same family mix, comparable primary-input counts);
-//! [`full_suite`] returns all 60 instances used for Fig. 2. Because our
+//! [`full_suite`] returns the Fig. 2 suite, grown to 66 instances (larger
+//! `Prod-*` sizes and the industrial `mult-*` family beyond the paper's
+//! 60). Because our
 //! instances are generated rather than downloaded, each instance can be
 //! produced at two scales: [`SuiteScale::Paper`] approximates the paper's
 //! variable/clause counts, while [`SuiteScale::Small`] shrinks every instance
@@ -206,10 +208,13 @@ pub fn table2_names() -> Vec<&'static str> {
     TABLE2.iter().map(|s| s.name).collect()
 }
 
-/// Generates the full 60-instance suite used for the paper's Fig. 2.
+/// Generates the full suite used for the paper's Fig. 2, grown past the
+/// paper's 60 instances.
 ///
-/// The suite contains the 14 Table II instances plus 46 additional instances
-/// drawn from the same four families at varied sizes and seeds.
+/// The suite contains the 14 Table II instances plus additional instances
+/// drawn from the same four families at varied sizes and seeds — including
+/// product circuits larger than the Table-II stand-ins — and the
+/// industrial-style `mult-*` multiplier family (66 instances in total).
 pub fn full_suite(scale: SuiteScale) -> Vec<Instance> {
     let mut instances = table2_instances(scale);
     // or-* variants.
@@ -277,16 +282,30 @@ pub fn full_suite(scale: SuiteScale) -> Vec<Instance> {
             0x6000 + i as u64,
         ));
     }
-    // Product variants.
-    for (i, bits) in [16usize, 24, 36, 48, 56, 64, 80, 96, 104, 128, 144]
-        .iter()
-        .enumerate()
+    // Product variants. The tail entries (160/192/224 bits) extend the
+    // family beyond the Table-II stand-ins toward the benchmark's largest
+    // product instances.
+    for (i, bits) in [
+        16usize, 24, 36, 48, 56, 64, 80, 96, 104, 128, 144, 160, 192, 224,
+    ]
+    .iter()
+    .enumerate()
     {
         let name = format!("Prod-{}", i * 2 + 5);
         instances.push(families::product(
             &name,
             scale.shrink(*bits, 4),
             0x7000 + i as u64,
+        ));
+    }
+    // Industrial-style multiplier variants (array core plus parity /
+    // overflow-flag / zero-detect post-processing).
+    for (i, bits) in [48usize, 80, 112].iter().enumerate() {
+        let name = format!("mult-ind-{bits}");
+        instances.push(families::industrial_multiplier(
+            &name,
+            scale.shrink(*bits, 4),
+            0x8000 + i as u64,
         ));
     }
     instances
@@ -316,12 +335,12 @@ mod tests {
     }
 
     #[test]
-    fn full_suite_has_sixty_instances_with_unique_names() {
+    fn full_suite_has_sixty_six_instances_with_unique_names() {
         let suite = full_suite(SuiteScale::Small);
-        assert_eq!(suite.len(), 60);
+        assert_eq!(suite.len(), 66);
         let names: std::collections::HashSet<&str> =
             suite.iter().map(|i| i.name.as_str()).collect();
-        assert_eq!(names.len(), 60);
+        assert_eq!(names.len(), 66);
     }
 
     #[test]
@@ -338,6 +357,32 @@ mod tests {
                 "family {family:?} under-represented"
             );
         }
+        assert!(
+            suite
+                .iter()
+                .filter(|i| i.family == Family::Multiplier)
+                .count()
+                >= 3,
+            "industrial multiplier family missing"
+        );
+    }
+
+    #[test]
+    fn grown_product_sizes_outgrow_the_table2_standins() {
+        // The small-scale suite is cheap to generate in full; the tail
+        // product entries must outgrow every Table-II product stand-in.
+        let suite = full_suite(SuiteScale::Small);
+        let vars_of = |name: &str| {
+            suite
+                .iter()
+                .find(|i| i.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .num_vars()
+        };
+        // Prod-31 (224-bit operands, shrunk 10x under Small) dwarfs the
+        // largest Table II product (160-bit operands, same shrink).
+        assert!(vars_of("Prod-31") > vars_of("Prod-32"));
+        assert!(vars_of("mult-ind-112") > vars_of("mult-ind-48"));
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   stealing, no external dependencies, no `unsafe`).
 //! * [`SequentialExecutor`] — the same contract on the calling thread, used
 //!   as the single-threaded short-circuit and as the reference in tests.
-//! * [`StopToken`] — a cloneable cancellation flag shared across threads.
+//! * [`StopToken`] — a cloneable cancellation flag shared across threads,
+//!   with [`StopSet`] grouping many tokens under one scope (a connection, a
+//!   server) so they can all be fired at once.
 //! * [`RoundSource`] / [`SampleStream`] — the streaming service: any
 //!   generator that produces batches ("rounds") of items becomes an
 //!   `Iterator` with incremental deduplication, deadline handling,
@@ -50,7 +52,7 @@ mod stream;
 
 pub use executor::{Executor, SequentialExecutor};
 pub use pool::ThreadPool;
-pub use stop::StopToken;
+pub use stop::{StopSet, StopToken};
 pub use stream::{RoundSource, SampleStream, StreamStats};
 
 /// Mixes a base seed and a stream index into an independent RNG seed.

@@ -1,7 +1,7 @@
 //! Cooperative cancellation.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A cloneable cancellation flag.
 ///
@@ -10,6 +10,10 @@ use std::sync::Arc;
 /// [`crate::SampleStream`] — the stream checks it between items, and
 /// long-running round producers are handed a reference so they can bail out
 /// mid-round.
+///
+/// `StopToken` implements [`Default`] (a fresh token in the running state,
+/// identical to [`StopToken::new`]), so token-carrying configuration structs
+/// can `#[derive(Default)]`.
 ///
 /// ```
 /// use htsat_runtime::StopToken;
@@ -44,6 +48,86 @@ impl StopToken {
     }
 }
 
+/// A registry of [`StopToken`]s that can all be fired at once.
+///
+/// This is the *scoped* cancellation primitive a serving layer needs: every
+/// in-flight request registers its stream's token with the scope that owns
+/// it (a connection, or the whole server), and tearing the scope down stops
+/// every registered token with one call — without the scope having to track
+/// request lifetimes individually.
+///
+/// Tokens whose work has finished are pruned lazily on the next
+/// [`StopSet::issue`], so a long-lived set does not grow with the number of
+/// requests ever served, only with the number concurrently in flight.
+///
+/// ```
+/// use htsat_runtime::StopSet;
+///
+/// let set = StopSet::new();
+/// let a = set.issue();
+/// let b = set.issue();
+/// set.stop_all();
+/// assert!(a.is_stopped() && b.is_stopped());
+/// // Tokens issued after the sweep start fresh.
+/// assert!(!set.issue().is_stopped());
+/// ```
+#[derive(Debug, Default)]
+pub struct StopSet {
+    tokens: Mutex<Vec<StopToken>>,
+}
+
+impl StopSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        StopSet::default()
+    }
+
+    /// Issues a fresh token tracked by this set.
+    ///
+    /// Already-stopped tokens (from finished or cancelled work) are pruned
+    /// from the set on the way.
+    #[must_use]
+    pub fn issue(&self) -> StopToken {
+        let token = StopToken::new();
+        let mut tokens = self.tokens.lock().expect("stop set poisoned");
+        tokens.retain(|t| !t.is_stopped());
+        tokens.push(token.clone());
+        token
+    }
+
+    /// Stops every token issued so far and clears the set.
+    ///
+    /// Tokens issued afterwards start in the running state again; callers
+    /// that want "stopped forever" semantics should additionally keep their
+    /// own master [`StopToken`].
+    pub fn stop_all(&self) {
+        let mut tokens = self.tokens.lock().expect("stop set poisoned");
+        for token in tokens.drain(..) {
+            token.stop();
+        }
+    }
+
+    /// Number of live (issued and not yet stopped) tokens — the in-flight
+    /// count a status report wants. Already-stopped tokens awaiting lazy
+    /// pruning are not counted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens
+            .lock()
+            .expect("stop set poisoned")
+            .iter()
+            .filter(|t| !t.is_stopped())
+            .count()
+    }
+
+    /// Whether the set currently tracks no live tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +149,39 @@ mod tests {
         let b = StopToken::new();
         a.stop();
         assert!(!b.is_stopped());
+    }
+
+    #[test]
+    fn default_token_is_running() {
+        assert!(!StopToken::default().is_stopped());
+    }
+
+    #[test]
+    fn stop_set_fires_every_issued_token() {
+        let set = StopSet::new();
+        let tokens: Vec<StopToken> = (0..4).map(|_| set.issue()).collect();
+        assert_eq!(set.len(), 4);
+        set.stop_all();
+        assert!(tokens.iter().all(StopToken::is_stopped));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn stop_set_prunes_finished_tokens_on_issue() {
+        let set = StopSet::new();
+        let finished = set.issue();
+        finished.stop(); // the request completed (or was cancelled) on its own
+        let live = set.issue();
+        // The finished token was swept out; only the live one is tracked.
+        assert_eq!(set.len(), 1);
+        assert!(!live.is_stopped());
+    }
+
+    #[test]
+    fn tokens_issued_after_stop_all_start_fresh() {
+        let set = StopSet::new();
+        let _old = set.issue();
+        set.stop_all();
+        assert!(!set.issue().is_stopped());
     }
 }

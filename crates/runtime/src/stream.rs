@@ -65,7 +65,14 @@ impl<S: RoundSource> RoundSource for &mut S {
 }
 
 /// Progress counters of a [`SampleStream`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The struct is `Copy` and exposes its counters both as plain fields and
+/// through [`StreamStats::fields`] — a stable name/value listing that
+/// reporting layers (status endpoints, wire protocols, log lines) can
+/// serialize without this crate depending on any serialization framework.
+/// Accumulate per-request stats into a long-lived total with
+/// [`StreamStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Rounds executed so far.
     pub rounds: usize,
@@ -77,6 +84,51 @@ pub struct StreamStats {
     pub yielded: usize,
     /// Valid candidates dropped as duplicates.
     pub duplicates: usize,
+}
+
+impl StreamStats {
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// A serving layer calls this once per finished request to keep a
+    /// cumulative per-formula (or per-server) total.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.rounds += other.rounds;
+        self.attempts += other.attempts;
+        self.valid += other.valid;
+        self.yielded += other.yielded;
+        self.duplicates += other.duplicates;
+    }
+
+    /// The counters as `(name, value)` pairs, in declaration order.
+    ///
+    /// The names are stable and lowercase (`rounds`, `attempts`, `valid`,
+    /// `yielded`, `duplicates`) — suitable as serialization keys.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, usize); 5] {
+        [
+            ("rounds", self.rounds),
+            ("attempts", self.attempts),
+            ("valid", self.valid),
+            ("yielded", self.yielded),
+            ("duplicates", self.duplicates),
+        ]
+    }
+}
+
+impl std::fmt::Display for StreamStats {
+    /// Formats the counters as `key=value` pairs separated by spaces — the
+    /// log-line form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (name, value) in self.fields() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        Ok(())
+    }
 }
 
 /// A lazy, deduplicated, cancellable stream of unique items.
@@ -386,6 +438,104 @@ mod tests {
         assert_eq!(stream.stats().rounds, 2);
         assert_eq!(stream.stats().attempts, 4);
         assert_eq!(stream.stats().valid, 4);
+    }
+
+    #[test]
+    fn drain_ready_after_exhaustion_recovers_undelivered_items() {
+        // The finite source exhausts after the stale limit with items still
+        // undelivered; drain_ready must hand them over and count them.
+        let mut stream = SampleStream::new(Finite { total: 6 }).with_stale_limit(2);
+        assert_eq!(stream.next(), Some(0));
+        assert_eq!(stream.next(), Some(1));
+        // Consume the rest lazily until exhaustion reports None...
+        while stream.next().is_some() {}
+        assert!(stream.is_exhausted());
+        // ...then nothing is pending, and drain_ready is an empty no-op.
+        assert!(stream.drain_ready().is_empty());
+
+        // Now exhaust *with* pending items: stop consuming right after the
+        // first item, then force extra stale rounds by iterating a clone of
+        // the same discovered set.
+        let mut stream = SampleStream::new(Finite { total: 4 }).with_stale_limit(1);
+        assert_eq!(stream.next(), Some(0)); // 3 pending from the first round
+        let recovered = stream.drain_ready();
+        assert_eq!(recovered, vec![1, 2, 3]);
+        assert_eq!(stream.stats().yielded, 4);
+        // Further nexts run rounds that discover nothing new -> exhaustion.
+        assert_eq!(stream.next(), None);
+        assert!(stream.is_exhausted());
+        assert!(stream.drain_ready().is_empty());
+    }
+
+    /// Alternates between a round of already-seen items and a round with one
+    /// fresh item, to exercise the stale-counter reset.
+    struct Alternating {
+        round: usize,
+    }
+
+    impl RoundSource for Alternating {
+        type Item = usize;
+
+        fn round(&mut self, _stop: &StopToken) -> Vec<usize> {
+            self.round += 1;
+            if self.round.is_multiple_of(2) {
+                vec![0] // always a duplicate after round 1
+            } else {
+                vec![0, self.round] // one fresh item
+            }
+        }
+    }
+
+    #[test]
+    fn stale_counter_resets_on_fresh_unique_items() {
+        // Every even round is fully stale, every odd round has a fresh item.
+        // With a stale limit of 2 the counter must keep resetting, so the
+        // stream stays productive far past 2 consecutive-stale-round pairs.
+        let mut stream = SampleStream::new(Alternating { round: 0 }).with_stale_limit(2);
+        let items: Vec<usize> = stream.by_ref().take(6).collect();
+        assert_eq!(items, vec![0, 1, 3, 5, 7, 9]);
+        assert!(!stream.is_exhausted());
+        assert!(stream.stats().duplicates > 0);
+    }
+
+    #[test]
+    fn deadline_already_past_at_construction_never_runs_a_round() {
+        // An Instant deadline in the past and a zero timeout are both "late
+        // from birth": the stream must not start a single round.
+        let past = SampleStream::new(Counter::new(4, 0))
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(past.stats().rounds, 0);
+        let mut past = past;
+        assert_eq!(past.next(), None);
+        assert_eq!(past.stats().rounds, 0);
+
+        let mut zero = SampleStream::new(Counter::new(4, 0)).with_timeout(Duration::ZERO);
+        assert_eq!(zero.next(), None);
+        assert_eq!(zero.stats().rounds, 0);
+        assert!(!zero.is_exhausted(), "a deadline is not exhaustion");
+    }
+
+    #[test]
+    fn stats_merge_and_fields_round_trip() {
+        let mut total = StreamStats::default();
+        let a = StreamStats {
+            rounds: 1,
+            attempts: 10,
+            valid: 5,
+            yielded: 4,
+            duplicates: 1,
+        };
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.rounds, 2);
+        assert_eq!(total.attempts, 20);
+        let fields = total.fields();
+        assert_eq!(fields[0], ("rounds", 2));
+        assert_eq!(fields[4], ("duplicates", 2));
+        assert_eq!(
+            total.to_string(),
+            "rounds=2 attempts=20 valid=10 yielded=8 duplicates=2"
+        );
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! `htsat-serve` — run the sampling daemon.
+//!
+//! ```sh
+//! cargo run --release -p htsat-serve --bin htsat-serve -- --addr 127.0.0.1:7878
+//! ```
+//!
+//! The daemon speaks the newline-delimited JSON protocol documented in
+//! `htsat_serve::proto` and runs until it receives a `SHUTDOWN` request:
+//!
+//! ```sh
+//! printf '{"cmd":"shutdown"}\n' | nc 127.0.0.1 7878
+//! ```
+//!
+//! Options:
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7878`; port `0`
+//!   picks an ephemeral port, printed on startup).
+//! * `--threads N` — default `SAMPLE` worker threads (`0` = one per core).
+//! * `--budget-mb N` — registry memory budget in MiB (default 512).
+//! * `--allow-path-load` — allow `LOAD` requests naming server-side paths.
+
+use htsat_serve::{serve, RegistryConfig, ServeConfig};
+
+fn parse_args() -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--allow-path-load" {
+            config.allow_path_load = true;
+            continue;
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--threads" => {
+                config.default_threads = value
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+            }
+            "--budget-mb" => {
+                let mib: u64 = value
+                    .parse()
+                    .map_err(|e| format!("invalid --budget-mb: {e}"))?;
+                config.registry = RegistryConfig {
+                    budget_bytes: mib * 1024 * 1024,
+                    ..config.registry
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: htsat-serve [--addr HOST:PORT] [--threads N] [--budget-mb N] [--allow-path-load]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let budget = config.registry.budget_bytes;
+    let mut server = match serve(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "htsat-serve listening on {} (registry budget {} MiB); send {{\"cmd\":\"shutdown\"}} to stop",
+        server.local_addr(),
+        budget / (1024 * 1024)
+    );
+    server.wait();
+    println!("htsat-serve stopped");
+}

@@ -1,0 +1,240 @@
+//! A small blocking client for the daemon's wire protocol.
+//!
+//! One TCP connection, one in-flight request at a time: write a request
+//! line, read the response line. The client is what the end-to-end tests
+//! and the `repro serve-bench` harness drive the daemon with, and doubles
+//! as the reference implementation of the protocol's client side.
+
+use crate::json::{Json, JsonError};
+use crate::proto::{decode_solution, decode_stats, LoadSource, Request, SampleParams};
+use htsat_cnf::Fingerprint;
+use htsat_runtime::StreamStats;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or a server hang-up).
+    Io(std::io::Error),
+    /// The server's bytes were not a valid protocol message.
+    Protocol(String),
+    /// The server answered `ok:false` with this message.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// The reply to a successful `LOAD`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReply {
+    /// Canonical fingerprint — the key for subsequent `SAMPLE`s.
+    pub fingerprint: Fingerprint,
+    /// Whether the formula was already resident (no recompilation).
+    pub cached: bool,
+    /// Variable count of the parsed CNF.
+    pub vars: usize,
+    /// Clause count of the parsed CNF.
+    pub clauses: usize,
+}
+
+/// The reply to a successful `SAMPLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleReply {
+    /// Unique satisfying assignments, in stream order.
+    pub solutions: Vec<Vec<bool>>,
+    /// The request's stream statistics.
+    pub stats: StreamStats,
+    /// Server-side wall-clock of the stream, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Whether the stream hit its stale limit (solution space exhausted).
+    pub exhausted: bool,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response, returning the payload
+    /// object of an `ok:true` reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for `ok:false` replies, [`ClientError::Io`] /
+    /// [`ClientError::Protocol`] for transport and framing problems.
+    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+        let mut line = request.encode().encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let msg = Json::parse(reply.trim_end())?;
+        match msg.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(msg),
+            Some(false) => Err(ClientError::Server(
+                msg.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol("reply without `ok`".to_string())),
+        }
+    }
+
+    /// Registers inline DIMACS text under an optional display name.
+    ///
+    /// # Errors
+    ///
+    /// Parse and transform failures surface as [`ClientError::Server`].
+    pub fn load_dimacs(
+        &mut self,
+        name: Option<&str>,
+        dimacs: &str,
+    ) -> Result<LoadReply, ClientError> {
+        self.load(name, LoadSource::Inline(dimacs.to_string()))
+    }
+
+    /// Registers a CNF from a path readable by the *server* process.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the server was started with path loads enabled.
+    pub fn load_path(&mut self, name: Option<&str>, path: &str) -> Result<LoadReply, ClientError> {
+        self.load(name, LoadSource::Path(path.to_string()))
+    }
+
+    fn load(&mut self, name: Option<&str>, source: LoadSource) -> Result<LoadReply, ClientError> {
+        let reply = self.call(&Request::Load {
+            name: name.map(str::to_string),
+            source,
+        })?;
+        let fingerprint = reply
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("load reply without fingerprint".to_string()))?
+            .parse()
+            .map_err(|e| ClientError::Protocol(format!("bad fingerprint: {e}")))?;
+        let field = |key: &str| reply.get(key).and_then(Json::as_u64).unwrap_or_default() as usize;
+        Ok(LoadReply {
+            fingerprint,
+            cached: reply.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            vars: field("vars"),
+            clauses: field("clauses"),
+        })
+    }
+
+    /// Streams unique solutions of a loaded formula.
+    ///
+    /// # Errors
+    ///
+    /// Unknown fingerprints and invalid parameters surface as
+    /// [`ClientError::Server`].
+    pub fn sample(&mut self, params: &SampleParams) -> Result<SampleReply, ClientError> {
+        let reply = self.call(&Request::Sample(params.clone()))?;
+        let solutions = reply
+            .get("solutions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("sample reply without solutions".to_string()))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .ok_or_else(|| ClientError::Protocol("non-string solution".to_string()))
+                    .and_then(|text| {
+                        decode_solution(text).map_err(|e| ClientError::Protocol(e.to_string()))
+                    })
+            })
+            .collect::<Result<Vec<Vec<bool>>, ClientError>>()?;
+        let stats = reply.get("stats").map(decode_stats).unwrap_or_default();
+        Ok(SampleReply {
+            solutions,
+            stats,
+            elapsed_ms: reply
+                .get("elapsed_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or_default(),
+            exhausted: reply
+                .get("exhausted")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Fetches the raw status payload (uptime, registry contents, counters).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; `status` itself cannot fail server-side.
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        self.call(&Request::Status)
+    }
+
+    /// Drops one registry entry; returns whether it was resident.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn evict(&mut self, fingerprint: Fingerprint) -> Result<bool, ClientError> {
+        let reply = self.call(&Request::Evict { fingerprint })?;
+        Ok(reply
+            .get("evicted")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Shutdown)?;
+        Ok(())
+    }
+}

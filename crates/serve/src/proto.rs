@@ -1,0 +1,455 @@
+//! The wire protocol: line-oriented, newline-delimited JSON.
+//!
+//! Every request and every response is exactly one JSON object on one line
+//! (`\n`-terminated). Requests carry a `"cmd"` discriminator; responses
+//! always carry `"ok"` — `true` with command-specific payload fields, or
+//! `false` with a human-readable `"error"` string. A malformed line yields
+//! an `ok:false` response and the connection stays usable, so one bad
+//! request never poisons a session.
+//!
+//! # Grammar (one line per message)
+//!
+//! ```text
+//! request  = load | sample | status | evict | shutdown
+//! load     = {"cmd":"load", "name"?:str, "dimacs":str} |
+//!            {"cmd":"load", "name"?:str, "path":str}
+//! sample   = {"cmd":"sample", "fingerprint":hex32, "n"?:int,
+//!             "seed"?:int|decimal-str, "deadline_ms"?:int,
+//!             "max_stale"?:int, "threads"?:int, "batch"?:int}
+//! status   = {"cmd":"status"}
+//! evict    = {"cmd":"evict", "fingerprint":hex32}
+//! shutdown = {"cmd":"shutdown"}
+//! ```
+//!
+//! `seed` spans the full 64-bit range; values above 2^53 travel as decimal
+//! strings (and are echoed back the same way) because a JSON number is an
+//! `f64` and would silently round them — a rounded seed breaks the
+//! same-seed determinism contract.
+//!
+//! Solutions travel as bit strings (`"0110…"`, one character per CNF
+//! variable, `'1'` = true), the densest JSON-safe encoding that needs no
+//! base64 machinery.
+
+use crate::json::Json;
+use htsat_cnf::Fingerprint;
+use htsat_runtime::StreamStats;
+
+/// Default number of unique solutions a `SAMPLE` request asks for when `n`
+/// is omitted.
+pub const DEFAULT_SAMPLE_N: usize = 16;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a formula (inline DIMACS text or a server-side path) in the
+    /// sampler registry.
+    Load {
+        /// Display name for status listings; defaults to the fingerprint.
+        name: Option<String>,
+        /// Where the DIMACS text comes from.
+        source: LoadSource,
+    },
+    /// Stream unique solutions of a registered formula.
+    Sample(SampleParams),
+    /// Report registry contents, cumulative stream statistics and uptime.
+    Status,
+    /// Drop one registry entry.
+    Evict {
+        /// Registry key to drop.
+        fingerprint: Fingerprint,
+    },
+    /// Stop the daemon: fire all request stop-tokens, drain in-flight
+    /// connections, exit the accept loop.
+    Shutdown,
+}
+
+/// Where a `LOAD` request's DIMACS text comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadSource {
+    /// DIMACS text carried inline in the request.
+    Inline(String),
+    /// A path readable by the *server* process.
+    Path(String),
+}
+
+/// Parameters of a `SAMPLE` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleParams {
+    /// Registry key of the formula to sample.
+    pub fingerprint: Fingerprint,
+    /// Unique solutions requested.
+    pub n: usize,
+    /// Sampler seed; the same seed always reproduces the same solution
+    /// sequence, at any thread count.
+    pub seed: u64,
+    /// Per-request deadline in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Stale-round limit override (`None` = the stream default).
+    pub max_stale: Option<u32>,
+    /// Worker threads for this request (`None` = server default;
+    /// `Some(0)` = one worker per core).
+    pub threads: Option<usize>,
+    /// Batch size override (`None` = the sampler default).
+    pub batch: Option<usize>,
+}
+
+impl SampleParams {
+    /// Parameters with every knob at its default for `fingerprint`.
+    #[must_use]
+    pub fn new(fingerprint: Fingerprint) -> Self {
+        SampleParams {
+            fingerprint,
+            n: DEFAULT_SAMPLE_N,
+            seed: 0,
+            deadline_ms: None,
+            max_stale: None,
+            threads: None,
+            batch: None,
+        }
+    }
+}
+
+/// A protocol-level decoding error (valid JSON, invalid request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Largest integer a JSON number (an `f64`) carries exactly. Fields that
+/// may exceed it (the 64-bit seed) travel as decimal strings instead.
+const MAX_EXACT_JSON_INT: u64 = 1 << 53;
+
+fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtoError(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+/// Decodes a full-width `u64` field that may arrive as a JSON number *or*
+/// a decimal string. Strings are the lossless transport: a JSON number is
+/// an `f64` and silently rounds integers above 2^53, which for a sampler
+/// seed would violate the same-seed determinism contract.
+fn field_u64_exact(obj: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(text)) => text
+            .parse()
+            .map(Some)
+            .map_err(|_| ProtoError(format!("`{key}` string must be a decimal 64-bit integer"))),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtoError(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+/// Encodes a full-width `u64` losslessly: as a number while exact in `f64`,
+/// as a decimal string above 2^53 (a JSON number is an `f64` and would
+/// silently round). The server echoes seeds with this too.
+#[must_use]
+pub fn encode_u64_exact(value: u64) -> Json {
+    if value <= MAX_EXACT_JSON_INT {
+        value.into()
+    } else {
+        Json::Str(value.to_string())
+    }
+}
+
+fn field_fingerprint(obj: &Json) -> Result<Fingerprint, ProtoError> {
+    let text = obj
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError("missing `fingerprint`".to_string()))?;
+    text.parse()
+        .map_err(|e| ProtoError(format!("invalid fingerprint: {e}")))
+}
+
+impl Request {
+    /// Decodes a request from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] naming the offending field for unknown
+    /// commands, missing required fields and ill-typed values.
+    pub fn decode(msg: &Json) -> Result<Request, ProtoError> {
+        let cmd = msg
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError("missing `cmd`".to_string()))?;
+        match cmd {
+            "load" => {
+                let name = msg.get("name").and_then(Json::as_str).map(str::to_string);
+                let source = match (
+                    msg.get("dimacs").and_then(Json::as_str),
+                    msg.get("path").and_then(Json::as_str),
+                ) {
+                    (Some(text), None) => LoadSource::Inline(text.to_string()),
+                    (None, Some(path)) => LoadSource::Path(path.to_string()),
+                    (Some(_), Some(_)) => {
+                        return Err(ProtoError(
+                            "`dimacs` and `path` are mutually exclusive".to_string(),
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(ProtoError("load needs `dimacs` or `path`".to_string()))
+                    }
+                };
+                Ok(Request::Load { name, source })
+            }
+            "sample" => {
+                let mut params = SampleParams::new(field_fingerprint(msg)?);
+                if let Some(n) = field_u64(msg, "n")? {
+                    params.n = n as usize;
+                }
+                if let Some(seed) = field_u64_exact(msg, "seed")? {
+                    params.seed = seed;
+                }
+                params.deadline_ms = field_u64(msg, "deadline_ms")?;
+                params.max_stale = field_u64(msg, "max_stale")?.map(|v| v as u32);
+                params.threads = field_u64(msg, "threads")?.map(|v| v as usize);
+                params.batch = field_u64(msg, "batch")?.map(|v| v as usize);
+                if params.batch == Some(0) {
+                    return Err(ProtoError("`batch` must be non-zero".to_string()));
+                }
+                Ok(Request::Sample(params))
+            }
+            "status" => Ok(Request::Status),
+            "evict" => Ok(Request::Evict {
+                fingerprint: field_fingerprint(msg)?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError(format!("unknown command `{other}`"))),
+        }
+    }
+
+    /// Encodes the request to its JSON wire form (the client side of
+    /// [`Request::decode`]).
+    #[must_use]
+    pub fn encode(&self) -> Json {
+        match self {
+            Request::Load { name, source } => {
+                let mut pairs = vec![("cmd", Json::from("load"))];
+                if let Some(name) = name {
+                    pairs.push(("name", name.clone().into()));
+                }
+                match source {
+                    LoadSource::Inline(text) => pairs.push(("dimacs", text.clone().into())),
+                    LoadSource::Path(path) => pairs.push(("path", path.clone().into())),
+                }
+                Json::obj(pairs)
+            }
+            Request::Sample(p) => {
+                let mut pairs = vec![
+                    ("cmd", Json::from("sample")),
+                    ("fingerprint", p.fingerprint.to_hex().into()),
+                    ("n", p.n.into()),
+                    ("seed", encode_u64_exact(p.seed)),
+                ];
+                if let Some(ms) = p.deadline_ms {
+                    pairs.push(("deadline_ms", ms.into()));
+                }
+                if let Some(stale) = p.max_stale {
+                    pairs.push(("max_stale", u64::from(stale).into()));
+                }
+                if let Some(threads) = p.threads {
+                    pairs.push(("threads", threads.into()));
+                }
+                if let Some(batch) = p.batch {
+                    pairs.push(("batch", batch.into()));
+                }
+                Json::obj(pairs)
+            }
+            Request::Status => Json::obj(vec![("cmd", "status".into())]),
+            Request::Evict { fingerprint } => Json::obj(vec![
+                ("cmd", "evict".into()),
+                ("fingerprint", fingerprint.to_hex().into()),
+            ]),
+            Request::Shutdown => Json::obj(vec![("cmd", "shutdown".into())]),
+        }
+    }
+}
+
+/// Builds the standard failure response.
+#[must_use]
+pub fn error_response(message: &str) -> Json {
+    Json::obj(vec![("ok", false.into()), ("error", message.into())])
+}
+
+/// Builds a success response from payload fields (prepends `"ok": true`).
+#[must_use]
+pub fn ok_response(mut payload: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.append(&mut payload);
+    Json::obj(pairs)
+}
+
+/// Encodes a solution bit-vector as the wire bit string (`'1'` = true).
+#[must_use]
+pub fn encode_solution(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Decodes a wire bit string back into a solution bit-vector.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] on characters other than `'0'`/`'1'`.
+pub fn decode_solution(text: &str) -> Result<Vec<bool>, ProtoError> {
+    text.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(ProtoError(format!("invalid solution bit `{other}`"))),
+        })
+        .collect()
+}
+
+/// Encodes [`StreamStats`] as a JSON object using the stable
+/// [`StreamStats::fields`] names.
+#[must_use]
+pub fn encode_stats(stats: &StreamStats) -> Json {
+    Json::Obj(
+        stats
+            .fields()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), value.into()))
+            .collect(),
+    )
+}
+
+/// Decodes a stats object produced by [`encode_stats`]; missing fields
+/// decode as zero.
+#[must_use]
+pub fn decode_stats(msg: &Json) -> StreamStats {
+    let field = |name: &str| msg.get(name).and_then(Json::as_u64).unwrap_or_default() as usize;
+    StreamStats {
+        rounds: field("rounds"),
+        attempts: field("attempts"),
+        valid: field("valid"),
+        yielded: field("yielded"),
+        duplicates: field("duplicates"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htsat_cnf::Cnf;
+
+    fn fp() -> Fingerprint {
+        let mut cnf = Cnf::new(2);
+        cnf.add_dimacs_clause([1, 2]);
+        Fingerprint::of(&cnf)
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let requests = [
+            Request::Load {
+                name: Some("demo".to_string()),
+                source: LoadSource::Inline("p cnf 1 1\n1 0\n".to_string()),
+            },
+            Request::Load {
+                name: None,
+                source: LoadSource::Path("/tmp/x.cnf".to_string()),
+            },
+            Request::Sample(SampleParams {
+                n: 8,
+                seed: 42,
+                deadline_ms: Some(250),
+                max_stale: Some(4),
+                threads: Some(8),
+                batch: Some(64),
+                ..SampleParams::new(fp())
+            }),
+            Request::Sample(SampleParams::new(fp())),
+            Request::Sample(SampleParams {
+                // Above 2^53: must survive the wire exactly (string form).
+                seed: u64::MAX - 1,
+                ..SampleParams::new(fp())
+            }),
+            Request::Status,
+            Request::Evict { fingerprint: fp() },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.encode().encode();
+            let parsed = Json::parse(&line).expect("valid JSON");
+            assert_eq!(Request::decode(&parsed).expect("decodes"), request);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_requests() {
+        for (text, needle) in [
+            (r#"{"n": 3}"#, "missing `cmd`"),
+            (r#"{"cmd": "frobnicate"}"#, "unknown command"),
+            (r#"{"cmd": "load"}"#, "`dimacs` or `path`"),
+            (
+                r#"{"cmd": "load", "dimacs": "x", "path": "y"}"#,
+                "mutually exclusive",
+            ),
+            (r#"{"cmd": "sample"}"#, "missing `fingerprint`"),
+            (
+                r#"{"cmd": "sample", "fingerprint": "zz"}"#,
+                "invalid fingerprint",
+            ),
+            (
+                r#"{"cmd": "evict", "fingerprint": 7}"#,
+                "missing `fingerprint`",
+            ),
+        ] {
+            let msg = Json::parse(text).expect("valid JSON");
+            let err = Request::decode(&msg).expect_err(text);
+            assert!(err.0.contains(needle), "{text}: {err}");
+        }
+        let bad_n = Json::parse(&format!(
+            r#"{{"cmd": "sample", "fingerprint": "{}", "n": -1}}"#,
+            fp().to_hex()
+        ))
+        .expect("valid JSON");
+        assert!(Request::decode(&bad_n).is_err());
+    }
+
+    #[test]
+    fn solution_bit_strings_round_trip() {
+        let bits = vec![true, false, false, true, true];
+        let text = encode_solution(&bits);
+        assert_eq!(text, "10011");
+        assert_eq!(decode_solution(&text).expect("decodes"), bits);
+        assert!(decode_solution("01x").is_err());
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = StreamStats {
+            rounds: 3,
+            attempts: 300,
+            valid: 50,
+            yielded: 40,
+            duplicates: 10,
+        };
+        assert_eq!(decode_stats(&encode_stats(&stats)), stats);
+        assert_eq!(decode_stats(&Json::obj(vec![])), StreamStats::default());
+    }
+
+    #[test]
+    fn response_builders_shape() {
+        let ok = ok_response(vec![("x", 1usize.into())]);
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("x").and_then(Json::as_u64), Some(1));
+        let err = error_response("boom");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("boom"));
+    }
+}

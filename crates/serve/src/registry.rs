@@ -1,0 +1,561 @@
+//! The formula-keyed sampler registry.
+//!
+//! The registry is the daemon's reason to exist: the expensive part of
+//! serving a sampling request is the CNF-to-circuit transformation and
+//! kernel compilation, and those depend only on the formula — not on the
+//! request's seed, deadline or thread count. So the daemon keeps one
+//! [`PreparedFormula`] per canonical [`Fingerprint`] and mints a cheap
+//! per-request sampler from it; a repeated `LOAD`/`SAMPLE` for a formula the
+//! registry has seen (in *any* clause order — the fingerprint canonicalises
+//! that away) skips parse-side compilation entirely.
+//!
+//! Residency is bounded by a configurable byte budget. Each entry is costed
+//! with the sampler's own [`MemoryModel`](htsat_tensor::MemoryModel) (at the
+//! registry's reference batch size and worker count — the model that drives
+//! the paper's Fig. 3 memory plot), and inserting past the budget evicts
+//! least-recently-used entries first. A single entry larger than the whole
+//! budget is still admitted (refusing it would make the formula unservable);
+//! it just becomes the first eviction candidate.
+
+use crate::ServeError;
+use htsat_cnf::{Cnf, Fingerprint};
+use htsat_core::{PreparedFormula, TransformConfig};
+use htsat_runtime::StreamStats;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// Configuration of a [`SamplerRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryConfig {
+    /// Resident-memory budget in bytes (modelled, not measured). Inserting
+    /// past it evicts LRU entries first.
+    pub budget_bytes: u64,
+    /// Batch size the per-entry memory model is evaluated at.
+    pub model_batch: usize,
+    /// Worker count the per-entry memory model is evaluated at.
+    pub model_workers: usize,
+    /// Transformation options every entry is prepared with.
+    pub transform: TransformConfig,
+}
+
+impl Default for RegistryConfig {
+    /// 512 MiB budget, modelled at the sampler's default batch (256) on
+    /// one worker, default transformation options.
+    fn default() -> Self {
+        RegistryConfig {
+            budget_bytes: 512 * 1024 * 1024,
+            model_batch: 256,
+            model_workers: 1,
+            transform: TransformConfig::default(),
+        }
+    }
+}
+
+/// One resident formula: compiled artifacts plus serving bookkeeping.
+#[derive(Debug)]
+pub struct RegistryEntry {
+    /// Registry key.
+    pub fingerprint: Fingerprint,
+    /// Display name (from the `LOAD` request, or the fingerprint).
+    pub name: String,
+    /// The compiled artifacts samplers are minted from.
+    pub prepared: PreparedFormula,
+    /// Modelled resident bytes (the eviction weight).
+    pub bytes: u64,
+    /// Times a request hit this entry after its initial load.
+    hits: AtomicU64,
+    /// LRU clock value of the last touch.
+    last_used: AtomicU64,
+    /// Cumulative stream statistics of every `SAMPLE` served from this
+    /// entry.
+    stats: Mutex<StreamStats>,
+}
+
+impl RegistryEntry {
+    /// Times a request hit this entry after its initial load.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative stream statistics of every `SAMPLE` served from this
+    /// entry.
+    pub fn cumulative_stats(&self) -> StreamStats {
+        *self.stats.lock().expect("entry stats poisoned")
+    }
+
+    /// Merges one finished request's stream statistics into the entry's
+    /// cumulative total.
+    pub fn record_stats(&self, stats: &StreamStats) {
+        self.stats
+            .lock()
+            .expect("entry stats poisoned")
+            .merge(stats);
+    }
+}
+
+/// Aggregate counters of a [`SamplerRegistry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryCounters {
+    /// Loads/samples answered from a resident entry.
+    pub hits: u64,
+    /// Loads that had to prepare (transform + compile) a new entry.
+    pub misses: u64,
+    /// Transform+compile runs performed — the counter the "registry hit
+    /// path skips recompilation" guarantee is asserted against.
+    pub compiles: u64,
+    /// Entries dropped, by eviction or explicit `EVICT`.
+    pub evictions: u64,
+}
+
+/// A concurrent map from formula fingerprint to compiled sampler artifacts,
+/// with LRU eviction under a modelled memory budget.
+///
+/// Reads (the hot path: `SAMPLE` on a resident formula) take the shared
+/// lock; only inserts and evictions take the exclusive lock. Recency is
+/// tracked with a lock-free logical clock so a read never needs the
+/// exclusive lock to bump its entry.
+#[derive(Debug)]
+pub struct SamplerRegistry {
+    config: RegistryConfig,
+    entries: RwLock<HashMap<Fingerprint, Arc<RegistryEntry>>>,
+    /// Fingerprints whose compile is in flight right now (single-flight:
+    /// concurrent loads of the same formula wait instead of re-compiling).
+    inflight: Mutex<HashSet<Fingerprint>>,
+    inflight_done: Condvar,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// RAII release of an in-flight compile claim, so a failed (or panicking)
+/// prepare never leaves other loads of the same formula waiting forever.
+struct InflightClaim<'a> {
+    registry: &'a SamplerRegistry,
+    fingerprint: Fingerprint,
+}
+
+impl Drop for InflightClaim<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut inflight) = self.registry.inflight.lock() {
+            inflight.remove(&self.fingerprint);
+        }
+        self.registry.inflight_done.notify_all();
+    }
+}
+
+/// Whether two CNFs are the same formula up to clause and literal order —
+/// the equivalence [`Fingerprint`] canonicalises over. Used to detect hash
+/// collisions on the registry hit path (both formulas are in hand there,
+/// so the check is cheap relative to a compile).
+fn same_canonical_formula(a: &Cnf, b: &Cnf) -> bool {
+    if a.num_vars() != b.num_vars() || a.num_clauses() != b.num_clauses() {
+        return false;
+    }
+    let canonical = |cnf: &Cnf| -> Vec<Vec<usize>> {
+        let mut clauses: Vec<Vec<usize>> = cnf
+            .clauses()
+            .iter()
+            .map(|c| {
+                let mut lits: Vec<usize> = c.lits().iter().map(|l| l.code()).collect();
+                lits.sort_unstable();
+                lits
+            })
+            .collect();
+        clauses.sort_unstable();
+        clauses
+    };
+    canonical(a) == canonical(b)
+}
+
+impl SamplerRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new(config: RegistryConfig) -> Self {
+        SamplerRegistry {
+            config,
+            entries: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    fn touch(&self, entry: &RegistryEntry) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Looks up a resident entry, bumping its recency and hit count.
+    #[must_use]
+    pub fn get(&self, fingerprint: &Fingerprint) -> Option<Arc<RegistryEntry>> {
+        let entries = self.entries.read().expect("registry poisoned");
+        let entry = entries.get(fingerprint)?.clone();
+        drop(entries);
+        entry.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.touch(&entry);
+        Some(entry)
+    }
+
+    /// Registers `cnf`, preparing (transform + compile) only if no entry
+    /// with the same canonical fingerprint is resident. Returns the entry
+    /// and whether it was already cached.
+    ///
+    /// Loading is **single-flight** per fingerprint: concurrent loads of
+    /// the same formula block on the one in-flight compile and then share
+    /// its entry, so a thundering herd of identical `LOAD`s costs exactly
+    /// one transform+compile. Compilation itself runs outside every lock —
+    /// resident formulas stay servable while a big new one compiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Transform`] when the formula is structurally
+    /// unsatisfiable.
+    pub fn load(
+        &self,
+        cnf: &Cnf,
+        name: Option<&str>,
+    ) -> Result<(Arc<RegistryEntry>, bool), ServeError> {
+        let fingerprint = Fingerprint::of(cnf);
+        let claim = loop {
+            if let Some(entry) = self.get(&fingerprint) {
+                // Fingerprint equality is the key, but the hash is not
+                // collision resistant against an adversarial formula; since
+                // both CNFs are in hand here, verify semantic equality
+                // (order-insensitively) rather than silently serving the
+                // wrong formula's solutions forever.
+                if !same_canonical_formula(cnf, entry.prepared.cnf()) {
+                    return Err(ServeError::FingerprintCollision(fingerprint));
+                }
+                return Ok((entry, true));
+            }
+            let inflight = self.inflight.lock().expect("inflight poisoned");
+            // Residency may have been published between the lookup above
+            // and taking the lock; re-run the lookup if so.
+            if self
+                .entries
+                .read()
+                .expect("registry poisoned")
+                .contains_key(&fingerprint)
+            {
+                continue;
+            }
+            let mut inflight = inflight;
+            if inflight.insert(fingerprint) {
+                break InflightClaim {
+                    registry: self,
+                    fingerprint,
+                };
+            }
+            // Another load is compiling this formula right now: wait for it
+            // to finish (success or failure), then retry from the top.
+            let _released = self
+                .inflight_done
+                .wait(inflight)
+                .expect("inflight poisoned");
+        };
+
+        // We own the only in-flight compile for this fingerprint. Prepare
+        // outside every lock: compilation can take seconds on big formulas
+        // and must not block requests for resident entries.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let prepared = PreparedFormula::prepare(cnf, &self.config.transform)?;
+        let bytes = prepared
+            .memory_model(self.config.model_batch, self.config.model_workers)
+            .total_bytes();
+        let entry = Arc::new(RegistryEntry {
+            fingerprint,
+            name: name.map_or_else(|| fingerprint.to_hex(), str::to_string),
+            prepared,
+            bytes,
+            hits: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
+            stats: Mutex::new(StreamStats::default()),
+        });
+        self.touch(&entry);
+
+        let mut entries = self.entries.write().expect("registry poisoned");
+        entries.insert(fingerprint, entry.clone());
+        self.evict_lru_over_budget(&mut entries, fingerprint);
+        drop(entries);
+        drop(claim); // release the in-flight slot, wake the waiters
+        Ok((entry, false))
+    }
+
+    /// Evicts least-recently-used entries (never `keep`) until the modelled
+    /// total fits the budget.
+    fn evict_lru_over_budget(
+        &self,
+        entries: &mut HashMap<Fingerprint, Arc<RegistryEntry>>,
+        keep: Fingerprint,
+    ) {
+        loop {
+            let total: u64 = entries.values().map(|e| e.bytes).sum();
+            if total <= self.config.budget_bytes {
+                return;
+            }
+            let victim = entries
+                .values()
+                .filter(|e| e.fingerprint != keep)
+                .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                .map(|e| e.fingerprint);
+            let Some(victim) = victim else {
+                // Only the just-inserted entry is left; an oversized single
+                // formula stays resident (see module docs).
+                return;
+            };
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops one entry. Returns whether it was resident.
+    pub fn evict(&self, fingerprint: &Fingerprint) -> bool {
+        let removed = self
+            .entries
+            .write()
+            .expect("registry poisoned")
+            .remove(fingerprint)
+            .is_some();
+        if removed {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Aggregate hit/miss/compile/eviction counters.
+    pub fn counters(&self) -> RegistryCounters {
+        RegistryCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Modelled resident bytes across all entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stable-ordered snapshot of the resident entries (most recently
+    /// used first) for status reporting.
+    pub fn snapshot(&self) -> Vec<Arc<RegistryEntry>> {
+        let entries = self.entries.read().expect("registry poisoned");
+        let mut list: Vec<Arc<RegistryEntry>> = entries.values().cloned().collect();
+        drop(entries);
+        list.sort_by_key(|e| std::cmp::Reverse(e.last_used.load(Ordering::Relaxed)));
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(width: u32, seed: i64) -> Cnf {
+        // A satisfiable chain distinct per seed: (x1 ∨ x2), (x2 ∨ x3), …
+        // with one seed-dependent unit clause.
+        let mut cnf = Cnf::new(width as usize);
+        for v in 1..width {
+            cnf.add_dimacs_clause([i64::from(v), i64::from(v + 1)]);
+        }
+        cnf.add_dimacs_clause([1 + seed.rem_euclid(i64::from(width))]);
+        cnf
+    }
+
+    fn registry(budget_bytes: u64) -> SamplerRegistry {
+        SamplerRegistry::new(RegistryConfig {
+            budget_bytes,
+            ..RegistryConfig::default()
+        })
+    }
+
+    #[test]
+    fn second_load_is_a_hit_with_no_recompilation() {
+        let registry = registry(u64::MAX);
+        let formula = cnf(6, 0);
+        let (first, cached) = registry.load(&formula, Some("demo")).expect("load");
+        assert!(!cached);
+        assert_eq!(registry.counters().compiles, 1);
+
+        // Same formula, clauses re-ordered: the canonical fingerprint must
+        // land on the resident entry without another compile.
+        let mut reordered = Cnf::new(6);
+        let mut clauses: Vec<_> = formula.clauses().to_vec();
+        clauses.reverse();
+        for clause in clauses {
+            reordered.push_clause(clause);
+        }
+        let (second, cached) = registry.load(&reordered, None).expect("load");
+        assert!(cached);
+        assert_eq!(second.fingerprint, first.fingerprint);
+        assert_eq!(registry.counters().compiles, 1, "hit path must not compile");
+        assert_eq!(registry.counters().hits, 1);
+        assert_eq!(first.hits(), 1);
+        assert_eq!(second.name, "demo", "hit keeps the original entry");
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget_and_recency() {
+        // Probe one entry's modelled size, then budget for two entries.
+        let probe = registry(u64::MAX);
+        let (probe_entry, _) = probe.load(&cnf(5, 0), None).expect("probe");
+        let per_entry = probe_entry.bytes;
+
+        let registry = registry(per_entry * 2 + per_entry / 2);
+        let (a, _) = registry.load(&cnf(5, 0), Some("a")).expect("a");
+        let (_b, _) = registry.load(&cnf(5, 1), Some("b")).expect("b");
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(registry.get(&a.fingerprint).is_some());
+        let (_c, _) = registry.load(&cnf(5, 2), Some("c")).expect("c");
+        assert_eq!(registry.len(), 2);
+        assert!(
+            registry.get(&a.fingerprint).is_some(),
+            "a was recently used"
+        );
+        assert_eq!(registry.counters().evictions, 1);
+        assert!(registry.resident_bytes() <= registry.config().budget_bytes);
+    }
+
+    #[test]
+    fn oversized_single_entry_is_still_admitted() {
+        let registry = registry(1); // absurdly small budget
+        let (entry, cached) = registry.load(&cnf(5, 0), None).expect("load");
+        assert!(!cached);
+        assert!(entry.bytes > 1);
+        assert_eq!(registry.len(), 1, "the sole entry survives");
+    }
+
+    #[test]
+    fn explicit_evict_and_counters() {
+        let registry = registry(u64::MAX);
+        let (entry, _) = registry.load(&cnf(4, 0), None).expect("load");
+        assert!(registry.evict(&entry.fingerprint));
+        assert!(!registry.evict(&entry.fingerprint), "already gone");
+        assert!(registry.get(&entry.fingerprint).is_none());
+        assert_eq!(registry.counters().evictions, 1);
+        // Re-loading after eviction compiles again.
+        let (_again, cached) = registry.load(&cnf(4, 0), None).expect("load");
+        assert!(!cached);
+        assert_eq!(registry.counters().compiles, 2);
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate_across_requests() {
+        let registry = registry(u64::MAX);
+        let (entry, _) = registry.load(&cnf(4, 0), None).expect("load");
+        let round = StreamStats {
+            rounds: 1,
+            attempts: 10,
+            valid: 4,
+            yielded: 3,
+            duplicates: 1,
+        };
+        entry.record_stats(&round);
+        entry.record_stats(&round);
+        assert_eq!(entry.cumulative_stats().attempts, 20);
+    }
+
+    #[test]
+    fn snapshot_orders_by_recency() {
+        let registry = registry(u64::MAX);
+        let (a, _) = registry.load(&cnf(4, 0), Some("a")).expect("a");
+        let (_b, _) = registry.load(&cnf(4, 1), Some("b")).expect("b");
+        assert!(registry.get(&a.fingerprint).is_some());
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].name, "a", "most recently used first");
+    }
+
+    #[test]
+    fn concurrent_loads_are_single_flight() {
+        let registry = Arc::new(registry(u64::MAX));
+        let formula = cnf(8, 0);
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let registry = registry.clone();
+                let formula = formula.clone();
+                std::thread::spawn(move || {
+                    let (entry, _cached) = registry.load(&formula, None).expect("load");
+                    entry.fingerprint
+                })
+            })
+            .collect();
+        let fingerprints: Vec<Fingerprint> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        assert!(fingerprints.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            registry.counters().compiles,
+            1,
+            "concurrent loads of one formula must share one compile"
+        );
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn failed_load_releases_the_inflight_claim() {
+        let registry = registry(u64::MAX);
+        let mut unsat = Cnf::new(1);
+        unsat.add_clause([]);
+        assert!(registry.load(&unsat, None).is_err());
+        // A second attempt must not dead-wait on the failed claim.
+        assert!(registry.load(&unsat, None).is_err());
+        assert_eq!(registry.counters().compiles, 2);
+    }
+
+    #[test]
+    fn canonical_formula_comparison_ignores_order_only() {
+        let a = cnf(5, 0);
+        let mut reordered = Cnf::new(5);
+        let mut clauses: Vec<_> = a.clauses().to_vec();
+        clauses.reverse();
+        for clause in clauses {
+            reordered.push_clause(clause);
+        }
+        assert!(same_canonical_formula(&a, &reordered));
+        assert!(!same_canonical_formula(&a, &cnf(5, 1)), "different content");
+        let mut wider = a.clone();
+        wider.grow_vars(9);
+        assert!(!same_canonical_formula(&a, &wider), "different universe");
+    }
+
+    #[test]
+    fn unsatisfiable_formula_is_rejected_not_cached() {
+        let registry = registry(u64::MAX);
+        let mut unsat = Cnf::new(1);
+        unsat.add_clause([]); // empty clause
+        assert!(registry.load(&unsat, None).is_err());
+        assert!(registry.is_empty());
+    }
+}

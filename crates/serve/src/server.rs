@@ -1,0 +1,439 @@
+//! The TCP daemon: accept loop, per-connection sessions, graceful shutdown.
+
+use crate::json::Json;
+use crate::proto::{
+    encode_solution, encode_stats, error_response, ok_response, LoadSource, ProtoError, Request,
+    SampleParams,
+};
+use crate::registry::{RegistryConfig, SamplerRegistry};
+use crate::ServeError;
+use htsat_cnf::dimacs;
+use htsat_core::SamplerConfig;
+use htsat_runtime::{StopSet, StopToken};
+use htsat_tensor::Backend;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop polls for new connections and the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration of the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (the bound address is
+    /// reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Default worker threads for `SAMPLE` requests that do not pin their
+    /// own count (`0` = one worker per core).
+    pub default_threads: usize,
+    /// Registry options (memory budget, model parameters).
+    pub registry: RegistryConfig,
+    /// Allow `LOAD` requests that name a server-side `path`. Disabled by
+    /// default: a daemon reachable over TCP should not read arbitrary local
+    /// files unless the operator opts in.
+    pub allow_path_load: bool,
+}
+
+impl Default for ServeConfig {
+    /// Loopback on an ephemeral port, auto-sized sampling threads, default
+    /// registry budget, path loads disabled.
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            default_threads: 0,
+            registry: RegistryConfig::default(),
+            allow_path_load: false,
+        }
+    }
+}
+
+/// Shared state every connection session works against.
+struct ServerState {
+    config: ServeConfig,
+    registry: SamplerRegistry,
+    /// Master stop flag: set once, never cleared — the daemon is done.
+    stop: StopToken,
+    /// Stop tokens of in-flight `SAMPLE` streams, fired on shutdown.
+    requests: StopSet,
+    started: Instant,
+    connections_served: AtomicU64,
+}
+
+/// A running daemon.
+///
+/// Dropping the handle shuts the daemon down gracefully (equivalent to
+/// [`ServerHandle::shutdown`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Starts the daemon described by `config` and returns its handle.
+///
+/// The accept loop and every connection session run on background threads;
+/// the call returns as soon as the listener is bound, so callers can read
+/// the ephemeral port from [`ServerHandle::local_addr`] immediately.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unusable.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        registry: SamplerRegistry::new(config.registry.clone()),
+        config,
+        stop: StopToken::new(),
+        requests: StopSet::new(),
+        started: Instant::now(),
+        connections_served: AtomicU64::new(0),
+    });
+    let accept_state = state.clone();
+    let accept = std::thread::Builder::new()
+        .name("htsat-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_state))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry, for in-process inspection by tests and benchmarks.
+    #[must_use]
+    pub fn registry(&self) -> &SamplerRegistry {
+        &self.state.registry
+    }
+
+    /// Whether the daemon has been told to stop (by [`ServerHandle::shutdown`]
+    /// or a `SHUTDOWN` request).
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.state.stop.is_stopped()
+    }
+
+    /// Blocks until the daemon stops (a `SHUTDOWN` request arrives or
+    /// another thread calls [`ServerHandle::shutdown`]).
+    pub fn wait(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops the daemon gracefully: fires every in-flight request's stop
+    /// token, closes the accept loop and joins the session threads.
+    pub fn shutdown(&mut self) {
+        self.state.stop.stop();
+        self.state.requests.stop_all();
+        self.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Polls for connections until the master stop flag is set, then drains the
+/// session threads.
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !state.stop.is_stopped() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.connections_served.fetch_add(1, Ordering::Relaxed);
+                let session_state = state.clone();
+                let handle = std::thread::Builder::new()
+                    .name("htsat-serve-session".to_string())
+                    .spawn(move || session(stream, &session_state))
+                    .expect("spawn session thread");
+                sessions.push(handle);
+                sessions.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Graceful drain: in-flight streams have had their stop tokens fired
+    // (by shutdown() or the SHUTDOWN session), so sessions finish their
+    // current response and exit at the next read.
+    for handle in sessions {
+        let _ = handle.join();
+    }
+}
+
+/// Largest accepted request line (a paper-scale inline DIMACS is a few
+/// MiB; the cap only bounds a hostile endless line).
+const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Reads `\n`-terminated lines from a stream with a read timeout,
+/// preserving partially received lines across timeouts (a plain
+/// `BufRead::read_line` would drop them) and checking a stop flag between
+/// polls.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    /// Bytes of `pending` already scanned for a newline, so each appended
+    /// chunk is scanned once (a full rescan per chunk would make multi-MiB
+    /// inline-DIMACS lines quadratic).
+    scanned: usize,
+}
+
+impl LineReader {
+    /// Returns the next complete line (without guarantee of trailing
+    /// newline trimming), or `None` on EOF / stop / protocol violation.
+    fn next_line(&mut self, stop: &StopToken) -> Option<String> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(pos) = self.pending[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let line: Vec<u8> = self.pending.drain(..=self.scanned + pos).collect();
+                self.scanned = 0;
+                // Invalid UTF-8 cannot be valid protocol JSON; drop the
+                // connection rather than guessing.
+                return String::from_utf8(line).ok();
+            }
+            self.scanned = self.pending.len();
+            if stop.is_stopped() || self.pending.len() > MAX_LINE_BYTES {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None, // client hung up (partial line dropped)
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Serves one connection: one request line in, one response line out.
+fn session(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    // Sessions must notice a daemon-wide shutdown even while idle in a
+    // read: a read timeout turns the blocking read into a poll.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader {
+        stream,
+        pending: Vec::new(),
+        scanned: 0,
+    };
+    loop {
+        let Some(line) = reader.next_line(&state.stop) else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = dispatch(&line, state);
+        let mut text = response.encode();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if shutdown {
+            // Acknowledge first, then stop the world: the master flag ends
+            // the accept loop, the stop set cancels in-flight streams on
+            // other sessions.
+            state.stop.stop();
+            state.requests.stop_all();
+            return;
+        }
+    }
+}
+
+/// Parses and executes one request line. Returns the response and whether
+/// the daemon should shut down after sending it.
+fn dispatch(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
+    let msg = match Json::parse(line.trim_end()) {
+        Ok(msg) => msg,
+        Err(e) => return (error_response(&format!("invalid JSON: {e}")), false),
+    };
+    let request = match Request::decode(&msg) {
+        Ok(request) => request,
+        Err(ProtoError(e)) => return (error_response(&e), false),
+    };
+    match request {
+        Request::Load { name, source } => (handle_load(state, name.as_deref(), &source), false),
+        Request::Sample(params) => (handle_sample(state, &params), false),
+        Request::Status => (handle_status(state), false),
+        Request::Evict { fingerprint } => {
+            let evicted = state.registry.evict(&fingerprint);
+            (ok_response(vec![("evicted", evicted.into())]), false)
+        }
+        Request::Shutdown => (ok_response(vec![("shutdown", true.into())]), true),
+    }
+}
+
+fn handle_load(state: &Arc<ServerState>, name: Option<&str>, source: &LoadSource) -> Json {
+    let cnf = match source {
+        LoadSource::Inline(text) => match dimacs::parse_str(text) {
+            Ok(cnf) => cnf,
+            Err(e) => return error_response(&format!("DIMACS parse error: {e}")),
+        },
+        LoadSource::Path(path) => {
+            if !state.config.allow_path_load {
+                return error_response(
+                    "path loads are disabled on this server (start with --allow-path-load)",
+                );
+            }
+            match dimacs::read_file(path) {
+                Ok(cnf) => cnf,
+                Err(e) => return error_response(&format!("cannot read `{path}`: {e}")),
+            }
+        }
+    };
+    match state.registry.load(&cnf, name) {
+        Ok((entry, cached)) => ok_response(vec![
+            ("fingerprint", entry.fingerprint.to_hex().into()),
+            ("name", entry.name.clone().into()),
+            ("cached", cached.into()),
+            ("vars", entry.prepared.cnf().num_vars().into()),
+            ("clauses", entry.prepared.cnf().num_clauses().into()),
+            ("inputs", entry.prepared.num_inputs().into()),
+            ("nodes", entry.prepared.num_nodes().into()),
+        ]),
+        Err(ServeError::Transform(e)) => error_response(&format!("transform error: {e}")),
+        Err(e) => error_response(&e.to_string()),
+    }
+}
+
+/// Server-side ceilings on wire-supplied sampling knobs: a daemon must not
+/// let one request spawn unbounded OS threads, allocate an unbounded logit
+/// matrix, or queue an absurd solution target.
+const MAX_REQUEST_THREADS: usize = 1024;
+const MAX_REQUEST_BATCH: usize = 1 << 16;
+const MAX_REQUEST_N: usize = 1 << 20;
+
+fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
+    let Some(entry) = state.registry.get(&params.fingerprint) else {
+        return error_response(&format!(
+            "formula {} is not loaded (use `load` first, or it was evicted)",
+            params.fingerprint
+        ));
+    };
+    let threads = params.threads.unwrap_or(state.config.default_threads);
+    if threads > MAX_REQUEST_THREADS {
+        return error_response(&format!("`threads` exceeds the cap {MAX_REQUEST_THREADS}"));
+    }
+    if params.n > MAX_REQUEST_N {
+        return error_response(&format!("`n` exceeds the cap {MAX_REQUEST_N}"));
+    }
+    let mut config = SamplerConfig {
+        seed: params.seed,
+        backend: Backend::Threads(threads),
+        ..SamplerConfig::default()
+    };
+    if let Some(batch) = params.batch {
+        if batch > MAX_REQUEST_BATCH {
+            return error_response(&format!("`batch` exceeds the cap {MAX_REQUEST_BATCH}"));
+        }
+        config.batch_size = batch;
+    }
+    // Registry hit path: the sampler is minted from the resident compiled
+    // artifacts — no parse, no transform, no kernel compilation.
+    let mut sampler = match entry.prepared.sampler(config) {
+        Ok(sampler) => sampler,
+        Err(e) => return error_response(&format!("invalid sampler config: {e}")),
+    };
+    let token = state.requests.issue();
+    // Close the shutdown race: if the master stop fired before this token
+    // was registered, `StopSet::stop_all` may already have swept the set —
+    // a stream on a fresh token would then outlive the drain and block
+    // shutdown forever. Issuing first and re-checking second guarantees
+    // the token is stopped on either side of the race.
+    if state.stop.is_stopped() {
+        token.stop();
+        return error_response("server is shutting down");
+    }
+    let mut stream = sampler.stream().with_stop_token(token.clone());
+    if let Some(ms) = params.deadline_ms {
+        stream = stream.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(stale) = params.max_stale {
+        stream = stream.with_stale_limit(stale);
+    }
+    let solutions: Vec<Json> = stream
+        .by_ref()
+        .take(params.n)
+        .map(|bits| Json::Str(encode_solution(&bits)))
+        .collect();
+    let stats = *stream.stats();
+    let elapsed = stream.elapsed();
+    let exhausted = stream.is_exhausted();
+    drop(stream);
+    // Mark this request's token done so the StopSet can prune it.
+    token.stop();
+    entry.record_stats(&stats);
+    ok_response(vec![
+        ("fingerprint", params.fingerprint.to_hex().into()),
+        ("seed", crate::proto::encode_u64_exact(params.seed)),
+        ("threads", threads.into()),
+        ("solutions", Json::Arr(solutions)),
+        ("stats", encode_stats(&stats)),
+        ("elapsed_ms", (elapsed.as_secs_f64() * 1e3).into()),
+        ("exhausted", exhausted.into()),
+        ("stopped", state.stop.is_stopped().into()),
+    ])
+}
+
+fn handle_status(state: &Arc<ServerState>) -> Json {
+    let counters = state.registry.counters();
+    let entries: Vec<Json> = state
+        .registry
+        .snapshot()
+        .into_iter()
+        .map(|entry| {
+            Json::obj(vec![
+                ("fingerprint", entry.fingerprint.to_hex().into()),
+                ("name", entry.name.clone().into()),
+                ("vars", entry.prepared.cnf().num_vars().into()),
+                ("clauses", entry.prepared.cnf().num_clauses().into()),
+                ("inputs", entry.prepared.num_inputs().into()),
+                ("nodes", entry.prepared.num_nodes().into()),
+                ("bytes", entry.bytes.into()),
+                ("hits", entry.hits().into()),
+                ("stats", encode_stats(&entry.cumulative_stats())),
+            ])
+        })
+        .collect();
+    ok_response(vec![
+        (
+            "uptime_ms",
+            (state.started.elapsed().as_secs_f64() * 1e3).into(),
+        ),
+        (
+            "connections",
+            state.connections_served.load(Ordering::Relaxed).into(),
+        ),
+        ("entries", Json::Arr(entries)),
+        ("resident_bytes", state.registry.resident_bytes().into()),
+        ("budget_bytes", state.registry.config().budget_bytes.into()),
+        ("hits", counters.hits.into()),
+        ("misses", counters.misses.into()),
+        ("compiles", counters.compiles.into()),
+        ("evictions", counters.evictions.into()),
+        ("in_flight", state.requests.len().into()),
+    ])
+}
