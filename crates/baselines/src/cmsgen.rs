@@ -3,12 +3,19 @@
 //! CMSGen ("Designing Samplers is Easy: The Boon of Testers", FMCAD 2021) is
 //! CryptoMiniSat with random polarities, random branching and frequent
 //! restarts, re-run once per requested sample. [`CmsGenLike`] is the same
-//! recipe on top of this workspace's CDCL solver.
+//! recipe on top of this workspace's CDCL solver, exposed through the
+//! engine API by [`CmsGenEngine`].
 
-use crate::{RunCollector, SampleRun, SatSampler};
+use crate::SatSampler;
 use htsat_cnf::Cnf;
+use htsat_core::{BoxedSession, SampleEngine, SessionConfig, TransformError};
+use htsat_runtime::{RoundSource, StopToken};
 use htsat_solver::{CdclConfig, CdclSolver, SolveResult};
-use std::time::Duration;
+use std::sync::Arc;
+
+/// Re-seeded CDCL solves per [`RoundSource::round`] call — the granularity
+/// at which deadlines and stop tokens are checked by the stream.
+const SOLVES_PER_ROUND: usize = 8;
 
 /// Configuration of the CMSGen-style sampler.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,44 +58,113 @@ impl CmsGenLike {
 
 impl SatSampler for CmsGenLike {
     fn name(&self) -> &'static str {
-        "cmsgen-like"
+        "cmsgen"
     }
 
-    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
-        let mut collector = RunCollector::new(min_solutions, timeout);
+    fn engine(&self, cnf: &Cnf) -> Result<Box<dyn SampleEngine>, TransformError> {
+        Ok(Box::new(CmsGenEngine::prepare(cnf, self.config.clone())))
+    }
+
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig::with_seed(self.config.seed)
+    }
+}
+
+/// The prepared CMSGen-style engine: the formula plus the randomised-CDCL
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct CmsGenEngine {
+    cnf: Arc<Cnf>,
+    config: CmsGenConfig,
+}
+
+impl CmsGenEngine {
+    /// Prepares the engine for `cnf` (`config.seed` is ignored: sessions
+    /// seed from their [`SessionConfig`]).
+    #[must_use]
+    pub fn prepare(cnf: &Cnf, config: CmsGenConfig) -> Self {
+        CmsGenEngine {
+            cnf: Arc::new(cnf.clone()),
+            config,
+        }
+    }
+}
+
+impl SampleEngine for CmsGenEngine {
+    fn name(&self) -> &'static str {
+        "cmsgen"
+    }
+
+    fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    fn session(&self, config: &SessionConfig) -> Result<BoxedSession, TransformError> {
         let solver_config = CdclConfig {
             random_polarity: true,
             random_branch_freq: self.config.random_branch_freq,
-            seed: self.config.seed,
+            seed: config.seed,
             max_conflicts: self.config.max_conflicts_per_sample,
             ..CdclConfig::default()
         };
-        let mut solver = CdclSolver::with_config(cnf, solver_config);
-        let mut round = 0u64;
-        let mut consecutive_failures = 0u32;
-        while !collector.done() {
-            round += 1;
-            solver.reseed(self.config.seed.wrapping_add(round));
-            match solver.solve() {
-                SolveResult::Sat(model) => {
-                    let fresh = collector.offer(cnf, model);
-                    consecutive_failures = if fresh { 0 } else { consecutive_failures + 1 };
-                    // A long streak of duplicates means the solution space is
-                    // likely exhausted for this heuristic: stop early.
-                    if consecutive_failures > 200 {
-                        break;
-                    }
+        Ok(Box::new(CmsGenSession {
+            solver: CdclSolver::with_config(&self.cnf, solver_config),
+            seed: config.seed,
+            solve: 0,
+            done: false,
+            last_attempts: 0,
+        }))
+    }
+}
+
+/// One request's solver state. The solver is created once per session and
+/// re-seeded per solve (solve `i` uses `session_seed + i`), so learned
+/// clauses accumulate across solves exactly as in the blocking recipe and
+/// the model sequence is a function of the seed alone.
+struct CmsGenSession {
+    solver: CdclSolver,
+    seed: u64,
+    solve: u64,
+    done: bool,
+    /// Solves the most recent round actually performed (cancellation and
+    /// the unsat short-circuit cut rounds short), reported via `round_size`.
+    last_attempts: usize,
+}
+
+impl RoundSource for CmsGenSession {
+    type Item = Vec<bool>;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
+        let mut batch = Vec::new();
+        self.last_attempts = 0;
+        if self.done {
+            return batch;
+        }
+        for _ in 0..SOLVES_PER_ROUND {
+            if stop.is_stopped() {
+                break;
+            }
+            self.solve += 1;
+            self.last_attempts += 1;
+            self.solver.reseed(self.seed.wrapping_add(self.solve));
+            match self.solver.solve() {
+                SolveResult::Sat(model) => batch.push(model),
+                // Unsat is final: report nothing and let the stream's stale
+                // limit end the request without re-solving forever.
+                SolveResult::Unsat => {
+                    self.done = true;
+                    break;
                 }
-                SolveResult::Unsat => break,
-                SolveResult::Unknown => {
-                    consecutive_failures += 1;
-                    if consecutive_failures > 10 {
-                        break;
-                    }
-                }
+                // Conflict budget exhausted: count the attempt, try the
+                // next seed.
+                SolveResult::Unknown => {}
             }
         }
-        collector.finish()
+        batch
+    }
+
+    fn round_size(&self) -> usize {
+        self.last_attempts
     }
 }
 
@@ -96,6 +172,7 @@ impl SatSampler for CmsGenLike {
 mod tests {
     use super::*;
     use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+    use std::time::Duration;
 
     #[test]
     fn finds_diverse_solutions_on_loose_formula() {
@@ -133,5 +210,19 @@ mod tests {
         let run = CmsGenLike::new().sample(&cnf, 100, Duration::from_secs(5));
         assert!(run.solutions.len() <= 2);
         assert!(!run.solutions.is_empty());
+    }
+
+    #[test]
+    fn engine_sessions_are_seed_deterministic() {
+        let cnf = loose_cnf();
+        let engine = CmsGenEngine::prepare(&cnf, CmsGenConfig::default());
+        let take = |seed: u64| -> Vec<Vec<bool>> {
+            engine
+                .stream(&SessionConfig::with_seed(seed))
+                .expect("stream")
+                .take(4)
+                .collect()
+        };
+        assert_eq!(take(7), take(7));
     }
 }

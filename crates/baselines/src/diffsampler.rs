@@ -7,14 +7,19 @@
 //! transformation, so comparing the two isolates the transformation's
 //! contribution. [`DiffSamplerLike`] builds the soft-CNF model on the same
 //! tensor backend used by the transformed-circuit sampler.
+//!
+//! [`DiffSamplerEngine`] is the prepare-once form: the soft-CNF circuit is
+//! built a single time and shared by every minted session, mirroring how
+//! [`htsat_core::PreparedFormula`] shares its compiled circuit.
 
-use crate::{RunCollector, SampleRun, SatSampler};
+use crate::SatSampler;
 use htsat_cnf::Cnf;
-use htsat_runtime::derive_stream_seed;
-use htsat_tensor::{ops, Backend, BatchMatrix, SoftCircuit, SoftGate};
+use htsat_core::{BoxedSession, SampleEngine, SessionConfig, TransformError};
+use htsat_runtime::{derive_stream_seed, RoundSource, StopToken};
+use htsat_tensor::{ops, Backend, BatchMatrix, MemoryModel, SoftCircuit, SoftGate};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use std::sync::Arc;
 
 /// Configuration of the DiffSampler-style sampler.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,53 +106,159 @@ impl DiffSamplerLike {
 
 impl SatSampler for DiffSamplerLike {
     fn name(&self) -> &'static str {
-        "diffsampler-like"
+        "diffsampler"
     }
 
-    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
-        let mut collector = RunCollector::new(min_solutions, timeout);
-        let circuit = Self::build_soft_cnf(cnf);
-        let n = cnf.num_vars();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        while !collector.done() {
-            let scale = self.config.init_scale;
-            // Per-row RNG streams, like the transformed sampler: the drawn
-            // candidates depend on (seed, row) only, never on how the
-            // backend schedules the batch across threads.
-            let round_seed: u64 = rng.gen();
-            let mut logits = BatchMatrix::zeros(self.config.batch_size, n);
-            self.config
-                .backend
-                .for_each_row(logits.as_mut_slice(), n, |b, row| {
-                    let mut row_rng = SmallRng::seed_from_u64(derive_stream_seed(round_seed, b));
-                    for v in row.iter_mut() {
-                        *v = row_rng.gen_range(-scale..=scale);
-                    }
-                    0.0
-                });
-            for _ in 0..self.config.iterations {
-                let mut probs = logits.clone();
-                probs.map_inplace(ops::sigmoid);
-                let (_loss, grad_p) = circuit.loss_and_input_grads(&probs, self.config.backend);
-                let mut grad_v = grad_p;
-                for (g, &p) in grad_v
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(probs.as_slice().iter())
-                {
-                    *g *= ops::sigmoid_grad_from_output(p);
-                }
-                logits.saxpy_neg(self.config.learning_rate, &grad_v);
-            }
-            for b in 0..self.config.batch_size {
-                let bits: Vec<bool> = logits.row(b).iter().map(|&v| v > 0.0).collect();
-                collector.offer(cnf, bits);
-                if collector.done() {
-                    break;
-                }
-            }
+    fn engine(&self, cnf: &Cnf) -> Result<Box<dyn SampleEngine>, TransformError> {
+        Ok(Box::new(DiffSamplerEngine::prepare(
+            cnf,
+            self.config.clone(),
+        )))
+    }
+
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            seed: self.config.seed,
+            backend: self.config.backend,
+            batch: None,
         }
-        collector.finish()
+    }
+}
+
+/// The prepared DiffSampler-style engine: the soft-CNF circuit, built once
+/// and shared (behind an [`Arc`]) with every minted session.
+#[derive(Debug, Clone)]
+pub struct DiffSamplerEngine {
+    cnf: Arc<Cnf>,
+    circuit: Arc<SoftCircuit>,
+    config: DiffSamplerConfig,
+}
+
+impl DiffSamplerEngine {
+    /// Builds the soft clause relaxation of `cnf` (`config.seed` and
+    /// `config.backend` are ignored: sessions take both from their
+    /// [`SessionConfig`]).
+    #[must_use]
+    pub fn prepare(cnf: &Cnf, config: DiffSamplerConfig) -> Self {
+        DiffSamplerEngine {
+            circuit: Arc::new(DiffSamplerLike::build_soft_cnf(cnf)),
+            cnf: Arc::new(cnf.clone()),
+            config,
+        }
+    }
+}
+
+impl SampleEngine for DiffSamplerEngine {
+    fn name(&self) -> &'static str {
+        "diffsampler"
+    }
+
+    fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    fn session(&self, config: &SessionConfig) -> Result<BoxedSession, TransformError> {
+        let batch_size = config.batch.unwrap_or(self.config.batch_size);
+        if batch_size == 0 {
+            return Err(TransformError::InvalidConfig(
+                "batch size must be non-zero".into(),
+            ));
+        }
+        Ok(Box::new(DiffSamplerSession {
+            cnf: self.cnf.clone(),
+            circuit: self.circuit.clone(),
+            config: DiffSamplerConfig {
+                batch_size,
+                backend: config.backend,
+                seed: config.seed,
+                ..self.config.clone()
+            },
+            rng: SmallRng::seed_from_u64(config.seed),
+            last_attempts: 0,
+        }))
+    }
+
+    fn memory_model(&self, batch: usize, workers: usize) -> MemoryModel {
+        // The staged soft-CNF path keeps the cloned probability matrix and
+        // the gradient matrix resident per iteration, like the reference
+        // kernel of the transformed sampler.
+        MemoryModel::new(self.cnf.num_vars(), self.circuit.num_nodes(), batch)
+            .with_workers(workers)
+            .with_staged_matrices(2)
+    }
+
+    fn artifact_dims(&self) -> Vec<(&'static str, usize)> {
+        vec![("nodes", self.circuit.num_nodes())]
+    }
+}
+
+/// One request's descent state: per-round logit initialisation from per-row
+/// RNG streams (thread-count independent, like the transformed sampler).
+struct DiffSamplerSession {
+    cnf: Arc<Cnf>,
+    circuit: Arc<SoftCircuit>,
+    config: DiffSamplerConfig,
+    rng: SmallRng,
+    /// Candidates the most recent round actually hardened (zero when a stop
+    /// token abandoned the descent mid-round), reported via `round_size`.
+    last_attempts: usize,
+}
+
+impl RoundSource for DiffSamplerSession {
+    type Item = Vec<bool>;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
+        self.last_attempts = 0;
+        let n = self.cnf.num_vars();
+        let scale = self.config.init_scale;
+        // Per-row RNG streams, like the transformed sampler: the drawn
+        // candidates depend on (seed, row) only, never on how the
+        // backend schedules the batch across threads.
+        let round_seed: u64 = self.rng.gen();
+        let mut logits = BatchMatrix::zeros(self.config.batch_size, n);
+        self.config
+            .backend
+            .for_each_row(logits.as_mut_slice(), n, |b, row| {
+                let mut row_rng = SmallRng::seed_from_u64(derive_stream_seed(round_seed, b));
+                for v in row.iter_mut() {
+                    *v = row_rng.gen_range(-scale..=scale);
+                }
+                0.0
+            });
+        for _ in 0..self.config.iterations {
+            if stop.is_stopped() {
+                return Vec::new();
+            }
+            let mut probs = logits.clone();
+            probs.map_inplace(ops::sigmoid);
+            let (_loss, grad_p) = self
+                .circuit
+                .loss_and_input_grads(&probs, self.config.backend);
+            let mut grad_v = grad_p;
+            for (g, &p) in grad_v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(probs.as_slice().iter())
+            {
+                *g *= ops::sigmoid_grad_from_output(p);
+            }
+            logits.saxpy_neg(self.config.learning_rate, &grad_v);
+        }
+        self.last_attempts = self.config.batch_size;
+        (0..self.config.batch_size)
+            .map(|b| {
+                logits
+                    .row(b)
+                    .iter()
+                    .map(|&v| v > 0.0)
+                    .collect::<Vec<bool>>()
+            })
+            .filter(|bits| self.cnf.is_satisfied_by_bits(bits))
+            .collect()
+    }
+
+    fn round_size(&self) -> usize {
+        self.last_attempts
     }
 }
 
@@ -155,6 +266,7 @@ impl SatSampler for DiffSamplerLike {
 mod tests {
     use super::*;
     use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+    use std::time::Duration;
 
     #[test]
     fn soft_cnf_loss_is_zero_exactly_on_models() {
@@ -188,5 +300,23 @@ mod tests {
         let run = DiffSamplerLike::new().sample(&cnf, 5, Duration::from_secs(10));
         assert!(!run.solutions.is_empty());
         assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn engine_sessions_are_deterministic_across_thread_counts() {
+        let cnf = gate_cnf();
+        let engine = DiffSamplerEngine::prepare(&cnf, DiffSamplerConfig::default());
+        let take = |threads: usize| -> Vec<Vec<bool>> {
+            engine
+                .stream(&SessionConfig {
+                    seed: 5,
+                    backend: Backend::Threads(threads),
+                    batch: Some(64),
+                })
+                .expect("stream")
+                .take(4)
+                .collect()
+        };
+        assert_eq!(take(1), take(4));
     }
 }

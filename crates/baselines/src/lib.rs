@@ -18,10 +18,22 @@
 //!   transformed-circuit sampler so the ablation isolates the effect of the
 //!   transformation itself,
 //! * [`TransformedGdSampler`] — an adapter exposing the paper's sampler
-//!   ([`htsat_core::GdSampler`]) through the common [`SatSampler`] trait.
+//!   ([`htsat_core::GdSampler`]) through the common traits.
 //!
-//! All samplers implement [`SatSampler`], so the benchmark harness can drive
-//! them interchangeably.
+//! Every sampler participates in the workspace-wide engine API
+//! ([`htsat_core::SampleEngine`]): each has a *prepared* engine form
+//! ([`CmsGenEngine`], [`UniGenEngine`], [`QuickSamplerEngine`],
+//! [`WalkSatEngine`], [`DiffSamplerEngine`] — and
+//! [`htsat_core::PreparedFormula`] for the paper's sampler) that mints cheap
+//! per-request sessions streaming solutions through
+//! [`htsat_runtime::SampleStream`], with explicit seeds, deadlines,
+//! stale-limits, cancellation and per-stream statistics. [`engine_by_name`]
+//! is the factory a server or benchmark uses to build any of them from its
+//! wire name.
+//!
+//! The historical [`SatSampler`] trait remains as the blocking convenience
+//! layer: implementers only provide their engine; [`SatSampler::sample`] is
+//! a provided wrapper that prepares the engine and collects its stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,16 +46,82 @@ mod unigen;
 mod walksat_sampler;
 pub mod xor;
 
-pub use cmsgen::CmsGenLike;
-pub use diffsampler::DiffSamplerLike;
+pub use cmsgen::{CmsGenConfig, CmsGenEngine, CmsGenLike};
+pub use diffsampler::{DiffSamplerConfig, DiffSamplerEngine, DiffSamplerLike};
 pub use gd::TransformedGdSampler;
-pub use quicksampler::QuickSamplerLike;
-pub use unigen::UniGenLike;
-pub use walksat_sampler::WalkSatSampler;
+pub use quicksampler::{QuickSamplerConfig, QuickSamplerEngine, QuickSamplerLike};
+pub use unigen::{UniGenConfig, UniGenEngine, UniGenLike};
+pub use walksat_sampler::{WalkSatEngine, WalkSatSampler};
 
 use htsat_cnf::Cnf;
-use std::collections::HashSet;
+use htsat_core::{PreparedFormula, SampleEngine, SessionConfig, TransformConfig, TransformError};
 use std::time::{Duration, Instant};
+
+/// Canonical engine names, as used on the wire, in the serving registry and
+/// by [`engine_by_name`]. The paper's sampler is `"gd"`; the rest are the
+/// baselines of the Table II / Fig. 2 comparison.
+pub const ENGINE_NAMES: [&str; 6] = [
+    "gd",
+    "diffsampler",
+    "cmsgen",
+    "unigen",
+    "quicksampler",
+    "walksat",
+];
+
+/// Resolves an engine name to its canonical `'static` form (the exact
+/// strings of [`ENGINE_NAMES`]), or `None` for unknown names.
+#[must_use]
+pub fn resolve_engine_name(name: &str) -> Option<&'static str> {
+    ENGINE_NAMES.iter().find(|&&n| n == name).copied()
+}
+
+/// Builds a prepared [`SampleEngine`] for `cnf` from its canonical name.
+///
+/// This is the one extension point a serving daemon or benchmark needs: any
+/// sampler reachable here can be cached per (formula, engine), minted into
+/// per-request sessions and streamed over the wire. `transform` is only
+/// consulted by the `"gd"` engine (the CNF-to-circuit transformation
+/// options); the baselines prepare from the CNF alone.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidConfig`] for unknown names and
+/// propagates transformation failures of the `"gd"` engine (structurally
+/// unsatisfiable formulas).
+pub fn engine_by_name(
+    name: &str,
+    cnf: &Cnf,
+    transform: &TransformConfig,
+) -> Result<Box<dyn SampleEngine>, TransformError> {
+    match resolve_engine_name(name) {
+        Some("gd") => Ok(Box::new(PreparedFormula::prepare(cnf, transform)?)),
+        Some("diffsampler") => Ok(Box::new(DiffSamplerEngine::prepare(
+            cnf,
+            DiffSamplerConfig::default(),
+        ))),
+        Some("cmsgen") => Ok(Box::new(CmsGenEngine::prepare(
+            cnf,
+            CmsGenConfig::default(),
+        ))),
+        Some("unigen") => Ok(Box::new(UniGenEngine::prepare(
+            cnf,
+            UniGenConfig::default(),
+        ))),
+        Some("quicksampler") => Ok(Box::new(QuickSamplerEngine::prepare(
+            cnf,
+            QuickSamplerConfig::default(),
+        ))),
+        Some("walksat") => Ok(Box::new(WalkSatEngine::prepare(
+            cnf,
+            WalkSatSampler::default().config,
+        ))),
+        _ => Err(TransformError::InvalidConfig(format!(
+            "unknown engine `{name}` (known: {})",
+            ENGINE_NAMES.join(", ")
+        ))),
+    }
+}
 
 /// The outcome of one sampling run.
 #[derive(Debug, Clone, Default)]
@@ -58,69 +136,65 @@ pub struct SampleRun {
 
 impl SampleRun {
     /// Unique-solution throughput in solutions per second.
+    ///
+    /// Delegates to [`htsat_runtime::unique_throughput`] — the same clamped
+    /// implementation `htsat_core::SampleReport::throughput` uses, so a run
+    /// faster than the clock resolution reports the finite bound
+    /// `solutions / 1µs` instead of the raw count.
     pub fn throughput(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
-            return self.solutions.len() as f64;
-        }
-        self.solutions.len() as f64 / secs
+        htsat_runtime::unique_throughput(self.solutions.len(), self.elapsed)
     }
 }
 
 /// A SAT sampler: produces unique satisfying assignments of a CNF formula.
+///
+/// Implementers describe *how to build their engine* for a formula; the
+/// blocking [`SatSampler::sample`] call every benchmark and test drives is a
+/// provided wrapper that prepares the engine, mints one session and collects
+/// its [`htsat_runtime::SampleStream`].
 pub trait SatSampler {
-    /// A short name used in benchmark tables.
+    /// A short name used in benchmark tables (the canonical engine name).
     fn name(&self) -> &'static str;
 
-    /// Samples until `min_solutions` unique solutions are found or `timeout`
-    /// elapses.
-    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun;
-}
+    /// Prepares this sampler's [`SampleEngine`] for `cnf`.
+    ///
+    /// # Errors
+    ///
+    /// Engines with a preparation stage (the transformed-circuit sampler)
+    /// propagate its failure; the solver-backed baselines are infallible.
+    fn engine(&self, cnf: &Cnf) -> Result<Box<dyn SampleEngine>, TransformError>;
 
-/// Shared bookkeeping for samplers: deduplication, validation and timing.
-pub(crate) struct RunCollector {
-    seen: HashSet<Vec<bool>>,
-    run: SampleRun,
-    start: Instant,
-    min_solutions: usize,
-    timeout: Duration,
-}
-
-impl RunCollector {
-    pub(crate) fn new(min_solutions: usize, timeout: Duration) -> Self {
-        RunCollector {
-            seen: HashSet::new(),
-            run: SampleRun::default(),
-            start: Instant::now(),
-            min_solutions,
-            timeout,
-        }
+    /// The per-request configuration the blocking wrapper samples with —
+    /// by default the sampler's configured seed travels here.
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig::default()
     }
 
-    /// Records a candidate assignment; returns `true` if it was a new valid
-    /// solution.
-    pub(crate) fn offer(&mut self, cnf: &Cnf, bits: Vec<bool>) -> bool {
-        self.run.attempts += 1;
-        if !cnf.is_satisfied_by_bits(&bits) {
-            return false;
+    /// Samples until `min_solutions` unique solutions are found, `timeout`
+    /// elapses, or the engine's stream exhausts (a provided wrapper over the
+    /// engine API; the elapsed time *and the timeout* both cover engine
+    /// preparation, matching the historical blocking behaviour).
+    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
+        let started = Instant::now();
+        let run = self.engine(cnf).and_then(|engine| {
+            // `timeout` bounds the whole call, as the historical blocking
+            // loops did (their clock started before any preparation):
+            // preparation consumes its share first, sampling gets the rest.
+            let remaining = timeout.saturating_sub(started.elapsed());
+            engine.sample(&self.session_config(), min_solutions, remaining)
+        });
+        match run {
+            Ok(report) => SampleRun {
+                solutions: report.solutions,
+                attempts: report.attempts,
+                elapsed: started.elapsed(),
+            },
+            Err(_) => SampleRun {
+                solutions: Vec::new(),
+                attempts: 0,
+                elapsed: started.elapsed(),
+            },
         }
-        if self.seen.insert(bits.clone()) {
-            self.run.solutions.push(bits);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Whether the run should stop (target reached or timed out).
-    pub(crate) fn done(&self) -> bool {
-        self.run.solutions.len() >= self.min_solutions || self.start.elapsed() >= self.timeout
-    }
-
-    /// Finalises the run.
-    pub(crate) fn finish(mut self) -> SampleRun {
-        self.run.elapsed = self.start.elapsed();
-        self.run
     }
 }
 
@@ -166,37 +240,83 @@ pub(crate) mod test_support {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use htsat_tensor::Backend;
 
     #[test]
-    fn throughput_handles_zero_elapsed() {
+    fn throughput_is_clamped_when_elapsed_rounds_to_zero() {
         let run = SampleRun {
-            solutions: vec![vec![true]],
-            attempts: 1,
+            solutions: vec![vec![true]; 5],
+            attempts: 5,
             elapsed: Duration::ZERO,
         };
-        assert_eq!(run.throughput(), 1.0);
+        // Shares the clamped implementation with SampleReport: a finite
+        // rate bounded by the minimum measurable tick, never the raw count.
+        let expected = 5.0 / htsat_runtime::MIN_MEASURABLE_TICK.as_secs_f64();
+        assert!((run.throughput() - expected).abs() < 1e-3);
+        assert!(run.throughput().is_finite());
     }
 
     #[test]
-    fn collector_deduplicates_and_validates() {
-        let cnf = test_support::loose_cnf();
-        let mut collector = RunCollector::new(10, Duration::from_secs(1));
-        let valid = vec![true, false, true, false, true, false, false];
-        let invalid = vec![false; 7];
-        assert!(collector.offer(&cnf, valid.clone()));
-        assert!(!collector.offer(&cnf, valid));
-        assert!(!collector.offer(&cnf, invalid));
-        let run = collector.finish();
-        assert_eq!(run.solutions.len(), 1);
-        assert_eq!(run.attempts, 3);
+    fn factory_builds_every_engine() {
+        let cnf = test_support::gate_cnf();
+        for name in ENGINE_NAMES {
+            let engine =
+                engine_by_name(name, &cnf, &TransformConfig::default()).expect("known engine");
+            assert_eq!(engine.name(), name);
+            assert_eq!(engine.cnf().num_vars(), cnf.num_vars());
+            let solutions: Vec<Vec<bool>> = engine
+                .stream(&SessionConfig::with_seed(5))
+                .expect("stream")
+                .take(2)
+                .collect();
+            assert!(!solutions.is_empty(), "engine {name} found nothing");
+            for s in &solutions {
+                assert!(cnf.is_satisfied_by_bits(s), "engine {name} invalid");
+            }
+        }
     }
 
     #[test]
-    fn collector_stops_at_target() {
+    fn factory_rejects_unknown_names() {
         let cnf = test_support::loose_cnf();
-        let mut collector = RunCollector::new(1, Duration::from_secs(60));
-        assert!(!collector.done());
-        collector.offer(&cnf, vec![true, false, true, false, true, false, false]);
-        assert!(collector.done());
+        assert!(engine_by_name("frobnicate", &cnf, &TransformConfig::default()).is_err());
+        assert_eq!(resolve_engine_name("walksat"), Some("walksat"));
+        assert_eq!(resolve_engine_name("WALKSAT"), None);
+    }
+
+    #[test]
+    fn every_engine_is_thread_count_deterministic() {
+        // The engine contract: a fixed seed reproduces the identical
+        // solution sequence at any thread count. Solver-backed baselines
+        // ignore the backend; the batched engines use per-row RNG streams.
+        let cnf = test_support::gate_cnf();
+        for name in ENGINE_NAMES {
+            let engine =
+                engine_by_name(name, &cnf, &TransformConfig::default()).expect("known engine");
+            let run = |threads: usize| -> Vec<Vec<bool>> {
+                engine
+                    .stream(&SessionConfig {
+                        seed: 9,
+                        backend: Backend::Threads(threads),
+                        batch: None,
+                    })
+                    .expect("stream")
+                    .take(3)
+                    .collect()
+            };
+            assert_eq!(run(1), run(8), "engine {name} depends on thread count");
+        }
+    }
+
+    #[test]
+    fn engine_streams_are_promptly_cancellable() {
+        let cnf = test_support::gate_cnf();
+        for name in ENGINE_NAMES {
+            let engine =
+                engine_by_name(name, &cnf, &TransformConfig::default()).expect("known engine");
+            let mut stream = engine.stream(&SessionConfig::with_seed(1)).expect("stream");
+            stream.stop_token().stop();
+            assert_eq!(stream.next(), None, "engine {name} ignored the stop token");
+        }
     }
 }

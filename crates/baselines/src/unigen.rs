@@ -8,14 +8,22 @@
 //! approximate model-counting machinery of the real tool is replaced by the
 //! adaptive cell-size feedback loop, which preserves the performance
 //! characteristics that matter to the paper's comparison (CPU-bound CDCL
-//! enumeration per sample batch).
+//! enumeration per sample batch). [`UniGenEngine`] exposes the recipe
+//! through the engine API: one session round is one hashed-cell enumeration.
 
-use crate::{xor, RunCollector, SampleRun, SatSampler};
+use crate::{xor, SatSampler};
 use htsat_cnf::{Cnf, Var};
+use htsat_core::{BoxedSession, SampleEngine, SessionConfig, TransformError};
+use htsat_runtime::{RoundSource, StopToken};
 use htsat_solver::{enumerate, CdclConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::time::Duration;
+use std::sync::Arc;
+
+/// Hard ceiling on hashed-cell rounds per session, matching the historical
+/// blocking loop's bound — a stuck adaptive loop must terminate even without
+/// a deadline.
+const MAX_ROUNDS: usize = 10_000;
 
 /// Configuration of the UniGen-style sampler.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,59 +69,134 @@ impl UniGenLike {
 
 impl SatSampler for UniGenLike {
     fn name(&self) -> &'static str {
-        "unigen-like"
+        "unigen"
     }
 
-    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
-        let mut collector = RunCollector::new(min_solutions, timeout);
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let pool: Vec<Var> = cnf.occurring_vars();
-        let projection: Vec<Var> = pool.clone();
-        let mut num_xors = self.config.initial_xors;
-        let mut round = 0usize;
-        while !collector.done() {
-            round += 1;
-            if round > 10_000 {
-                break;
-            }
-            // Build the hashed formula: original CNF plus random parity
-            // constraints over the occurring variables.
-            let mut hashed = cnf.clone();
-            xor::add_random_parity_constraints(&mut hashed, &pool, num_xors, &mut rng);
-            let budget = enumerate::EnumerationBudget {
-                max_models: self.config.cell_capacity + 1,
-                max_conflicts_per_call: self.config.max_conflicts_per_call,
-            };
-            let result = enumerate::enumerate_models(
-                &hashed,
-                &projection,
-                budget,
-                CdclConfig {
-                    seed: self.config.seed.wrapping_add(round as u64),
-                    ..CdclConfig::default()
-                },
-            );
-            let cell_size = result.models.len();
-            for model in result.models {
-                // Project back onto the original universe (drop XOR auxiliaries).
-                let projected: Vec<bool> = model[..cnf.num_vars()].to_vec();
-                collector.offer(cnf, projected);
-                if collector.done() {
-                    break;
-                }
-            }
-            // Adapt the hash strength: empty cells mean too many XORs,
-            // overflowing cells mean too few.
-            if cell_size == 0 && num_xors > 0 {
-                num_xors -= 1;
-            } else if cell_size > self.config.cell_capacity {
-                num_xors += 1;
-            } else if cell_size == 0 && num_xors == 0 {
-                // The formula itself is unsatisfiable.
-                break;
-            }
+    fn engine(&self, cnf: &Cnf) -> Result<Box<dyn SampleEngine>, TransformError> {
+        Ok(Box::new(UniGenEngine::prepare(cnf, self.config.clone())))
+    }
+
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig::with_seed(self.config.seed)
+    }
+}
+
+/// The prepared UniGen-style engine: the formula, its occurring-variable
+/// pool (computed once) and the hashing parameters.
+#[derive(Debug, Clone)]
+pub struct UniGenEngine {
+    cnf: Arc<Cnf>,
+    pool: Arc<Vec<Var>>,
+    config: UniGenConfig,
+}
+
+impl UniGenEngine {
+    /// Prepares the engine for `cnf` (`config.seed` is ignored: sessions
+    /// seed from their [`SessionConfig`]).
+    #[must_use]
+    pub fn prepare(cnf: &Cnf, config: UniGenConfig) -> Self {
+        UniGenEngine {
+            pool: Arc::new(cnf.occurring_vars()),
+            cnf: Arc::new(cnf.clone()),
+            config,
         }
-        collector.finish()
+    }
+}
+
+impl SampleEngine for UniGenEngine {
+    fn name(&self) -> &'static str {
+        "unigen"
+    }
+
+    fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    fn session(&self, config: &SessionConfig) -> Result<BoxedSession, TransformError> {
+        Ok(Box::new(UniGenSession {
+            cnf: self.cnf.clone(),
+            pool: self.pool.clone(),
+            config: self.config.clone(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            seed: config.seed,
+            num_xors: self.config.initial_xors,
+            round: 0,
+            done: false,
+            last_cell: 0,
+        }))
+    }
+}
+
+/// One request's hashing state: the parity-constraint RNG, the adaptive XOR
+/// count and the round counter (which also seeds the per-cell enumeration).
+struct UniGenSession {
+    cnf: Arc<Cnf>,
+    pool: Arc<Vec<Var>>,
+    config: UniGenConfig,
+    rng: SmallRng,
+    seed: u64,
+    num_xors: usize,
+    round: usize,
+    done: bool,
+    /// Models the most recent cell actually enumerated (the per-round
+    /// attempt count varies with the hash strength), reported via
+    /// `round_size`.
+    last_cell: usize,
+}
+
+impl RoundSource for UniGenSession {
+    type Item = Vec<bool>;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
+        self.last_cell = 0;
+        if self.done || stop.is_stopped() {
+            return Vec::new();
+        }
+        self.round += 1;
+        if self.round > MAX_ROUNDS {
+            self.done = true;
+            return Vec::new();
+        }
+        // Build the hashed formula: original CNF plus random parity
+        // constraints over the occurring variables.
+        let mut hashed = (*self.cnf).clone();
+        xor::add_random_parity_constraints(&mut hashed, &self.pool, self.num_xors, &mut self.rng);
+        let budget = enumerate::EnumerationBudget {
+            max_models: self.config.cell_capacity + 1,
+            max_conflicts_per_call: self.config.max_conflicts_per_call,
+        };
+        let result = enumerate::enumerate_models(
+            &hashed,
+            &self.pool,
+            budget,
+            CdclConfig {
+                seed: self.seed.wrapping_add(self.round as u64),
+                ..CdclConfig::default()
+            },
+        );
+        let cell_size = result.models.len();
+        self.last_cell = cell_size;
+        let batch: Vec<Vec<bool>> = result
+            .models
+            .into_iter()
+            .map(|model| model[..self.cnf.num_vars()].to_vec())
+            .filter(|projected| self.cnf.is_satisfied_by_bits(projected))
+            .collect();
+        // Adapt the hash strength: empty cells mean too many XORs,
+        // overflowing cells mean too few.
+        if cell_size == 0 && self.num_xors > 0 {
+            self.num_xors -= 1;
+        } else if cell_size > self.config.cell_capacity {
+            self.num_xors += 1;
+        } else if cell_size == 0 && self.num_xors == 0 {
+            // The formula itself is unsatisfiable.
+            self.done = true;
+        }
+        batch
+    }
+
+    fn round_size(&self) -> usize {
+        self.last_cell
     }
 }
 
@@ -121,6 +204,7 @@ impl SatSampler for UniGenLike {
 mod tests {
     use super::*;
     use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+    use std::time::Duration;
 
     #[test]
     fn samples_valid_unique_solutions() {
@@ -158,5 +242,19 @@ mod tests {
         let run = UniGenLike::new().sample(&cnf, 3, Duration::from_secs(10));
         assert!(run.solutions.len() >= 2);
         assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn engine_sessions_are_seed_deterministic() {
+        let cnf = loose_cnf();
+        let engine = UniGenEngine::prepare(&cnf, UniGenConfig::default());
+        let take = |seed: u64| -> Vec<Vec<bool>> {
+            engine
+                .stream(&SessionConfig::with_seed(seed))
+                .expect("stream")
+                .take(4)
+                .collect()
+        };
+        assert_eq!(take(13), take(13));
     }
 }

@@ -1,10 +1,17 @@
 //! WalkSAT-based sampler: repeated stochastic local search from random
 //! starting assignments.
 
-use crate::{RunCollector, SampleRun, SatSampler};
+use crate::SatSampler;
 use htsat_cnf::Cnf;
+use htsat_core::{BoxedSession, SampleEngine, SessionConfig, TransformError};
+use htsat_runtime::{RoundSource, StopToken};
 use htsat_solver::walksat::{walksat, WalkSatConfig, WalkSatResult};
-use std::time::Duration;
+use std::sync::Arc;
+
+/// WalkSAT restarts attempted per [`RoundSource::round`] call. Small enough
+/// that deadlines and stop tokens are honoured promptly, large enough that
+/// the stream's per-round bookkeeping is amortised.
+const RUNS_PER_ROUND: usize = 8;
 
 /// A sampler drawing solutions from independent WalkSAT runs.
 #[derive(Debug, Clone)]
@@ -37,33 +44,96 @@ impl SatSampler for WalkSatSampler {
         "walksat"
     }
 
-    fn sample(&mut self, cnf: &Cnf, min_solutions: usize, timeout: Duration) -> SampleRun {
-        let mut collector = RunCollector::new(min_solutions, timeout);
-        let mut round = 0u64;
-        let mut consecutive_failures = 0u32;
-        while !collector.done() {
-            round += 1;
-            let config = WalkSatConfig {
-                seed: self.config.seed.wrapping_add(round),
+    fn engine(&self, cnf: &Cnf) -> Result<Box<dyn SampleEngine>, TransformError> {
+        Ok(Box::new(WalkSatEngine::prepare(cnf, self.config)))
+    }
+
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig::with_seed(self.config.seed)
+    }
+}
+
+/// The prepared WalkSAT engine: the formula plus the per-run local-search
+/// parameters. Preparation is trivially cheap — the value of the engine form
+/// is the shared streaming surface (seeds, deadlines, cancellation, stats).
+#[derive(Debug, Clone)]
+pub struct WalkSatEngine {
+    cnf: Arc<Cnf>,
+    config: WalkSatConfig,
+}
+
+impl WalkSatEngine {
+    /// Prepares the engine for `cnf` with the given per-run parameters
+    /// (`config.seed` is ignored: sessions seed from their
+    /// [`SessionConfig`]).
+    #[must_use]
+    pub fn prepare(cnf: &Cnf, config: WalkSatConfig) -> Self {
+        WalkSatEngine {
+            cnf: Arc::new(cnf.clone()),
+            config,
+        }
+    }
+}
+
+impl SampleEngine for WalkSatEngine {
+    fn name(&self) -> &'static str {
+        "walksat"
+    }
+
+    fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    fn session(&self, config: &SessionConfig) -> Result<BoxedSession, TransformError> {
+        Ok(Box::new(WalkSatSession {
+            cnf: self.cnf.clone(),
+            config: WalkSatConfig {
+                seed: config.seed,
                 ..self.config
-            };
-            match walksat(cnf, config) {
-                WalkSatResult::Sat(model) => {
-                    let fresh = collector.offer(cnf, model);
-                    consecutive_failures = if fresh { 0 } else { consecutive_failures + 1 };
-                }
-                WalkSatResult::Exhausted { best, .. } => {
-                    // The best assignment seen is still invalid; record the
-                    // attempt (it will be rejected by validation).
-                    collector.offer(cnf, best);
-                    consecutive_failures += 1;
-                }
-            }
-            if consecutive_failures > 100 {
+            },
+            run: 0,
+            last_attempts: 0,
+        }))
+    }
+}
+
+/// One request's WalkSAT state: run `i` restarts the local search with seed
+/// `session_seed + i` (a function of the seed alone, so the sequence is
+/// deterministic and thread-count independent).
+struct WalkSatSession {
+    cnf: Arc<Cnf>,
+    config: WalkSatConfig,
+    run: u64,
+    /// Restarts the most recent round actually performed (a stop token can
+    /// cut a round short), reported via `round_size`.
+    last_attempts: usize,
+}
+
+impl RoundSource for WalkSatSession {
+    type Item = Vec<bool>;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Vec<bool>> {
+        let mut batch = Vec::new();
+        self.last_attempts = 0;
+        for _ in 0..RUNS_PER_ROUND {
+            if stop.is_stopped() {
                 break;
             }
+            self.run += 1;
+            self.last_attempts += 1;
+            let config = WalkSatConfig {
+                seed: self.config.seed.wrapping_add(self.run),
+                ..self.config
+            };
+            if let WalkSatResult::Sat(model) = walksat(&self.cnf, config) {
+                batch.push(model);
+            }
         }
-        collector.finish()
+        batch
+    }
+
+    fn round_size(&self) -> usize {
+        self.last_attempts
     }
 }
 
@@ -71,6 +141,8 @@ impl SatSampler for WalkSatSampler {
 mod tests {
     use super::*;
     use crate::test_support::{assert_valid_unique, gate_cnf, loose_cnf};
+    use crate::SatSampler;
+    use std::time::Duration;
 
     #[test]
     fn samples_loose_formula() {
@@ -86,5 +158,20 @@ mod tests {
         let run = WalkSatSampler::new().sample(&cnf, 5, Duration::from_secs(5));
         assert!(!run.solutions.is_empty());
         assert_valid_unique(&run, &cnf);
+    }
+
+    #[test]
+    fn engine_sessions_are_seed_deterministic() {
+        let cnf = loose_cnf();
+        let engine = WalkSatEngine::prepare(&cnf, WalkSatSampler::default().config);
+        let take = |seed: u64| -> Vec<Vec<bool>> {
+            engine
+                .stream(&SessionConfig::with_seed(seed))
+                .expect("stream")
+                .take(4)
+                .collect()
+        };
+        assert_eq!(take(3), take(3));
+        assert_ne!(take(3), take(4));
     }
 }

@@ -218,18 +218,19 @@ fn run_serve_bench(options: &RunOptions) {
         );
     }
     println!(
-        "\ncompiles: {} (warm legs ride the registry hit path)",
+        "\ncompiles: {} (one per loaded engine; warm legs ride the registry hit path)",
         report.compiles
     );
     println!(
-        "wire determinism vs in-process stream at 1 and 8 threads: {}",
+        "wire determinism vs in-process streams (gd at 1 and 8 threads, walksat A/B): {}",
         if report.deterministic {
             "OK"
         } else {
             "MISMATCH"
         }
     );
-    if report.compiles != 1 || !report.deterministic {
+    if report.compiles != htsat_bench::ServeBenchReport::EXPECTED_COMPILES || !report.deterministic
+    {
         // CI runs this subcommand as the loopback end-to-end gate.
         std::process::exit(1);
     }

@@ -20,10 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use htsat_baselines::{
-    CmsGenLike, DiffSamplerLike, QuickSamplerLike, SatSampler, UniGenLike, WalkSatSampler,
+use htsat_baselines::engine_by_name;
+use htsat_core::{
+    transform, GdSampler, KernelChoice, PreparedFormula, SampleEngine, SamplerConfig,
+    SessionConfig, TransformConfig, TransformError,
 };
-use htsat_core::{transform, GdSampler, KernelChoice, SamplerConfig};
 use htsat_instances::suite::{full_suite, table2_instances, SuiteScale};
 use htsat_instances::Instance;
 use htsat_tensor::Backend;
@@ -44,8 +45,11 @@ pub struct RunOptions {
     /// pool to the machine, `Some(n)` pins it, `None` uses the default
     /// backend (also auto-sized).
     pub threads: Option<usize>,
-    /// Collect the gradient-descent sampler through the streaming API
-    /// ([`GdSampler::stream`]) instead of the blocking `sample` call.
+    /// Historical flag: the harness used to switch the GD sampler between
+    /// the blocking `sample` call and the streaming API. Since the engine
+    /// redesign *every* sampler is collected through the one streaming
+    /// service ([`SampleEngine::stream`]), so this no longer changes the
+    /// measurement; retained for CLI compatibility.
     pub stream: bool,
     /// Execution form of the gradient-descent inner loop: the fused flat
     /// kernel (default) or the staged reference circuit.
@@ -118,54 +122,91 @@ fn gd_config(options: &RunOptions, backend: Backend) -> SamplerConfig {
     }
 }
 
-fn run_gd(instance: &Instance, options: &RunOptions, backend: Backend) -> SamplerResult {
+/// Prepares the paper's sampler as a [`SampleEngine`] with the harness
+/// options (batch size, kernel choice) installed as the session template.
+fn gd_engine(
+    instance: &Instance,
+    options: &RunOptions,
+    backend: Backend,
+) -> Result<PreparedFormula, TransformError> {
+    Ok(
+        PreparedFormula::prepare(&instance.cnf, &TransformConfig::default())?
+            .with_template(gd_config(options, backend)),
+    )
+}
+
+/// Runs one engine on one instance — THE measurement loop every comparison
+/// in this harness goes through, whether the engine is the GD sampler or a
+/// baseline. `build` runs *inside* the timed window, matching the
+/// historical measurement (engine preparation counted against the sampler,
+/// as a one-shot CLI run would pay it). `count_surplus` preserves the
+/// historical counting: the GD rows always included the final round's
+/// surplus beyond the target, the baseline rows stopped exactly at it.
+fn run_engine(
+    build: impl FnOnce() -> Result<Box<dyn SampleEngine>, TransformError>,
+    label: &'static str,
+    options: &RunOptions,
+    backend: Backend,
+    count_surplus: bool,
+) -> SamplerResult {
     let started = std::time::Instant::now();
-    match GdSampler::new(&instance.cnf, gd_config(options, backend)) {
-        Ok(mut sampler) => {
-            let unique = if options.stream {
-                // Streaming path: pull unique solutions lazily off the
-                // iterator until the target or the deadline is hit. Count
-                // the final round's surplus too, so the blocking and
-                // streaming modes report the same measure.
-                let mut stream = sampler.stream().with_timeout(options.timeout);
-                let consumed = stream.by_ref().take(options.target).count();
+    let config = SessionConfig {
+        seed: 0,
+        backend,
+        batch: None,
+    };
+    let unique = match build().and_then(|engine| engine.stream(&config)) {
+        Ok(stream) => {
+            let mut stream = stream.with_timeout(options.timeout);
+            let consumed = stream.by_ref().take(options.target).count();
+            if count_surplus {
                 consumed + stream.drain_ready().len()
             } else {
-                sampler
-                    .sample(options.target, options.timeout)
-                    .solutions
-                    .len()
-            };
-            let elapsed = started.elapsed();
-            SamplerResult {
-                sampler: "this-work",
-                unique,
-                elapsed,
-                throughput: unique as f64 / elapsed.as_secs_f64().max(1e-9),
+                consumed
             }
         }
-        Err(_) => SamplerResult {
-            sampler: "this-work",
-            unique: 0,
-            elapsed: started.elapsed(),
-            throughput: 0.0,
-        },
+        Err(_) => 0,
+    };
+    let elapsed = started.elapsed();
+    SamplerResult {
+        sampler: label,
+        unique,
+        elapsed,
+        throughput: htsat_runtime::unique_throughput(unique, elapsed),
     }
 }
 
-fn run_baseline(
-    sampler: &mut dyn SatSampler,
+/// Runs the GD engine on one instance (the "this-work" rows).
+fn run_gd(instance: &Instance, options: &RunOptions, backend: Backend) -> SamplerResult {
+    run_engine(
+        || gd_engine(instance, options, backend).map(|e| Box::new(e) as Box<dyn SampleEngine>),
+        "this-work",
+        options,
+        backend,
+        true,
+    )
+}
+
+/// Runs a baseline engine (by canonical name) on one instance.
+fn run_named_engine(
+    name: &'static str,
     instance: &Instance,
     options: &RunOptions,
 ) -> SamplerResult {
-    let run = sampler.sample(&instance.cnf, options.target, options.timeout);
-    SamplerResult {
-        sampler: sampler.name(),
-        unique: run.solutions.len(),
-        elapsed: run.elapsed,
-        throughput: run.throughput(),
-    }
+    run_engine(
+        || engine_by_name(name, &instance.cnf, &TransformConfig::default()),
+        name,
+        options,
+        options.gd_backend(),
+        false,
+    )
 }
+
+/// The baseline engines of the Table II comparison, in table order.
+const TABLE2_BASELINES: [&str; 3] = ["unigen", "cmsgen", "diffsampler"];
+
+/// The full baseline roster of the Fig. 2 comparison.
+const FIG2_BASELINES: [&str; 5] = ["unigen", "cmsgen", "diffsampler", "quicksampler", "walksat"];
 
 /// Reproduces Table II: unique-solution throughput of this work against the
 /// UniGen-, CMSGen- and DiffSampler-style baselines on the 14 representative
@@ -184,13 +225,13 @@ pub fn table2_row(instance: &Instance, options: &RunOptions) -> Table2Row {
         .as_ref()
         .map(|t| (t.primary_inputs().len(), t.netlist.outputs().len()))
         .unwrap_or((0, 0));
+    // One loop over engines instead of a special case per sampler: the GD
+    // engine ("this-work") first, then every Table II baseline through the
+    // identical measurement path.
     let mut results = vec![run_gd(instance, options, options.gd_backend())];
-    let mut unigen = UniGenLike::new();
-    let mut cmsgen = CmsGenLike::new();
-    let mut diff = DiffSamplerLike::new();
-    results.push(run_baseline(&mut unigen, instance, options));
-    results.push(run_baseline(&mut cmsgen, instance, options));
-    results.push(run_baseline(&mut diff, instance, options));
+    for name in TABLE2_BASELINES {
+        results.push(run_named_engine(name, instance, options));
+    }
     let ours = results[0].throughput;
     let best_baseline = results[1..]
         .iter()
@@ -236,15 +277,8 @@ pub fn fig2(options: &RunOptions, max_instances: usize) -> Vec<Fig2Point> {
             unique: gd.unique,
             latency_ms: gd.elapsed.as_secs_f64() * 1e3,
         });
-        let mut baselines: Vec<Box<dyn SatSampler>> = vec![
-            Box::new(UniGenLike::new()),
-            Box::new(CmsGenLike::new()),
-            Box::new(DiffSamplerLike::new()),
-            Box::new(QuickSamplerLike::new()),
-            Box::new(WalkSatSampler::new()),
-        ];
-        for sampler in baselines.iter_mut() {
-            let r = run_baseline(sampler.as_mut(), &instance, options);
+        for name in FIG2_BASELINES {
+            let r = run_named_engine(name, &instance, options);
             points.push(Fig2Point {
                 instance: instance.name.clone(),
                 sampler: r.sampler,
@@ -457,18 +491,28 @@ pub struct ServeBenchReport {
     pub instance: String,
     /// The measured legs, in execution order.
     pub legs: Vec<ServeBenchLeg>,
-    /// Transform+compile runs the daemon performed (must stay 1: the warm
-    /// legs ride the registry hit path).
+    /// Engine preparations the daemon performed (must stay
+    /// [`ServeBenchReport::EXPECTED_COMPILES`]: one per loaded engine — the
+    /// warm legs ride the registry hit path).
     pub compiles: u64,
-    /// Whether every daemon `SAMPLE` reproduced the in-process
-    /// `GdSampler::stream()` sequence bit-for-bit (at 1 and 8 threads).
+    /// Whether every daemon `SAMPLE` reproduced the in-process engine
+    /// stream bit-for-bit: the GD engine at 1 and 8 threads, plus a
+    /// baseline engine (`walksat`) over the wire.
     pub deterministic: bool,
 }
 
+impl ServeBenchReport {
+    /// Engine preparations a clean run performs: one GD compile plus one
+    /// walksat preparation. Anything more means a warm leg recompiled.
+    pub const EXPECTED_COMPILES: u64 = 2;
+}
+
 /// Round-trips the daemon on a loopback ephemeral port: cold `LOAD`
-/// (parse + transform + compile), warm re-`LOAD` (registry hit), and warm
+/// (parse + transform + compile), warm re-`LOAD` (registry hit), warm
 /// `SAMPLE`s at 1 and 8 worker threads whose solution sequences are checked
-/// bit-for-bit against the in-process streaming API.
+/// bit-for-bit against the in-process streaming API, and a baseline-engine
+/// leg (`"engine": "walksat"`) checked the same way against the in-process
+/// adapter.
 ///
 /// This is both a latency benchmark (what does the wire cost over calling
 /// the library directly?) and the CI loopback end-to-end gate.
@@ -534,6 +578,37 @@ pub fn serve_bench(options: &RunOptions) -> ServeBenchReport {
         });
         deterministic &= reply.solutions == expected;
     }
+
+    // A/B leg: the same formula served by a baseline engine over the wire,
+    // checked bit-for-bit against the in-process adapter — the engine API's
+    // acceptance gate.
+    let walksat_n = options.target.min(16);
+    let walksat = engine_by_name("walksat", &instance.cnf, &TransformConfig::default())
+        .expect("walksat engine");
+    let expected: Vec<Vec<bool>> = walksat
+        .stream(&SessionConfig::with_seed(seed))
+        .expect("walksat stream")
+        .take(walksat_n)
+        .collect();
+    let started = Instant::now();
+    let load = client
+        .load_dimacs_engine(Some(&instance.name), "walksat", &dimacs_text)
+        .expect("load walksat engine");
+    let reply = client
+        .sample(&SampleParams {
+            n: walksat_n,
+            seed,
+            threads: Some(1),
+            ..SampleParams::with_engine(load.fingerprint, "walksat")
+        })
+        .expect("walksat sample");
+    legs.push(ServeBenchLeg {
+        label: "LOAD+SAMPLE engine=walksat (A/B vs gd)".to_string(),
+        round_trip_ms: started.elapsed().as_secs_f64() * 1e3,
+        unique: reply.solutions.len(),
+    });
+    deterministic &= reply.solutions == expected;
+
     let compiles = server.registry().counters().compiles;
     client.shutdown().expect("graceful shutdown");
     ServeBenchReport {

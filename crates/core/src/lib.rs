@@ -25,6 +25,12 @@
 //!    built on [`htsat_runtime::SampleStream`]) or collected by the blocking
 //!    [`GdSampler::sample`] wrapper.
 //!
+//! The crate additionally defines the workspace-wide [`mod@engine`]
+//! abstraction ([`SampleEngine`]: *prepare once → mint cheap per-request
+//! sessions → stream solutions*) that this sampler and every baseline
+//! implement, so servers and benchmarks drive heterogeneous samplers
+//! through one contract; [`PreparedFormula`] is the `"gd"` engine.
+//!
 //! # Example
 //!
 //! ```
@@ -52,11 +58,13 @@
 
 pub mod compile;
 pub mod diversity;
+pub mod engine;
 mod error;
 pub mod sampler;
 pub mod signature;
 pub mod transform;
 
+pub use engine::{BoxedSession, EngineStream, SampleEngine, SessionConfig};
 pub use error::TransformError;
 pub use htsat_runtime::{SampleStream, StopToken, StreamStats};
 pub use sampler::{GdSampler, KernelChoice, PreparedFormula, SampleReport, SamplerConfig};

@@ -122,19 +122,20 @@ pub struct SampleReport {
 impl SampleReport {
     /// The smallest elapsed time [`SampleReport::throughput`] divides by:
     /// one microsecond, the resolution the repro tables report at.
-    pub const MIN_MEASURABLE_TICK: Duration = Duration::from_micros(1);
+    /// (Re-exported from [`htsat_runtime::MIN_MEASURABLE_TICK`], the one
+    /// definition every reporting layer shares.)
+    pub const MIN_MEASURABLE_TICK: Duration = htsat_runtime::MIN_MEASURABLE_TICK;
 
     /// Unique-solution throughput in **unique solutions per second** — the
     /// headline metric of the paper's Table II.
     ///
-    /// The denominator is clamped to [`SampleReport::MIN_MEASURABLE_TICK`]:
-    /// a run that completes faster than the clock can resolve yields the
-    /// finite upper bound `solutions / 1µs` instead of silently returning
-    /// the raw solution *count* (which repro tables would then print as a
-    /// rate).
+    /// Delegates to [`htsat_runtime::unique_throughput`], which clamps the
+    /// denominator to [`SampleReport::MIN_MEASURABLE_TICK`]: a run that
+    /// completes faster than the clock can resolve yields the finite upper
+    /// bound `solutions / 1µs` instead of silently returning the raw
+    /// solution *count* (which repro tables would then print as a rate).
     pub fn throughput(&self) -> f64 {
-        let secs = self.elapsed.max(Self::MIN_MEASURABLE_TICK).as_secs_f64();
-        self.solutions.len() as f64 / secs
+        htsat_runtime::unique_throughput(self.solutions.len(), self.elapsed)
     }
 
     /// Fraction of candidates that hardened into valid solutions.
@@ -165,6 +166,9 @@ pub struct PreparedFormula {
     transform_config: TransformConfig,
     transform: Arc<TransformResult>,
     compiled: Arc<CompiledCircuit>,
+    /// Template the engine API mints sessions from: a full [`SamplerConfig`]
+    /// whose seed/backend/batch are overridden per request.
+    template: SamplerConfig,
 }
 
 impl PreparedFormula {
@@ -184,12 +188,37 @@ impl PreparedFormula {
             transform_config: transform_config.clone(),
             transform: Arc::new(transform),
             compiled: Arc::new(compiled),
+            template: SamplerConfig {
+                transform: transform_config.clone(),
+                ..SamplerConfig::default()
+            },
         })
+    }
+
+    /// Sets the [`SamplerConfig`] template that
+    /// [`SampleEngine::session`](crate::SampleEngine::session) mints from,
+    /// for GD-specific knobs the generic [`crate::SessionConfig`] does not
+    /// carry (kernel choice, iterations, learning rate, default batch).
+    ///
+    /// `template.transform` is overwritten with the configuration the
+    /// artifacts were actually prepared with (see
+    /// [`PreparedFormula::sampler`] for why mixing them would be unsound).
+    #[must_use]
+    pub fn with_template(mut self, mut template: SamplerConfig) -> Self {
+        template.transform = self.transform_config.clone();
+        self.template = template;
+        self
     }
 
     /// The original CNF.
     pub fn cnf(&self) -> &Cnf {
         &self.cnf
+    }
+
+    /// The transformation result backing the prepared artifacts (variable
+    /// classification, netlist, transformation statistics).
+    pub fn transform_result(&self) -> &TransformResult {
+        &self.transform
     }
 
     /// The transformation configuration the artifacts were built with.
@@ -242,6 +271,41 @@ impl PreparedFormula {
             self.compiled.clone(),
             config,
         ))
+    }
+}
+
+/// The paper's sampler as a [`crate::SampleEngine`]: the prepared formula
+/// *is* the engine ("gd" on the wire), and a session is a freshly minted
+/// [`GdSampler`] — three reference-count bumps plus the per-request mutable
+/// state, no recompilation.
+impl crate::SampleEngine for PreparedFormula {
+    fn name(&self) -> &'static str {
+        "gd"
+    }
+
+    fn cnf(&self) -> &Cnf {
+        PreparedFormula::cnf(self)
+    }
+
+    fn session(
+        &self,
+        config: &crate::SessionConfig,
+    ) -> Result<crate::BoxedSession, TransformError> {
+        let mut sampler_config = self.template.clone();
+        sampler_config.seed = config.seed;
+        sampler_config.backend = config.backend;
+        if let Some(batch) = config.batch {
+            sampler_config.batch_size = batch;
+        }
+        Ok(Box::new(self.sampler(sampler_config)?))
+    }
+
+    fn memory_model(&self, batch: usize, workers: usize) -> MemoryModel {
+        PreparedFormula::memory_model(self, batch, workers)
+    }
+
+    fn artifact_dims(&self) -> Vec<(&'static str, usize)> {
+        vec![("inputs", self.num_inputs()), ("nodes", self.num_nodes())]
     }
 }
 

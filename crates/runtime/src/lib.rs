@@ -53,7 +53,7 @@ mod stream;
 pub use executor::{Executor, SequentialExecutor};
 pub use pool::ThreadPool;
 pub use stop::{StopSet, StopToken};
-pub use stream::{RoundSource, SampleStream, StreamStats};
+pub use stream::{unique_throughput, RoundSource, SampleStream, StreamStats, MIN_MEASURABLE_TICK};
 
 /// Mixes a base seed and a stream index into an independent RNG seed.
 ///

@@ -23,8 +23,10 @@ pub trait RoundSource {
     /// a partial batch — once it is set.
     fn round(&mut self, stop: &StopToken) -> Vec<Self::Item>;
 
-    /// Number of candidates attempted per round (batch size), used for
-    /// statistics. `0` when unknown.
+    /// Number of candidates attempted per round, used for statistics.
+    /// `0` when unknown. The stream calls this right after each
+    /// [`RoundSource::round`], so variable-size sources may report the
+    /// most recent round's actual attempt count.
     fn round_size(&self) -> usize {
         0
     }
@@ -62,6 +64,45 @@ impl<S: RoundSource> RoundSource for &mut S {
     fn restore_seen(&mut self, seen: HashSet<Self::Item>) {
         (**self).restore_seen(seen);
     }
+}
+
+/// Boxed sources are sources too — this is what lets heterogeneous engines
+/// (`Box<dyn RoundSource<Item = …>>` sessions) drive one [`SampleStream`].
+impl<S: RoundSource + ?Sized> RoundSource for Box<S> {
+    type Item = S::Item;
+
+    fn round(&mut self, stop: &StopToken) -> Vec<Self::Item> {
+        (**self).round(stop)
+    }
+
+    fn round_size(&self) -> usize {
+        (**self).round_size()
+    }
+
+    fn take_seen(&mut self) -> HashSet<Self::Item> {
+        (**self).take_seen()
+    }
+
+    fn restore_seen(&mut self, seen: HashSet<Self::Item>) {
+        (**self).restore_seen(seen);
+    }
+}
+
+/// The smallest elapsed time [`unique_throughput`] divides by: one
+/// microsecond, the resolution the repro tables report at.
+pub const MIN_MEASURABLE_TICK: Duration = Duration::from_micros(1);
+
+/// Unique-item throughput in items per second, with the denominator clamped
+/// to [`MIN_MEASURABLE_TICK`].
+///
+/// This is the **one** throughput definition every reporting layer shares
+/// (`SampleReport` in `htsat-core`, `SampleRun` in `htsat-baselines`, the
+/// bench tables): a run that completes faster than the clock can resolve
+/// yields the finite upper bound `count / 1µs` instead of silently returning
+/// the raw item *count* (which a table would then print as a rate).
+#[must_use]
+pub fn unique_throughput(count: usize, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.max(MIN_MEASURABLE_TICK).as_secs_f64()
 }
 
 /// Progress counters of a [`SampleStream`].
@@ -159,6 +200,10 @@ pub struct SampleStream<S: RoundSource> {
     stale_rounds: u32,
     exhausted: bool,
     seen: HashSet<S::Item>,
+    /// The source guarantees round items are already unique (see
+    /// [`SampleStream::with_source_dedup`]); skip the stream's own
+    /// seen-set.
+    source_dedups: bool,
     pending: VecDeque<S::Item>,
     stats: StreamStats,
     started: Instant,
@@ -181,10 +226,26 @@ impl<S: RoundSource> SampleStream<S> {
             stale_rounds: 0,
             exhausted: false,
             seen,
+            source_dedups: false,
             pending: VecDeque::new(),
             stats: StreamStats::default(),
             started: Instant::now(),
         }
+    }
+
+    /// Declares that the source already deduplicates: every item a round
+    /// returns is unique across the whole stream. The stream then skips its
+    /// own seen-set (halving the dedup memory and avoiding a clone per
+    /// item) and treats an empty round as a stale round.
+    ///
+    /// Only sources that *must* track uniqueness internally anyway (e.g. a
+    /// QuickSampler-style session, whose mutation logic depends on which
+    /// candidates were fresh) should claim this; a source that breaks the
+    /// guarantee makes the stream yield duplicates.
+    #[must_use]
+    pub fn with_source_dedup(mut self) -> Self {
+        self.source_dedups = true;
+        self
     }
 
     /// Uses `stop` for cancellation instead of a private token.
@@ -276,15 +337,16 @@ impl<S: RoundSource> Iterator for SampleStream<S> {
             self.stats.rounds += 1;
             self.stats.attempts += self.source.round_size();
             self.stats.valid += batch.len();
-            let unique_before = self.seen.len();
+            let mut fresh = 0usize;
             for item in batch {
-                if self.seen.insert(item.clone()) {
+                if self.source_dedups || self.seen.insert(item.clone()) {
                     self.pending.push_back(item);
+                    fresh += 1;
                 } else {
                     self.stats.duplicates += 1;
                 }
             }
-            if self.seen.len() == unique_before {
+            if fresh == 0 {
                 self.stale_rounds += 1;
                 if self.stale_limit > 0 && self.stale_rounds >= self.stale_limit {
                     self.exhausted = true;
@@ -536,6 +598,62 @@ mod tests {
             total.to_string(),
             "rounds=2 attempts=20 valid=10 yielded=8 duplicates=2"
         );
+    }
+
+    /// Emits `width` genuinely fresh items per round until `total` is
+    /// reached, then empty rounds — a source that dedups internally.
+    struct SelfDeduping {
+        next: usize,
+        width: usize,
+        total: usize,
+    }
+
+    impl RoundSource for SelfDeduping {
+        type Item = usize;
+
+        fn round(&mut self, _stop: &StopToken) -> Vec<usize> {
+            let end = (self.next + self.width).min(self.total);
+            let batch: Vec<usize> = (self.next..end).collect();
+            self.next = end;
+            batch
+        }
+    }
+
+    #[test]
+    fn source_dedup_mode_skips_the_stream_seen_set_and_detects_staleness() {
+        let mut stream = SampleStream::new(SelfDeduping {
+            next: 0,
+            width: 3,
+            total: 7,
+        })
+        .with_source_dedup()
+        .with_stale_limit(2);
+        let items: Vec<usize> = stream.by_ref().collect();
+        assert_eq!(items, (0..7).collect::<Vec<usize>>());
+        assert!(stream.is_exhausted(), "empty rounds must count as stale");
+        assert_eq!(stream.stats().duplicates, 0);
+        // The stream kept no seen-set of its own: the set it restores to
+        // the source (via Drop) is still the empty one it took.
+        assert!(stream.seen.is_empty());
+    }
+
+    #[test]
+    fn boxed_dyn_sources_drive_a_stream() {
+        let boxed: Box<dyn RoundSource<Item = usize> + Send> = Box::new(Counter::new(4, 2));
+        let mut stream = SampleStream::new(boxed);
+        let items: Vec<usize> = stream.by_ref().take(6).collect();
+        assert_eq!(items, (0..6).collect::<Vec<usize>>());
+        assert!(stream.stats().rounds > 0);
+    }
+
+    #[test]
+    fn unique_throughput_clamps_the_denominator() {
+        // Zero elapsed clamps to the minimum tick: a finite rate, never the
+        // raw count.
+        let expected = 5.0 / MIN_MEASURABLE_TICK.as_secs_f64();
+        assert!((unique_throughput(5, Duration::ZERO) - expected).abs() < 1e-3);
+        assert!((unique_throughput(10, Duration::from_secs(2)) - 5.0).abs() < 1e-9);
+        assert_eq!(unique_throughput(0, Duration::ZERO), 0.0);
     }
 
     #[test]

@@ -50,9 +50,13 @@ impl From<JsonError> for ClientError {
 /// The reply to a successful `LOAD`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadReply {
-    /// Canonical fingerprint — the key for subsequent `SAMPLE`s.
+    /// Canonical fingerprint — with the engine, the key for subsequent
+    /// `SAMPLE`s.
     pub fingerprint: Fingerprint,
-    /// Whether the formula was already resident (no recompilation).
+    /// Canonical name of the engine the formula was prepared for.
+    pub engine: String,
+    /// Whether the (formula, engine) pair was already resident (no
+    /// re-preparation).
     pub cached: bool,
     /// Variable count of the parsed CNF.
     pub vars: usize,
@@ -128,7 +132,8 @@ impl Client {
         }
     }
 
-    /// Registers inline DIMACS text under an optional display name.
+    /// Registers inline DIMACS text under an optional display name,
+    /// prepared for the default (`"gd"`) engine.
     ///
     /// # Errors
     ///
@@ -138,7 +143,23 @@ impl Client {
         name: Option<&str>,
         dimacs: &str,
     ) -> Result<LoadReply, ClientError> {
-        self.load(name, LoadSource::Inline(dimacs.to_string()))
+        self.load(name, None, LoadSource::Inline(dimacs.to_string()))
+    }
+
+    /// Registers inline DIMACS text prepared for a specific engine
+    /// (`"gd"`, `"walksat"`, `"unigen"`, `"cmsgen"`, `"quicksampler"` or
+    /// `"diffsampler"`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown engine names surface as [`ClientError::Server`].
+    pub fn load_dimacs_engine(
+        &mut self,
+        name: Option<&str>,
+        engine: &str,
+        dimacs: &str,
+    ) -> Result<LoadReply, ClientError> {
+        self.load(name, Some(engine), LoadSource::Inline(dimacs.to_string()))
     }
 
     /// Registers a CNF from a path readable by the *server* process.
@@ -147,12 +168,18 @@ impl Client {
     ///
     /// Fails unless the server was started with path loads enabled.
     pub fn load_path(&mut self, name: Option<&str>, path: &str) -> Result<LoadReply, ClientError> {
-        self.load(name, LoadSource::Path(path.to_string()))
+        self.load(name, None, LoadSource::Path(path.to_string()))
     }
 
-    fn load(&mut self, name: Option<&str>, source: LoadSource) -> Result<LoadReply, ClientError> {
+    fn load(
+        &mut self,
+        name: Option<&str>,
+        engine: Option<&str>,
+        source: LoadSource,
+    ) -> Result<LoadReply, ClientError> {
         let reply = self.call(&Request::Load {
             name: name.map(str::to_string),
+            engine: engine.map(str::to_string),
             source,
         })?;
         let fingerprint = reply
@@ -164,6 +191,11 @@ impl Client {
         let field = |key: &str| reply.get(key).and_then(Json::as_u64).unwrap_or_default() as usize;
         Ok(LoadReply {
             fingerprint,
+            engine: reply
+                .get("engine")
+                .and_then(Json::as_str)
+                .unwrap_or(crate::proto::DEFAULT_ENGINE)
+                .to_string(),
             cached: reply.get("cached").and_then(Json::as_bool).unwrap_or(false),
             vars: field("vars"),
             clauses: field("clauses"),
@@ -215,13 +247,38 @@ impl Client {
         self.call(&Request::Status)
     }
 
-    /// Drops one registry entry; returns whether it was resident.
+    /// Drops every engine's entry of one fingerprint; returns whether
+    /// anything was resident.
     ///
     /// # Errors
     ///
     /// Transport failures only.
     pub fn evict(&mut self, fingerprint: Fingerprint) -> Result<bool, ClientError> {
-        let reply = self.call(&Request::Evict { fingerprint })?;
+        let reply = self.call(&Request::Evict {
+            fingerprint,
+            engine: None,
+        })?;
+        Ok(reply
+            .get("evicted")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
+    /// Drops one (fingerprint, engine) entry; returns whether it was
+    /// resident.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn evict_engine(
+        &mut self,
+        fingerprint: Fingerprint,
+        engine: &str,
+    ) -> Result<bool, ClientError> {
+        let reply = self.call(&Request::Evict {
+            fingerprint,
+            engine: Some(engine.to_string()),
+        })?;
         Ok(reply
             .get("evicted")
             .and_then(Json::as_bool)

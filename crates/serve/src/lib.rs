@@ -15,12 +15,14 @@
 //!
 //! * [`json`] — the minimal JSON codec.
 //! * [`proto`] — the request/response message shapes and the protocol
-//!   grammar (`LOAD`, `SAMPLE`, `STATUS`, `EVICT`, `SHUTDOWN`).
-//! * [`registry`] — the formula-keyed sampler registry:
-//!   [`htsat_cnf::Fingerprint`] → compiled [`htsat_core::PreparedFormula`],
-//!   with LRU eviction under a [`htsat_tensor::MemoryModel`]-driven byte
-//!   budget. The registry hit path performs **no recompilation** (asserted
-//!   by its compile counter).
+//!   grammar (`LOAD`, `SAMPLE`, `STATUS`, `EVICT`, `SHUTDOWN`), including
+//!   the per-request `engine` selector.
+//! * [`registry`] — the (formula, engine)-keyed sampler registry:
+//!   ([`htsat_cnf::Fingerprint`], engine name) → a prepared
+//!   [`htsat_core::SampleEngine`] (the GD sampler or any baseline, built
+//!   through [`htsat_baselines::engine_by_name`]), with LRU eviction under
+//!   a [`htsat_tensor::MemoryModel`]-driven byte budget. The registry hit
+//!   path performs **no re-preparation** (asserted by its compile counter).
 //! * [`server`] — the accept loop, per-connection sessions, per-request
 //!   [`htsat_runtime::StopToken`]s grouped in a
 //!   [`htsat_runtime::StopSet`], and graceful shutdown (in-flight streams
@@ -28,10 +30,12 @@
 //! * [`client`] — a blocking client used by tests, CI and
 //!   `repro serve-bench`.
 //!
-//! Determinism survives the wire: a `SAMPLE` with a fixed seed returns the
-//! identical solution sequence as the in-process
-//! [`htsat_core::GdSampler::stream`] API, at any worker thread count — the
-//! end-to-end tests assert byte equality at 1 and 8 threads.
+//! Determinism survives the wire for **every engine**: a `SAMPLE` with a
+//! fixed seed returns the identical solution sequence as the in-process
+//! [`htsat_core::SampleEngine::stream`] API, at any worker thread count —
+//! the end-to-end tests assert byte equality at 1 and 8 threads across the
+//! whole engine matrix, so clients can A/B the GD sampler against any
+//! baseline bit-for-bit.
 //!
 //! # Example
 //!
@@ -72,8 +76,11 @@ use htsat_core::TransformError;
 /// Errors of the serving layer.
 #[derive(Debug)]
 pub enum ServeError {
-    /// The formula could not be transformed (structurally unsatisfiable).
+    /// The formula could not be prepared for the requested engine
+    /// (structurally unsatisfiable, or an invalid engine configuration).
     Transform(TransformError),
+    /// The request named an engine the daemon does not know.
+    UnknownEngine(String),
     /// A loaded formula hashed to a resident entry's fingerprint but is a
     /// different formula — serving would return the wrong solutions.
     FingerprintCollision(htsat_cnf::Fingerprint),
@@ -85,6 +92,11 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Transform(e) => write!(f, "{e}"),
+            ServeError::UnknownEngine(name) => write!(
+                f,
+                "unknown engine `{name}` (known: {})",
+                htsat_baselines::ENGINE_NAMES.join(", ")
+            ),
             ServeError::FingerprintCollision(fp) => write!(
                 f,
                 "fingerprint collision: a different resident formula already hashes to {fp}"

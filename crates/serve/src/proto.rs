@@ -11,15 +11,22 @@
 //!
 //! ```text
 //! request  = load | sample | status | evict | shutdown
-//! load     = {"cmd":"load", "name"?:str, "dimacs":str} |
-//!            {"cmd":"load", "name"?:str, "path":str}
-//! sample   = {"cmd":"sample", "fingerprint":hex32, "n"?:int,
-//!             "seed"?:int|decimal-str, "deadline_ms"?:int,
+//! load     = {"cmd":"load", "name"?:str, "engine"?:str, "dimacs":str} |
+//!            {"cmd":"load", "name"?:str, "engine"?:str, "path":str}
+//! sample   = {"cmd":"sample", "fingerprint":hex32, "engine"?:str,
+//!             "n"?:int, "seed"?:int|decimal-str, "deadline_ms"?:int,
 //!             "max_stale"?:int, "threads"?:int, "batch"?:int}
 //! status   = {"cmd":"status"}
-//! evict    = {"cmd":"evict", "fingerprint":hex32}
+//! evict    = {"cmd":"evict", "fingerprint":hex32, "engine"?:str}
 //! shutdown = {"cmd":"shutdown"}
 //! ```
+//!
+//! `engine` selects which prepared sampling engine serves the formula
+//! (`"gd"` — the paper's sampler and the default — or any baseline:
+//! `"walksat"`, `"unigen"`, `"cmsgen"`, `"quicksampler"`,
+//! `"diffsampler"`). The daemon registry caches prepared artifacts per
+//! (fingerprint, engine): `LOAD` the pair first, then `SAMPLE` it; an
+//! `EVICT` without `engine` drops every engine of that fingerprint.
 //!
 //! `seed` spans the full 64-bit range; values above 2^53 travel as decimal
 //! strings (and are echoed back the same way) because a JSON number is an
@@ -38,25 +45,34 @@ use htsat_runtime::StreamStats;
 /// is omitted.
 pub const DEFAULT_SAMPLE_N: usize = 16;
 
+/// The engine a request targets when its `engine` field is omitted: the
+/// paper's transformed-circuit GD sampler.
+pub const DEFAULT_ENGINE: &str = "gd";
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Register a formula (inline DIMACS text or a server-side path) in the
-    /// sampler registry.
+    /// sampler registry, prepared for one engine.
     Load {
         /// Display name for status listings; defaults to the fingerprint.
         name: Option<String>,
+        /// Engine to prepare the formula for (`None` = [`DEFAULT_ENGINE`]).
+        engine: Option<String>,
         /// Where the DIMACS text comes from.
         source: LoadSource,
     },
-    /// Stream unique solutions of a registered formula.
+    /// Stream unique solutions of a registered (formula, engine) pair.
     Sample(SampleParams),
     /// Report registry contents, cumulative stream statistics and uptime.
     Status,
-    /// Drop one registry entry.
+    /// Drop registry entries of one formula.
     Evict {
         /// Registry key to drop.
         fingerprint: Fingerprint,
+        /// Engine whose entry to drop (`None` = every engine of the
+        /// fingerprint).
+        engine: Option<String>,
     },
     /// Stop the daemon: fire all request stop-tokens, drain in-flight
     /// connections, exit the accept loop.
@@ -77,6 +93,9 @@ pub enum LoadSource {
 pub struct SampleParams {
     /// Registry key of the formula to sample.
     pub fingerprint: Fingerprint,
+    /// Engine to sample with (`None` = [`DEFAULT_ENGINE`]); the
+    /// (fingerprint, engine) pair must have been loaded.
+    pub engine: Option<String>,
     /// Unique solutions requested.
     pub n: usize,
     /// Sampler seed; the same seed always reproduces the same solution
@@ -99,12 +118,22 @@ impl SampleParams {
     pub fn new(fingerprint: Fingerprint) -> Self {
         SampleParams {
             fingerprint,
+            engine: None,
             n: DEFAULT_SAMPLE_N,
             seed: 0,
             deadline_ms: None,
             max_stale: None,
             threads: None,
             batch: None,
+        }
+    }
+
+    /// Parameters targeting a specific engine, every other knob default.
+    #[must_use]
+    pub fn with_engine(fingerprint: Fingerprint, engine: &str) -> Self {
+        SampleParams {
+            engine: Some(engine.to_string()),
+            ..SampleParams::new(fingerprint)
         }
     }
 }
@@ -165,6 +194,15 @@ pub fn encode_u64_exact(value: u64) -> Json {
     }
 }
 
+/// Decodes the optional `engine` field (a string when present).
+fn field_engine(obj: &Json) -> Result<Option<String>, ProtoError> {
+    match obj.get("engine") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(name)) => Ok(Some(name.clone())),
+        Some(_) => Err(ProtoError("`engine` must be a string".to_string())),
+    }
+}
+
 fn field_fingerprint(obj: &Json) -> Result<Fingerprint, ProtoError> {
     let text = obj
         .get("fingerprint")
@@ -189,6 +227,7 @@ impl Request {
         match cmd {
             "load" => {
                 let name = msg.get("name").and_then(Json::as_str).map(str::to_string);
+                let engine = field_engine(msg)?;
                 let source = match (
                     msg.get("dimacs").and_then(Json::as_str),
                     msg.get("path").and_then(Json::as_str),
@@ -204,10 +243,15 @@ impl Request {
                         return Err(ProtoError("load needs `dimacs` or `path`".to_string()))
                     }
                 };
-                Ok(Request::Load { name, source })
+                Ok(Request::Load {
+                    name,
+                    engine,
+                    source,
+                })
             }
             "sample" => {
                 let mut params = SampleParams::new(field_fingerprint(msg)?);
+                params.engine = field_engine(msg)?;
                 if let Some(n) = field_u64(msg, "n")? {
                     params.n = n as usize;
                 }
@@ -226,6 +270,7 @@ impl Request {
             "status" => Ok(Request::Status),
             "evict" => Ok(Request::Evict {
                 fingerprint: field_fingerprint(msg)?,
+                engine: field_engine(msg)?,
             }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError(format!("unknown command `{other}`"))),
@@ -237,10 +282,17 @@ impl Request {
     #[must_use]
     pub fn encode(&self) -> Json {
         match self {
-            Request::Load { name, source } => {
+            Request::Load {
+                name,
+                engine,
+                source,
+            } => {
                 let mut pairs = vec![("cmd", Json::from("load"))];
                 if let Some(name) = name {
                     pairs.push(("name", name.clone().into()));
+                }
+                if let Some(engine) = engine {
+                    pairs.push(("engine", engine.clone().into()));
                 }
                 match source {
                     LoadSource::Inline(text) => pairs.push(("dimacs", text.clone().into())),
@@ -255,6 +307,9 @@ impl Request {
                     ("n", p.n.into()),
                     ("seed", encode_u64_exact(p.seed)),
                 ];
+                if let Some(engine) = &p.engine {
+                    pairs.push(("engine", engine.clone().into()));
+                }
                 if let Some(ms) = p.deadline_ms {
                     pairs.push(("deadline_ms", ms.into()));
                 }
@@ -270,10 +325,19 @@ impl Request {
                 Json::obj(pairs)
             }
             Request::Status => Json::obj(vec![("cmd", "status".into())]),
-            Request::Evict { fingerprint } => Json::obj(vec![
-                ("cmd", "evict".into()),
-                ("fingerprint", fingerprint.to_hex().into()),
-            ]),
+            Request::Evict {
+                fingerprint,
+                engine,
+            } => {
+                let mut pairs = vec![
+                    ("cmd", "evict".into()),
+                    ("fingerprint", fingerprint.to_hex().into()),
+                ];
+                if let Some(engine) = engine {
+                    pairs.push(("engine", engine.clone().into()));
+                }
+                Json::obj(pairs)
+            }
             Request::Shutdown => Json::obj(vec![("cmd", "shutdown".into())]),
         }
     }
@@ -357,10 +421,12 @@ mod tests {
         let requests = [
             Request::Load {
                 name: Some("demo".to_string()),
+                engine: None,
                 source: LoadSource::Inline("p cnf 1 1\n1 0\n".to_string()),
             },
             Request::Load {
                 name: None,
+                engine: Some("walksat".to_string()),
                 source: LoadSource::Path("/tmp/x.cnf".to_string()),
             },
             Request::Sample(SampleParams {
@@ -373,13 +439,21 @@ mod tests {
                 ..SampleParams::new(fp())
             }),
             Request::Sample(SampleParams::new(fp())),
+            Request::Sample(SampleParams::with_engine(fp(), "unigen")),
             Request::Sample(SampleParams {
                 // Above 2^53: must survive the wire exactly (string form).
                 seed: u64::MAX - 1,
                 ..SampleParams::new(fp())
             }),
             Request::Status,
-            Request::Evict { fingerprint: fp() },
+            Request::Evict {
+                fingerprint: fp(),
+                engine: None,
+            },
+            Request::Evict {
+                fingerprint: fp(),
+                engine: Some("cmsgen".to_string()),
+            },
             Request::Shutdown,
         ];
         for request in requests {
@@ -407,6 +481,10 @@ mod tests {
             (
                 r#"{"cmd": "evict", "fingerprint": 7}"#,
                 "missing `fingerprint`",
+            ),
+            (
+                r#"{"cmd": "load", "dimacs": "x", "engine": 3}"#,
+                "`engine` must be a string",
             ),
         ] {
             let msg = Json::parse(text).expect("valid JSON");

@@ -1,16 +1,22 @@
-//! The formula-keyed sampler registry.
+//! The (formula, engine)-keyed sampler registry.
 //!
 //! The registry is the daemon's reason to exist: the expensive part of
-//! serving a sampling request is the CNF-to-circuit transformation and
-//! kernel compilation, and those depend only on the formula — not on the
-//! request's seed, deadline or thread count. So the daemon keeps one
-//! [`PreparedFormula`] per canonical [`Fingerprint`] and mints a cheap
-//! per-request sampler from it; a repeated `LOAD`/`SAMPLE` for a formula the
-//! registry has seen (in *any* clause order — the fingerprint canonicalises
-//! that away) skips parse-side compilation entirely.
+//! serving a sampling request is engine preparation — for the GD engine the
+//! CNF-to-circuit transformation and kernel compilation, for a
+//! DiffSampler-style engine the soft-CNF circuit — and that depends only on
+//! the (formula, engine) pair, not on the request's seed, deadline or
+//! thread count. So the daemon keeps one prepared
+//! [`SampleEngine`] per canonical
+//! ([`Fingerprint`], engine name) key and mints a cheap per-request session
+//! from it; a repeated `LOAD`/`SAMPLE` for a pair the registry has seen (in
+//! *any* clause order — the fingerprint canonicalises that away) skips
+//! preparation entirely. Engines are resolved by wire name through
+//! [`htsat_baselines::engine_by_name`], so every sampler of the paper's
+//! comparison — the GD sampler and all baselines — is servable through one
+//! code path.
 //!
 //! Residency is bounded by a configurable byte budget. Each entry is costed
-//! with the sampler's own [`MemoryModel`](htsat_tensor::MemoryModel) (at the
+//! with its engine's own [`MemoryModel`](htsat_tensor::MemoryModel) (at the
 //! registry's reference batch size and worker count — the model that drives
 //! the paper's Fig. 3 memory plot), and inserting past the budget evicts
 //! least-recently-used entries first. A single entry larger than the whole
@@ -18,12 +24,17 @@
 //! it just becomes the first eviction candidate.
 
 use crate::ServeError;
+use htsat_baselines::{engine_by_name, resolve_engine_name};
 use htsat_cnf::{Cnf, Fingerprint};
-use htsat_core::{PreparedFormula, TransformConfig};
+use htsat_core::{SampleEngine, TransformConfig};
 use htsat_runtime::StreamStats;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// A registry key: the canonical formula fingerprint plus the canonical
+/// engine name.
+type EngineKey = (Fingerprint, &'static str);
 
 /// Configuration of a [`SamplerRegistry`].
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +46,7 @@ pub struct RegistryConfig {
     pub model_batch: usize,
     /// Worker count the per-entry memory model is evaluated at.
     pub model_workers: usize,
-    /// Transformation options every entry is prepared with.
+    /// Transformation options every GD entry is prepared with.
     pub transform: TransformConfig,
 }
 
@@ -52,15 +63,17 @@ impl Default for RegistryConfig {
     }
 }
 
-/// One resident formula: compiled artifacts plus serving bookkeeping.
-#[derive(Debug)]
+/// One resident (formula, engine) pair: the prepared engine plus serving
+/// bookkeeping.
 pub struct RegistryEntry {
-    /// Registry key.
+    /// Formula half of the registry key.
     pub fingerprint: Fingerprint,
+    /// Engine half of the registry key (canonical name).
+    pub engine_name: &'static str,
     /// Display name (from the `LOAD` request, or the fingerprint).
     pub name: String,
-    /// The compiled artifacts samplers are minted from.
-    pub prepared: PreparedFormula,
+    /// The prepared engine sessions are minted from.
+    pub engine: Box<dyn SampleEngine>,
     /// Modelled resident bytes (the eviction weight).
     pub bytes: u64,
     /// Times a request hit this entry after its initial load.
@@ -70,6 +83,17 @@ pub struct RegistryEntry {
     /// Cumulative stream statistics of every `SAMPLE` served from this
     /// entry.
     stats: Mutex<StreamStats>,
+}
+
+impl std::fmt::Debug for RegistryEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryEntry")
+            .field("fingerprint", &self.fingerprint)
+            .field("engine_name", &self.engine_name)
+            .field("name", &self.name)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RegistryEntry {
@@ -99,29 +123,30 @@ impl RegistryEntry {
 pub struct RegistryCounters {
     /// Loads/samples answered from a resident entry.
     pub hits: u64,
-    /// Loads that had to prepare (transform + compile) a new entry.
+    /// Loads that had to prepare a new entry.
     pub misses: u64,
-    /// Transform+compile runs performed — the counter the "registry hit
-    /// path skips recompilation" guarantee is asserted against.
+    /// Engine preparations performed (transform + compile for GD, circuit
+    /// build for DiffSampler, …) — the counter the "registry hit path skips
+    /// preparation" guarantee is asserted against.
     pub compiles: u64,
     /// Entries dropped, by eviction or explicit `EVICT`.
     pub evictions: u64,
 }
 
-/// A concurrent map from formula fingerprint to compiled sampler artifacts,
-/// with LRU eviction under a modelled memory budget.
+/// A concurrent map from (formula fingerprint, engine name) to a prepared
+/// sampling engine, with LRU eviction under a modelled memory budget.
 ///
-/// Reads (the hot path: `SAMPLE` on a resident formula) take the shared
+/// Reads (the hot path: `SAMPLE` on a resident pair) take the shared
 /// lock; only inserts and evictions take the exclusive lock. Recency is
 /// tracked with a lock-free logical clock so a read never needs the
 /// exclusive lock to bump its entry.
 #[derive(Debug)]
 pub struct SamplerRegistry {
     config: RegistryConfig,
-    entries: RwLock<HashMap<Fingerprint, Arc<RegistryEntry>>>,
-    /// Fingerprints whose compile is in flight right now (single-flight:
-    /// concurrent loads of the same formula wait instead of re-compiling).
-    inflight: Mutex<HashSet<Fingerprint>>,
+    entries: RwLock<HashMap<EngineKey, Arc<RegistryEntry>>>,
+    /// Keys whose preparation is in flight right now (single-flight:
+    /// concurrent loads of the same pair wait instead of re-preparing).
+    inflight: Mutex<HashSet<EngineKey>>,
     inflight_done: Condvar,
     clock: AtomicU64,
     hits: AtomicU64,
@@ -130,17 +155,18 @@ pub struct SamplerRegistry {
     evictions: AtomicU64,
 }
 
-/// RAII release of an in-flight compile claim, so a failed (or panicking)
-/// prepare never leaves other loads of the same formula waiting forever.
+/// RAII release of an in-flight preparation claim, so a failed (or
+/// panicking) prepare never leaves other loads of the same pair waiting
+/// forever.
 struct InflightClaim<'a> {
     registry: &'a SamplerRegistry,
-    fingerprint: Fingerprint,
+    key: EngineKey,
 }
 
 impl Drop for InflightClaim<'_> {
     fn drop(&mut self) {
         if let Ok(mut inflight) = self.registry.inflight.lock() {
-            inflight.remove(&self.fingerprint);
+            inflight.remove(&self.key);
         }
         self.registry.inflight_done.notify_all();
     }
@@ -149,7 +175,7 @@ impl Drop for InflightClaim<'_> {
 /// Whether two CNFs are the same formula up to clause and literal order —
 /// the equivalence [`Fingerprint`] canonicalises over. Used to detect hash
 /// collisions on the registry hit path (both formulas are in hand there,
-/// so the check is cheap relative to a compile).
+/// so the check is cheap relative to a preparation).
 fn same_canonical_formula(a: &Cnf, b: &Cnf) -> bool {
     if a.num_vars() != b.num_vars() || a.num_clauses() != b.num_clauses() {
         return false;
@@ -197,11 +223,14 @@ impl SamplerRegistry {
         entry.last_used.store(now, Ordering::Relaxed);
     }
 
-    /// Looks up a resident entry, bumping its recency and hit count.
+    /// Looks up a resident (formula, engine) entry, bumping its recency and
+    /// hit count. Returns `None` for unknown engine names too (nothing can
+    /// be resident under them).
     #[must_use]
-    pub fn get(&self, fingerprint: &Fingerprint) -> Option<Arc<RegistryEntry>> {
+    pub fn get(&self, fingerprint: &Fingerprint, engine: &str) -> Option<Arc<RegistryEntry>> {
+        let key = (*fingerprint, resolve_engine_name(engine)?);
         let entries = self.entries.read().expect("registry poisoned");
-        let entry = entries.get(fingerprint)?.clone();
+        let entry = entries.get(&key)?.clone();
         drop(entries);
         entry.hits.fetch_add(1, Ordering::Relaxed);
         self.hits.fetch_add(1, Ordering::Relaxed);
@@ -209,36 +238,52 @@ impl SamplerRegistry {
         Some(entry)
     }
 
-    /// Registers `cnf`, preparing (transform + compile) only if no entry
-    /// with the same canonical fingerprint is resident. Returns the entry
-    /// and whether it was already cached.
+    /// Registers `cnf` under `engine`, preparing the engine only if no
+    /// entry with the same canonical (fingerprint, engine) key is resident.
+    /// Returns the entry and whether it was already cached.
     ///
-    /// Loading is **single-flight** per fingerprint: concurrent loads of
-    /// the same formula block on the one in-flight compile and then share
-    /// its entry, so a thundering herd of identical `LOAD`s costs exactly
-    /// one transform+compile. Compilation itself runs outside every lock —
-    /// resident formulas stay servable while a big new one compiles.
+    /// Loading is **single-flight** per key: concurrent loads of the same
+    /// pair block on the one in-flight preparation and then share its
+    /// entry, so a thundering herd of identical `LOAD`s costs exactly one
+    /// preparation. Preparation itself runs outside every lock — resident
+    /// pairs stay servable while a big new one compiles.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Transform`] when the formula is structurally
-    /// unsatisfiable.
+    /// [`ServeError::UnknownEngine`] for engine names outside
+    /// [`htsat_baselines::ENGINE_NAMES`]; [`ServeError::Transform`] when
+    /// preparation fails (structurally unsatisfiable formula).
     pub fn load(
         &self,
         cnf: &Cnf,
+        engine: &str,
         name: Option<&str>,
     ) -> Result<(Arc<RegistryEntry>, bool), ServeError> {
+        let engine_name = resolve_engine_name(engine)
+            .ok_or_else(|| ServeError::UnknownEngine(engine.to_string()))?;
         let fingerprint = Fingerprint::of(cnf);
+        let key = (fingerprint, engine_name);
         let claim = loop {
-            if let Some(entry) = self.get(&fingerprint) {
+            let resident = self
+                .entries
+                .read()
+                .expect("registry poisoned")
+                .get(&key)
+                .cloned();
+            if let Some(entry) = resident {
                 // Fingerprint equality is the key, but the hash is not
                 // collision resistant against an adversarial formula; since
                 // both CNFs are in hand here, verify semantic equality
                 // (order-insensitively) rather than silently serving the
-                // wrong formula's solutions forever.
-                if !same_canonical_formula(cnf, entry.prepared.cnf()) {
+                // wrong formula's solutions forever. The raw lookup above
+                // (not `get`) keeps a rejected collision from counting as a
+                // hit or refreshing the victim entry's LRU recency.
+                if !same_canonical_formula(cnf, entry.engine.cnf()) {
                     return Err(ServeError::FingerprintCollision(fingerprint));
                 }
+                entry.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&entry);
                 return Ok((entry, true));
             }
             let inflight = self.inflight.lock().expect("inflight poisoned");
@@ -248,18 +293,18 @@ impl SamplerRegistry {
                 .entries
                 .read()
                 .expect("registry poisoned")
-                .contains_key(&fingerprint)
+                .contains_key(&key)
             {
                 continue;
             }
             let mut inflight = inflight;
-            if inflight.insert(fingerprint) {
+            if inflight.insert(key) {
                 break InflightClaim {
                     registry: self,
-                    fingerprint,
+                    key,
                 };
             }
-            // Another load is compiling this formula right now: wait for it
+            // Another load is preparing this pair right now: wait for it
             // to finish (success or failure), then retry from the top.
             let _released = self
                 .inflight_done
@@ -267,19 +312,20 @@ impl SamplerRegistry {
                 .expect("inflight poisoned");
         };
 
-        // We own the only in-flight compile for this fingerprint. Prepare
-        // outside every lock: compilation can take seconds on big formulas
+        // We own the only in-flight preparation for this key. Prepare
+        // outside every lock: preparation can take seconds on big formulas
         // and must not block requests for resident entries.
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        let prepared = PreparedFormula::prepare(cnf, &self.config.transform)?;
+        let prepared = engine_by_name(engine_name, cnf, &self.config.transform)?;
         let bytes = prepared
             .memory_model(self.config.model_batch, self.config.model_workers)
             .total_bytes();
         let entry = Arc::new(RegistryEntry {
             fingerprint,
+            engine_name,
             name: name.map_or_else(|| fingerprint.to_hex(), str::to_string),
-            prepared,
+            engine: prepared,
             bytes,
             hits: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
@@ -288,8 +334,8 @@ impl SamplerRegistry {
         self.touch(&entry);
 
         let mut entries = self.entries.write().expect("registry poisoned");
-        entries.insert(fingerprint, entry.clone());
-        self.evict_lru_over_budget(&mut entries, fingerprint);
+        entries.insert(key, entry.clone());
+        self.evict_lru_over_budget(&mut entries, key);
         drop(entries);
         drop(claim); // release the in-flight slot, wake the waiters
         Ok((entry, false))
@@ -299,8 +345,8 @@ impl SamplerRegistry {
     /// total fits the budget.
     fn evict_lru_over_budget(
         &self,
-        entries: &mut HashMap<Fingerprint, Arc<RegistryEntry>>,
-        keep: Fingerprint,
+        entries: &mut HashMap<EngineKey, Arc<RegistryEntry>>,
+        keep: EngineKey,
     ) {
         loop {
             let total: u64 = entries.values().map(|e| e.bytes).sum();
@@ -309,9 +355,9 @@ impl SamplerRegistry {
             }
             let victim = entries
                 .values()
-                .filter(|e| e.fingerprint != keep)
+                .filter(|e| (e.fingerprint, e.engine_name) != keep)
                 .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
-                .map(|e| e.fingerprint);
+                .map(|e| (e.fingerprint, e.engine_name));
             let Some(victim) = victim else {
                 // Only the just-inserted entry is left; an oversized single
                 // formula stays resident (see module docs).
@@ -322,21 +368,29 @@ impl SamplerRegistry {
         }
     }
 
-    /// Drops one entry. Returns whether it was resident.
-    pub fn evict(&self, fingerprint: &Fingerprint) -> bool {
-        let removed = self
-            .entries
-            .write()
-            .expect("registry poisoned")
-            .remove(fingerprint)
-            .is_some();
-        if removed {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+    /// Drops entries of `fingerprint`: the one named engine's, or — with
+    /// `None` — every engine's. Returns how many entries were dropped.
+    pub fn evict(&self, fingerprint: &Fingerprint, engine: Option<&str>) -> usize {
+        let mut entries = self.entries.write().expect("registry poisoned");
+        let removed = match engine {
+            Some(engine) => {
+                let Some(engine_name) = resolve_engine_name(engine) else {
+                    return 0;
+                };
+                usize::from(entries.remove(&(*fingerprint, engine_name)).is_some())
+            }
+            None => {
+                let before = entries.len();
+                entries.retain(|(fp, _), _| fp != fingerprint);
+                before - entries.len()
+            }
+        };
+        drop(entries);
+        self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
         removed
     }
 
-    /// Aggregate hit/miss/compile/eviction counters.
+    /// Aggregate hit/miss/preparation/eviction counters.
     pub fn counters(&self) -> RegistryCounters {
         RegistryCounters {
             hits: self.hits.load(Ordering::Relaxed),
@@ -380,6 +434,7 @@ impl SamplerRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::DEFAULT_ENGINE;
 
     fn cnf(width: u32, seed: i64) -> Cnf {
         // A satisfiable chain distinct per seed: (x1 ∨ x2), (x2 ∨ x3), …
@@ -403,19 +458,23 @@ mod tests {
     fn second_load_is_a_hit_with_no_recompilation() {
         let registry = registry(u64::MAX);
         let formula = cnf(6, 0);
-        let (first, cached) = registry.load(&formula, Some("demo")).expect("load");
+        let (first, cached) = registry
+            .load(&formula, DEFAULT_ENGINE, Some("demo"))
+            .expect("load");
         assert!(!cached);
         assert_eq!(registry.counters().compiles, 1);
 
         // Same formula, clauses re-ordered: the canonical fingerprint must
-        // land on the resident entry without another compile.
+        // land on the resident entry without another preparation.
         let mut reordered = Cnf::new(6);
         let mut clauses: Vec<_> = formula.clauses().to_vec();
         clauses.reverse();
         for clause in clauses {
             reordered.push_clause(clause);
         }
-        let (second, cached) = registry.load(&reordered, None).expect("load");
+        let (second, cached) = registry
+            .load(&reordered, DEFAULT_ENGINE, None)
+            .expect("load");
         assert!(cached);
         assert_eq!(second.fingerprint, first.fingerprint);
         assert_eq!(registry.counters().compiles, 1, "hit path must not compile");
@@ -425,21 +484,57 @@ mod tests {
     }
 
     #[test]
+    fn engines_are_cached_independently_per_fingerprint() {
+        let registry = registry(u64::MAX);
+        let formula = cnf(6, 0);
+        let (gd, cached_gd) = registry.load(&formula, "gd", None).expect("gd");
+        let (walksat, cached_walksat) = registry.load(&formula, "walksat", None).expect("walksat");
+        assert!(!cached_gd && !cached_walksat);
+        assert_eq!(gd.fingerprint, walksat.fingerprint, "same formula");
+        assert_ne!(gd.engine_name, walksat.engine_name);
+        assert_eq!(registry.len(), 2, "one entry per (formula, engine) pair");
+        assert_eq!(registry.counters().compiles, 2);
+        // Each pair hits independently.
+        assert!(registry.get(&gd.fingerprint, "walksat").is_some());
+        assert!(registry.get(&gd.fingerprint, "unigen").is_none());
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        let registry = registry(u64::MAX);
+        let formula = cnf(4, 0);
+        match registry.load(&formula, "frobnicate", None) {
+            Err(ServeError::UnknownEngine(name)) => assert_eq!(name, "frobnicate"),
+            other => panic!("expected UnknownEngine, got {other:?}"),
+        }
+        assert!(registry.is_empty());
+        assert!(registry
+            .get(&Fingerprint::of(&formula), "frobnicate")
+            .is_none());
+    }
+
+    #[test]
     fn lru_eviction_respects_the_budget_and_recency() {
         // Probe one entry's modelled size, then budget for two entries.
         let probe = registry(u64::MAX);
-        let (probe_entry, _) = probe.load(&cnf(5, 0), None).expect("probe");
+        let (probe_entry, _) = probe.load(&cnf(5, 0), DEFAULT_ENGINE, None).expect("probe");
         let per_entry = probe_entry.bytes;
 
         let registry = registry(per_entry * 2 + per_entry / 2);
-        let (a, _) = registry.load(&cnf(5, 0), Some("a")).expect("a");
-        let (_b, _) = registry.load(&cnf(5, 1), Some("b")).expect("b");
+        let (a, _) = registry
+            .load(&cnf(5, 0), DEFAULT_ENGINE, Some("a"))
+            .expect("a");
+        let (_b, _) = registry
+            .load(&cnf(5, 1), DEFAULT_ENGINE, Some("b"))
+            .expect("b");
         // Touch `a` so `b` becomes the LRU victim.
-        assert!(registry.get(&a.fingerprint).is_some());
-        let (_c, _) = registry.load(&cnf(5, 2), Some("c")).expect("c");
+        assert!(registry.get(&a.fingerprint, DEFAULT_ENGINE).is_some());
+        let (_c, _) = registry
+            .load(&cnf(5, 2), DEFAULT_ENGINE, Some("c"))
+            .expect("c");
         assert_eq!(registry.len(), 2);
         assert!(
-            registry.get(&a.fingerprint).is_some(),
+            registry.get(&a.fingerprint, DEFAULT_ENGINE).is_some(),
             "a was recently used"
         );
         assert_eq!(registry.counters().evictions, 1);
@@ -449,7 +544,9 @@ mod tests {
     #[test]
     fn oversized_single_entry_is_still_admitted() {
         let registry = registry(1); // absurdly small budget
-        let (entry, cached) = registry.load(&cnf(5, 0), None).expect("load");
+        let (entry, cached) = registry
+            .load(&cnf(5, 0), DEFAULT_ENGINE, None)
+            .expect("load");
         assert!(!cached);
         assert!(entry.bytes > 1);
         assert_eq!(registry.len(), 1, "the sole entry survives");
@@ -458,21 +555,48 @@ mod tests {
     #[test]
     fn explicit_evict_and_counters() {
         let registry = registry(u64::MAX);
-        let (entry, _) = registry.load(&cnf(4, 0), None).expect("load");
-        assert!(registry.evict(&entry.fingerprint));
-        assert!(!registry.evict(&entry.fingerprint), "already gone");
-        assert!(registry.get(&entry.fingerprint).is_none());
+        let (entry, _) = registry
+            .load(&cnf(4, 0), DEFAULT_ENGINE, None)
+            .expect("load");
+        assert_eq!(registry.evict(&entry.fingerprint, Some(DEFAULT_ENGINE)), 1);
+        assert_eq!(
+            registry.evict(&entry.fingerprint, Some(DEFAULT_ENGINE)),
+            0,
+            "already gone"
+        );
+        assert!(registry.get(&entry.fingerprint, DEFAULT_ENGINE).is_none());
         assert_eq!(registry.counters().evictions, 1);
-        // Re-loading after eviction compiles again.
-        let (_again, cached) = registry.load(&cnf(4, 0), None).expect("load");
+        // Re-loading after eviction prepares again.
+        let (_again, cached) = registry
+            .load(&cnf(4, 0), DEFAULT_ENGINE, None)
+            .expect("load");
         assert!(!cached);
         assert_eq!(registry.counters().compiles, 2);
     }
 
     #[test]
+    fn evict_without_engine_drops_every_engine_of_the_fingerprint() {
+        let registry = registry(u64::MAX);
+        let formula = cnf(5, 0);
+        let (entry, _) = registry.load(&formula, "gd", None).expect("gd");
+        registry.load(&formula, "walksat", None).expect("walksat");
+        registry.load(&formula, "cmsgen", None).expect("cmsgen");
+        // A different formula must survive the sweep.
+        let (other, _) = registry.load(&cnf(5, 1), "gd", None).expect("other");
+        assert_eq!(registry.evict(&entry.fingerprint, None), 3);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get(&other.fingerprint, "gd").is_some());
+        assert_eq!(registry.counters().evictions, 3);
+        // Unknown engine names evict nothing.
+        assert_eq!(registry.evict(&other.fingerprint, Some("nope")), 0);
+    }
+
+    #[test]
     fn cumulative_stats_accumulate_across_requests() {
         let registry = registry(u64::MAX);
-        let (entry, _) = registry.load(&cnf(4, 0), None).expect("load");
+        let (entry, _) = registry
+            .load(&cnf(4, 0), DEFAULT_ENGINE, None)
+            .expect("load");
         let round = StreamStats {
             rounds: 1,
             attempts: 10,
@@ -488,9 +612,13 @@ mod tests {
     #[test]
     fn snapshot_orders_by_recency() {
         let registry = registry(u64::MAX);
-        let (a, _) = registry.load(&cnf(4, 0), Some("a")).expect("a");
-        let (_b, _) = registry.load(&cnf(4, 1), Some("b")).expect("b");
-        assert!(registry.get(&a.fingerprint).is_some());
+        let (a, _) = registry
+            .load(&cnf(4, 0), DEFAULT_ENGINE, Some("a"))
+            .expect("a");
+        let (_b, _) = registry
+            .load(&cnf(4, 1), DEFAULT_ENGINE, Some("b"))
+            .expect("b");
+        assert!(registry.get(&a.fingerprint, DEFAULT_ENGINE).is_some());
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.len(), 2);
         assert_eq!(snapshot[0].name, "a", "most recently used first");
@@ -505,7 +633,8 @@ mod tests {
                 let registry = registry.clone();
                 let formula = formula.clone();
                 std::thread::spawn(move || {
-                    let (entry, _cached) = registry.load(&formula, None).expect("load");
+                    let (entry, _cached) =
+                        registry.load(&formula, DEFAULT_ENGINE, None).expect("load");
                     entry.fingerprint
                 })
             })
@@ -518,7 +647,7 @@ mod tests {
         assert_eq!(
             registry.counters().compiles,
             1,
-            "concurrent loads of one formula must share one compile"
+            "concurrent loads of one pair must share one preparation"
         );
         assert_eq!(registry.len(), 1);
     }
@@ -528,9 +657,9 @@ mod tests {
         let registry = registry(u64::MAX);
         let mut unsat = Cnf::new(1);
         unsat.add_clause([]);
-        assert!(registry.load(&unsat, None).is_err());
+        assert!(registry.load(&unsat, DEFAULT_ENGINE, None).is_err());
         // A second attempt must not dead-wait on the failed claim.
-        assert!(registry.load(&unsat, None).is_err());
+        assert!(registry.load(&unsat, DEFAULT_ENGINE, None).is_err());
         assert_eq!(registry.counters().compiles, 2);
     }
 
@@ -555,7 +684,7 @@ mod tests {
         let registry = registry(u64::MAX);
         let mut unsat = Cnf::new(1);
         unsat.add_clause([]); // empty clause
-        assert!(registry.load(&unsat, None).is_err());
+        assert!(registry.load(&unsat, DEFAULT_ENGINE, None).is_err());
         assert!(registry.is_empty());
     }
 }

@@ -3,12 +3,12 @@
 use crate::json::Json;
 use crate::proto::{
     encode_solution, encode_stats, error_response, ok_response, LoadSource, ProtoError, Request,
-    SampleParams,
+    SampleParams, DEFAULT_ENGINE,
 };
 use crate::registry::{RegistryConfig, SamplerRegistry};
 use crate::ServeError;
 use htsat_cnf::dimacs;
-use htsat_core::SamplerConfig;
+use htsat_core::SessionConfig;
 use htsat_runtime::{StopSet, StopToken};
 use htsat_tensor::Backend;
 use std::io::{ErrorKind, Read, Write};
@@ -275,18 +275,44 @@ fn dispatch(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
         Err(ProtoError(e)) => return (error_response(&e), false),
     };
     match request {
-        Request::Load { name, source } => (handle_load(state, name.as_deref(), &source), false),
+        Request::Load {
+            name,
+            engine,
+            source,
+        } => (
+            handle_load(
+                state,
+                name.as_deref(),
+                engine.as_deref().unwrap_or(DEFAULT_ENGINE),
+                &source,
+            ),
+            false,
+        ),
         Request::Sample(params) => (handle_sample(state, &params), false),
         Request::Status => (handle_status(state), false),
-        Request::Evict { fingerprint } => {
-            let evicted = state.registry.evict(&fingerprint);
-            (ok_response(vec![("evicted", evicted.into())]), false)
+        Request::Evict {
+            fingerprint,
+            engine,
+        } => {
+            let evicted = state.registry.evict(&fingerprint, engine.as_deref());
+            (
+                ok_response(vec![
+                    ("evicted", (evicted > 0).into()),
+                    ("evicted_count", evicted.into()),
+                ]),
+                false,
+            )
         }
         Request::Shutdown => (ok_response(vec![("shutdown", true.into())]), true),
     }
 }
 
-fn handle_load(state: &Arc<ServerState>, name: Option<&str>, source: &LoadSource) -> Json {
+fn handle_load(
+    state: &Arc<ServerState>,
+    name: Option<&str>,
+    engine: &str,
+    source: &LoadSource,
+) -> Json {
     let cnf = match source {
         LoadSource::Inline(text) => match dimacs::parse_str(text) {
             Ok(cnf) => cnf,
@@ -304,16 +330,24 @@ fn handle_load(state: &Arc<ServerState>, name: Option<&str>, source: &LoadSource
             }
         }
     };
-    match state.registry.load(&cnf, name) {
-        Ok((entry, cached)) => ok_response(vec![
-            ("fingerprint", entry.fingerprint.to_hex().into()),
-            ("name", entry.name.clone().into()),
-            ("cached", cached.into()),
-            ("vars", entry.prepared.cnf().num_vars().into()),
-            ("clauses", entry.prepared.cnf().num_clauses().into()),
-            ("inputs", entry.prepared.num_inputs().into()),
-            ("nodes", entry.prepared.num_nodes().into()),
-        ]),
+    match state.registry.load(&cnf, engine, name) {
+        Ok((entry, cached)) => {
+            let mut payload = vec![
+                ("fingerprint", entry.fingerprint.to_hex().into()),
+                ("engine", entry.engine_name.into()),
+                ("name", entry.name.clone().into()),
+                ("cached", cached.into()),
+                ("vars", entry.engine.cnf().num_vars().into()),
+                ("clauses", entry.engine.cnf().num_clauses().into()),
+            ];
+            // Engine-specific artifact sizes (compiled inputs/nodes for the
+            // GD engine, circuit nodes for DiffSampler, nothing for the
+            // solver-backed baselines).
+            for (dim, value) in entry.engine.artifact_dims() {
+                payload.push((dim, value.into()));
+            }
+            ok_response(payload)
+        }
         Err(ServeError::Transform(e)) => error_response(&format!("transform error: {e}")),
         Err(e) => error_response(&e.to_string()),
     }
@@ -327,9 +361,10 @@ const MAX_REQUEST_BATCH: usize = 1 << 16;
 const MAX_REQUEST_N: usize = 1 << 20;
 
 fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
-    let Some(entry) = state.registry.get(&params.fingerprint) else {
+    let engine = params.engine.as_deref().unwrap_or(DEFAULT_ENGINE);
+    let Some(entry) = state.registry.get(&params.fingerprint, engine) else {
         return error_response(&format!(
-            "formula {} is not loaded (use `load` first, or it was evicted)",
+            "(formula {}, engine {engine}) is not loaded (use `load` first, or it was evicted)",
             params.fingerprint
         ));
     };
@@ -340,21 +375,22 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     if params.n > MAX_REQUEST_N {
         return error_response(&format!("`n` exceeds the cap {MAX_REQUEST_N}"));
     }
-    let mut config = SamplerConfig {
-        seed: params.seed,
-        backend: Backend::Threads(threads),
-        ..SamplerConfig::default()
-    };
     if let Some(batch) = params.batch {
         if batch > MAX_REQUEST_BATCH {
             return error_response(&format!("`batch` exceeds the cap {MAX_REQUEST_BATCH}"));
         }
-        config.batch_size = batch;
     }
-    // Registry hit path: the sampler is minted from the resident compiled
-    // artifacts — no parse, no transform, no kernel compilation.
-    let mut sampler = match entry.prepared.sampler(config) {
-        Ok(sampler) => sampler,
+    let config = SessionConfig {
+        seed: params.seed,
+        backend: Backend::Threads(threads),
+        batch: params.batch,
+    };
+    // Registry hit path: the stream is minted from the resident prepared
+    // engine — no parse, no transform, no kernel compilation. Going through
+    // `SampleEngine::stream` (not `session` + a manual wrap) lets engines
+    // apply their stream options (e.g. quicksampler's source-side dedup).
+    let stream = match entry.engine.stream(&config) {
+        Ok(stream) => stream,
         Err(e) => return error_response(&format!("invalid sampler config: {e}")),
     };
     let token = state.requests.issue();
@@ -367,7 +403,7 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
         token.stop();
         return error_response("server is shutting down");
     }
-    let mut stream = sampler.stream().with_stop_token(token.clone());
+    let mut stream = stream.with_stop_token(token.clone());
     if let Some(ms) = params.deadline_ms {
         stream = stream.with_timeout(Duration::from_millis(ms));
     }
@@ -388,6 +424,7 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     entry.record_stats(&stats);
     ok_response(vec![
         ("fingerprint", params.fingerprint.to_hex().into()),
+        ("engine", entry.engine_name.into()),
         ("seed", crate::proto::encode_u64_exact(params.seed)),
         ("threads", threads.into()),
         ("solutions", Json::Arr(solutions)),
@@ -405,17 +442,20 @@ fn handle_status(state: &Arc<ServerState>) -> Json {
         .snapshot()
         .into_iter()
         .map(|entry| {
-            Json::obj(vec![
+            let mut pairs = vec![
                 ("fingerprint", entry.fingerprint.to_hex().into()),
+                ("engine", entry.engine_name.into()),
                 ("name", entry.name.clone().into()),
-                ("vars", entry.prepared.cnf().num_vars().into()),
-                ("clauses", entry.prepared.cnf().num_clauses().into()),
-                ("inputs", entry.prepared.num_inputs().into()),
-                ("nodes", entry.prepared.num_nodes().into()),
-                ("bytes", entry.bytes.into()),
-                ("hits", entry.hits().into()),
-                ("stats", encode_stats(&entry.cumulative_stats())),
-            ])
+                ("vars", entry.engine.cnf().num_vars().into()),
+                ("clauses", entry.engine.cnf().num_clauses().into()),
+            ];
+            for (dim, value) in entry.engine.artifact_dims() {
+                pairs.push((dim, value.into()));
+            }
+            pairs.push(("bytes", entry.bytes.into()));
+            pairs.push(("hits", entry.hits().into()));
+            pairs.push(("stats", encode_stats(&entry.cumulative_stats())));
+            Json::obj(pairs)
         })
         .collect();
     ok_response(vec![

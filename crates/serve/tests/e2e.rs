@@ -6,8 +6,9 @@
 //! reproduce the *exact* in-process `GdSampler::stream()` solution sequence
 //! at 1 and at 8 worker threads.
 
+use htsat_baselines::{engine_by_name, ENGINE_NAMES};
 use htsat_cnf::dimacs;
-use htsat_core::{GdSampler, SamplerConfig};
+use htsat_core::{GdSampler, SamplerConfig, SessionConfig, TransformConfig};
 use htsat_instances::families;
 use htsat_serve::json::Json;
 use htsat_serve::proto::SampleParams;
@@ -89,6 +90,152 @@ fn wire_determinism_matches_in_process_stream_at_1_and_8_threads() {
         })
         .expect("sample with 64-bit seed");
     assert_eq!(reply.solutions, expected, "seed must not round through f64");
+}
+
+#[test]
+fn cross_engine_determinism_matrix() {
+    // The tentpole guarantee of the engine API: for EVERY engine, a fixed
+    // seed reproduces the identical solution sequence at 1 and 8 worker
+    // threads, in-process and through the daemon — so clients can A/B the
+    // GD sampler against any baseline over the wire bit-for-bit.
+    let (dimacs_text, cnf) = corpus_instance();
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    const SEED: u64 = 0xA1B2;
+    const N: usize = 3;
+    for engine_name in ENGINE_NAMES {
+        let engine =
+            engine_by_name(engine_name, &cnf, &TransformConfig::default()).expect("engine");
+        let load = client
+            .load_dimacs_engine(Some(engine_name), engine_name, &dimacs_text)
+            .expect("load engine");
+        assert_eq!(load.engine, engine_name);
+        assert!(!load.cached, "first load of ({engine_name}) must prepare");
+
+        let mut sequences = Vec::new();
+        for threads in [1usize, 8] {
+            // In-process reference through the engine adapter.
+            let expected: Vec<Vec<bool>> = engine
+                .stream(&SessionConfig {
+                    seed: SEED,
+                    backend: Backend::Threads(threads),
+                    batch: None,
+                })
+                .expect("stream")
+                .take(N)
+                .collect();
+            assert_eq!(
+                expected.len(),
+                N,
+                "engine {engine_name} found too few solutions in-process"
+            );
+            for s in &expected {
+                assert!(cnf.is_satisfied_by_bits(s), "{engine_name} invalid");
+            }
+
+            let reply = client
+                .sample(&SampleParams {
+                    n: N,
+                    seed: SEED,
+                    threads: Some(threads),
+                    ..SampleParams::with_engine(load.fingerprint, engine_name)
+                })
+                .expect("sample");
+            assert_eq!(
+                reply.solutions, expected,
+                "daemon must reproduce the in-process {engine_name} sequence \
+                 bit-for-bit at {threads} threads"
+            );
+            sequences.push(expected);
+        }
+        assert_eq!(
+            sequences[0], sequences[1],
+            "engine {engine_name} must be thread-count independent"
+        );
+    }
+    // One entry per (formula, engine) pair, each prepared exactly once.
+    assert_eq!(server.registry().len(), ENGINE_NAMES.len());
+    assert_eq!(
+        server.registry().counters().compiles,
+        ENGINE_NAMES.len() as u64
+    );
+}
+
+#[test]
+fn engine_must_be_loaded_before_sampling_and_unknown_engines_fail() {
+    let (dimacs_text, _cnf) = corpus_instance();
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // Loaded for gd only: sampling walksat on the same fingerprint is a
+    // miss — the registry is keyed by the (formula, engine) pair.
+    let load = client.load_dimacs(None, &dimacs_text).expect("load gd");
+    match client.sample(&SampleParams::with_engine(load.fingerprint, "walksat")) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("not loaded"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Unknown engine names are rejected on LOAD.
+    match client.load_dimacs_engine(None, "frobnicate", &dimacs_text) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown engine"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+}
+
+#[test]
+fn status_reports_engine_names_and_evict_accepts_the_pair() {
+    let (dimacs_text, _cnf) = corpus_instance();
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let gd = client.load_dimacs(Some("demo"), &dimacs_text).expect("gd");
+    let walksat = client
+        .load_dimacs_engine(Some("demo"), "walksat", &dimacs_text)
+        .expect("walksat");
+    assert_eq!(gd.fingerprint, walksat.fingerprint);
+    client
+        .sample(&SampleParams {
+            n: 2,
+            threads: Some(1),
+            ..SampleParams::with_engine(gd.fingerprint, "walksat")
+        })
+        .expect("sample walksat");
+
+    // STATUS lists one entry per engine, each tagged with its engine name
+    // and carrying its own cumulative stream stats.
+    let status = client.status().expect("status");
+    let entries = status
+        .get("entries")
+        .and_then(Json::as_arr)
+        .expect("entries");
+    assert_eq!(entries.len(), 2);
+    let engine_of = |entry: &Json| {
+        entry
+            .get("engine")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let mut engines: Vec<String> = entries.iter().map(engine_of).collect();
+    engines.sort();
+    assert_eq!(engines, ["gd", "walksat"]);
+    let walksat_entry = entries
+        .iter()
+        .find(|e| e.get("engine").and_then(Json::as_str) == Some("walksat"))
+        .expect("walksat entry");
+    let stats = walksat_entry.get("stats").expect("stats");
+    assert!(
+        stats.get("rounds").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the walksat SAMPLE must be accounted to the walksat entry"
+    );
+
+    // EVICT with the (fingerprint, engine) pair drops only that engine.
+    assert!(client
+        .evict_engine(gd.fingerprint, "walksat")
+        .expect("evict walksat"));
+    assert!(server.registry().get(&gd.fingerprint, "gd").is_some());
+    assert!(server.registry().get(&gd.fingerprint, "walksat").is_none());
+    // EVICT without an engine sweeps the remaining entries of the formula.
+    assert!(client.evict(gd.fingerprint).expect("evict all"));
+    assert!(server.registry().is_empty());
 }
 
 #[test]
@@ -285,7 +432,7 @@ fn lru_eviction_over_the_wire() {
         let load = probe_client.load_dimacs(None, &mk(seed)).expect("probe");
         let bytes = probe
             .registry()
-            .get(&load.fingerprint)
+            .get(&load.fingerprint, "gd")
             .expect("probe entry")
             .bytes;
         probed.push(bytes);

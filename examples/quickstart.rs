@@ -6,13 +6,16 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The example encodes the paper's Fig. 1 formula, transforms it into a
-//! multi-level circuit, and draws unique satisfying assignments with the
-//! gradient-descent sampler, printing the variable classification and the
-//! achieved throughput.
+//! The example encodes the paper's Fig. 1 formula, prepares it once (the
+//! CNF-to-circuit transformation plus kernel compilation) as a
+//! [`htsat::core::SampleEngine`], and draws unique satisfying assignments by
+//! streaming a per-request session — the prepare-once → mint-sessions →
+//! stream shape every sampler in the workspace (and the `htsat-serve`
+//! daemon) shares. It prints the variable classification and the achieved
+//! throughput.
 
 use htsat::cnf::dimacs;
-use htsat::core::{GdSampler, SamplerConfig, VarClass};
+use htsat::core::{PreparedFormula, SampleEngine, SessionConfig, TransformConfig, VarClass};
 use std::error::Error;
 use std::time::Duration;
 
@@ -54,8 +57,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         cnf.num_clauses()
     );
 
-    let mut sampler = GdSampler::new(&cnf, SamplerConfig::default())?;
-    let result = sampler.transform_result();
+    // Prepare once: transformation + compilation, reusable across requests.
+    let engine = PreparedFormula::prepare(&cnf, &TransformConfig::default())?;
+    let result = engine.transform_result();
     println!("\ntransformation:");
     println!("  gate groups recognised : {}", result.stats.gate_groups);
     println!("  CNF ops (2-input eq.)  : {}", result.stats.cnf_ops);
@@ -78,7 +82,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("  {class:?}: {}", vars.join(", "));
     }
 
-    let report = sampler.sample(100, Duration::from_secs(10));
+    // Mint a cheap per-request session (seeded, so the sequence is
+    // reproducible) and collect its stream.
+    let report = engine.sample(&SessionConfig::with_seed(42), 100, Duration::from_secs(10))?;
     println!("\nsampling:");
     println!("  unique solutions : {}", report.solutions.len());
     println!("  attempts         : {}", report.attempts);
