@@ -1,4 +1,5 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and run the
+//! statistical bench harness.
 //!
 //! ```sh
 //! cargo run --release -p htsat-bench --bin repro -- table2
@@ -6,115 +7,39 @@
 //! cargo run --release -p htsat-bench --bin repro -- fig2 --instances 20
 //! cargo run --release -p htsat-bench --bin repro -- threads --counts 1,2,4,8
 //! cargo run --release -p htsat-bench --bin repro -- all --scale paper --timeout 30
+//! cargo run --release -p htsat-bench --bin repro -- bench --quick
+//! cargo run --release -p htsat-bench --bin repro -- bench-diff old.json new.json --threshold 10
 //! ```
 //!
 //! Subcommands: `table2`, `fig2`, `fig3-iters`, `fig3-mem`, `fig4-speedup`,
-//! `fig4-ops`, `fig4-transform`, `fig4`, `threads`, `serve-bench`, `all`.
+//! `fig4-ops`, `fig4-transform`, `fig4`, `threads`, `serve-bench`, `bench`,
+//! `bench-diff`, `bench-degrade`, `all`. Each subcommand accepts only its
+//! own flags (see `htsat_bench::cli`); a stray flag exits non-zero naming
+//! the valid ones.
 //!
 //! `serve-bench` starts the `htsat-serve` daemon on a loopback ephemeral
 //! port, measures cold-load vs registry-hit round-trip latency, and fails
 //! unless the daemon's `SAMPLE` reproduces the in-process stream
 //! bit-for-bit at 1 and 8 threads — the CI loopback end-to-end gate.
 //!
-//! Options: `--scale small|paper`, `--target N`, `--timeout SECONDS`,
-//! `--batch N`, `--threads N` (`0` = one worker per core), `--stream`
-//! (collect through the streaming API), `--kernel flat|reference` (fused
-//! flat kernel, the default, or the staged reference circuit),
-//! `--instances N` (fig2 only), `--counts A,B,...` (threads only).
+//! `bench` runs the statistical harness (interleaved invocations, warmup
+//! separation, min/median/mean/CI per cell) and emits a
+//! `BENCH_<host>_<date>.json` perf-trajectory artifact. `bench-diff` pairs
+//! two artifacts and exits non-zero when the throughput geomean regresses
+//! past the threshold; it refuses cross-host/cross-scale comparisons
+//! without `--force`. `bench-degrade` scales an artifact's throughput
+//! samples — CI's negative gate proving `bench-diff` catches an injected
+//! regression.
 
+use htsat_bench::cli::{self, Command};
+use htsat_bench::harness::{
+    diff_artifacts, run_bench_with, BenchArtifact, BenchConfig, DiffError, DiffOptions,
+};
 use htsat_bench::{
     ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, serve_bench,
     table2, threads_sweep, RunOptions,
 };
-use htsat_core::KernelChoice;
-use htsat_instances::suite::SuiteScale;
-use std::time::Duration;
-
-struct CliArgs {
-    command: String,
-    options: RunOptions,
-    fig2_instances: usize,
-    thread_counts: Vec<usize>,
-}
-
-fn parse_args() -> Result<CliArgs, String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| "all".to_string());
-    let mut options = RunOptions::default();
-    let mut fig2_instances = 12usize;
-    let mut thread_counts = vec![1, 2, 4, 8];
-    while let Some(flag) = args.next() {
-        if flag == "--stream" {
-            options.stream = true;
-            continue;
-        }
-        let mut value = || {
-            args.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
-        match flag.as_str() {
-            "--scale" => {
-                options.scale = match value()?.as_str() {
-                    "paper" => SuiteScale::Paper,
-                    "small" => SuiteScale::Small,
-                    other => return Err(format!("unknown scale `{other}`")),
-                };
-            }
-            "--target" => {
-                options.target = value()?
-                    .parse()
-                    .map_err(|e| format!("invalid --target: {e}"))?;
-            }
-            "--timeout" => {
-                let secs: f64 = value()?
-                    .parse()
-                    .map_err(|e| format!("invalid --timeout: {e}"))?;
-                options.timeout = Duration::from_secs_f64(secs);
-            }
-            "--batch" => {
-                options.batch_size = value()?
-                    .parse()
-                    .map_err(|e| format!("invalid --batch: {e}"))?;
-            }
-            "--threads" => {
-                options.threads = Some(
-                    value()?
-                        .parse()
-                        .map_err(|e| format!("invalid --threads: {e}"))?,
-                );
-            }
-            "--kernel" => {
-                options.kernel = match value()?.as_str() {
-                    "flat" => KernelChoice::Flat,
-                    "reference" => KernelChoice::Reference,
-                    other => return Err(format!("unknown kernel `{other}`")),
-                };
-            }
-            "--instances" => {
-                fig2_instances = value()?
-                    .parse()
-                    .map_err(|e| format!("invalid --instances: {e}"))?;
-            }
-            "--counts" => {
-                thread_counts = value()?
-                    .split(',')
-                    .map(|c| c.trim().parse::<usize>())
-                    .collect::<Result<Vec<usize>, _>>()
-                    .map_err(|e| format!("invalid --counts: {e}"))?;
-                if thread_counts.is_empty() {
-                    return Err("--counts needs at least one thread count".to_string());
-                }
-            }
-            other => return Err(format!("unknown option `{other}`")),
-        }
-    }
-    Ok(CliArgs {
-        command,
-        options,
-        fig2_instances,
-        thread_counts,
-    })
-}
+use std::path::{Path, PathBuf};
 
 fn run_table2(options: &RunOptions) {
     println!("== Table II: unique-solution throughput (solutions/second) ==");
@@ -236,42 +161,235 @@ fn run_serve_bench(options: &RunOptions) {
     }
 }
 
-fn main() {
-    let cli = match parse_args() {
-        Ok(cli) => cli,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("usage: repro <table2|fig2|fig3-iters|fig3-mem|fig4|fig4-speedup|fig4-ops|fig4-transform|threads|serve-bench|all> [--scale small|paper] [--target N] [--timeout S] [--batch N] [--threads N] [--stream] [--kernel flat|reference] [--instances N] [--counts A,B,...]");
+fn run_bench_cmd(config: &BenchConfig, out: Option<PathBuf>) {
+    println!("== bench: statistical harness (interleaved invocations) ==\n");
+    println!(
+        "matrix: {} instance(s) x {} engine(s) x {} thread count(s), {} warmup + {} timed invocations ({} runs)",
+        config.instances.len(),
+        config.engines.len(),
+        config.thread_counts.len(),
+        config.warmup,
+        config.invocations,
+        config.total_runs()
+    );
+    let artifact = match run_bench_with(config, |event| {
+        println!(
+            "  invocation {}/{}{}",
+            event.invocation,
+            event.total,
+            if event.warmup { " (warmup)" } else { "" }
+        );
+    }) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
-    let options = &cli.options;
+
     println!(
-        "# htsat repro — {} ablation instances available\n",
-        ablation_instances(options.scale).len()
+        "\nhost {} ({} core(s), {}), {} @ {}, scale {}\n",
+        artifact.environment.host,
+        artifact.environment.cores,
+        artifact.environment.os,
+        artifact.environment.toolchain,
+        artifact.environment.git_rev,
+        artifact.environment.scale,
     );
-    match cli.command.as_str() {
-        "table2" => run_table2(options),
-        "fig2" => run_fig2(options, cli.fig2_instances),
-        "fig3-iters" => run_fig3_iters(options),
-        "fig3-mem" => run_fig3_mem(options),
-        "fig4" | "fig4-speedup" | "fig4-ops" | "fig4-transform" => run_fig4(options),
-        "threads" => run_threads(options, &cli.thread_counts),
-        "serve-bench" => run_serve_bench(options),
-        "all" => {
-            run_table2(options);
-            println!();
-            run_fig2(options, cli.fig2_instances);
-            println!();
-            run_fig3_iters(options);
-            println!();
-            run_fig3_mem(options);
-            println!();
-            run_fig4(options);
-        }
-        other => {
-            eprintln!("unknown subcommand `{other}`");
+    println!(
+        "{:<22} {:<14} {:>7} {:>12} {:>12} {:>12} {:>10}",
+        "instance", "engine", "threads", "min (/s)", "median (/s)", "mean (/s)", "ci95 (±)"
+    );
+    for cell in &artifact.cells {
+        println!(
+            "{:<22} {:<14} {:>7} {:>12.1} {:>12.1} {:>12.1} {:>10.1}",
+            cell.key.instance,
+            cell.key.engine,
+            cell.key.threads,
+            cell.summary.min,
+            cell.summary.median,
+            cell.summary.mean,
+            cell.summary.ci95
+        );
+    }
+
+    let path = out.unwrap_or_else(|| PathBuf::from(artifact.file_name()));
+    if let Err(e) = artifact.write_to(&path) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("\nwrote {}", path.display());
+}
+
+fn read_artifact(path: &Path) -> BenchArtifact {
+    match BenchArtifact::read_from(path) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
             std::process::exit(2);
         }
+    }
+}
+
+fn run_bench_diff(old_path: &Path, new_path: &Path, options: &DiffOptions) {
+    println!("== bench-diff: throughput trajectory gate ==\n");
+    let old = read_artifact(old_path);
+    let new = read_artifact(new_path);
+    let report = match diff_artifacts(&old, &new, options) {
+        Ok(report) => report,
+        Err(e @ DiffError::Incompatible(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for mismatch in &report.forced_mismatches {
+        println!("warning: comparing across {mismatch} (forced)");
+    }
+    for key in &report.missing_in_new {
+        println!("warning: cell {key} is in the old artifact only (not compared)");
+    }
+    for key in &report.missing_in_old {
+        println!("warning: cell {key} is in the new artifact only (not compared)");
+    }
+    for key in &report.unmeasurable {
+        println!("warning: cell {key} has a zero median on one side (not compared)");
+    }
+    if !report.forced_mismatches.is_empty()
+        || !report.missing_in_new.is_empty()
+        || !report.missing_in_old.is_empty()
+        || !report.unmeasurable.is_empty()
+    {
+        println!();
+    }
+
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}",
+        "cell", "old (/s)", "new (/s)", "ratio"
+    );
+    for cell in &report.compared {
+        println!(
+            "{:<40} {:>12.1} {:>12.1} {:>7.2}x",
+            cell.key.to_string(),
+            cell.old_median,
+            cell.new_median,
+            cell.ratio
+        );
+    }
+    println!(
+        "\ngeomean ratio: {:.3}x ({}{:.1}% vs old), threshold {:.1}%",
+        report.geomean_ratio,
+        if report.regression_pct() >= 0.0 {
+            "-"
+        } else {
+            "+"
+        },
+        report.regression_pct().abs(),
+        report.threshold_pct
+    );
+    if !report.regressed_cells.is_empty() {
+        println!("cells individually past the threshold:");
+        for cell in &report.regressed_cells {
+            println!(
+                "  {} regressed to {:.2}x ({:.1} -> {:.1} /s)",
+                cell.key, cell.ratio, cell.old_median, cell.new_median
+            );
+        }
+    }
+    if report.passes() {
+        println!("PASS");
+    } else {
+        println!("FAIL: geomean throughput regressed past the threshold");
+        std::process::exit(1);
+    }
+}
+
+fn run_bench_degrade(input: &Path, output: &Path, factor: f64) {
+    let mut artifact = read_artifact(input);
+    for cell in &mut artifact.cells {
+        for sample in &mut cell.samples {
+            sample.throughput *= factor;
+            // Keep the artifact self-consistent: same unique count over a
+            // proportionally longer (or shorter) wall-clock.
+            sample.seconds /= factor;
+        }
+        match cell.recompute_summary() {
+            Ok(summary) => cell.summary = summary,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = artifact.write_to(output) {
+        eprintln!("error: cannot write {}: {e}", output.display());
+        std::process::exit(2);
+    }
+    println!(
+        "wrote {} with every throughput sample scaled by {factor}",
+        output.display()
+    );
+}
+
+fn main() {
+    let command = match cli::parse(std::env::args().skip(1)) {
+        Ok(command) => command,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", cli::usage());
+            std::process::exit(2);
+        }
+    };
+    match &command {
+        Command::Bench { .. } | Command::BenchDiff { .. } | Command::BenchDegrade { .. } => {}
+        _ => {
+            // The figure/table subcommands print the historical header.
+            let scale = match &command {
+                Command::Table2(o)
+                | Command::Fig2(o, _)
+                | Command::Fig3Iters(o)
+                | Command::Fig3Mem(o)
+                | Command::Fig4(o)
+                | Command::Threads(o, _)
+                | Command::ServeBench(o)
+                | Command::All(o, _) => o.scale,
+                _ => unreachable!(),
+            };
+            println!(
+                "# htsat repro — {} ablation instances available\n",
+                ablation_instances(scale).len()
+            );
+        }
+    }
+    match command {
+        Command::Table2(options) => run_table2(&options),
+        Command::Fig2(options, instances) => run_fig2(&options, instances),
+        Command::Fig3Iters(options) => run_fig3_iters(&options),
+        Command::Fig3Mem(options) => run_fig3_mem(&options),
+        Command::Fig4(options) => run_fig4(&options),
+        Command::Threads(options, counts) => run_threads(&options, &counts),
+        Command::ServeBench(options) => run_serve_bench(&options),
+        Command::All(options, instances) => {
+            run_table2(&options);
+            println!();
+            run_fig2(&options, instances);
+            println!();
+            run_fig3_iters(&options);
+            println!();
+            run_fig3_mem(&options);
+            println!();
+            run_fig4(&options);
+        }
+        Command::Bench { config, out } => run_bench_cmd(&config, out),
+        Command::BenchDiff { old, new, options } => run_bench_diff(&old, &new, &options),
+        Command::BenchDegrade {
+            input,
+            output,
+            factor,
+        } => run_bench_degrade(&input, &output, factor),
     }
 }

@@ -1,0 +1,451 @@
+//! The machine-readable bench artifact: `BENCH_<host>_<date>.json`.
+//!
+//! An artifact is the durable record of one harness run: a schema `version`,
+//! the recorded [`Environment`] (so numbers from different machines are
+//! never silently compared), the harness [`BenchSettings`], and one
+//! [`Cell`] per (instance, engine, threads) matrix entry carrying **every
+//! raw per-invocation sample** plus the [`Summary`] computed from them.
+//! Raw samples are the source of truth — `bench-diff` and the tests
+//! recompute summaries from them rather than trusting the stored block.
+//!
+//! Serialization goes through the shared [`htsat_json`] codec, whose object
+//! keys keep insertion order: emit → parse → emit is byte-identical, which
+//! keeps committed reference artifacts diffable and is pinned by a
+//! round-trip test. The schema is versioned; parsing rejects versions this
+//! build does not understand instead of misreading them, and a committed
+//! fixture in `tests/fixtures/` must keep parsing forever.
+
+use super::stats::{summarize, StatsError, Summary};
+use htsat_json::{Json, JsonError};
+use std::fmt;
+use std::path::Path;
+
+/// Schema version this build reads and writes.
+pub const ARTIFACT_VERSION: u64 = 1;
+
+/// The recorded host environment of a run.
+///
+/// Two artifacts are only comparable when `host` and `scale` match —
+/// `bench-diff` refuses otherwise (unless forced). The remaining fields are
+/// provenance: they explain a trajectory step (new toolchain, new commit)
+/// without gating the comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Environment {
+    /// Hostname the run was recorded on.
+    pub host: String,
+    /// Hardware threads available on the host.
+    pub cores: u64,
+    /// Operating system and architecture, e.g. `linux-x86_64`.
+    pub os: String,
+    /// Toolchain that built the harness (`rustc --version`).
+    pub toolchain: String,
+    /// Git revision of the workspace at run time.
+    pub git_rev: String,
+    /// Suite scale the instances were generated at (`small` / `paper`).
+    pub scale: String,
+}
+
+/// The harness settings of a run, recorded so a reader can reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchSettings {
+    /// Timed invocations (full interleaved sweeps of the matrix).
+    pub invocations: u64,
+    /// Warmup invocations executed before timing started.
+    pub warmup: u64,
+    /// Unique-solution target per cell run.
+    pub target: u64,
+    /// Per-run timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// GD batch size.
+    pub batch: u64,
+    /// UTC date of the run (`YYYY-MM-DD`), also embedded in the file name.
+    pub date: String,
+}
+
+/// Identity of one matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Instance name.
+    pub instance: String,
+    /// Engine name (`gd` or a baseline).
+    pub engine: String,
+    /// Worker-thread count.
+    pub threads: u64,
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/t{}", self.instance, self.engine, self.threads)
+    }
+}
+
+/// One timed invocation of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Wall-clock seconds of the run (preparation + sampling).
+    pub seconds: f64,
+    /// Unique solutions obtained.
+    pub unique: u64,
+    /// Unique-solution throughput (solutions / second).
+    pub throughput: f64,
+}
+
+/// One matrix cell: identity, raw samples, and their summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell identity.
+    pub key: CellKey,
+    /// Raw per-invocation samples, in invocation order.
+    pub samples: Vec<Sample>,
+    /// Summary statistics over the throughput samples.
+    pub summary: Summary,
+}
+
+impl Cell {
+    /// Recomputes the summary from the raw throughput samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] for empty or invalid sample sets.
+    pub fn recompute_summary(&self) -> Result<Summary, StatsError> {
+        let throughputs: Vec<f64> = self.samples.iter().map(|s| s.throughput).collect();
+        summarize(&throughputs)
+    }
+}
+
+/// A complete bench artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    /// Schema version ([`ARTIFACT_VERSION`]).
+    pub version: u64,
+    /// Recorded host environment.
+    pub environment: Environment,
+    /// Harness settings of the run.
+    pub settings: BenchSettings,
+    /// One entry per matrix cell, in run order.
+    pub cells: Vec<Cell>,
+}
+
+/// Why an artifact could not be parsed or validated.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// A required field is missing or has the wrong type.
+    Missing(String),
+    /// The document declares a schema version this build does not know.
+    UnsupportedVersion(u64),
+    /// A sample failed validation (NaN / zero duration / negative values).
+    InvalidSample {
+        /// The cell the sample belongs to.
+        cell: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Summary statistics could not be computed.
+    Stats(StatsError),
+    /// The file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ArtifactError::Missing(path) => write!(f, "missing or mistyped field `{path}`"),
+            ArtifactError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported artifact version {v} (this build reads version {ARTIFACT_VERSION})"
+            ),
+            ArtifactError::InvalidSample { cell, reason } => {
+                write!(f, "invalid sample in cell `{cell}`: {reason}")
+            }
+            ArtifactError::Stats(e) => write!(f, "{e}"),
+            ArtifactError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<JsonError> for ArtifactError {
+    fn from(e: JsonError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+impl From<StatsError> for ArtifactError {
+    fn from(e: StatsError) -> Self {
+        ArtifactError::Stats(e)
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+fn get<'a>(obj: &'a Json, path: &str) -> Result<&'a Json, ArtifactError> {
+    let mut value = obj;
+    for key in path.split('.') {
+        value = value
+            .get(key)
+            .ok_or_else(|| ArtifactError::Missing(path.to_string()))?;
+    }
+    Ok(value)
+}
+
+fn get_str(obj: &Json, path: &str) -> Result<String, ArtifactError> {
+    get(obj, path)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ArtifactError::Missing(path.to_string()))
+}
+
+fn get_u64(obj: &Json, path: &str) -> Result<u64, ArtifactError> {
+    get(obj, path)?
+        .as_u64()
+        .ok_or_else(|| ArtifactError::Missing(path.to_string()))
+}
+
+fn get_f64(obj: &Json, path: &str) -> Result<f64, ArtifactError> {
+    get(obj, path)?
+        .as_f64()
+        .ok_or_else(|| ArtifactError::Missing(path.to_string()))
+}
+
+impl BenchArtifact {
+    /// The canonical file name of this artifact: `BENCH_<host>_<date>.json`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!(
+            "BENCH_{}_{}.json",
+            sanitize_component(&self.environment.host),
+            self.settings.date
+        )
+    }
+
+    /// Serializes the artifact to its canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let env = &self.environment;
+        let set = &self.settings;
+        Json::obj(vec![
+            ("version", Json::from(self.version)),
+            (
+                "environment",
+                Json::obj(vec![
+                    ("host", env.host.as_str().into()),
+                    ("cores", env.cores.into()),
+                    ("os", env.os.as_str().into()),
+                    ("toolchain", env.toolchain.as_str().into()),
+                    ("git_rev", env.git_rev.as_str().into()),
+                    ("scale", env.scale.as_str().into()),
+                ]),
+            ),
+            (
+                "settings",
+                Json::obj(vec![
+                    ("invocations", set.invocations.into()),
+                    ("warmup", set.warmup.into()),
+                    ("target", set.target.into()),
+                    ("timeout_ms", set.timeout_ms.into()),
+                    ("batch", set.batch.into()),
+                    ("date", set.date.as_str().into()),
+                ]),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes to the canonical text form (one JSON document plus a
+    /// trailing newline). This is the byte sequence the round-trip test
+    /// pins: `parse(encode(a)).encode() == encode(a)`.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut text = self.to_json().encode();
+        text.push('\n');
+        text
+    }
+
+    /// Parses and validates an artifact document.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] on malformed JSON, missing fields, an unsupported
+    /// schema version, or invalid samples (NaN / non-positive durations /
+    /// negative throughput).
+    pub fn parse(text: &str) -> Result<BenchArtifact, ArtifactError> {
+        let doc = Json::parse(text.trim_end_matches(['\n', '\r']))?;
+        let version = get_u64(&doc, "version")?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let environment = Environment {
+            host: get_str(&doc, "environment.host")?,
+            cores: get_u64(&doc, "environment.cores")?,
+            os: get_str(&doc, "environment.os")?,
+            toolchain: get_str(&doc, "environment.toolchain")?,
+            git_rev: get_str(&doc, "environment.git_rev")?,
+            scale: get_str(&doc, "environment.scale")?,
+        };
+        let settings = BenchSettings {
+            invocations: get_u64(&doc, "settings.invocations")?,
+            warmup: get_u64(&doc, "settings.warmup")?,
+            target: get_u64(&doc, "settings.target")?,
+            timeout_ms: get_u64(&doc, "settings.timeout_ms")?,
+            batch: get_u64(&doc, "settings.batch")?,
+            date: get_str(&doc, "settings.date")?,
+        };
+        let cells = get(&doc, "cells")?
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Missing("cells".to_string()))?
+            .iter()
+            .map(cell_from_json)
+            .collect::<Result<Vec<Cell>, ArtifactError>>()?;
+        Ok(BenchArtifact {
+            version,
+            environment,
+            settings,
+            cells,
+        })
+    }
+
+    /// Writes the canonical text form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, path: &Path) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and parses an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and [`BenchArtifact::parse`] errors.
+    pub fn read_from(path: &Path) -> Result<BenchArtifact, ArtifactError> {
+        let text = std::fs::read_to_string(path)?;
+        BenchArtifact::parse(&text)
+    }
+}
+
+fn cell_to_json(cell: &Cell) -> Json {
+    Json::obj(vec![
+        ("instance", cell.key.instance.as_str().into()),
+        ("engine", cell.key.engine.as_str().into()),
+        ("threads", cell.key.threads.into()),
+        (
+            "samples",
+            Json::Arr(
+                cell.samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("seconds", s.seconds.into()),
+                            ("unique", s.unique.into()),
+                            ("throughput", s.throughput.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "summary",
+            Json::obj(vec![
+                ("samples", Json::from(cell.summary.samples)),
+                ("min", cell.summary.min.into()),
+                ("median", cell.summary.median.into()),
+                ("mean", cell.summary.mean.into()),
+                ("ci95", cell.summary.ci95.into()),
+            ]),
+        ),
+    ])
+}
+
+fn cell_from_json(value: &Json) -> Result<Cell, ArtifactError> {
+    let key = CellKey {
+        instance: get_str(value, "instance")?,
+        engine: get_str(value, "engine")?,
+        threads: get_u64(value, "threads")?,
+    };
+    let samples = get(value, "samples")?
+        .as_arr()
+        .ok_or_else(|| ArtifactError::Missing("cells[].samples".to_string()))?
+        .iter()
+        .map(|s| {
+            let sample = Sample {
+                seconds: get_f64(s, "seconds")?,
+                unique: get_u64(s, "unique")?,
+                throughput: get_f64(s, "throughput")?,
+            };
+            validate_sample(&key, &sample)?;
+            Ok(sample)
+        })
+        .collect::<Result<Vec<Sample>, ArtifactError>>()?;
+    let summary = Summary {
+        samples: get_u64(value, "summary.samples")? as usize,
+        min: get_f64(value, "summary.min")?,
+        median: get_f64(value, "summary.median")?,
+        mean: get_f64(value, "summary.mean")?,
+        ci95: get_f64(value, "summary.ci95")?,
+    };
+    Ok(Cell {
+        key,
+        samples,
+        summary,
+    })
+}
+
+/// Rejects samples no real run can produce: NaN or zero/negative durations
+/// (nothing completes in literally no time — a zero means a broken clock or
+/// a hand-edited file) and NaN/negative throughput.
+fn validate_sample(key: &CellKey, sample: &Sample) -> Result<(), ArtifactError> {
+    if !sample.seconds.is_finite() || sample.seconds <= 0.0 {
+        return Err(ArtifactError::InvalidSample {
+            cell: key.to_string(),
+            reason: format!(
+                "duration {} s is not a positive finite number",
+                sample.seconds
+            ),
+        });
+    }
+    if !sample.throughput.is_finite() || sample.throughput < 0.0 {
+        return Err(ArtifactError::InvalidSample {
+            cell: key.to_string(),
+            reason: format!(
+                "throughput {} /s is not a non-negative finite number",
+                sample.throughput
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Replaces anything outside `[A-Za-z0-9._-]` so the host can be embedded
+/// in a file name.
+#[must_use]
+pub fn sanitize_component(raw: &str) -> String {
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "unknown-host".to_string()
+    } else {
+        cleaned
+    }
+}

@@ -1,0 +1,220 @@
+//! Pairing and regression gating between two bench artifacts.
+//!
+//! `bench-diff` pairs the cells of two artifacts by (instance, engine,
+//! threads), computes the per-cell throughput ratio new/old from the
+//! medians **recomputed from raw samples**, and gates on the geometric mean
+//! of those ratios: a geomean below `1 - threshold%` is a regression and
+//! the CLI exits non-zero. Cells present on only one side are reported —
+//! never silently dropped — because a vanished cell is exactly how a perf
+//! regression hides (the slow configuration stops being measured).
+//!
+//! Artifacts from different hosts or suite scales are refused outright
+//! unless forced: cross-machine throughput comparisons are noise dressed
+//! up as signal, the failure mode the recorded [`super::Environment`]
+//! block exists to prevent.
+
+use super::artifact::{BenchArtifact, CellKey};
+use super::stats::geomean;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Options of a diff run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Maximum tolerated geomean throughput regression, in percent.
+    pub threshold_pct: f64,
+    /// Compare even when the environments are incompatible.
+    pub force: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            threshold_pct: 10.0,
+            force: false,
+        }
+    }
+}
+
+/// One compared cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Cell identity.
+    pub key: CellKey,
+    /// Median throughput in the old artifact (recomputed from raw samples).
+    pub old_median: f64,
+    /// Median throughput in the new artifact (recomputed from raw samples).
+    pub new_median: f64,
+    /// `new_median / old_median`.
+    pub ratio: f64,
+}
+
+/// The outcome of pairing two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Threshold the report was gated against, in percent.
+    pub threshold_pct: f64,
+    /// Environment mismatches that were overridden by `--force` (empty for
+    /// a clean comparison).
+    pub forced_mismatches: Vec<String>,
+    /// Cells present in both artifacts with positive medians, sorted by
+    /// ratio (worst first).
+    pub compared: Vec<CellDiff>,
+    /// Cells of the old artifact absent from the new one.
+    pub missing_in_new: Vec<CellKey>,
+    /// Cells of the new artifact absent from the old one.
+    pub missing_in_old: Vec<CellKey>,
+    /// Cells paired but skipped because a median was zero (no solutions
+    /// within the timeout on at least one side — a ratio would be 0 or ∞).
+    pub unmeasurable: Vec<CellKey>,
+    /// Geometric mean of the compared ratios.
+    pub geomean_ratio: f64,
+    /// Compared cells whose individual ratio is below `1 - threshold%`.
+    pub regressed_cells: Vec<CellDiff>,
+}
+
+impl DiffReport {
+    /// The geomean regression in percent (negative = improvement).
+    #[must_use]
+    pub fn regression_pct(&self) -> f64 {
+        (1.0 - self.geomean_ratio) * 100.0
+    }
+
+    /// Whether the gate passes: the geomean did not regress by more than
+    /// the threshold.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.geomean_ratio >= 1.0 - self.threshold_pct / 100.0
+    }
+}
+
+/// Why two artifacts could not be compared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffError {
+    /// The environments are incompatible (each string names one mismatch);
+    /// pass `--force` to compare anyway.
+    Incompatible(Vec<String>),
+    /// No cell exists in both artifacts with a measurable median.
+    NoComparableCells,
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Incompatible(mismatches) => write!(
+                f,
+                "artifacts are not comparable ({}); rerun with --force to compare anyway",
+                mismatches.join("; ")
+            ),
+            DiffError::NoComparableCells => {
+                write!(f, "no (instance, engine, threads) cell is present and measurable in both artifacts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Environment/settings mismatches that make a comparison dishonest.
+fn mismatches(old: &BenchArtifact, new: &BenchArtifact) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut check = |what: &str, a: &dyn fmt::Display, b: &dyn fmt::Display| {
+        let (a, b) = (a.to_string(), b.to_string());
+        if a != b {
+            out.push(format!("{what}: `{a}` vs `{b}`"));
+        }
+    };
+    check("host", &old.environment.host, &new.environment.host);
+    check("scale", &old.environment.scale, &new.environment.scale);
+    check("target", &old.settings.target, &new.settings.target);
+    check("batch", &old.settings.batch, &new.settings.batch);
+    check(
+        "timeout_ms",
+        &old.settings.timeout_ms,
+        &new.settings.timeout_ms,
+    );
+    out
+}
+
+fn medians(artifact: &BenchArtifact) -> BTreeMap<CellKey, f64> {
+    artifact
+        .cells
+        .iter()
+        .map(|cell| {
+            // Raw samples are the source of truth; a hand-edited summary
+            // block must not be able to sneak a regression past the gate.
+            let median = cell.recompute_summary().map_or(0.0, |s| s.median);
+            (cell.key.clone(), median)
+        })
+        .collect()
+}
+
+/// Pairs two artifacts and gates the throughput trajectory.
+///
+/// # Errors
+///
+/// [`DiffError::Incompatible`] when host/scale/settings differ and `force`
+/// is off; [`DiffError::NoComparableCells`] when the pairing is empty.
+pub fn diff(
+    old: &BenchArtifact,
+    new: &BenchArtifact,
+    options: &DiffOptions,
+) -> Result<DiffReport, DiffError> {
+    let mismatches = mismatches(old, new);
+    if !mismatches.is_empty() && !options.force {
+        return Err(DiffError::Incompatible(mismatches));
+    }
+
+    let old_cells = medians(old);
+    let new_cells = medians(new);
+    let mut compared = Vec::new();
+    let mut unmeasurable = Vec::new();
+    let missing_in_new: Vec<CellKey> = old_cells
+        .keys()
+        .filter(|k| !new_cells.contains_key(*k))
+        .cloned()
+        .collect();
+    let missing_in_old: Vec<CellKey> = new_cells
+        .keys()
+        .filter(|k| !old_cells.contains_key(*k))
+        .cloned()
+        .collect();
+    for (key, old_median) in &old_cells {
+        let Some(new_median) = new_cells.get(key) else {
+            continue;
+        };
+        if *old_median <= 0.0 || *new_median <= 0.0 {
+            unmeasurable.push(key.clone());
+            continue;
+        }
+        compared.push(CellDiff {
+            key: key.clone(),
+            old_median: *old_median,
+            new_median: *new_median,
+            ratio: new_median / old_median,
+        });
+    }
+    if compared.is_empty() {
+        return Err(DiffError::NoComparableCells);
+    }
+    compared.sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("finite ratios"));
+
+    let ratios: Vec<f64> = compared.iter().map(|c| c.ratio).collect();
+    let geomean_ratio = geomean(&ratios).expect("positive finite ratios");
+    let cell_floor = 1.0 - options.threshold_pct / 100.0;
+    let regressed_cells = compared
+        .iter()
+        .filter(|c| c.ratio < cell_floor)
+        .cloned()
+        .collect();
+    Ok(DiffReport {
+        threshold_pct: options.threshold_pct,
+        forced_mismatches: mismatches,
+        compared,
+        missing_in_new,
+        missing_in_old,
+        unmeasurable,
+        geomean_ratio,
+        regressed_cells,
+    })
+}

@@ -1,0 +1,174 @@
+//! The statistics kernel of the bench harness.
+//!
+//! Every summary number in a bench artifact comes from these functions and
+//! nowhere else, so their invariants (permutation independence, behaviour on
+//! degenerate sample sets, refusal of NaN) are pinned by property tests in
+//! `tests/proptest_stats.rs`. The kernel is deliberately tiny: per-cell
+//! samples are at most a few dozen values, so clarity beats asymptotics.
+
+use std::fmt;
+
+/// Why a sample set could not be summarized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The sample set was empty.
+    Empty,
+    /// A sample was NaN, infinite or negative — throughput samples are
+    /// finite and non-negative by construction, so anything else means a
+    /// corrupted artifact, not a slow run.
+    InvalidSample {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// Geometric-mean input contained a non-positive value (`ln` would
+    /// produce NaN / -inf).
+    NonPositive {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "empty sample set"),
+            StatsError::InvalidSample { index } => {
+                write!(f, "sample #{index} is NaN, infinite or negative")
+            }
+            StatsError::NonPositive { index } => {
+                write!(f, "sample #{index} is not positive (geomean is undefined)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Summary statistics of one cell's per-invocation samples.
+///
+/// `ci95` is the half-width of the 95% confidence interval of the mean
+/// under the normal approximation (`1.96 · s / √n`, with `s` the corrected
+/// sample standard deviation). A single sample — or a constant sample set —
+/// has zero half-width; the artifact still records every raw sample, so a
+/// reader who wants bootstrap or t-distribution intervals can recompute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (midpoint average for even counts).
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval of the mean.
+    pub ci95: f64,
+}
+
+fn validate(samples: &[f64]) -> Result<(), StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    for (index, s) in samples.iter().enumerate() {
+        if !s.is_finite() || *s < 0.0 {
+            return Err(StatsError::InvalidSample { index });
+        }
+    }
+    Ok(())
+}
+
+/// Summarizes a sample set: min, median, mean and 95% CI half-width.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] for an empty set, [`StatsError::InvalidSample`] if
+/// any sample is NaN, infinite or negative.
+pub fn summarize(samples: &[f64]) -> Result<Summary, StatsError> {
+    validate(samples)?;
+    let n = samples.len();
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite samples"));
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let ci95 = if n < 2 {
+        0.0
+    } else {
+        let var = sorted.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        1.96 * var.sqrt() / (n as f64).sqrt()
+    };
+    Ok(Summary {
+        samples: n,
+        min: sorted[0],
+        median,
+        mean,
+        ci95,
+    })
+}
+
+/// Geometric mean of a set of positive values.
+///
+/// # Errors
+///
+/// [`StatsError::Empty`] for an empty set, [`StatsError::InvalidSample`]
+/// for NaN/infinite/negative values, [`StatsError::NonPositive`] for zeros
+/// (the logarithm is undefined).
+pub fn geomean(samples: &[f64]) -> Result<f64, StatsError> {
+    validate(samples)?;
+    if let Some(index) = samples.iter().position(|s| *s <= 0.0) {
+        return Err(StatsError::NonPositive { index });
+    }
+    let log_mean = samples.iter().map(|s| s.ln()).sum::<f64>() / samples.len() as f64;
+    Ok(log_mean.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_odd_and_even_medians() {
+        let s = summarize(&[3.0, 1.0, 2.0]).expect("stats");
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean, 2.0);
+        let s = summarize(&[4.0, 1.0, 2.0, 3.0]).expect("stats");
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn single_sample_has_zero_ci() {
+        let s = summarize(&[7.5]).expect("stats");
+        assert_eq!((s.min, s.median, s.mean, s.ci95), (7.5, 7.5, 7.5, 0.0));
+    }
+
+    #[test]
+    fn rejects_nan_and_negative() {
+        assert_eq!(summarize(&[]), Err(StatsError::Empty));
+        assert_eq!(
+            summarize(&[1.0, f64::NAN]),
+            Err(StatsError::InvalidSample { index: 1 })
+        );
+        assert_eq!(
+            summarize(&[-1.0]),
+            Err(StatsError::InvalidSample { index: 0 })
+        );
+        assert_eq!(
+            summarize(&[f64::INFINITY]),
+            Err(StatsError::InvalidSample { index: 0 })
+        );
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[1.0, 4.0]).expect("geomean");
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(
+            geomean(&[1.0, 0.0]),
+            Err(StatsError::NonPositive { index: 1 })
+        );
+    }
+}

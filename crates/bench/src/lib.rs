@@ -16,9 +16,21 @@
 //! Absolute numbers differ from the paper (our "GPU" is a rayon thread pool,
 //! our baselines are re-implementations), but the comparisons the paper draws
 //! — who wins, by how much, and how the trends scale — are reproduced.
+//!
+//! Beyond the figure reproductions, the [`harness`] module is a statistical
+//! bench runner (interleaved invocations, warmup/timing separation,
+//! min/median/mean/CI summaries) that records machine-readable
+//! `BENCH_<host>_<date>.json` perf-trajectory artifacts; `repro bench` runs
+//! it, `repro bench-diff` gates one artifact against another (CI's
+//! regression gate), and `repro bench-degrade` injects synthetic
+//! regressions to prove the gate fires. The [`cli`] module owns `repro`
+//! argument parsing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cli;
+pub mod harness;
 
 use htsat_baselines::engine_by_name;
 use htsat_core::{
@@ -124,7 +136,7 @@ fn gd_config(options: &RunOptions, backend: Backend) -> SamplerConfig {
 
 /// Prepares the paper's sampler as a [`SampleEngine`] with the harness
 /// options (batch size, kernel choice) installed as the session template.
-fn gd_engine(
+pub(crate) fn gd_engine(
     instance: &Instance,
     options: &RunOptions,
     backend: Backend,
@@ -142,7 +154,7 @@ fn gd_engine(
 /// as a one-shot CLI run would pay it). `count_surplus` preserves the
 /// historical counting: the GD rows always included the final round's
 /// surplus beyond the target, the baseline rows stopped exactly at it.
-fn run_engine(
+pub(crate) fn run_engine(
     build: impl FnOnce() -> Result<Box<dyn SampleEngine>, TransformError>,
     label: &'static str,
     options: &RunOptions,

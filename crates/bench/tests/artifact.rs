@@ -1,0 +1,182 @@
+//! Bench-artifact schema tests: byte-identical round trips, schema
+//! stability against a committed fixture, validation of garbage, and the
+//! acceptance gate that a real harness run's summary stats are reproduced
+//! from its own raw samples.
+
+use htsat_bench::harness::{
+    run_bench, summarize, ArtifactError, BenchArtifact, BenchConfig, BenchSettings, Cell, CellKey,
+    Environment, Sample, ARTIFACT_VERSION,
+};
+use htsat_bench::RunOptions;
+use std::time::Duration;
+
+fn sample_artifact() -> BenchArtifact {
+    let make_cell = |instance: &str, engine: &str, throughputs: &[f64]| Cell {
+        key: CellKey {
+            instance: instance.to_string(),
+            engine: engine.to_string(),
+            threads: 1,
+        },
+        samples: throughputs
+            .iter()
+            .enumerate()
+            .map(|(i, &throughput)| Sample {
+                seconds: 0.125 + i as f64 * 0.0625,
+                unique: 30,
+                throughput,
+            })
+            .collect(),
+        summary: summarize(throughputs).expect("valid throughputs"),
+    };
+    BenchArtifact {
+        version: ARTIFACT_VERSION,
+        environment: Environment {
+            host: "test-host".to_string(),
+            cores: 4,
+            os: "linux-x86_64".to_string(),
+            toolchain: "rustc 1.95.0".to_string(),
+            git_rev: "0123456789ab".to_string(),
+            scale: "small".to_string(),
+        },
+        settings: BenchSettings {
+            invocations: 3,
+            warmup: 1,
+            target: 30,
+            timeout_ms: 500,
+            batch: 128,
+            date: "2026-08-07".to_string(),
+        },
+        cells: vec![
+            make_cell("90-10-10-q", "gd", &[47890.5, 48102.25, 46011.75]),
+            make_cell("90-10-10-q", "walksat", &[801.5, 799.25, 805.0]),
+        ],
+    }
+}
+
+#[test]
+fn emit_parse_emit_is_byte_identical() {
+    let artifact = sample_artifact();
+    let first = artifact.encode();
+    let reparsed = BenchArtifact::parse(&first).expect("parse own emission");
+    assert_eq!(reparsed, artifact, "struct round trip");
+    assert_eq!(reparsed.encode(), first, "byte-identical re-emission");
+}
+
+#[test]
+fn file_name_embeds_host_and_date() {
+    let artifact = sample_artifact();
+    assert_eq!(artifact.file_name(), "BENCH_test-host_2026-08-07.json");
+}
+
+#[test]
+fn committed_fixture_parses_forever() {
+    // Schema-stability contract: this fixture file is FROZEN. If this test
+    // fails, a schema change broke compatibility with every artifact ever
+    // recorded — bump ARTIFACT_VERSION and teach `parse` both versions
+    // instead of editing the fixture.
+    let text = include_str!("fixtures/BENCH_schema-v1.json");
+    let artifact = BenchArtifact::parse(text).expect("frozen fixture must keep parsing");
+    assert_eq!(artifact.version, 1);
+    assert!(!artifact.environment.host.is_empty());
+    assert!(!artifact.cells.is_empty());
+    for cell in &artifact.cells {
+        assert_eq!(
+            cell.recompute_summary().expect("fixture samples are valid"),
+            cell.summary,
+            "fixture summary of {} must be reproducible from its raw samples",
+            cell.key
+        );
+    }
+    // And the canonical form is stable: re-encoding the fixture reproduces
+    // its bytes exactly, so artifacts never churn in git.
+    assert_eq!(artifact.encode(), text);
+}
+
+#[test]
+fn unknown_version_is_rejected_not_misread() {
+    let mut doc = sample_artifact().encode();
+    doc = doc.replacen("{\"version\":1,", "{\"version\":2,", 1);
+    match BenchArtifact::parse(&doc) {
+        Err(ArtifactError::UnsupportedVersion(2)) => {}
+        other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_duration_and_negative_throughput_are_rejected() {
+    let mut artifact = sample_artifact();
+    artifact.cells[0].samples[1].seconds = 0.0;
+    match BenchArtifact::parse(&artifact.encode()) {
+        Err(ArtifactError::InvalidSample { cell, reason }) => {
+            assert!(cell.contains("90-10-10-q/gd"), "{cell}");
+            assert!(reason.contains("duration"), "{reason}");
+        }
+        other => panic!("expected InvalidSample, got {other:?}"),
+    }
+
+    let mut artifact = sample_artifact();
+    artifact.cells[1].samples[0].throughput = -1.0;
+    assert!(matches!(
+        BenchArtifact::parse(&artifact.encode()),
+        Err(ArtifactError::InvalidSample { .. })
+    ));
+}
+
+#[test]
+fn missing_fields_are_named() {
+    let err = BenchArtifact::parse("{\"version\":1}").expect_err("incomplete");
+    match err {
+        ArtifactError::Missing(path) => assert!(path.starts_with("environment"), "{path}"),
+        other => panic!("expected Missing, got {other:?}"),
+    }
+    assert!(BenchArtifact::parse("not json").is_err());
+}
+
+/// The acceptance gate: a real `bench` run emits an artifact whose summary
+/// stats are reproduced from its own raw samples, round-tripped through
+/// the codec.
+#[test]
+fn real_bench_run_summary_is_reproduced_from_raw_samples() {
+    let config = BenchConfig {
+        options: RunOptions {
+            target: 5,
+            timeout: Duration::from_millis(300),
+            batch_size: 64,
+            ..RunOptions::default()
+        },
+        invocations: 2,
+        warmup: 1,
+        engines: vec!["gd".into(), "walksat".into()],
+        thread_counts: vec![1],
+        instances: vec!["90-10-10-q".into()],
+    };
+    let artifact = run_bench(&config).expect("quick harness run");
+    let reparsed = BenchArtifact::parse(&artifact.encode()).expect("parse own emission");
+    assert_eq!(reparsed.cells.len(), 2);
+    for cell in &reparsed.cells {
+        assert_eq!(
+            cell.samples.len(),
+            2,
+            "2 timed invocations -> 2 samples in {}",
+            cell.key
+        );
+        assert_eq!(
+            cell.recompute_summary().expect("valid run samples"),
+            cell.summary,
+            "stored summary of {} must equal the one recomputed from raw samples",
+            cell.key
+        );
+        for sample in &cell.samples {
+            assert!(sample.seconds > 0.0 && sample.seconds.is_finite());
+        }
+    }
+    // The environment block is populated, and the file name is canonical.
+    assert!(reparsed.environment.cores >= 1);
+    assert_eq!(reparsed.environment.scale, "small");
+    let name = reparsed.file_name();
+    assert!(
+        name.starts_with("BENCH_") && name.ends_with(".json"),
+        "{name}"
+    );
+    assert!(name.matches('_').count() >= 2, "{name}");
+}

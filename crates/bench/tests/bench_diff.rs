@@ -1,0 +1,378 @@
+//! `bench-diff` gate matrix: improvements pass, regressions past the
+//! threshold fail with the offending cells named, incompatible
+//! environments refuse without `--force`, missing cells are reported
+//! rather than silently dropped, and a tampered summary block cannot
+//! sneak a regression past the gate.
+
+use htsat_bench::harness::{
+    diff_artifacts, summarize, BenchArtifact, BenchSettings, Cell, CellKey, DiffError, DiffOptions,
+    DiffReport, Environment, Sample, ARTIFACT_VERSION,
+};
+
+fn artifact(host: &str, scale: &str, cells: &[(&str, &str, u64, &[f64])]) -> BenchArtifact {
+    BenchArtifact {
+        version: ARTIFACT_VERSION,
+        environment: Environment {
+            host: host.to_string(),
+            cores: 8,
+            os: "linux-x86_64".to_string(),
+            toolchain: "rustc 1.95.0".to_string(),
+            git_rev: "0123456789ab".to_string(),
+            scale: scale.to_string(),
+        },
+        settings: BenchSettings {
+            invocations: 3,
+            warmup: 1,
+            target: 30,
+            timeout_ms: 500,
+            batch: 128,
+            date: "2026-08-07".to_string(),
+        },
+        cells: cells
+            .iter()
+            .map(|&(instance, engine, threads, throughputs)| Cell {
+                key: CellKey {
+                    instance: instance.to_string(),
+                    engine: engine.to_string(),
+                    threads,
+                },
+                samples: throughputs
+                    .iter()
+                    .map(|&throughput| Sample {
+                        seconds: 0.25,
+                        unique: 30,
+                        throughput,
+                    })
+                    .collect(),
+                summary: summarize(throughputs).expect("valid throughputs"),
+            })
+            .collect(),
+    }
+}
+
+fn scaled(base: &BenchArtifact, factor: f64) -> BenchArtifact {
+    let mut out = base.clone();
+    for cell in &mut out.cells {
+        for sample in &mut cell.samples {
+            sample.throughput *= factor;
+            sample.seconds /= factor;
+        }
+        cell.summary = cell.recompute_summary().expect("valid scaled samples");
+    }
+    out
+}
+
+fn baseline() -> BenchArtifact {
+    artifact(
+        "ci-host",
+        "small",
+        &[
+            ("90-10-10-q", "gd", 1, &[48_000.0, 47_500.0, 48_250.0]),
+            ("90-10-10-q", "walksat", 1, &[800.0, 805.0, 795.0]),
+            ("or-50-10-7-UC-10", "gd", 1, &[30_000.0, 29_500.0, 30_500.0]),
+        ],
+    )
+}
+
+#[test]
+fn improvement_passes() {
+    let old = baseline();
+    let new = scaled(&old, 1.15);
+    let report = diff_artifacts(&old, &new, &DiffOptions::default()).expect("compatible");
+    assert!(report.passes());
+    assert!(report.regressed_cells.is_empty());
+    assert!(report.geomean_ratio > 1.1, "{}", report.geomean_ratio);
+    assert!(
+        report.regression_pct() < 0.0,
+        "improvement is negative regression"
+    );
+    assert_eq!(report.compared.len(), 3);
+    assert!(report.forced_mismatches.is_empty());
+    assert!(report.missing_in_new.is_empty() && report.missing_in_old.is_empty());
+}
+
+#[test]
+fn small_noise_within_threshold_passes() {
+    let old = baseline();
+    let new = scaled(&old, 0.95);
+    let report = diff_artifacts(&old, &new, &DiffOptions::default()).expect("compatible");
+    assert!(report.passes(), "5% dip vs 10% threshold must pass");
+}
+
+#[test]
+fn regression_past_threshold_fails_and_names_the_offending_cells() {
+    let old = baseline();
+    let new = scaled(&old, 0.75); // uniform 25% regression
+    let options = DiffOptions {
+        threshold_pct: 20.0,
+        force: false,
+    };
+    let report = diff_artifacts(&old, &new, &options).expect("compatible");
+    assert!(!report.passes());
+    assert!(
+        report.regression_pct() > 20.0,
+        "{}",
+        report.regression_pct()
+    );
+    assert_eq!(
+        report.regressed_cells.len(),
+        3,
+        "every cell regressed past 20%"
+    );
+    let named: Vec<String> = report
+        .regressed_cells
+        .iter()
+        .map(|c| c.key.to_string())
+        .collect();
+    assert!(named.contains(&"90-10-10-q/gd/t1".to_string()), "{named:?}");
+    assert!(
+        named.contains(&"or-50-10-7-UC-10/gd/t1".to_string()),
+        "{named:?}"
+    );
+}
+
+#[test]
+fn one_bad_cell_is_named_even_when_the_geomean_survives() {
+    let old = baseline();
+    let mut new = scaled(&old, 1.0);
+    for sample in &mut new.cells[1].samples {
+        sample.throughput *= 0.5;
+    }
+    new.cells[1].summary = new.cells[1].recompute_summary().expect("valid");
+    let report = diff_artifacts(&old, &new, &DiffOptions::default()).expect("compatible");
+    // Geomean over 3 cells: (1 * 0.5 * 1)^(1/3) ≈ 0.79 → still a failure at
+    // the default 10% threshold, and the culprit is named first (worst-ratio
+    // ordering).
+    assert!(!report.passes());
+    assert_eq!(report.regressed_cells.len(), 1);
+    assert_eq!(report.compared[0].key.to_string(), "90-10-10-q/walksat/t1");
+    assert!((report.compared[0].ratio - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn host_mismatch_refuses_without_force() {
+    let old = baseline();
+    let mut new = scaled(&old, 1.0);
+    new.environment.host = "other-host".to_string();
+    match diff_artifacts(&old, &new, &DiffOptions::default()) {
+        Err(DiffError::Incompatible(mismatches)) => {
+            assert_eq!(mismatches.len(), 1);
+            assert!(mismatches[0].contains("host"), "{mismatches:?}");
+            assert!(mismatches[0].contains("other-host"), "{mismatches:?}");
+        }
+        other => panic!("expected Incompatible, got {other:?}"),
+    }
+    let forced = DiffOptions {
+        force: true,
+        ..DiffOptions::default()
+    };
+    let report = diff_artifacts(&old, &new, &forced).expect("--force compares anyway");
+    assert_eq!(report.forced_mismatches.len(), 1);
+    assert!(report.forced_mismatches[0].contains("host"));
+    assert!(report.passes());
+}
+
+#[test]
+fn scale_and_settings_mismatches_are_each_named() {
+    let old = baseline();
+    let mut new = scaled(&old, 1.0);
+    new.environment.scale = "paper".to_string();
+    new.settings.target = 100;
+    new.settings.timeout_ms = 2000;
+    match diff_artifacts(&old, &new, &DiffOptions::default()) {
+        Err(DiffError::Incompatible(mismatches)) => {
+            let joined = mismatches.join("; ");
+            assert!(joined.contains("scale"), "{joined}");
+            assert!(joined.contains("target"), "{joined}");
+            assert!(joined.contains("timeout_ms"), "{joined}");
+        }
+        other => panic!("expected Incompatible, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_cells_are_reported_not_dropped() {
+    let old = artifact(
+        "ci-host",
+        "small",
+        &[
+            ("90-10-10-q", "gd", 1, &[48_000.0, 47_500.0]),
+            ("90-10-10-q", "walksat", 1, &[800.0, 805.0]),
+        ],
+    );
+    let new = artifact(
+        "ci-host",
+        "small",
+        &[
+            ("90-10-10-q", "gd", 1, &[48_100.0, 47_900.0]),
+            ("Prod-32", "gd", 1, &[120.0, 118.0]),
+        ],
+    );
+    let report = diff_artifacts(&old, &new, &DiffOptions::default()).expect("compatible");
+    assert_eq!(report.compared.len(), 1);
+    assert_eq!(report.missing_in_new.len(), 1);
+    assert_eq!(
+        report.missing_in_new[0].to_string(),
+        "90-10-10-q/walksat/t1"
+    );
+    assert_eq!(report.missing_in_old.len(), 1);
+    assert_eq!(report.missing_in_old[0].to_string(), "Prod-32/gd/t1");
+}
+
+#[test]
+fn zero_median_cells_are_unmeasurable_not_ratioed() {
+    let old = artifact(
+        "ci-host",
+        "small",
+        &[
+            ("90-10-10-q", "gd", 1, &[48_000.0, 47_500.0]),
+            ("Prod-32", "unigen", 1, &[0.0, 0.0]), // timed out both runs
+        ],
+    );
+    let new = scaled(&old, 1.02);
+    let report = diff_artifacts(&old, &new, &DiffOptions::default()).expect("compatible");
+    assert_eq!(report.compared.len(), 1);
+    assert_eq!(report.unmeasurable.len(), 1);
+    assert_eq!(report.unmeasurable[0].to_string(), "Prod-32/unigen/t1");
+    assert!(report.passes());
+}
+
+#[test]
+fn disjoint_artifacts_have_no_comparable_cells() {
+    let old = artifact("ci-host", "small", &[("90-10-10-q", "gd", 1, &[48_000.0])]);
+    let new = artifact("ci-host", "small", &[("Prod-32", "gd", 1, &[120.0])]);
+    assert_eq!(
+        diff_artifacts(&old, &new, &DiffOptions::default()),
+        Err(DiffError::NoComparableCells)
+    );
+}
+
+#[test]
+fn tampered_summary_cannot_hide_a_regression() {
+    let old = baseline();
+    let mut new = scaled(&old, 0.6); // 40% regression in the raw samples
+    for (tampered, original) in new.cells.iter_mut().zip(&old.cells) {
+        // Forge the summary block to claim the old numbers.
+        tampered.summary = original.summary;
+    }
+    let report = diff_artifacts(&old, &new, &DiffOptions::default()).expect("compatible");
+    assert!(
+        !report.passes(),
+        "gate must recompute medians from raw samples, not trust the summary"
+    );
+    assert!(
+        (report.geomean_ratio - 0.6).abs() < 1e-9,
+        "{}",
+        report.geomean_ratio
+    );
+}
+
+#[test]
+fn gate_boundary_is_inclusive() {
+    let report = DiffReport {
+        threshold_pct: 10.0,
+        forced_mismatches: Vec::new(),
+        compared: Vec::new(),
+        missing_in_new: Vec::new(),
+        missing_in_old: Vec::new(),
+        unmeasurable: Vec::new(),
+        geomean_ratio: 0.9,
+        regressed_cells: Vec::new(),
+    };
+    assert!(
+        report.passes(),
+        "a regression of exactly the threshold passes"
+    );
+    let report = DiffReport {
+        geomean_ratio: 0.899,
+        ..report
+    };
+    assert!(!report.passes());
+}
+
+/// End-to-end negative gate through the `repro` binary, exactly as CI runs
+/// it: degrade an artifact by 25%, then `bench-diff` at a 20% threshold
+/// must exit 1.
+#[test]
+fn degraded_artifact_fails_the_cli_gate() {
+    use std::process::Command;
+
+    let dir = std::env::temp_dir().join(format!("htsat-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let old_path = dir.join("old.json");
+    let degraded_path = dir.join("degraded.json");
+    baseline().write_to(&old_path).expect("write baseline");
+
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let degrade = Command::new(repro)
+        .args([
+            "bench-degrade",
+            old_path.to_str().unwrap(),
+            degraded_path.to_str().unwrap(),
+            "--factor",
+            "0.75",
+        ])
+        .output()
+        .expect("run bench-degrade");
+    assert!(
+        degrade.status.success(),
+        "bench-degrade failed: {}",
+        String::from_utf8_lossy(&degrade.stderr)
+    );
+
+    let diff = Command::new(repro)
+        .args([
+            "bench-diff",
+            old_path.to_str().unwrap(),
+            degraded_path.to_str().unwrap(),
+            "--threshold",
+            "20",
+        ])
+        .output()
+        .expect("run bench-diff");
+    assert_eq!(
+        diff.status.code(),
+        Some(1),
+        "25% synthetic regression at a 20% threshold must exit 1\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&diff.stdout),
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&diff.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+
+    // And the same comparison in the improving direction passes with exit 0.
+    let ok = Command::new(repro)
+        .args([
+            "bench-diff",
+            degraded_path.to_str().unwrap(),
+            old_path.to_str().unwrap(),
+            "--threshold",
+            "20",
+        ])
+        .output()
+        .expect("run bench-diff");
+    assert_eq!(ok.status.code(), Some(0), "improvement must exit 0");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Unknown flags on the binary list the valid flags and exit non-zero
+/// (regression test for the old behaviour of silently ignoring them).
+#[test]
+fn unknown_flag_exits_nonzero_and_lists_valid_flags() {
+    use std::process::Command;
+
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let out = Command::new(repro)
+        .args(["bench-diff", "a.json", "b.json", "--bogus"])
+        .output()
+        .expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bogus"), "{stderr}");
+    assert!(
+        stderr.contains("--threshold"),
+        "valid flags listed: {stderr}"
+    );
+    assert!(stderr.contains("--force"), "valid flags listed: {stderr}");
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the harness statistics kernel.
+//!
+//! Every summary number in a bench artifact flows through `summarize` /
+//! `geomean`, so these invariants are what make the perf trajectory
+//! trustworthy: order independence (interleaved invocation order must not
+//! change the stats), sane degenerate cases (one sample, constant samples)
+//! and refusal of garbage (NaN, negative values) instead of quietly
+//! producing a number.
+
+use htsat_bench::harness::{geomean, summarize, StatsError};
+use proptest::prelude::*;
+
+/// Positive finite throughput-like values (0.001 ..= ~4.3M solutions/s).
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        (1u32..u32::MAX).prop_map(|raw| f64::from(raw) / 1000.0),
+        1..24,
+    )
+}
+
+/// Deterministic Fisher–Yates shuffle driven by a SplitMix64 stream.
+fn shuffled(samples: &[f64], seed: u64) -> Vec<f64> {
+    let mut out = samples.to_vec();
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #[test]
+    fn summary_is_permutation_invariant(samples in arb_samples(), seed in any::<u64>()) {
+        let original = summarize(&samples).expect("valid samples");
+        let permuted = summarize(&shuffled(&samples, seed)).expect("valid samples");
+        // min/median/mean/ci are computed over the *sorted* samples, so a
+        // permutation of the input must not change a single bit.
+        prop_assert_eq!(original, permuted);
+    }
+
+    #[test]
+    fn geomean_is_permutation_invariant_up_to_rounding(
+        samples in arb_samples(),
+        seed in any::<u64>(),
+    ) {
+        let original = geomean(&samples).expect("positive samples");
+        let permuted = geomean(&shuffled(&samples, seed)).expect("positive samples");
+        prop_assert!(close(original, permuted), "{original} vs {permuted}");
+    }
+
+    #[test]
+    fn summary_is_bounded_by_the_extremes(samples in arb_samples()) {
+        let s = summarize(&samples).expect("valid samples");
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert_eq!(s.samples, samples.len());
+        prop_assert!(s.min <= s.median && s.median <= max);
+        prop_assert!(s.min <= s.mean && s.mean <= max + 1e-9 * max.abs());
+        prop_assert!(s.ci95 >= 0.0);
+    }
+
+    #[test]
+    fn geomean_sits_between_min_and_max(samples in arb_samples()) {
+        let g = geomean(&samples).expect("positive samples");
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let slack = 1e-9 * max;
+        prop_assert!(g >= min - slack && g <= max + slack, "{min} <= {g} <= {max}");
+    }
+
+    #[test]
+    fn single_sample_summary_is_the_sample_itself(raw in 1u32..u32::MAX) {
+        let value = f64::from(raw) / 1000.0;
+        let s = summarize(&[value]).expect("one valid sample");
+        prop_assert_eq!(s.samples, 1);
+        prop_assert_eq!(s.min, value);
+        prop_assert_eq!(s.median, value);
+        prop_assert_eq!(s.mean, value);
+        prop_assert_eq!(s.ci95, 0.0);
+        let g = geomean(&[value]).expect("one positive sample");
+        prop_assert!(close(g, value), "{g} vs {value}");
+    }
+
+    #[test]
+    fn constant_samples_have_no_spread(raw in 1u32..u32::MAX, n in 2usize..16) {
+        let value = f64::from(raw) / 1000.0;
+        let samples = vec![value; n];
+        let s = summarize(&samples).expect("constant samples");
+        prop_assert_eq!(s.min, value);
+        prop_assert_eq!(s.median, value);
+        // The mean of n copies can pick up one ulp of rounding from the
+        // running sum; the CI half-width must stay at that noise level.
+        prop_assert!(close(s.mean, value), "{} vs {value}", s.mean);
+        prop_assert!(s.ci95 <= 1e-9 * value.max(1.0), "ci95 {}", s.ci95);
+    }
+
+    #[test]
+    fn scaling_samples_scales_the_summary(samples in arb_samples(), factor_raw in 1u32..4_000) {
+        let factor = f64::from(factor_raw) / 100.0; // 0.01 ..= 40.0
+        let scaled: Vec<f64> = samples.iter().map(|s| s * factor).collect();
+        let a = summarize(&samples).expect("valid");
+        let b = summarize(&scaled).expect("valid");
+        prop_assert!(close(a.min * factor, b.min));
+        prop_assert!(close(a.median * factor, b.median));
+        prop_assert!(close(a.mean * factor, b.mean));
+        prop_assert!(close(a.ci95 * factor, b.ci95));
+    }
+
+    #[test]
+    fn nan_is_rejected_wherever_it_hides(samples in arb_samples(), at in any::<usize>()) {
+        let mut poisoned = samples.clone();
+        let index = at % poisoned.len();
+        poisoned[index] = f64::NAN;
+        prop_assert_eq!(summarize(&poisoned), Err(StatsError::InvalidSample { index }));
+        prop_assert_eq!(geomean(&poisoned), Err(StatsError::InvalidSample { index }));
+    }
+
+    #[test]
+    fn negative_and_infinite_samples_are_rejected(samples in arb_samples(), at in any::<usize>()) {
+        let index = at % samples.len();
+        let mut negative = samples.clone();
+        negative[index] = -negative[index];
+        prop_assert_eq!(summarize(&negative), Err(StatsError::InvalidSample { index }));
+        let mut infinite = samples.clone();
+        infinite[index] = f64::INFINITY;
+        prop_assert_eq!(summarize(&infinite), Err(StatsError::InvalidSample { index }));
+    }
+
+    #[test]
+    fn zero_throughput_is_summarizable_but_has_no_geomean(samples in arb_samples(), at in any::<usize>()) {
+        // A cell that found nothing within the timeout is a legitimate
+        // *summary* (zero throughput) but an illegitimate *ratio* input.
+        let mut with_zero = samples.clone();
+        let index = at % with_zero.len();
+        with_zero[index] = 0.0;
+        let s = summarize(&with_zero).expect("zero is a valid sample");
+        prop_assert_eq!(s.min, 0.0);
+        prop_assert_eq!(geomean(&with_zero), Err(StatsError::NonPositive { index }));
+    }
+}
+
+#[test]
+fn empty_sample_sets_are_rejected() {
+    assert_eq!(summarize(&[]), Err(StatsError::Empty));
+    assert_eq!(geomean(&[]), Err(StatsError::Empty));
+}

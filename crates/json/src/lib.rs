@@ -1,17 +1,30 @@
-//! A minimal hand-rolled JSON codec.
+//! # htsat-json
 //!
-//! The serving crate is deliberately std-only, so instead of serde this
-//! module implements the small JSON subset the wire protocol needs: objects,
-//! arrays, strings (with full escape handling including `\uXXXX` and
-//! surrogate pairs), numbers, booleans and null. Object keys keep insertion
-//! order, so encoded messages are deterministic — the same reply always
-//! serializes to the same bytes, which keeps golden tests and on-the-wire
-//! diffs honest.
+//! A minimal hand-rolled JSON codec shared by the workspace.
+//!
+//! The workspace is deliberately std-only, so instead of serde this crate
+//! implements the small JSON subset its consumers need: objects, arrays,
+//! strings (with full escape handling including `\uXXXX` and surrogate
+//! pairs), numbers, booleans and null. Object keys keep insertion order, so
+//! encoded documents are deterministic — the same value always serializes
+//! to the same bytes, which keeps golden tests, on-the-wire diffs and the
+//! bench-artifact round-trip honest.
+//!
+//! Two consumers drive the design:
+//!
+//! * `htsat-serve` — the newline-delimited JSON wire protocol (this codec
+//!   started life as its `json` module and is re-exported there unchanged),
+//! * `htsat-bench` — the `BENCH_<host>_<date>.json` perf-trajectory
+//!   artifacts, whose emit → parse → emit round trip must be byte-identical
+//!   so committed reference artifacts diff cleanly.
 //!
 //! Parsing is strict where it matters for a network daemon (no trailing
 //! garbage, depth-limited recursion so a hostile peer cannot overflow the
 //! stack) and lenient where JSON itself is (any amount of whitespace between
 //! tokens).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt;
 

@@ -26,6 +26,9 @@
 //!   generator that produces batches ("rounds") of items becomes an
 //!   `Iterator` with incremental deduplication, deadline handling,
 //!   cancellation and progress statistics.
+//! * [`Stopwatch`] / [`measure`] — monotonic timing helpers for measurement
+//!   code (the bench harness's warmup/timed phase separation is built on
+//!   them).
 //!
 //! Determinism is a design constraint, not an accident: the executor
 //! preserves index order in [`Executor::map_indices`], and
@@ -49,11 +52,13 @@ mod executor;
 mod pool;
 mod stop;
 mod stream;
+mod timing;
 
 pub use executor::{Executor, SequentialExecutor};
 pub use pool::ThreadPool;
 pub use stop::{StopSet, StopToken};
 pub use stream::{unique_throughput, RoundSource, SampleStream, StreamStats, MIN_MEASURABLE_TICK};
+pub use timing::{measure, Stopwatch};
 
 /// Mixes a base seed and a stream index into an independent RNG seed.
 ///

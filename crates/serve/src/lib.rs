@@ -13,7 +13,8 @@
 //!
 //! The moving parts:
 //!
-//! * [`json`] — the minimal JSON codec.
+//! * [`json`] — the minimal JSON codec (the shared `htsat-json` crate,
+//!   re-exported under its historical module path).
 //! * [`proto`] — the request/response message shapes and the protocol
 //!   grammar (`LOAD`, `SAMPLE`, `STATUS`, `EVICT`, `SHUTDOWN`), including
 //!   the per-request `engine` selector.
@@ -62,7 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
-pub mod json;
+pub use htsat_json as json;
 pub mod proto;
 pub mod registry;
 pub mod server;
