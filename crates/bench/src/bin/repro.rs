@@ -22,6 +22,12 @@
 //! unless the daemon's `SAMPLE` reproduces the in-process stream
 //! bit-for-bit at 1 and 8 threads — the CI loopback end-to-end gate.
 //!
+//! `stats` connects to a *running* daemon, fetches its metrics snapshot
+//! over the `STATS` wire verb and pretty-prints it; `--reset` zeroes the
+//! daemon's counters and histograms after reading, and `--exercise` first
+//! drives a LOAD + SAMPLE + induced error against the daemon and exits
+//! non-zero unless the key counters moved — CI's observability gate.
+//!
 //! `bench` runs the statistical harness (interleaved invocations, warmup
 //! separation, min/median/mean/CI per cell) and emits a
 //! `BENCH_<host>_<date>.json` perf-trajectory artifact. `bench-diff` pairs
@@ -308,6 +314,123 @@ fn run_bench_diff(old_path: &Path, new_path: &Path, options: &DiffOptions) {
     }
 }
 
+/// Drives one LOAD, one SAMPLE and one deliberately failing SAMPLE against
+/// the daemon, so a subsequent snapshot provably has moving counters.
+fn exercise_daemon(client: &mut htsat_serve::Client) {
+    use htsat_serve::proto::SampleParams;
+    let instance = htsat_instances::families::or_chain("stats-exercise", 16, 2, 0x0B5);
+    let dimacs_text = htsat_cnf::dimacs::to_string(&instance.cnf);
+    let load = match client.load_dimacs(Some("stats-exercise"), &dimacs_text) {
+        Ok(load) => load,
+        Err(e) => {
+            eprintln!("error: exercise LOAD failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = client.sample(&SampleParams {
+        n: 5,
+        seed: 7,
+        ..SampleParams::new(load.fingerprint)
+    }) {
+        eprintln!("error: exercise SAMPLE failed: {e}");
+        std::process::exit(2);
+    }
+    // An induced NOT_LOADED error: a fingerprint nothing was loaded under.
+    let missing =
+        htsat_cnf::Fingerprint::of(&htsat_instances::families::or_chain("absent", 8, 2, 1).cnf);
+    match client.sample(&SampleParams::new(missing)) {
+        Err(htsat_serve::ClientError::Server(_)) => {}
+        Ok(_) => {
+            eprintln!("error: exercise expected a server error for an unloaded fingerprint");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: exercise error probe failed at the transport: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_stats(addr: &str, reset: bool, exercise: bool) {
+    let mut client = match htsat_serve::Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if exercise {
+        exercise_daemon(&mut client);
+    }
+    let snapshot = match if reset {
+        client.stats_reset()
+    } else {
+        client.stats()
+    } {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("error: STATS failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "== stats: {addr} (schema {}{}) ==\n",
+        htsat_obs::SNAPSHOT_SCHEMA,
+        if reset { ", counters reset" } else { "" }
+    );
+    println!("counters:");
+    for (name, value) in &snapshot.counters {
+        println!("  {name:<40} {value:>14}");
+    }
+    println!("\ngauges:");
+    for (name, value) in &snapshot.gauges {
+        println!("  {name:<40} {value:>14}");
+    }
+    println!("\nhistograms (span durations in ns):");
+    println!(
+        "  {:<40} {:>10} {:>12} {:>12} {:>12}",
+        "name", "count", "mean", "p50<=", "p99<="
+    );
+    for (name, hist) in &snapshot.histograms {
+        println!(
+            "  {:<40} {:>10} {:>12} {:>12} {:>12}",
+            name,
+            hist.count,
+            hist.mean(),
+            hist.quantile_upper_bound(0.5),
+            hist.quantile_upper_bound(0.99)
+        );
+    }
+
+    if exercise {
+        // The CI observability gate: the traffic just driven must be
+        // visible in the snapshot that came back over the wire.
+        let expect_counter = |name: &str| {
+            if snapshot.counter(name).unwrap_or(0) == 0 {
+                eprintln!("error: exercised daemon reports zero `{name}`");
+                std::process::exit(1);
+            }
+        };
+        for name in [
+            "serve.requests.load",
+            "serve.requests.sample",
+            "serve.errors.not-loaded",
+            "serve.registry.compiles",
+            "engine.sessions",
+            "engine.samples",
+            "runtime.regions",
+        ] {
+            expect_counter(name);
+        }
+        if snapshot.histogram("serve.request").map_or(0, |h| h.count) == 0 {
+            eprintln!("error: exercised daemon reports an empty `serve.request` span");
+            std::process::exit(1);
+        }
+        println!("\nexercise: OK (load/sample/error counters all moved)");
+    }
+}
+
 fn run_bench_degrade(input: &Path, output: &Path, factor: f64) {
     let mut artifact = read_artifact(input);
     for cell in &mut artifact.cells {
@@ -345,7 +468,10 @@ fn main() {
         }
     };
     match &command {
-        Command::Bench { .. } | Command::BenchDiff { .. } | Command::BenchDegrade { .. } => {}
+        Command::Bench { .. }
+        | Command::BenchDiff { .. }
+        | Command::BenchDegrade { .. }
+        | Command::Stats { .. } => {}
         _ => {
             // The figure/table subcommands print the historical header.
             let scale = match &command {
@@ -386,6 +512,11 @@ fn main() {
         }
         Command::Bench { config, out } => run_bench_cmd(&config, out),
         Command::BenchDiff { old, new, options } => run_bench_diff(&old, &new, &options),
+        Command::Stats {
+            addr,
+            reset,
+            exercise,
+        } => run_stats(&addr, reset, exercise),
         Command::BenchDegrade {
             input,
             output,

@@ -51,6 +51,17 @@ pub enum Command {
         /// Threshold / force options.
         options: DiffOptions,
     },
+    /// `stats --addr HOST:PORT` — fetch and pretty-print a running
+    /// daemon's metrics snapshot over the `STATS` wire verb.
+    Stats {
+        /// Daemon address to connect to.
+        addr: String,
+        /// Reset counters and histograms after reading (`STATS reset`).
+        reset: bool,
+        /// Drive a LOAD + SAMPLE + induced error against the daemon first,
+        /// then assert the key counters moved — CI's observability gate.
+        exercise: bool,
+    },
     /// `bench-degrade <in> <out> --factor F` — scales every throughput
     /// sample; CI's negative gate uses it to prove `bench-diff` catches an
     /// injected regression.
@@ -80,6 +91,7 @@ const SUBCOMMANDS: &[(&str, &[&str])] = &[
     ("bench", BENCH_FLAGS),
     ("bench-diff", DIFF_FLAGS),
     ("bench-degrade", DEGRADE_FLAGS),
+    ("stats", STATS_FLAGS),
 ];
 
 const RUN_FLAGS: &[&str] = &[
@@ -126,6 +138,7 @@ const BENCH_FLAGS: &[&str] = &[
 ];
 const DIFF_FLAGS: &[&str] = &["--threshold", "--force"];
 const DEGRADE_FLAGS: &[&str] = &["--factor"];
+const STATS_FLAGS: &[&str] = &["--addr", "--reset", "--exercise"];
 
 /// One line listing every subcommand, for error messages and `--help`-style
 /// usage output.
@@ -133,7 +146,7 @@ const DEGRADE_FLAGS: &[&str] = &["--factor"];
 pub fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(name, _)| *name).collect();
     format!(
-        "usage: repro <{}> [flags...]\n  run flags: {}\n  bench flags: {}\n  bench-diff: repro bench-diff <old.json> <new.json> [--threshold PCT] [--force]\n  bench-degrade: repro bench-degrade <in.json> <out.json> --factor F",
+        "usage: repro <{}> [flags...]\n  run flags: {}\n  bench flags: {}\n  bench-diff: repro bench-diff <old.json> <new.json> [--threshold PCT] [--force]\n  bench-degrade: repro bench-degrade <in.json> <out.json> --factor F\n  stats: repro stats --addr HOST:PORT [--reset] [--exercise]",
         names.join("|"),
         RUN_FLAGS.join(" "),
         BENCH_FLAGS.join(" ")
@@ -179,6 +192,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
     let mut out: Option<PathBuf> = None;
     let mut diff_options = DiffOptions::default();
     let mut factor: Option<f64> = None;
+    let mut addr: Option<String> = None;
+    let mut stats_reset = false;
+    let mut exercise = false;
     let mut positionals: Vec<String> = Vec::new();
     // `bench` leaves scale/target/timeout/batch at the profile's values
     // (standard or --quick) unless explicitly overridden.
@@ -214,6 +230,14 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
             }
             "--force" => {
                 diff_options.force = true;
+                continue;
+            }
+            "--reset" => {
+                stats_reset = true;
+                continue;
+            }
+            "--exercise" => {
+                exercise = true;
                 continue;
             }
             _ => {}
@@ -309,6 +333,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
                     return Err(format!("invalid --threshold: `{pct}` must be >= 0"));
                 }
                 diff_options.threshold_pct = pct;
+            }
+            "--addr" => {
+                addr = Some(value);
             }
             "--factor" => {
                 let f: f64 = value
@@ -409,6 +436,14 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
                 old: PathBuf::from(&positionals[0]),
                 new: PathBuf::from(&positionals[1]),
                 options: diff_options,
+            })
+        }
+        "stats" => {
+            expect_positionals(0, "")?;
+            Ok(Command::Stats {
+                addr: addr.ok_or("stats requires --addr HOST:PORT")?,
+                reset: stats_reset,
+                exercise,
             })
         }
         "bench-degrade" => {
@@ -531,6 +566,33 @@ mod tests {
             parse_str("bench-degrade a.json b.json --factor 0.75"),
             Ok(Command::BenchDegrade { factor, .. }) if (factor - 0.75).abs() < 1e-12
         ));
+    }
+
+    #[test]
+    fn stats_requires_addr_and_takes_its_two_switches() {
+        let err = parse_str("stats").unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        assert!(matches!(
+            parse_str("stats --addr 127.0.0.1:7878"),
+            Ok(Command::Stats {
+                reset: false,
+                exercise: false,
+                ..
+            })
+        ));
+        let Command::Stats {
+            addr,
+            reset,
+            exercise,
+        } = parse_str("stats --addr 127.0.0.1:7878 --reset --exercise").expect("parse")
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(addr, "127.0.0.1:7878");
+        assert!(reset && exercise);
+        // Its flags stay scoped to it.
+        let err = parse_str("table2 --addr x").unwrap_err();
+        assert!(err.contains("`table2` does not accept `--addr`"), "{err}");
     }
 
     #[test]

@@ -123,7 +123,15 @@ pub trait SampleEngine: Send + Sync {
     ///
     /// Propagates [`SampleEngine::session`] errors.
     fn stream(&self, config: &SessionConfig) -> Result<EngineStream, TransformError> {
-        Ok(SampleStream::new(self.session(config)?))
+        let session = self.session(config)?;
+        // Session minting is the engine-session entry point: count it both
+        // in total and per engine. Round/sample/dedup totals are recorded by
+        // the stream itself when it drops (`engine.*` counters).
+        htsat_obs::counter!("engine.sessions").inc();
+        htsat_obs::global()
+            .counter(&format!("engine.sessions.{}", self.name()))
+            .inc();
+        Ok(SampleStream::new(session))
     }
 
     /// The blocking convenience wrapper over [`SampleEngine::stream`]:

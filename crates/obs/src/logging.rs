@@ -1,0 +1,236 @@
+//! A tiny leveled logger for daemon diagnostics.
+//!
+//! Replaces ad-hoc `eprintln!` calls with timestamped, filtered lines:
+//!
+//! ```text
+//! 2026-08-07T12:34:56.789Z  INFO listening on 127.0.0.1:7878
+//! ```
+//!
+//! The filter comes from the `HTSAT_LOG` environment variable
+//! (`error|warn|info|debug`, default `info`), read once per process;
+//! [`set_max_level`] overrides it programmatically. Each record is
+//! formatted into a single buffer and written to stderr with one locked
+//! `write_all`, so lines from concurrent sessions never interleave
+//! mid-line. Disabled levels cost one relaxed atomic load — the message is
+//! never formatted.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what it was asked to.
+    Error,
+    /// Something went wrong but was handled (e.g. a bad request).
+    Warn,
+    /// Lifecycle events worth one line each (default level).
+    Info,
+    /// Per-connection / per-request tracing.
+    Debug,
+}
+
+impl Level {
+    /// Fixed-width upper-case tag used in log lines.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => " WARN",
+            Level::Info => " INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn from_index(index: usize) -> Level {
+        match index {
+            0 => Level::Error,
+            1 => Level::Warn,
+            3 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    /// Parses an `HTSAT_LOG` value (case-insensitive). `None` for unknown
+    /// values, which callers treat as the default.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+// Stored as `level as usize + 1`, with 0 meaning "not yet initialized from
+// the environment" so the first check pays the env read and later checks
+// are one relaxed load.
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(0);
+
+fn init_from_env() -> usize {
+    let level = std::env::var("HTSAT_LOG")
+        .ok()
+        .as_deref()
+        .and_then(Level::parse)
+        .unwrap_or(Level::Info);
+    let encoded = level as usize + 1;
+    // Racing initializers compute the same value; last store wins harmlessly.
+    MAX_LEVEL.store(encoded, Ordering::Relaxed);
+    encoded
+}
+
+/// The most verbose level currently emitted.
+#[must_use]
+pub fn max_level() -> Level {
+    let mut encoded = MAX_LEVEL.load(Ordering::Relaxed);
+    if encoded == 0 {
+        encoded = init_from_env();
+    }
+    Level::from_index(encoded - 1)
+}
+
+/// Overrides the `HTSAT_LOG` filter for this process.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as usize + 1, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted. The logging macros check
+/// this before formatting.
+#[must_use]
+pub fn log_enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Formats and writes one log record. Use the [`error!`](crate::error),
+/// [`warn!`](crate::warn), [`info!`](crate::info), or
+/// [`debug!`](crate::debug) macros instead of calling this directly.
+pub fn write_log(level: Level, args: std::fmt::Arguments<'_>) {
+    let mut line = String::with_capacity(64);
+    format_timestamp(&mut line);
+    let _ = writeln!(line, " {} {args}", level.as_str());
+    // One locked write per record: concurrent sessions cannot interleave
+    // mid-line. Logging failures are swallowed — there is nowhere to report
+    // them.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Appends a UTC `YYYY-MM-DDTHH:MM:SS.mmmZ` timestamp for "now".
+fn format_timestamp(out: &mut String) {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let secs = now.as_secs();
+    let (year, month, day) = civil_from_days((secs / 86_400) as i64);
+    let rem = secs % 86_400;
+    let _ = write!(
+        out,
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{:03}Z",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60,
+        now.subsec_millis()
+    );
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {{
+        if $crate::log_enabled($crate::Level::Error) {
+            $crate::write_log($crate::Level::Error, ::core::format_args!($($arg)*));
+        }
+    }};
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {{
+        if $crate::log_enabled($crate::Level::Warn) {
+            $crate::write_log($crate::Level::Warn, ::core::format_args!($($arg)*));
+        }
+    }};
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {{
+        if $crate::log_enabled($crate::Level::Info) {
+            $crate::write_log($crate::Level::Info, ::core::format_args!($($arg)*));
+        }
+    }};
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {{
+        if $crate::log_enabled($crate::Level::Debug) {
+            $crate::write_log($crate::Level::Debug, ::core::format_args!($($arg)*));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("trace"), None);
+    }
+
+    #[test]
+    fn filter_gates_levels() {
+        set_max_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_max_level(Level::Debug);
+        assert!(log_enabled(Level::Debug));
+        set_max_level(Level::Info);
+    }
+
+    #[test]
+    fn timestamp_shape_is_iso8601() {
+        let mut s = String::new();
+        format_timestamp(&mut s);
+        assert_eq!(s.len(), 24, "{s}");
+        assert_eq!(&s[4..5], "-");
+        assert_eq!(&s[10..11], "T");
+        assert!(s.ends_with('Z'), "{s}");
+    }
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_088), (2024, 12, 31));
+    }
+}

@@ -1,0 +1,481 @@
+//! The process-wide metrics registry: lock-free counters, gauges, and
+//! fixed-bucket log-scale histograms.
+//!
+//! # Design
+//!
+//! Metrics are registered **by name** the first time a call site asks for
+//! them; registration takes a mutex and allocates, but returns a shared
+//! handle ([`Arc`]) whose update operations are single relaxed atomic
+//! instructions — no locks, no allocation, safe inside the sampler round
+//! loop. The [`counter!`], [`gauge!`], and [`histogram!`] macros cache the
+//! handle in a per-call-site `OnceLock`, so the steady-state cost of
+//! `counter!("x").inc()` is one atomic load plus one atomic add.
+//!
+//! Snapshots ([`Registry::snapshot`]) walk the registry under the lock and
+//! read every atomic once (relaxed); the result is deterministic because the
+//! maps are ordered by name, not by registration order. [`Registry::reset`]
+//! zeroes counters and histograms but leaves gauges alone — gauges are
+//! *levels* (in-flight connections, resident engines), not totals, and
+//! resetting them would desynchronize them from the state they mirror.
+//!
+//! Relaxed ordering is deliberate: metrics are observer-only and never used
+//! for synchronization, so the cheapest ordering is the correct one.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero (for instance registries; prefer
+    /// [`Registry::counter`] or the [`counter!`](crate::counter) macro).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed level that can move both ways (in-flight requests, resident
+/// entries). Unlike counters, gauges survive [`Registry::reset`].
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero (for instance registries; prefer
+    /// [`Registry::gauge`] or the [`gauge!`](crate::gauge) macro).
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in every [`Histogram`]: one per power of two of the
+/// recorded value, so bucket `i` covers `[2^i, 2^(i+1))` (bucket 0 also
+/// absorbs zero). 64 buckets cover the full `u64` range — for latencies in
+/// nanoseconds that spans sub-nanosecond to ~584 years.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log-scale histogram (power-of-two buckets).
+///
+/// Recording is three relaxed atomic adds and never allocates. The bucket
+/// layout is fixed at compile time, so histograms from different processes
+/// or runs are always comparable bucket-for-bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (for instance registries; prefer
+    /// [`Registry::histogram`] or the [`histogram!`](crate::histogram) macro).
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a value lands in: `floor(log2(value))`, with 0 and 1
+    /// both landing in bucket 0. A value exactly on a bucket's lower edge
+    /// (`2^i`) lands in bucket `i`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value < 2 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The `[lower, upper)` value range of bucket `i` (the last bucket is
+    /// closed at `u64::MAX`).
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        let lower = if index == 0 { 0 } else { 1u64 << index };
+        let upper = if index >= 63 {
+            u64::MAX
+        } else {
+            1u64 << (index + 1)
+        };
+        (lower, upper)
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of metrics.
+///
+/// Most code uses the process-wide [`global`] registry through the macros;
+/// instance registries exist so unit tests can exercise registration and
+/// snapshotting in isolation.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. The same name always returns the same underlying counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(c) = inner.counters.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        inner.counters.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(g) = inner.gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        inner.gauges.insert(name.to_owned(), Arc::clone(&g));
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(h) = inner.histograms.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        inner.histograms.insert(name.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Reads every metric once (relaxed) into a deterministic, name-ordered
+    /// [`Snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes all counters and histograms; gauges keep their levels.
+    ///
+    /// Best-effort under concurrency: increments racing the reset land on
+    /// either side of it, which is acceptable for observer-only telemetry.
+    pub fn reset(&self) {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry every macro records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Returns a `&'static Counter` from the [`global`] registry, registering it
+/// on first use and caching the handle per call site.
+///
+/// ```
+/// htsat_obs::counter!("example.requests").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**SLOT.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Returns a `&'static Gauge` from the [`global`] registry, registering it
+/// on first use and caching the handle per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**SLOT.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Returns a `&'static Histogram` from the [`global`] registry, registering
+/// it on first use and caching the handle per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**SLOT.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_survives_reset() {
+        let reg = Registry::new();
+        let g = reg.gauge("level");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        reg.counter("total").add(9);
+        reg.reset();
+        assert_eq!(g.get(), 1, "gauges are levels, reset must not zero them");
+        assert_eq!(reg.counter("total").get(), 0);
+    }
+
+    #[test]
+    fn bucket_index_hits_exact_edges() {
+        // Lower edges land in their own bucket; one below lands one lower.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        for i in 1..HISTOGRAM_BUCKETS {
+            let (lower, upper) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lower), i, "lower edge of {i}");
+            assert_eq!(
+                Histogram::bucket_index(lower - 1),
+                i - 1,
+                "below lower edge of {i}"
+            );
+            if i < 63 {
+                assert_eq!(Histogram::bucket_index(upper - 1), i, "top of bucket {i}");
+                assert_eq!(Histogram::bucket_index(upper), i + 1, "upper edge of {i}");
+            }
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_range() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 2));
+        assert_eq!(Histogram::bucket_bounds(1), (2, 4));
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let (_, upper) = Histogram::bucket_bounds(i);
+            let (next_lower, _) = Histogram::bucket_bounds(i + 1);
+            assert_eq!(upper, next_lower, "buckets {i} and {} must abut", i + 1);
+        }
+        assert_eq!(Histogram::bucket_bounds(63).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_count_sum_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(1024);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1027);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(0, 2), (1, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn concurrent_hammer_totals_are_exact() {
+        const THREADS: usize = 8;
+        const INCREMENTS: u64 = 10_000;
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let reg = &reg;
+                scope.spawn(move || {
+                    let c = reg.counter("hammer.counter");
+                    let g = reg.gauge("hammer.gauge");
+                    let h = reg.histogram("hammer.hist");
+                    for i in 0..INCREMENTS {
+                        c.inc();
+                        g.add(if t % 2 == 0 { 1 } else { -1 });
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reg.counter("hammer.counter").get(),
+            THREADS as u64 * INCREMENTS
+        );
+        // Equal numbers of +1 and -1 writers cancel exactly.
+        assert_eq!(reg.gauge("hammer.gauge").get(), 0);
+        let h = reg.histogram("hammer.hist").snapshot();
+        assert_eq!(h.count, THREADS as u64 * INCREMENTS);
+        assert_eq!(
+            h.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+            THREADS as u64 * INCREMENTS
+        );
+    }
+
+    #[test]
+    fn global_macros_share_one_registry() {
+        crate::counter!("metrics.test.macro").add(2);
+        crate::counter!("metrics.test.macro").inc();
+        assert!(global().counter("metrics.test.macro").get() >= 3);
+        crate::gauge!("metrics.test.gauge").set(7);
+        assert_eq!(global().gauge("metrics.test.gauge").get(), 7);
+        crate::histogram!("metrics.test.hist").record(5);
+        assert!(global().histogram("metrics.test.hist").count() >= 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Point-in-time metric snapshots and their schema-versioned JSON form.
+//!
+//! A [`Snapshot`] is what travels over the wire for the `STATS` verb and
+//! what the periodic `--log-stats` line emits. The encoding is
+//! deterministic: sections appear in a fixed order, metrics are sorted by
+//! name (the registry hands them over from ordered maps), and histogram
+//! buckets are emitted sparsely as ascending `[index, count]` pairs. The
+//! top-level `schema` field freezes the layout; parsers reject snapshots
+//! from a different schema generation instead of misreading them.
+
+use htsat_json::Json;
+
+use crate::metrics::Histogram;
+
+/// Schema tag carried by every encoded snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "htsat-stats-v1";
+
+/// The state of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds for span histograms).
+    pub sum: u64,
+    /// Sparse non-empty buckets as ascending `(bucket_index, count)` pairs;
+    /// bucket `i` covers values in `[2^i, 2^(i+1))`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An upper bound for the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// values: the exclusive upper edge of the bucket in which the
+    /// cumulative count crosses `q * count`. Zero when empty.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_bounds(index).1;
+            }
+        }
+        self.buckets
+            .last()
+            .map_or(0, |&(index, _)| Histogram::bucket_bounds(index).1)
+    }
+
+    /// Mean of the recorded values (exact, from `sum / count`). Zero when
+    /// empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Num(self.count as f64)),
+            ("sum", Json::Num(self.sum as f64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(index, n)| {
+                            Json::Arr(vec![Json::Num(index as f64), Json::Num(n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<HistogramSnapshot, String> {
+        let count = value
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or("histogram missing count")?;
+        let sum = value
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or("histogram missing sum")?;
+        let mut buckets = Vec::new();
+        for pair in value
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram missing buckets")?
+        {
+            let pair = pair.as_arr().ok_or("histogram bucket must be a pair")?;
+            if pair.len() != 2 {
+                return Err("histogram bucket must be [index, count]".into());
+            }
+            let index = pair[0].as_u64().ok_or("bucket index must be integral")? as usize;
+            if index >= crate::metrics::HISTOGRAM_BUCKETS {
+                return Err(format!("bucket index {index} out of range"));
+            }
+            let n = pair[1].as_u64().ok_or("bucket count must be integral")?;
+            buckets.push((index, n));
+        }
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+/// A deterministic point-in-time view of a [`crate::Registry`].
+///
+/// Metric vectors are sorted by name. Round-trips through
+/// [`Snapshot::to_json`] / [`Snapshot::from_json`] byte-identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The level of a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The state of a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Encodes the snapshot as schema-v1 JSON (deterministic key order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::from(SNAPSHOT_SCHEMA)),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a schema-v1 snapshot, rejecting other schema generations.
+    pub fn from_json(value: &Json) -> Result<Snapshot, String> {
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("snapshot missing schema")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported stats schema {schema:?} (expected {SNAPSHOT_SCHEMA:?})"
+            ));
+        }
+        let section = |key: &str| -> Result<&Vec<(String, Json)>, String> {
+            match value.get(key) {
+                Some(Json::Obj(pairs)) => Ok(pairs),
+                _ => Err(format!("snapshot missing {key} object")),
+            }
+        };
+        let mut counters = Vec::new();
+        for (name, v) in section("counters")? {
+            let v = v.as_u64().ok_or_else(|| format!("counter {name} value"))?;
+            counters.push((name.clone(), v));
+        }
+        let mut gauges = Vec::new();
+        for (name, v) in section("gauges")? {
+            let v = v
+                .as_f64()
+                .filter(|f| f.fract() == 0.0)
+                .map(|f| f as i64)
+                .ok_or_else(|| format!("gauge {name} value"))?;
+            gauges.push((name.clone(), v));
+        }
+        let mut histograms = Vec::new();
+        for (name, v) in section("histograms")? {
+            histograms.push((
+                name.clone(),
+                HistogramSnapshot::from_json(v).map_err(|e| format!("histogram {name}: {e}"))?,
+            ));
+        }
+        Ok(Snapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("serve.requests.load").add(3);
+        reg.counter("engine.rounds").add(41);
+        reg.gauge("serve.connections.active").set(2);
+        reg.gauge("serve.resident.gd").set(-1);
+        let h = reg.histogram("serve.request");
+        h.record(0);
+        h.record(17);
+        h.record(1 << 20);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let snap = sample_snapshot();
+        let text = snap.to_json().encode();
+        let parsed = Json::parse(&text).expect("snapshot must parse");
+        let back = Snapshot::from_json(&parsed).expect("snapshot must decode");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json().encode(), text, "re-encode must be identical");
+    }
+
+    #[test]
+    fn sections_are_name_ordered() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counters[0].0, "engine.rounds");
+        assert_eq!(snap.counters[1].0, "serve.requests.load");
+        assert!(snap.gauges.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let mut json = sample_snapshot().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs[0].1 = Json::from("htsat-stats-v0");
+        }
+        let err = Snapshot::from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported stats schema"), "{err}");
+    }
+
+    #[test]
+    fn lookups_and_quantiles() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("serve.requests.load"), Some(3));
+        assert_eq!(snap.counter("absent"), None);
+        assert_eq!(snap.gauge("serve.resident.gd"), Some(-1));
+        let h = snap.histogram("serve.request").expect("histogram present");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.mean(), (17 + (1 << 20)) / 3);
+        // p0..p33 land in bucket 0 ([0,2)), the max lands in bucket 20.
+        assert_eq!(h.quantile_upper_bound(0.0), 2);
+        assert_eq!(h.quantile_upper_bound(1.0), 1 << 21);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), 0);
+    }
+}

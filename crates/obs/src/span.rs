@@ -1,0 +1,127 @@
+//! The span API: scope guards that record wall-time into a histogram.
+//!
+//! `span!("name")` returns a [`SpanGuard`] that starts a [`Stopwatch`] and,
+//! on drop, records the elapsed nanoseconds into the histogram registered
+//! under `name` (so the histogram's `count` is the number of times the span
+//! ran and its `sum` is total time inside it). Each span also owns a
+//! companion counter `<name>.events` for cheap per-span event tallies via
+//! [`SpanGuard::event`].
+//!
+//! The guard is two `Instant` reads plus a few relaxed atomic adds — cheap
+//! enough for the sampler round loop — and allocates nothing after the
+//! call site's first execution registers the metrics.
+
+use std::sync::Arc;
+
+use crate::metrics::{Counter, Histogram, Registry};
+use crate::time::Stopwatch;
+
+/// The registered metrics behind one `span!` call site: a latency histogram
+/// and an event counter. Created once per call site and cached in a static.
+#[derive(Debug)]
+pub struct SpanMeter {
+    hist: Arc<Histogram>,
+    events: Arc<Counter>,
+}
+
+impl SpanMeter {
+    /// Registers the histogram `name` and counter `<name>.events` in
+    /// `registry`. The [`span!`](crate::span) macro calls this once per
+    /// call site against the [`global`](crate::global) registry.
+    #[must_use]
+    pub fn register(registry: &Registry, name: &str) -> SpanMeter {
+        SpanMeter {
+            hist: registry.histogram(name),
+            events: registry.counter(&format!("{name}.events")),
+        }
+    }
+}
+
+/// An RAII guard timing one span execution; see the module docs.
+#[must_use = "a span guard records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    meter: &'a SpanMeter,
+    sw: Stopwatch,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts timing against `meter`. Prefer the [`span!`](crate::span)
+    /// macro, which handles registration and caching.
+    pub fn enter(meter: &'a SpanMeter) -> SpanGuard<'a> {
+        SpanGuard {
+            meter,
+            sw: Stopwatch::start(),
+        }
+    }
+
+    /// Counts one event against the span's `<name>.events` counter.
+    pub fn event(&self) {
+        self.meter.events.inc();
+    }
+
+    /// Counts `n` events against the span's `<name>.events` counter.
+    pub fn events(&self, n: u64) {
+        self.meter.events.add(n);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.meter.hist.record_duration(self.sw.elapsed());
+    }
+}
+
+/// Times the enclosing scope into the [`global`](crate::global) histogram
+/// `name` (nanoseconds), registering it on first use.
+///
+/// ```
+/// {
+///     let span = htsat_obs::span!("example.round");
+///     span.events(3); // optional: tally events within the span
+///     // ... work ...
+/// } // drop records the elapsed time
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<$crate::SpanMeter> = ::std::sync::OnceLock::new();
+        $crate::SpanGuard::enter(
+            SLOT.get_or_init(|| $crate::SpanMeter::register($crate::global(), $name)),
+        )
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn guard_records_duration_and_events() {
+        let reg = Registry::new();
+        let meter = SpanMeter::register(&reg, "test.span");
+        {
+            let span = SpanGuard::enter(&meter);
+            span.event();
+            span.events(2);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let h = reg.histogram("test.span");
+        assert_eq!(h.count(), 1);
+        assert!(
+            h.sum() >= 1_000_000,
+            "span must record >= 1ms, got {}ns",
+            h.sum()
+        );
+        assert_eq!(reg.counter("test.span.events").get(), 3);
+    }
+
+    #[test]
+    fn span_macro_registers_globally() {
+        {
+            let _span = crate::span!("test.span.macro");
+        }
+        assert!(crate::global().histogram("test.span.macro").count() >= 1);
+    }
+}

@@ -28,7 +28,13 @@
 //!   cancellation and progress statistics.
 //! * [`Stopwatch`] / [`measure`] — monotonic timing helpers for measurement
 //!   code (the bench harness's warmup/timed phase separation is built on
-//!   them).
+//!   them). Re-exported from `htsat-obs` so bench timing and the `span!`
+//!   telemetry share one substrate.
+//!
+//! The pool and the stream are instrumented through `htsat-obs`
+//! (`runtime.*` region counters/histograms, `engine.*` stream totals).
+//! Metrics are observer-only — relaxed atomics recorded per region and per
+//! stream, never per row — so instrumented runs stay bit-identical.
 //!
 //! Determinism is a design constraint, not an accident: the executor
 //! preserves index order in [`Executor::map_indices`], and

@@ -146,6 +146,11 @@ impl Executor for ThreadPool {
         // Count a trailing partial row as a row, matching `chunks_mut` (and
         // therefore `SequentialExecutor` and the rayon path) exactly.
         let num_rows = rows.len().div_ceil(width);
+        // One parallel region per call (the guard spans the short-circuit
+        // path too, so region counts are thread-count independent).
+        let _region = htsat_obs::span!("runtime.region");
+        htsat_obs::counter!("runtime.regions").inc();
+        htsat_obs::counter!("runtime.rows").add(num_rows as u64);
         let ranges = chunk_ranges(num_rows, self.chunk_count(num_rows));
         if self.threads <= 1 || ranges.len() <= 1 {
             // Calling-thread short-circuit: exactly the sequential contract.
@@ -187,6 +192,9 @@ impl Executor for ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Send + Sync,
     {
+        let _region = htsat_obs::span!("runtime.region");
+        htsat_obs::counter!("runtime.regions").inc();
+        htsat_obs::counter!("runtime.rows").add(n as u64);
         let ranges = chunk_ranges(n, self.chunk_count(n));
         let ranges = &ranges;
         let chunks = self.dispatch(ranges.len(), |chunk| {

@@ -207,6 +207,13 @@ pub struct SampleStream<S: RoundSource> {
     pending: VecDeque<S::Item>,
     stats: StreamStats,
     started: Instant,
+    /// Lifetime total of progress-free rounds (unlike `stale_rounds`, never
+    /// reset), folded into the `engine.stale_rounds` metric on drop.
+    stale_total: usize,
+    /// The stream returned `None` because its deadline passed.
+    hit_deadline: bool,
+    /// The stream returned `None` because its stop token fired.
+    cancelled: bool,
 }
 
 impl<S: RoundSource> SampleStream<S> {
@@ -230,6 +237,9 @@ impl<S: RoundSource> SampleStream<S> {
             pending: VecDeque::new(),
             stats: StreamStats::default(),
             started: Instant::now(),
+            stale_total: 0,
+            hit_deadline: false,
+            cancelled: false,
         }
     }
 
@@ -324,16 +334,24 @@ impl<S: RoundSource> Iterator for SampleStream<S> {
     fn next(&mut self) -> Option<S::Item> {
         loop {
             if self.stop.is_stopped() {
+                self.cancelled = true;
                 return None;
             }
             if let Some(item) = self.pending.pop_front() {
                 self.stats.yielded += 1;
                 return Some(item);
             }
-            if self.exhausted || self.deadline_passed() {
+            if self.exhausted {
                 return None;
             }
-            let batch = self.source.round(&self.stop);
+            if self.deadline_passed() {
+                self.hit_deadline = true;
+                return None;
+            }
+            let batch = {
+                let _round_span = htsat_obs::span!("engine.round");
+                self.source.round(&self.stop)
+            };
             self.stats.rounds += 1;
             self.stats.attempts += self.source.round_size();
             self.stats.valid += batch.len();
@@ -348,6 +366,7 @@ impl<S: RoundSource> Iterator for SampleStream<S> {
             }
             if fresh == 0 {
                 self.stale_rounds += 1;
+                self.stale_total += 1;
                 if self.stale_limit > 0 && self.stale_rounds >= self.stale_limit {
                     self.exhausted = true;
                 }
@@ -361,6 +380,26 @@ impl<S: RoundSource> Iterator for SampleStream<S> {
 impl<S: RoundSource> Drop for SampleStream<S> {
     fn drop(&mut self) {
         self.source.restore_seen(std::mem::take(&mut self.seen));
+        // Fold the stream's lifetime totals into the global metrics in one
+        // batch: a handful of relaxed atomic adds per stream, zero cost per
+        // item. Every engine session flows through a `SampleStream`, so
+        // these are the `engine.*` counters of the metric catalog.
+        htsat_obs::counter!("engine.streams").inc();
+        htsat_obs::counter!("engine.rounds").add(self.stats.rounds as u64);
+        htsat_obs::counter!("engine.attempts").add(self.stats.attempts as u64);
+        htsat_obs::counter!("engine.valid").add(self.stats.valid as u64);
+        htsat_obs::counter!("engine.samples").add(self.stats.yielded as u64);
+        htsat_obs::counter!("engine.duplicates").add(self.stats.duplicates as u64);
+        htsat_obs::counter!("engine.stale_rounds").add(self.stale_total as u64);
+        if self.exhausted {
+            htsat_obs::counter!("engine.exhaustions").inc();
+        }
+        if self.hit_deadline {
+            htsat_obs::counter!("engine.deadline_expiries").inc();
+        }
+        if self.cancelled {
+            htsat_obs::counter!("engine.cancellations").inc();
+        }
     }
 }
 

@@ -13,12 +13,19 @@
 //!
 //! Options:
 //! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7878`; port `0`
-//!   picks an ephemeral port, printed on startup).
+//!   picks an ephemeral port, logged on startup).
 //! * `--threads N` — default `SAMPLE` worker threads (`0` = one per core).
 //! * `--budget-mb N` — registry memory budget in MiB (default 512).
 //! * `--allow-path-load` — allow `LOAD` requests naming server-side paths.
+//! * `--log-stats SECS` — emit the metrics snapshot as a structured `info`
+//!   log line every `SECS` seconds.
+//!
+//! Diagnostics go to stderr through the `htsat-obs` leveled logger; set
+//! `HTSAT_LOG=error|warn|info|debug` to choose the verbosity (default
+//! `info`).
 
 use htsat_serve::{serve, RegistryConfig, ServeConfig};
+use std::time::Duration;
 
 fn parse_args() -> Result<ServeConfig, String> {
     let mut config = ServeConfig {
@@ -50,6 +57,15 @@ fn parse_args() -> Result<ServeConfig, String> {
                     ..config.registry
                 };
             }
+            "--log-stats" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|e| format!("invalid --log-stats: {e}"))?;
+                if secs == 0 {
+                    return Err("invalid --log-stats: interval must be positive".to_string());
+                }
+                config.log_stats = Some(Duration::from_secs(secs));
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -60,9 +76,10 @@ fn main() {
     let config = match parse_args() {
         Ok(config) => config,
         Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!(
-                "usage: htsat-serve [--addr HOST:PORT] [--threads N] [--budget-mb N] [--allow-path-load]"
+            htsat_obs::error!("{msg}");
+            htsat_obs::error!(
+                "usage: htsat-serve [--addr HOST:PORT] [--threads N] [--budget-mb N] \
+                 [--allow-path-load] [--log-stats SECS]"
             );
             std::process::exit(2);
         }
@@ -71,15 +88,15 @@ fn main() {
     let mut server = match serve(config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("cannot start daemon: {e}");
+            htsat_obs::error!("cannot start daemon: {e}");
             std::process::exit(1);
         }
     };
-    println!(
+    htsat_obs::info!(
         "htsat-serve listening on {} (registry budget {} MiB); send {{\"cmd\":\"shutdown\"}} to stop",
         server.local_addr(),
         budget / (1024 * 1024)
     );
     server.wait();
-    println!("htsat-serve stopped");
+    htsat_obs::info!("htsat-serve stopped");
 }

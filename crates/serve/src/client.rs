@@ -247,6 +247,30 @@ impl Client {
         self.call(&Request::Status)
     }
 
+    /// Fetches the daemon's metrics snapshot (the `STATS` verb), parsed
+    /// into the typed [`htsat_obs::Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Protocol`] when the reply is
+    /// not a schema-`htsat-stats-v1` snapshot.
+    pub fn stats(&mut self) -> Result<htsat_obs::Snapshot, ClientError> {
+        let reply = self.call(&Request::Stats { reset: false })?;
+        htsat_obs::Snapshot::from_json(&reply).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches the metrics snapshot and resets the daemon's counters and
+    /// histograms in the same request (`STATS reset`). The returned
+    /// snapshot reports the totals *before* the reset; gauges survive.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::stats`].
+    pub fn stats_reset(&mut self) -> Result<htsat_obs::Snapshot, ClientError> {
+        let reply = self.call(&Request::Stats { reset: true })?;
+        htsat_obs::Snapshot::from_json(&reply).map_err(ClientError::Protocol)
+    }
+
     /// Drops every engine's entry of one fingerprint; returns whether
     /// anything was resident.
     ///

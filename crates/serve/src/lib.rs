@@ -16,8 +16,9 @@
 //! * [`json`] — the minimal JSON codec (the shared `htsat-json` crate,
 //!   re-exported under its historical module path).
 //! * [`proto`] — the request/response message shapes and the protocol
-//!   grammar (`LOAD`, `SAMPLE`, `STATUS`, `EVICT`, `SHUTDOWN`), including
-//!   the per-request `engine` selector.
+//!   grammar (`LOAD`, `SAMPLE`, `STATUS`, `STATS`, `EVICT`, `SHUTDOWN`),
+//!   including the per-request `engine` selector and the stable
+//!   machine-readable [`ErrorCode`] every failure response carries.
 //! * [`registry`] — the (formula, engine)-keyed sampler registry:
 //!   ([`htsat_cnf::Fingerprint`], engine name) → a prepared
 //!   [`htsat_core::SampleEngine`] (the GD sampler or any baseline, built
@@ -30,6 +31,14 @@
 //!   cancelled, sessions drained).
 //! * [`client`] — a blocking client used by tests, CI and
 //!   `repro serve-bench`.
+//!
+//! The daemon is instrumented through `htsat-obs`: request counts per
+//! verb, a request-latency histogram, connection and byte counters,
+//! registry hit/miss/compile/eviction/coalesce counters and per-engine
+//! residency gauges — all observer-only (instrumented runs stay
+//! bit-identical) and exported over the wire by the `STATS` verb as a
+//! schema-versioned [`htsat_obs::Snapshot`]. Diagnostics go through the
+//! `htsat-obs` leveled logger (`HTSAT_LOG=error|warn|info|debug`).
 //!
 //! Determinism survives the wire for **every engine**: a `SAMPLE` with a
 //! fixed seed returns the identical solution sequence as the in-process
@@ -69,6 +78,7 @@ pub mod registry;
 pub mod server;
 
 pub use client::{Client, ClientError, LoadReply, SampleReply};
+pub use proto::ErrorCode;
 pub use registry::{RegistryConfig, RegistryCounters, SamplerRegistry};
 pub use server::{serve, ServeConfig, ServerHandle};
 

@@ -10,16 +10,26 @@
 //! # Grammar (one line per message)
 //!
 //! ```text
-//! request  = load | sample | status | evict | shutdown
+//! request  = load | sample | status | stats | evict | shutdown
 //! load     = {"cmd":"load", "name"?:str, "engine"?:str, "dimacs":str} |
 //!            {"cmd":"load", "name"?:str, "engine"?:str, "path":str}
 //! sample   = {"cmd":"sample", "fingerprint":hex32, "engine"?:str,
 //!             "n"?:int, "seed"?:int|decimal-str, "deadline_ms"?:int,
 //!             "max_stale"?:int, "threads"?:int, "batch"?:int}
 //! status   = {"cmd":"status"}
+//! stats    = {"cmd":"stats", "reset"?:bool}
 //! evict    = {"cmd":"evict", "fingerprint":hex32, "engine"?:str}
 //! shutdown = {"cmd":"shutdown"}
 //! ```
+//!
+//! `STATS` returns the daemon's metrics snapshot (schema
+//! `htsat-stats-v1`, see `htsat-obs`) merged into the response object;
+//! `"reset": true` additionally zeroes counters and histograms *after*
+//! taking the returned snapshot (gauges are levels and keep their values).
+//!
+//! Error responses carry both a human-readable `"error"` message and a
+//! stable machine-readable `"code"` (see [`ErrorCode`]) so clients can
+//! branch on failure kinds without parsing prose.
 //!
 //! `engine` selects which prepared sampling engine serves the formula
 //! (`"gd"` — the paper's sampler and the default — or any baseline:
@@ -66,6 +76,12 @@ pub enum Request {
     Sample(SampleParams),
     /// Report registry contents, cumulative stream statistics and uptime.
     Status,
+    /// Return the metrics snapshot; optionally reset counters/histograms
+    /// after snapshotting.
+    Stats {
+        /// Zero counters and histograms after taking the snapshot.
+        reset: bool,
+    },
     /// Drop registry entries of one formula.
     Evict {
         /// Registry key to drop.
@@ -268,6 +284,14 @@ impl Request {
                 Ok(Request::Sample(params))
             }
             "status" => Ok(Request::Status),
+            "stats" => {
+                let reset = match msg.get("reset") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err(ProtoError("`reset` must be a boolean".to_string())),
+                };
+                Ok(Request::Stats { reset })
+            }
             "evict" => Ok(Request::Evict {
                 fingerprint: field_fingerprint(msg)?,
                 engine: field_engine(msg)?,
@@ -325,6 +349,13 @@ impl Request {
                 Json::obj(pairs)
             }
             Request::Status => Json::obj(vec![("cmd", "status".into())]),
+            Request::Stats { reset } => {
+                let mut pairs = vec![("cmd", Json::from("stats"))];
+                if *reset {
+                    pairs.push(("reset", true.into()));
+                }
+                Json::obj(pairs)
+            }
             Request::Evict {
                 fingerprint,
                 engine,
@@ -343,10 +374,86 @@ impl Request {
     }
 }
 
-/// Builds the standard failure response.
+/// Stable machine-readable classification of a failure response.
+///
+/// The kebab-case wire form ([`ErrorCode::as_str`]) travels in the
+/// response's `"code"` field and keys the per-code error counters
+/// (`serve.errors.<code>`). Codes are append-only: clients may rely on an
+/// existing code never changing meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    BadJson,
+    /// Valid JSON but an invalid request: unknown command, missing or
+    /// ill-typed field, out-of-range parameter, or a cap exceeded.
+    BadRequest,
+    /// The requested engine name is not one the daemon knows.
+    EngineUnknown,
+    /// The (fingerprint, engine) pair has not been loaded.
+    NotLoaded,
+    /// A `path` load was requested but the daemon runs without
+    /// `--allow-path-load`.
+    PathLoadDisabled,
+    /// The server failed to read a requested resource (e.g. a `path` load).
+    Io,
+    /// The CNF could not be parsed or prepared for the engine.
+    TransformFailed,
+    /// Two distinct formulas collided on one fingerprint.
+    FingerprintCollision,
+    /// The daemon is shutting down and takes no further work.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// The stable kebab-case wire form.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::EngineUnknown => "engine-unknown",
+            ErrorCode::NotLoaded => "not-loaded",
+            ErrorCode::PathLoadDisabled => "path-load-disabled",
+            ErrorCode::Io => "io",
+            ErrorCode::TransformFailed => "transform-failed",
+            ErrorCode::FingerprintCollision => "fingerprint-collision",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    /// The metric name its occurrences are counted under.
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "serve.errors.bad-json",
+            ErrorCode::BadRequest => "serve.errors.bad-request",
+            ErrorCode::EngineUnknown => "serve.errors.engine-unknown",
+            ErrorCode::NotLoaded => "serve.errors.not-loaded",
+            ErrorCode::PathLoadDisabled => "serve.errors.path-load-disabled",
+            ErrorCode::Io => "serve.errors.io",
+            ErrorCode::TransformFailed => "serve.errors.transform-failed",
+            ErrorCode::FingerprintCollision => "serve.errors.fingerprint-collision",
+            ErrorCode::Shutdown => "serve.errors.shutdown",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Builds the standard failure response: the human-readable `error`
+/// message (unchanged across releases for a given failure) plus the stable
+/// machine-readable `code`.
 #[must_use]
-pub fn error_response(message: &str) -> Json {
-    Json::obj(vec![("ok", false.into()), ("error", message.into())])
+pub fn error_response(code: ErrorCode, message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", false.into()),
+        ("error", message.into()),
+        ("code", code.as_str().into()),
+    ])
 }
 
 /// Builds a success response from payload fields (prepends `"ok": true`).
@@ -446,6 +553,8 @@ mod tests {
                 ..SampleParams::new(fp())
             }),
             Request::Status,
+            Request::Stats { reset: false },
+            Request::Stats { reset: true },
             Request::Evict {
                 fingerprint: fp(),
                 engine: None,
@@ -485,6 +594,10 @@ mod tests {
             (
                 r#"{"cmd": "load", "dimacs": "x", "engine": 3}"#,
                 "`engine` must be a string",
+            ),
+            (
+                r#"{"cmd": "stats", "reset": "yes"}"#,
+                "`reset` must be a boolean",
             ),
         ] {
             let msg = Json::parse(text).expect("valid JSON");
@@ -526,8 +639,34 @@ mod tests {
         let ok = ok_response(vec![("x", 1usize.into())]);
         assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(ok.get("x").and_then(Json::as_u64), Some(1));
-        let err = error_response("boom");
+        let err = error_response(ErrorCode::BadRequest, "boom");
         assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(err.get("error").and_then(Json::as_str), Some("boom"));
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("bad-request"));
+    }
+
+    #[test]
+    fn error_codes_are_kebab_case_and_distinct() {
+        let codes = [
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::EngineUnknown,
+            ErrorCode::NotLoaded,
+            ErrorCode::PathLoadDisabled,
+            ErrorCode::Io,
+            ErrorCode::TransformFailed,
+            ErrorCode::FingerprintCollision,
+            ErrorCode::Shutdown,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for code in codes {
+            let s = code.as_str();
+            assert!(seen.insert(s), "duplicate code {s}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{s} must be kebab-case"
+            );
+            assert_eq!(code.metric_name(), format!("serve.errors.{s}"));
+        }
     }
 }

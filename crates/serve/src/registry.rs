@@ -172,6 +172,14 @@ impl Drop for InflightClaim<'_> {
     }
 }
 
+/// The per-engine residency gauge (`serve.resident.<engine>`): how many
+/// prepared entries of each engine are resident right now. Engine names are
+/// a small closed set, so the dynamic (allocating) registry lookup happens
+/// only on insert/evict — never on the request hot path.
+fn resident_gauge(engine_name: &str) -> std::sync::Arc<htsat_obs::Gauge> {
+    htsat_obs::global().gauge(&format!("serve.resident.{engine_name}"))
+}
+
 /// Whether two CNFs are the same formula up to clause and literal order —
 /// the equivalence [`Fingerprint`] canonicalises over. Used to detect hash
 /// collisions on the registry hit path (both formulas are in hand there,
@@ -234,6 +242,7 @@ impl SamplerRegistry {
         drop(entries);
         entry.hits.fetch_add(1, Ordering::Relaxed);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        htsat_obs::counter!("serve.registry.hits").inc();
         self.touch(&entry);
         Some(entry)
     }
@@ -263,6 +272,10 @@ impl SamplerRegistry {
             .ok_or_else(|| ServeError::UnknownEngine(engine.to_string()))?;
         let fingerprint = Fingerprint::of(cnf);
         let key = (fingerprint, engine_name);
+        // Whether this call blocked on another caller's in-flight
+        // preparation; set once per call so a load that coalesces onto a
+        // concurrent preparation is counted exactly once.
+        let mut waited = false;
         let claim = loop {
             let resident = self
                 .entries
@@ -283,6 +296,12 @@ impl SamplerRegistry {
                 }
                 entry.hits.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                htsat_obs::counter!("serve.registry.hits").inc();
+                if waited {
+                    // This load shared another caller's preparation instead
+                    // of running its own — the single-flight win.
+                    htsat_obs::counter!("serve.registry.coalesced").inc();
+                }
                 self.touch(&entry);
                 return Ok((entry, true));
             }
@@ -310,6 +329,7 @@ impl SamplerRegistry {
                 .inflight_done
                 .wait(inflight)
                 .expect("inflight poisoned");
+            waited = true;
         };
 
         // We own the only in-flight preparation for this key. Prepare
@@ -317,6 +337,8 @@ impl SamplerRegistry {
         // and must not block requests for resident entries.
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        htsat_obs::counter!("serve.registry.misses").inc();
+        htsat_obs::counter!("serve.registry.compiles").inc();
         let prepared = engine_by_name(engine_name, cnf, &self.config.transform)?;
         let bytes = prepared
             .memory_model(self.config.model_batch, self.config.model_workers)
@@ -335,6 +357,7 @@ impl SamplerRegistry {
 
         let mut entries = self.entries.write().expect("registry poisoned");
         entries.insert(key, entry.clone());
+        resident_gauge(engine_name).inc();
         self.evict_lru_over_budget(&mut entries, key);
         drop(entries);
         drop(claim); // release the in-flight slot, wake the waiters
@@ -365,6 +388,8 @@ impl SamplerRegistry {
             };
             entries.remove(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            htsat_obs::counter!("serve.registry.evictions").inc();
+            resident_gauge(victim.1).dec();
         }
     }
 
@@ -377,16 +402,29 @@ impl SamplerRegistry {
                 let Some(engine_name) = resolve_engine_name(engine) else {
                     return 0;
                 };
-                usize::from(entries.remove(&(*fingerprint, engine_name)).is_some())
+                match entries.remove(&(*fingerprint, engine_name)) {
+                    Some(_) => {
+                        resident_gauge(engine_name).dec();
+                        1
+                    }
+                    None => 0,
+                }
             }
             None => {
                 let before = entries.len();
-                entries.retain(|(fp, _), _| fp != fingerprint);
+                entries.retain(|(fp, engine_name), _| {
+                    let keep = fp != fingerprint;
+                    if !keep {
+                        resident_gauge(engine_name).dec();
+                    }
+                    keep
+                });
                 before - entries.len()
             }
         };
         drop(entries);
         self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        htsat_obs::counter!("serve.registry.evictions").add(removed as u64);
         removed
     }
 

@@ -2,8 +2,8 @@
 
 use crate::json::Json;
 use crate::proto::{
-    encode_solution, encode_stats, error_response, ok_response, LoadSource, ProtoError, Request,
-    SampleParams, DEFAULT_ENGINE,
+    encode_solution, encode_stats, error_response, ok_response, ErrorCode, LoadSource, ProtoError,
+    Request, SampleParams, DEFAULT_ENGINE,
 };
 use crate::registry::{RegistryConfig, SamplerRegistry};
 use crate::ServeError;
@@ -36,6 +36,9 @@ pub struct ServeConfig {
     /// default: a daemon reachable over TCP should not read arbitrary local
     /// files unless the operator opts in.
     pub allow_path_load: bool,
+    /// Emit the metrics snapshot as a structured `info` log line at this
+    /// interval (`None` = off). The daemon's `--log-stats <secs>` flag.
+    pub log_stats: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +50,7 @@ impl Default for ServeConfig {
             default_threads: 0,
             registry: RegistryConfig::default(),
             allow_path_load: false,
+            log_stats: None,
         }
     }
 }
@@ -71,6 +75,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    stats_logger: Option<JoinHandle<()>>,
 }
 
 /// Starts the daemon described by `config` and returns its handle.
@@ -94,16 +99,44 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         started: Instant::now(),
         connections_served: AtomicU64::new(0),
     });
+    htsat_obs::debug!("htsat-serve bound on {addr}");
     let accept_state = state.clone();
     let accept = std::thread::Builder::new()
         .name("htsat-serve-accept".to_string())
         .spawn(move || accept_loop(&listener, &accept_state))
         .expect("spawn accept thread");
+    let stats_logger = state.config.log_stats.map(|period| {
+        let logger_state = state.clone();
+        std::thread::Builder::new()
+            .name("htsat-serve-stats".to_string())
+            .spawn(move || stats_log_loop(&logger_state, period))
+            .expect("spawn stats logger thread")
+    });
     Ok(ServerHandle {
         addr,
         state,
         accept: Some(accept),
+        stats_logger,
     })
+}
+
+/// How often the stats logger polls the stop flag between emissions.
+const STATS_LOG_POLL: Duration = Duration::from_millis(50);
+
+/// Emits the global metrics snapshot as one structured `info` line per
+/// period until the daemon stops.
+fn stats_log_loop(state: &Arc<ServerState>, period: Duration) {
+    let mut next = Instant::now() + period;
+    while !state.stop.is_stopped() {
+        std::thread::sleep(STATS_LOG_POLL);
+        if Instant::now() >= next {
+            next += period;
+            htsat_obs::info!(
+                "stats {}",
+                htsat_obs::global().snapshot().to_json().encode()
+            );
+        }
+    }
 }
 
 impl ServerHandle {
@@ -132,6 +165,9 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(logger) = self.stats_logger.take() {
+            let _ = logger.join();
+        }
     }
 
     /// Stops the daemon gracefully: fires every in-flight request's stop
@@ -155,8 +191,10 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     while !state.stop.is_stopped() {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 state.connections_served.fetch_add(1, Ordering::Relaxed);
+                htsat_obs::counter!("serve.connections.total").inc();
+                htsat_obs::debug!("connection accepted from {peer}");
                 let session_state = state.clone();
                 let handle = std::thread::Builder::new()
                     .name("htsat-serve-session".to_string())
@@ -224,8 +262,26 @@ impl LineReader {
     }
 }
 
+/// RAII level of concurrently open connections: the gauge rises on session
+/// entry and falls on every exit path (EOF, shutdown, write failure).
+struct ConnectionGauge;
+
+impl ConnectionGauge {
+    fn enter() -> ConnectionGauge {
+        htsat_obs::gauge!("serve.connections.active").inc();
+        ConnectionGauge
+    }
+}
+
+impl Drop for ConnectionGauge {
+    fn drop(&mut self) {
+        htsat_obs::gauge!("serve.connections.active").dec();
+    }
+}
+
 /// Serves one connection: one request line in, one response line out.
 fn session(stream: TcpStream, state: &Arc<ServerState>) {
+    let _active = ConnectionGauge::enter();
     let _ = stream.set_nodelay(true);
     // Sessions must notice a daemon-wide shutdown even while idle in a
     // read: a read timeout turns the blocking read into a poll.
@@ -243,12 +299,14 @@ fn session(stream: TcpStream, state: &Arc<ServerState>) {
         let Some(line) = reader.next_line(&state.stop) else {
             return;
         };
+        htsat_obs::counter!("serve.bytes_in").add(line.len() as u64);
         if line.trim().is_empty() {
             continue;
         }
         let (response, shutdown) = dispatch(&line, state);
         let mut text = response.encode();
         text.push('\n');
+        htsat_obs::counter!("serve.bytes_out").add(text.len() as u64);
         if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
@@ -265,35 +323,75 @@ fn session(stream: TcpStream, state: &Arc<ServerState>) {
 
 /// Parses and executes one request line. Returns the response and whether
 /// the daemon should shut down after sending it.
+///
+/// This is the single funnel every request flows through, so it carries the
+/// request-level telemetry: the `serve.request` latency span, and — when
+/// the response carries an error `code` — the per-code error counters.
 fn dispatch(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
+    let _span = htsat_obs::span!("serve.request");
+    let (response, shutdown) = dispatch_inner(line, state);
+    if response.get("ok").and_then(Json::as_bool) == Some(false) {
+        htsat_obs::counter!("serve.errors").inc();
+        let code = response.get("code").and_then(Json::as_str).unwrap_or("?");
+        let message = response.get("error").and_then(Json::as_str).unwrap_or("");
+        // Dynamic (allocating) registry lookup is fine here: this is the
+        // error path, never the per-sample hot path.
+        htsat_obs::global()
+            .counter(&format!("serve.errors.{code}"))
+            .inc();
+        htsat_obs::warn!("request failed ({code}): {message}");
+    }
+    (response, shutdown)
+}
+
+fn dispatch_inner(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
     let msg = match Json::parse(line.trim_end()) {
         Ok(msg) => msg,
-        Err(e) => return (error_response(&format!("invalid JSON: {e}")), false),
+        Err(e) => {
+            return (
+                error_response(ErrorCode::BadJson, &format!("invalid JSON: {e}")),
+                false,
+            )
+        }
     };
     let request = match Request::decode(&msg) {
         Ok(request) => request,
-        Err(ProtoError(e)) => return (error_response(&e), false),
+        Err(ProtoError(e)) => return (error_response(ErrorCode::BadRequest, &e), false),
     };
     match request {
         Request::Load {
             name,
             engine,
             source,
-        } => (
-            handle_load(
-                state,
-                name.as_deref(),
-                engine.as_deref().unwrap_or(DEFAULT_ENGINE),
-                &source,
-            ),
-            false,
-        ),
-        Request::Sample(params) => (handle_sample(state, &params), false),
-        Request::Status => (handle_status(state), false),
+        } => {
+            htsat_obs::counter!("serve.requests.load").inc();
+            (
+                handle_load(
+                    state,
+                    name.as_deref(),
+                    engine.as_deref().unwrap_or(DEFAULT_ENGINE),
+                    &source,
+                ),
+                false,
+            )
+        }
+        Request::Sample(params) => {
+            htsat_obs::counter!("serve.requests.sample").inc();
+            (handle_sample(state, &params), false)
+        }
+        Request::Status => {
+            htsat_obs::counter!("serve.requests.status").inc();
+            (handle_status(state), false)
+        }
+        Request::Stats { reset } => {
+            htsat_obs::counter!("serve.requests.stats").inc();
+            (handle_stats(state, reset), false)
+        }
         Request::Evict {
             fingerprint,
             engine,
         } => {
+            htsat_obs::counter!("serve.requests.evict").inc();
             let evicted = state.registry.evict(&fingerprint, engine.as_deref());
             (
                 ok_response(vec![
@@ -303,8 +401,37 @@ fn dispatch(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
                 false,
             )
         }
-        Request::Shutdown => (ok_response(vec![("shutdown", true.into())]), true),
+        Request::Shutdown => {
+            htsat_obs::counter!("serve.requests.shutdown").inc();
+            htsat_obs::info!("shutdown requested");
+            (ok_response(vec![("shutdown", true.into())]), true)
+        }
     }
+}
+
+/// Answers `STATS`: the full metrics snapshot, optionally followed by a
+/// counter/histogram reset.
+///
+/// The snapshot is taken *before* the reset, so a `STATS reset` reply
+/// always reports the totals the reset wiped — callers never lose a
+/// reporting window. Gauges (levels like in-flight connections) survive
+/// the reset by [`htsat_obs::Registry::reset`]'s contract.
+fn handle_stats(state: &Arc<ServerState>, reset: bool) -> Json {
+    // Refresh level-style gauges the moment they are observed, so a
+    // snapshot is coherent even if no request touched them recently.
+    htsat_obs::gauge!("serve.registry.resident_entries").set(state.registry.len() as i64);
+    let snapshot = htsat_obs::global().snapshot();
+    if reset {
+        htsat_obs::global().reset();
+    }
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("reset".to_string(), Json::Bool(reset)),
+    ];
+    if let Json::Obj(snapshot_pairs) = snapshot.to_json() {
+        pairs.extend(snapshot_pairs);
+    }
+    Json::Obj(pairs)
 }
 
 fn handle_load(
@@ -316,17 +443,25 @@ fn handle_load(
     let cnf = match source {
         LoadSource::Inline(text) => match dimacs::parse_str(text) {
             Ok(cnf) => cnf,
-            Err(e) => return error_response(&format!("DIMACS parse error: {e}")),
+            Err(e) => {
+                return error_response(
+                    ErrorCode::TransformFailed,
+                    &format!("DIMACS parse error: {e}"),
+                )
+            }
         },
         LoadSource::Path(path) => {
             if !state.config.allow_path_load {
                 return error_response(
+                    ErrorCode::PathLoadDisabled,
                     "path loads are disabled on this server (start with --allow-path-load)",
                 );
             }
             match dimacs::read_file(path) {
                 Ok(cnf) => cnf,
-                Err(e) => return error_response(&format!("cannot read `{path}`: {e}")),
+                Err(e) => {
+                    return error_response(ErrorCode::Io, &format!("cannot read `{path}`: {e}"))
+                }
             }
         }
     };
@@ -348,8 +483,18 @@ fn handle_load(
             }
             ok_response(payload)
         }
-        Err(ServeError::Transform(e)) => error_response(&format!("transform error: {e}")),
-        Err(e) => error_response(&e.to_string()),
+        Err(ServeError::Transform(e)) => {
+            error_response(ErrorCode::TransformFailed, &format!("transform error: {e}"))
+        }
+        Err(e) => {
+            let code = match &e {
+                ServeError::Transform(_) => ErrorCode::TransformFailed,
+                ServeError::UnknownEngine(_) => ErrorCode::EngineUnknown,
+                ServeError::FingerprintCollision(_) => ErrorCode::FingerprintCollision,
+                ServeError::Io(_) => ErrorCode::Io,
+            };
+            error_response(code, &e.to_string())
+        }
     }
 }
 
@@ -363,21 +508,33 @@ const MAX_REQUEST_N: usize = 1 << 20;
 fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     let engine = params.engine.as_deref().unwrap_or(DEFAULT_ENGINE);
     let Some(entry) = state.registry.get(&params.fingerprint, engine) else {
-        return error_response(&format!(
-            "(formula {}, engine {engine}) is not loaded (use `load` first, or it was evicted)",
-            params.fingerprint
-        ));
+        return error_response(
+            ErrorCode::NotLoaded,
+            &format!(
+                "(formula {}, engine {engine}) is not loaded (use `load` first, or it was evicted)",
+                params.fingerprint
+            ),
+        );
     };
     let threads = params.threads.unwrap_or(state.config.default_threads);
     if threads > MAX_REQUEST_THREADS {
-        return error_response(&format!("`threads` exceeds the cap {MAX_REQUEST_THREADS}"));
+        return error_response(
+            ErrorCode::BadRequest,
+            &format!("`threads` exceeds the cap {MAX_REQUEST_THREADS}"),
+        );
     }
     if params.n > MAX_REQUEST_N {
-        return error_response(&format!("`n` exceeds the cap {MAX_REQUEST_N}"));
+        return error_response(
+            ErrorCode::BadRequest,
+            &format!("`n` exceeds the cap {MAX_REQUEST_N}"),
+        );
     }
     if let Some(batch) = params.batch {
         if batch > MAX_REQUEST_BATCH {
-            return error_response(&format!("`batch` exceeds the cap {MAX_REQUEST_BATCH}"));
+            return error_response(
+                ErrorCode::BadRequest,
+                &format!("`batch` exceeds the cap {MAX_REQUEST_BATCH}"),
+            );
         }
     }
     let config = SessionConfig {
@@ -391,7 +548,12 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     // apply their stream options (e.g. quicksampler's source-side dedup).
     let stream = match entry.engine.stream(&config) {
         Ok(stream) => stream,
-        Err(e) => return error_response(&format!("invalid sampler config: {e}")),
+        Err(e) => {
+            return error_response(
+                ErrorCode::BadRequest,
+                &format!("invalid sampler config: {e}"),
+            )
+        }
     };
     let token = state.requests.issue();
     // Close the shutdown race: if the master stop fired before this token
@@ -401,7 +563,7 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     // the token is stopped on either side of the race.
     if state.stop.is_stopped() {
         token.stop();
-        return error_response("server is shutting down");
+        return error_response(ErrorCode::Shutdown, "server is shutting down");
     }
     let mut stream = stream.with_stop_token(token.clone());
     if let Some(ms) = params.deadline_ms {

@@ -1,0 +1,227 @@
+//! End-to-end tests of the observability surface: the `STATS` wire verb,
+//! the machine-readable error `code` field, and the frozen snapshot
+//! schema.
+//!
+//! This file is its own integration-test binary on purpose: the `htsat-obs`
+//! metrics registry is process-global, so keeping the `STATS` assertions
+//! out of `e2e.rs` isolates them from that binary's request traffic. Tests
+//! *within* this binary still share the registry, so each one takes the
+//! [`SERIAL`] lock and asserts on **deltas** between two snapshots rather
+//! than absolute values.
+
+use htsat_cnf::{dimacs, Fingerprint};
+use htsat_instances::families;
+use htsat_obs::Snapshot;
+use htsat_serve::json::Json;
+use htsat_serve::proto::SampleParams;
+use htsat_serve::{serve, Client, ClientError, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn corpus_instance() -> (String, htsat_cnf::Cnf) {
+    let instance = families::or_chain("or-stats", 20, 2, 0x57A7);
+    (dimacs::to_string(&instance.cnf), instance.cnf)
+}
+
+/// The difference of a counter across two snapshots (0 when absent from
+/// the earlier one — the metric may not have been registered yet).
+fn delta(before: &Snapshot, after: &Snapshot, name: &str) -> u64 {
+    after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
+}
+
+#[test]
+fn stats_counters_move_across_load_sample_error_and_reset() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (dimacs_text, _cnf) = corpus_instance();
+    let server = serve(ServeConfig::default()).expect("server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let before = client.stats().expect("baseline stats");
+
+    // LOAD (a compile miss), SAMPLE (a registry hit), then a NOT_LOADED
+    // error from a fingerprint nothing was loaded under.
+    let load = client
+        .load_dimacs(Some("or-stats"), &dimacs_text)
+        .expect("load");
+    let reply = client
+        .sample(&SampleParams {
+            n: 5,
+            seed: 9,
+            ..SampleParams::new(load.fingerprint)
+        })
+        .expect("sample");
+    assert_eq!(reply.solutions.len(), 5);
+    let missing = Fingerprint::of(&families::or_chain("other", 8, 2, 1).cnf);
+    match client.sample(&SampleParams::new(missing)) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("is not loaded")),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    let after = client.stats().expect("stats after traffic");
+
+    // Protocol layer: verbs, errors, transport volume, latency span.
+    assert_eq!(delta(&before, &after, "serve.requests.load"), 1);
+    assert_eq!(delta(&before, &after, "serve.requests.sample"), 2);
+    assert_eq!(delta(&before, &after, "serve.errors"), 1);
+    assert_eq!(delta(&before, &after, "serve.errors.not-loaded"), 1);
+    assert!(delta(&before, &after, "serve.bytes_in") > 0);
+    assert!(delta(&before, &after, "serve.bytes_out") > 0);
+    // This client's connection was accepted before the baseline snapshot,
+    // so assert the absolute level rather than a delta.
+    assert!(after.counter("serve.connections.total").unwrap_or(0) >= 1);
+    assert!(
+        after.gauge("serve.connections.active").unwrap_or(0) >= 1,
+        "this client's own connection is open"
+    );
+    let request_span = after.histogram("serve.request").expect("request span");
+    assert!(request_span.count > before.histogram("serve.request").map_or(0, |h| h.count));
+    assert!(request_span.quantile_upper_bound(0.99) >= request_span.quantile_upper_bound(0.5));
+
+    // Registry layer: one compile for the load, one hit for the sample.
+    assert_eq!(delta(&before, &after, "serve.registry.compiles"), 1);
+    assert_eq!(delta(&before, &after, "serve.registry.misses"), 1);
+    assert!(delta(&before, &after, "serve.registry.hits") >= 1);
+    assert_eq!(after.gauge("serve.resident.gd"), Some(1));
+
+    // Engine and runtime layers, reported through the same snapshot.
+    assert!(delta(&before, &after, "engine.sessions") >= 1);
+    assert!(delta(&before, &after, "engine.sessions.gd") >= 1);
+    assert!(delta(&before, &after, "engine.rounds") >= 1);
+    assert!(delta(&before, &after, "engine.samples") >= 5);
+    assert!(delta(&before, &after, "runtime.regions") >= 1);
+    assert!(delta(&before, &after, "runtime.rows") >= 1);
+    assert!(after.histogram("engine.round").expect("round span").count > 0);
+
+    // STATS reset: the reply reports the pre-reset totals, the next
+    // snapshot starts from zero — except gauges, which are levels.
+    let wiped = client.stats_reset().expect("stats reset");
+    assert!(wiped.counter("serve.requests.load").unwrap_or(0) >= 1);
+    let fresh = client.stats().expect("stats after reset");
+    assert_eq!(fresh.counter("serve.requests.load"), Some(0));
+    assert_eq!(fresh.counter("serve.errors.not-loaded"), Some(0));
+    assert_eq!(
+        fresh.counter("serve.requests.stats"),
+        Some(1),
+        "only the fresh STATS request itself has been counted since the reset"
+    );
+    assert_eq!(
+        fresh.gauge("serve.resident.gd"),
+        Some(1),
+        "gauges are levels and must survive a reset"
+    );
+}
+
+#[test]
+fn wire_error_responses_carry_the_machine_readable_code() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let server = serve(ServeConfig::default()).expect("server");
+
+    // Drive the wire directly (not through `Client`) so the raw response
+    // object is observable.
+    let raw = |line: &str| -> Json {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut reply = String::new();
+        BufReader::new(&mut stream)
+            .read_line(&mut reply)
+            .expect("read");
+        Json::parse(reply.trim_end()).expect("parse reply")
+    };
+
+    let bad_json = raw("{not json");
+    assert_eq!(bad_json.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        bad_json.get("code").and_then(Json::as_str),
+        Some("bad-json")
+    );
+
+    let bad_request = raw("{\"cmd\":\"frobnicate\"}");
+    assert_eq!(
+        bad_request.get("code").and_then(Json::as_str),
+        Some("bad-request")
+    );
+    assert!(bad_request.get("error").and_then(Json::as_str).is_some());
+
+    let disabled = raw("{\"cmd\":\"load\",\"path\":\"/etc/passwd\"}");
+    assert_eq!(
+        disabled.get("code").and_then(Json::as_str),
+        Some("path-load-disabled")
+    );
+
+    // The wire snapshot must count exactly those codes.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let snapshot = client.stats().expect("stats");
+    assert!(snapshot.counter("serve.errors.bad-json").unwrap_or(0) >= 1);
+    assert!(snapshot.counter("serve.errors.bad-request").unwrap_or(0) >= 1);
+    assert!(
+        snapshot
+            .counter("serve.errors.path-load-disabled")
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn wire_snapshot_is_bit_identical_to_the_in_process_snapshot() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (dimacs_text, _cnf) = corpus_instance();
+    let server = serve(ServeConfig::default()).expect("server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let load = client.load_dimacs(None, &dimacs_text).expect("load");
+    client
+        .sample(&SampleParams {
+            n: 3,
+            seed: 1,
+            ..SampleParams::new(load.fingerprint)
+        })
+        .expect("sample");
+
+    // The daemon runs in this process, so the wire snapshot and a direct
+    // `htsat_obs::global().snapshot()` observe one registry. Taking the
+    // wire snapshot *first* would let its own request mutate the counters
+    // between the two observations; in-process first, then comparing only
+    // the metrics the STATS request cannot itself move, proves the wire
+    // path is a faithful encode→decode of the in-process snapshot.
+    let wire = client.stats().expect("wire stats");
+    let direct = htsat_obs::global().snapshot();
+    assert_eq!(
+        wire.counter("engine.samples"),
+        direct.counter("engine.samples")
+    );
+    assert_eq!(
+        wire.counter("serve.registry.compiles"),
+        direct.counter("serve.registry.compiles")
+    );
+    assert_eq!(
+        wire.histogram("engine.round").map(|h| (h.count, h.sum)),
+        direct.histogram("engine.round").map(|h| (h.count, h.sum))
+    );
+    // And the typed round trip itself is byte-exact.
+    let encoded = wire.to_json().encode();
+    let reparsed = Snapshot::from_json(&Json::parse(&encoded).expect("parse")).expect("decode");
+    assert_eq!(reparsed.to_json().encode(), encoded);
+}
+
+#[test]
+fn stats_schema_v1_fixture_stays_parseable_and_canonical() {
+    // The committed fixture freezes schema `htsat-stats-v1`: if an encoder
+    // or schema change breaks this test, bump the schema string instead of
+    // regenerating the fixture in place.
+    let text = include_str!("fixtures/STATS_schema-v1.json");
+    let msg = Json::parse(text.trim()).expect("fixture is valid JSON");
+    let snapshot = Snapshot::from_json(&msg).expect("schema-v1 snapshot must stay decodable");
+    assert_eq!(
+        snapshot.to_json().encode(),
+        text.trim(),
+        "fixture must be the canonical encoding of its own decode"
+    );
+    assert!(snapshot.counter("serve.requests.sample").is_some());
+    assert!(snapshot.gauge("serve.connections.active").is_some());
+    let span = snapshot.histogram("serve.request").expect("request span");
+    assert!(span.count > 0 && span.sum > 0);
+}
