@@ -39,7 +39,8 @@
 
 use htsat_bench::cli::{self, Command};
 use htsat_bench::harness::{
-    diff_artifacts, run_bench_with, BenchArtifact, BenchConfig, DiffError, DiffOptions,
+    capture_environment, diff_artifacts, run_bench_with, summarize, utc_today, BenchArtifact,
+    BenchConfig, BenchSettings, Cell, CellKey, DiffError, DiffOptions, Sample, ARTIFACT_VERSION,
 };
 use htsat_bench::{
     ablation_instances, fig2, fig3_iterations, fig3_memory, fig4, format_table2, serve_bench,
@@ -123,21 +124,109 @@ fn run_fig4(options: &RunOptions) {
     }
 }
 
-fn run_threads(options: &RunOptions, counts: &[usize]) {
+/// Builds a single-sample artifact cell from one measured run.
+fn single_sample_cell(key: CellKey, seconds: f64, unique: u64, throughput: f64) -> Cell {
+    let sample = Sample {
+        seconds,
+        unique,
+        throughput,
+    };
+    let summary = match summarize(&[sample.throughput]) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("error: cannot summarize cell `{key}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    Cell {
+        key,
+        samples: vec![sample],
+        summary,
+    }
+}
+
+/// Folds cells into a bench artifact at `path`: appended to an existing
+/// artifact (replacing cells with the same key, so re-runs are idempotent)
+/// or written as a fresh one recorded through the harness's environment
+/// capture.
+fn fold_into_artifact(path: &Path, options: &RunOptions, new_cells: Vec<Cell>) {
+    let mut artifact = if path.exists() {
+        match BenchArtifact::read_from(path) {
+            Ok(artifact) => artifact,
+            Err(e) => {
+                eprintln!("error: cannot fold into {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        BenchArtifact {
+            version: ARTIFACT_VERSION,
+            environment: capture_environment(options.scale),
+            settings: BenchSettings {
+                invocations: 1,
+                warmup: 0,
+                target: options.target as u64,
+                timeout_ms: options.timeout.as_millis() as u64,
+                batch: options.batch_size as u64,
+                date: utc_today(),
+            },
+            cells: Vec::new(),
+        }
+    };
+    let folded = new_cells.len();
+    for cell in new_cells {
+        if let Some(existing) = artifact.cells.iter_mut().find(|c| c.key == cell.key) {
+            *existing = cell;
+        } else {
+            artifact.cells.push(cell);
+        }
+    }
+    if let Err(e) = artifact.write_to(path) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!(
+        "\nfolded {folded} cell(s) into {} ({} total)",
+        path.display(),
+        artifact.cells.len()
+    );
+}
+
+fn run_threads(options: &RunOptions, counts: &[usize], out: Option<&Path>) {
     println!("== Thread scaling: unique-solution throughput per worker count ==\n");
     println!(
         "{:<22} {:>8} {:>10} {:>18}",
         "instance", "threads", "unique", "throughput (/s)"
     );
-    for p in threads_sweep(options, counts) {
+    let points = threads_sweep(options, counts);
+    for p in &points {
         println!(
             "{:<22} {:>8} {:>10} {:>18.1}",
             p.instance, p.threads, p.unique, p.throughput
         );
     }
+    if let Some(path) = out {
+        let cells = points
+            .iter()
+            .filter(|p| p.throughput > 0.0)
+            .map(|p| {
+                single_sample_cell(
+                    CellKey {
+                        instance: p.instance.clone(),
+                        engine: "gd".to_string(),
+                        threads: p.threads as u64,
+                    },
+                    p.unique as f64 / p.throughput,
+                    p.unique as u64,
+                    p.throughput,
+                )
+            })
+            .collect();
+        fold_into_artifact(path, options, cells);
+    }
 }
 
-fn run_serve_bench(options: &RunOptions) {
+fn run_serve_bench(options: &RunOptions, out: Option<&Path>) {
     println!("== serve-bench: daemon round-trip latency and wire determinism ==\n");
     let report = serve_bench(options);
     println!("instance: {}\n", report.instance);
@@ -164,6 +253,44 @@ fn run_serve_bench(options: &RunOptions) {
     {
         // CI runs this subcommand as the loopback end-to-end gate.
         std::process::exit(1);
+    }
+    if let Some(path) = out {
+        // The wire legs as artifact cells: unique solutions per second of
+        // client-observed round-trip, so the streaming numbers live in the
+        // same perf-trajectory format as the in-process harness.
+        let engine_of = |label: &str| -> Option<(&'static str, u64)> {
+            if label.contains("pipelined") {
+                Some(("wire-gd-pipelined", 1))
+            } else if label.contains("walksat") {
+                Some(("wire-walksat", 1))
+            } else if label.contains("SAMPLE warm, 8") {
+                Some(("wire-gd", 8))
+            } else if label.contains("SAMPLE warm, 1") {
+                Some(("wire-gd", 1))
+            } else {
+                None // LOAD legs carry no solutions to rate
+            }
+        };
+        let cells = report
+            .legs
+            .iter()
+            .filter(|leg| leg.unique > 0 && leg.round_trip_ms > 0.0)
+            .filter_map(|leg| {
+                let (engine, threads) = engine_of(&leg.label)?;
+                let seconds = leg.round_trip_ms / 1e3;
+                Some(single_sample_cell(
+                    CellKey {
+                        instance: report.instance.clone(),
+                        engine: engine.to_string(),
+                        threads,
+                    },
+                    seconds,
+                    leg.unique as u64,
+                    leg.unique as f64 / seconds,
+                ))
+            })
+            .collect();
+        fold_into_artifact(path, options, cells);
     }
 }
 
@@ -351,7 +478,7 @@ fn exercise_daemon(client: &mut htsat_serve::Client) {
     }
 }
 
-fn run_stats(addr: &str, reset: bool, exercise: bool) {
+fn run_stats(addr: &str, reset: bool, exercise: bool, timeout_ms: Option<u64>) {
     let mut client = match htsat_serve::Client::connect(addr) {
         Ok(client) => client,
         Err(e) => {
@@ -359,6 +486,12 @@ fn run_stats(addr: &str, reset: bool, exercise: bool) {
             std::process::exit(2);
         }
     };
+    if let Some(ms) = timeout_ms {
+        if let Err(e) = client.set_timeout(Some(std::time::Duration::from_millis(ms))) {
+            eprintln!("error: cannot arm the {ms}ms read timeout: {e}");
+            std::process::exit(2);
+        }
+    }
     if exercise {
         exercise_daemon(&mut client);
     }
@@ -368,6 +501,10 @@ fn run_stats(addr: &str, reset: bool, exercise: bool) {
         client.stats()
     } {
         Ok(snapshot) => snapshot,
+        Err(e @ htsat_serve::ClientError::Timeout { .. }) => {
+            eprintln!("error: STATS {e}");
+            std::process::exit(3);
+        }
         Err(e) => {
             eprintln!("error: STATS failed: {e}");
             std::process::exit(2);
@@ -480,8 +617,8 @@ fn main() {
                 | Command::Fig3Iters(o)
                 | Command::Fig3Mem(o)
                 | Command::Fig4(o)
-                | Command::Threads(o, _)
-                | Command::ServeBench(o)
+                | Command::Threads(o, _, _)
+                | Command::ServeBench(o, _)
                 | Command::All(o, _) => o.scale,
                 _ => unreachable!(),
             };
@@ -497,8 +634,8 @@ fn main() {
         Command::Fig3Iters(options) => run_fig3_iters(&options),
         Command::Fig3Mem(options) => run_fig3_mem(&options),
         Command::Fig4(options) => run_fig4(&options),
-        Command::Threads(options, counts) => run_threads(&options, &counts),
-        Command::ServeBench(options) => run_serve_bench(&options),
+        Command::Threads(options, counts, out) => run_threads(&options, &counts, out.as_deref()),
+        Command::ServeBench(options, out) => run_serve_bench(&options, out.as_deref()),
         Command::All(options, instances) => {
             run_table2(&options);
             println!();
@@ -516,7 +653,8 @@ fn main() {
             addr,
             reset,
             exercise,
-        } => run_stats(&addr, reset, exercise),
+            timeout_ms,
+        } => run_stats(&addr, reset, exercise, timeout_ms),
         Command::BenchDegrade {
             input,
             output,

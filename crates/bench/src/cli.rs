@@ -28,10 +28,12 @@ pub enum Command {
     Fig3Mem(RunOptions),
     /// `fig4` and its column aliases.
     Fig4(RunOptions),
-    /// `threads` — the thread-scaling sweep.
-    Threads(RunOptions, Vec<usize>),
-    /// `serve-bench` — the daemon loopback gate.
-    ServeBench(RunOptions),
+    /// `threads` — the thread-scaling sweep; `--out` folds the points into
+    /// a bench artifact.
+    Threads(RunOptions, Vec<usize>, Option<PathBuf>),
+    /// `serve-bench` — the daemon loopback gate; `--out` folds the wire
+    /// legs into a bench artifact.
+    ServeBench(RunOptions, Option<PathBuf>),
     /// `all` — every figure and table in sequence.
     All(RunOptions, usize),
     /// `bench` — the statistical harness; emits an artifact.
@@ -61,6 +63,9 @@ pub enum Command {
         /// Drive a LOAD + SAMPLE + induced error against the daemon first,
         /// then assert the key counters moved — CI's observability gate.
         exercise: bool,
+        /// Socket read timeout (`--timeout-ms`); an unresponsive daemon
+        /// surfaces as a typed `ClientError::Timeout` instead of a hang.
+        timeout_ms: Option<u64>,
     },
     /// `bench-degrade <in> <out> --factor F` — scales every throughput
     /// sample; CI's negative gate uses it to prove `bench-diff` catches an
@@ -86,7 +91,7 @@ const SUBCOMMANDS: &[(&str, &[&str])] = &[
     ("fig4-ops", RUN_FLAGS),
     ("fig4-transform", RUN_FLAGS),
     ("threads", THREADS_FLAGS),
-    ("serve-bench", RUN_FLAGS),
+    ("serve-bench", SERVE_BENCH_FLAGS),
     ("all", FIG2_FLAGS),
     ("bench", BENCH_FLAGS),
     ("bench-diff", DIFF_FLAGS),
@@ -122,6 +127,17 @@ const THREADS_FLAGS: &[&str] = &[
     "--stream",
     "--kernel",
     "--counts",
+    "--out",
+];
+const SERVE_BENCH_FLAGS: &[&str] = &[
+    "--scale",
+    "--target",
+    "--timeout",
+    "--batch",
+    "--threads",
+    "--stream",
+    "--kernel",
+    "--out",
 ];
 const BENCH_FLAGS: &[&str] = &[
     "--scale",
@@ -138,7 +154,7 @@ const BENCH_FLAGS: &[&str] = &[
 ];
 const DIFF_FLAGS: &[&str] = &["--threshold", "--force"];
 const DEGRADE_FLAGS: &[&str] = &["--factor"];
-const STATS_FLAGS: &[&str] = &["--addr", "--reset", "--exercise"];
+const STATS_FLAGS: &[&str] = &["--addr", "--reset", "--exercise", "--timeout-ms"];
 
 /// One line listing every subcommand, for error messages and `--help`-style
 /// usage output.
@@ -146,7 +162,7 @@ const STATS_FLAGS: &[&str] = &["--addr", "--reset", "--exercise"];
 pub fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(name, _)| *name).collect();
     format!(
-        "usage: repro <{}> [flags...]\n  run flags: {}\n  bench flags: {}\n  bench-diff: repro bench-diff <old.json> <new.json> [--threshold PCT] [--force]\n  bench-degrade: repro bench-degrade <in.json> <out.json> --factor F\n  stats: repro stats --addr HOST:PORT [--reset] [--exercise]",
+        "usage: repro <{}> [flags...]\n  run flags: {}\n  bench flags: {}\n  bench-diff: repro bench-diff <old.json> <new.json> [--threshold PCT] [--force]\n  bench-degrade: repro bench-degrade <in.json> <out.json> --factor F\n  stats: repro stats --addr HOST:PORT [--reset] [--exercise] [--timeout-ms MS]",
         names.join("|"),
         RUN_FLAGS.join(" "),
         BENCH_FLAGS.join(" ")
@@ -195,6 +211,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
     let mut addr: Option<String> = None;
     let mut stats_reset = false;
     let mut exercise = false;
+    let mut timeout_ms: Option<u64> = None;
     let mut positionals: Vec<String> = Vec::new();
     // `bench` leaves scale/target/timeout/batch at the profile's values
     // (standard or --quick) unless explicitly overridden.
@@ -337,6 +354,15 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
             "--addr" => {
                 addr = Some(value);
             }
+            "--timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|e| format!("invalid --timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("invalid --timeout-ms: must be > 0".to_string());
+                }
+                timeout_ms = Some(ms);
+            }
             "--factor" => {
                 let f: f64 = value
                     .parse()
@@ -384,11 +410,11 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
         }
         "threads" => {
             expect_positionals(0, "")?;
-            Ok(Command::Threads(options, thread_counts))
+            Ok(Command::Threads(options, thread_counts, out))
         }
         "serve-bench" => {
             expect_positionals(0, "")?;
-            Ok(Command::ServeBench(options))
+            Ok(Command::ServeBench(options, out))
         }
         "all" => {
             expect_positionals(0, "")?;
@@ -444,6 +470,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
                 addr: addr.ok_or("stats requires --addr HOST:PORT")?,
                 reset: stats_reset,
                 exercise,
+                timeout_ms,
             })
         }
         "bench-degrade" => {
@@ -519,10 +546,17 @@ mod tests {
             parse_str("fig2 --instances 3"),
             Ok(Command::Fig2(_, 3))
         ));
-        match parse_str("threads --counts 1,2").expect("parse") {
-            Command::Threads(_, counts) => assert_eq!(counts, vec![1, 2]),
+        match parse_str("threads --counts 1,2 --out /tmp/t.json").expect("parse") {
+            Command::Threads(_, counts, out) => {
+                assert_eq!(counts, vec![1, 2]);
+                assert_eq!(out, Some(PathBuf::from("/tmp/t.json")));
+            }
             other => panic!("unexpected {other:?}"),
         }
+        assert!(matches!(
+            parse_str("serve-bench --out /tmp/s.json"),
+            Ok(Command::ServeBench(_, Some(_)))
+        ));
     }
 
     #[test]
@@ -584,12 +618,16 @@ mod tests {
             addr,
             reset,
             exercise,
-        } = parse_str("stats --addr 127.0.0.1:7878 --reset --exercise").expect("parse")
+            timeout_ms,
+        } = parse_str("stats --addr 127.0.0.1:7878 --reset --exercise --timeout-ms 250")
+            .expect("parse")
         else {
             panic!("expected stats");
         };
         assert_eq!(addr, "127.0.0.1:7878");
         assert!(reset && exercise);
+        assert_eq!(timeout_ms, Some(250));
+        assert!(parse_str("stats --addr x --timeout-ms 0").is_err());
         // Its flags stay scoped to it.
         let err = parse_str("table2 --addr x").unwrap_err();
         assert!(err.contains("`table2` does not accept `--addr`"), "{err}");

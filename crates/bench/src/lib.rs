@@ -621,6 +621,63 @@ pub fn serve_bench(options: &RunOptions) -> ServeBenchReport {
     });
     deterministic &= reply.solutions == expected;
 
+    // Protocol v2 leg: upgrade the connection and run two chunked SAMPLEs
+    // pipelined on it, draining their interleaved frames round-robin. Each
+    // reassembled stream must stay bit-identical to its in-process
+    // reference — the multiplexed framing is not allowed to cost
+    // determinism (or much latency).
+    client.hello().expect("protocol v2 negotiation");
+    let pipelined_n = options.target.min(32);
+    let references: Vec<Vec<Vec<bool>>> = (0..2u64)
+        .map(|lane| {
+            let config = SamplerConfig {
+                seed: seed + 1 + lane,
+                backend: Backend::Threads(1),
+                ..SamplerConfig::default()
+            };
+            let mut reference =
+                GdSampler::new(&instance.cnf, config).expect("pipelined reference sampler");
+            reference.stream().take(pipelined_n).collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let mut lanes: Vec<(u64, Vec<Vec<bool>>, bool)> = (0..2u64)
+        .map(|lane| {
+            let id = client
+                .sample_start(&SampleParams {
+                    n: pipelined_n,
+                    seed: seed + 1 + lane,
+                    threads: Some(1),
+                    ..SampleParams::new(load.fingerprint)
+                })
+                .expect("start pipelined sample");
+            (id, Vec::new(), false)
+        })
+        .collect();
+    let mut open = lanes.len();
+    while open > 0 {
+        for (id, solutions, done) in &mut lanes {
+            if *done {
+                continue;
+            }
+            match client.sample_next(*id).expect("pipelined sample frame") {
+                htsat_serve::SampleEvent::Batch(batch) => solutions.extend(batch),
+                htsat_serve::SampleEvent::Done(_) => {
+                    *done = true;
+                    open -= 1;
+                }
+            }
+        }
+    }
+    legs.push(ServeBenchLeg {
+        label: "SAMPLE x2 pipelined (v2 chunked)".to_string(),
+        round_trip_ms: started.elapsed().as_secs_f64() * 1e3,
+        unique: lanes.iter().map(|(_, s, _)| s.len()).sum(),
+    });
+    for (lane, reference) in references.iter().enumerate() {
+        deterministic &= &lanes[lane].1 == reference;
+    }
+
     let compiles = server.registry().counters().compiles;
     client.shutdown().expect("graceful shutdown");
     ServeBenchReport {

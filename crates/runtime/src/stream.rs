@@ -322,6 +322,37 @@ impl<S: RoundSource> SampleStream<S> {
         drained
     }
 
+    /// Yields the next chunk of up to `max` unique items: runs rounds until
+    /// at least one item is available (exactly like [`Iterator::next`]),
+    /// then drains further *already-discovered* items up to the cap without
+    /// starting another round.
+    ///
+    /// Chunks therefore fall on natural round boundaries, and the
+    /// concatenation of successive `next_batch` calls is **identical** to
+    /// plain iteration — this is what lets a serving layer stream a request
+    /// as incremental chunks while preserving the bit-for-bit determinism
+    /// contract of the underlying sequence. An empty return means the
+    /// stream ended (cancelled, deadline passed, or exhausted).
+    pub fn next_batch(&mut self, max: usize) -> Vec<S::Item> {
+        let mut chunk = Vec::new();
+        if max == 0 {
+            return chunk;
+        }
+        if let Some(first) = self.next() {
+            chunk.push(first);
+            while chunk.len() < max {
+                match self.pending.pop_front() {
+                    Some(item) => {
+                        self.stats.yielded += 1;
+                        chunk.push(item);
+                    }
+                    None => break,
+                }
+            }
+        }
+        chunk
+    }
+
     fn deadline_passed(&self) -> bool {
         self.deadline
             .is_some_and(|deadline| Instant::now() >= deadline)
@@ -566,6 +597,39 @@ mod tests {
         assert_eq!(stream.next(), None);
         assert!(stream.is_exhausted());
         assert!(stream.drain_ready().is_empty());
+    }
+
+    #[test]
+    fn next_batch_concatenation_matches_plain_iteration() {
+        // Reference order: plain iteration.
+        let reference: Vec<usize> = SampleStream::new(Counter::new(4, 2)).take(17).collect();
+
+        // Chunked: batches fall on round boundaries but concatenate to the
+        // exact same sequence, for any cap.
+        for cap in [1, 3, 4, 5, 100] {
+            let mut stream = SampleStream::new(Counter::new(4, 2));
+            let mut chunked = Vec::new();
+            while chunked.len() < reference.len() {
+                let batch = stream.next_batch(cap.min(reference.len() - chunked.len()));
+                assert!(!batch.is_empty(), "stream ended early at cap {cap}");
+                assert!(batch.len() <= cap);
+                chunked.extend(batch);
+            }
+            assert_eq!(chunked, reference, "cap {cap}");
+            assert_eq!(stream.stats().yielded, reference.len());
+        }
+    }
+
+    #[test]
+    fn next_batch_signals_end_with_an_empty_chunk() {
+        let mut stream = SampleStream::new(Finite { total: 3 }).with_stale_limit(1);
+        assert_eq!(stream.next_batch(10), vec![0, 1, 2]);
+        assert!(stream.next_batch(10).is_empty());
+        assert!(stream.is_exhausted());
+        // A zero cap never runs a round.
+        let mut stream = SampleStream::new(Finite { total: 3 });
+        assert!(stream.next_batch(0).is_empty());
+        assert_eq!(stream.stats().rounds, 0);
     }
 
     /// Alternates between a round of already-seen items and a round with one

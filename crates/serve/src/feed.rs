@@ -1,0 +1,393 @@
+//! `SUBSCRIBE` fanout: shared push feeds with per-subscriber credit.
+//!
+//! A feed is **one** resident engine session whose solution batches fan
+//! out to N subscribers — the paper's serving story at its sharpest: one
+//! GD trajectory feeding many CRV-stimulus consumers. Feeds are keyed by
+//! the full trajectory identity (formula, engine, seed, threads, batch,
+//! stale limit, chunk size), so two subscribers asking for the same
+//! trajectory share one stream and both see its *identical* batches.
+//!
+//! Flow control is **credit-based and per-subscriber**: each `pushed`
+//! frame spends one credit, `CREDIT` grants more, and a subscriber at
+//! zero credit (or with a full connection queue) simply *misses* batches
+//! — its `stalls` counter rises and the feed's `seq` numbers expose the
+//! gap — while every funded subscriber keeps receiving. The producer only
+//! parks when *no* subscriber has credit: slow consumers stall
+//! themselves, never the trajectory. A feed ends when its solution space
+//! exhausts (terminal `done` to every seat), when the last subscriber
+//! leaves (the producer quietly retires), or at daemon shutdown (terminal
+//! `error` code `shutdown` to every seat).
+
+use crate::json::Json;
+use crate::proto::{
+    frame_feed_done, frame_feed_error, frame_pushed, ErrorCode, SampleParams, SubscribeParams,
+};
+use crate::registry::RegistryEntry;
+use crate::server::{admit_sample, sample_tail_payload, ServerState};
+use htsat_cnf::Fingerprint;
+use htsat_core::EngineStream;
+use htsat_runtime::StopToken;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a parked producer sleeps between stop-flag polls while no
+/// subscriber has credit (credit grants wake it immediately via condvar).
+const FEED_PARK_POLL: Duration = Duration::from_millis(50);
+
+/// The full trajectory identity a feed is shared under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct FeedKey {
+    fingerprint: Fingerprint,
+    engine: String,
+    seed: u64,
+    threads: Option<usize>,
+    batch: Option<usize>,
+    max_stale: Option<u32>,
+    chunk: usize,
+}
+
+impl FeedKey {
+    fn of(params: &SubscribeParams) -> FeedKey {
+        FeedKey {
+            fingerprint: params.fingerprint,
+            engine: params
+                .engine
+                .clone()
+                .unwrap_or_else(|| crate::proto::DEFAULT_ENGINE.to_string()),
+            seed: params.seed,
+            threads: params.threads,
+            batch: params.batch,
+            max_stale: params.max_stale,
+            chunk: params.chunk,
+        }
+    }
+}
+
+/// One subscriber's seat on a feed.
+struct Seat {
+    sub: u64,
+    /// The owning connection's frame queue (v2 writer).
+    tx: SyncSender<Json>,
+    credit: u64,
+    delivered: u64,
+    stalls: u64,
+}
+
+struct FeedInner {
+    seats: Vec<Seat>,
+    /// Set by the producer on its way out: no new seat may join (a fresh
+    /// feed replaces this one in the registry instead).
+    closed: bool,
+}
+
+/// A live shared feed: its seats, the producer's wake signal and its stop
+/// token (issued from the daemon's request [`StopSet`](htsat_runtime::StopSet),
+/// so shutdown cancels the trajectory like any other stream).
+pub(crate) struct Feed {
+    key: FeedKey,
+    inner: Mutex<FeedInner>,
+    wake: Condvar,
+    stop: StopToken,
+}
+
+impl Feed {
+    /// Grants `n` more frames to a seat; returns its new credit total, or
+    /// `None` when the seat is gone (feed ended or unsubscribed).
+    pub(crate) fn credit(&self, sub: u64, n: u64) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("feed poisoned");
+        let seat = inner.seats.iter_mut().find(|s| s.sub == sub)?;
+        seat.credit = seat.credit.saturating_add(n);
+        let total = seat.credit;
+        drop(inner);
+        self.wake.notify_all();
+        Some(total)
+    }
+
+    /// Removes a seat (unsubscribe or its connection closing); returns
+    /// whether it was present. With the last seat gone the producer
+    /// retires on its next wake.
+    pub(crate) fn remove(&self, sub: u64) -> bool {
+        let mut inner = self.inner.lock().expect("feed poisoned");
+        let before = inner.seats.len();
+        inner.seats.retain(|s| s.sub != sub);
+        let removed = inner.seats.len() < before;
+        drop(inner);
+        if removed {
+            htsat_obs::gauge!("serve.sub.subscribers").dec();
+            self.wake.notify_all();
+        }
+        removed
+    }
+}
+
+/// All live feeds plus their producer threads, owned by the
+/// [`ServerState`].
+pub(crate) struct FeedRegistry {
+    feeds: Mutex<HashMap<FeedKey, Arc<Feed>>>,
+    producers: Mutex<Vec<JoinHandle<()>>>,
+    next_sub: AtomicU64,
+}
+
+impl FeedRegistry {
+    pub(crate) fn new() -> FeedRegistry {
+        FeedRegistry {
+            feeds: Mutex::new(HashMap::new()),
+            producers: Mutex::new(Vec::new()),
+            next_sub: AtomicU64::new(0),
+        }
+    }
+
+    /// Live feed count (status reporting).
+    pub(crate) fn feed_count(&self) -> usize {
+        self.feeds.lock().expect("feeds poisoned").len()
+    }
+
+    /// Total seats across all live feeds (status reporting).
+    pub(crate) fn subscriber_count(&self) -> usize {
+        self.feeds
+            .lock()
+            .expect("feeds poisoned")
+            .values()
+            .map(|feed| feed.inner.lock().expect("feed poisoned").seats.len())
+            .sum()
+    }
+
+    /// Seats a subscriber: joins the live feed of the same trajectory, or
+    /// validates the request and starts a new producer. Returns the
+    /// subscription id and the feed (the session routes `CREDIT` /
+    /// `UNSUBSCRIBE` / disconnect cleanup through it).
+    ///
+    /// # Errors
+    ///
+    /// The same validation failures as a `SAMPLE` (not loaded, caps,
+    /// config), plus `shutdown` while the daemon stops.
+    pub(crate) fn subscribe(
+        &self,
+        state: &Arc<ServerState>,
+        params: &SubscribeParams,
+        tx: SyncSender<Json>,
+    ) -> Result<(u64, Arc<Feed>), (ErrorCode, String)> {
+        let key = FeedKey::of(params);
+        let sub = self.next_sub.fetch_add(1, Ordering::Relaxed) + 1;
+        let seat = Seat {
+            sub,
+            tx,
+            credit: params.credit,
+            delivered: 0,
+            stalls: 0,
+        };
+        let mut feeds = self.feeds.lock().expect("feeds poisoned");
+        if let Some(feed) = feeds.get(&key) {
+            let mut inner = feed.inner.lock().expect("feed poisoned");
+            if !inner.closed {
+                inner.seats.push(seat);
+                drop(inner);
+                htsat_obs::gauge!("serve.sub.subscribers").inc();
+                feed.wake.notify_all();
+                return Ok((sub, feed.clone()));
+            }
+            // The producer is on its way out; replace with a fresh feed.
+            drop(inner);
+            feeds.remove(&key);
+        }
+        // First subscriber of this trajectory: validate like a SAMPLE and
+        // start the producer.
+        let sample_params = SampleParams {
+            fingerprint: params.fingerprint,
+            engine: params.engine.clone(),
+            n: 0, // feeds have no target count; `n` is unused
+            seed: params.seed,
+            deadline_ms: None,
+            max_stale: params.max_stale,
+            threads: params.threads,
+            batch: params.batch,
+        };
+        let token = state.requests.issue();
+        let admitted = match admit_sample(state, &sample_params, &token) {
+            Ok(admitted) => admitted,
+            Err(err) => {
+                token.stop();
+                return Err(err);
+            }
+        };
+        let feed = Arc::new(Feed {
+            key: key.clone(),
+            inner: Mutex::new(FeedInner {
+                seats: vec![seat],
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            stop: token,
+        });
+        feeds.insert(key, feed.clone());
+        drop(feeds);
+        htsat_obs::gauge!("serve.sub.subscribers").inc();
+        let producer_state = state.clone();
+        let producer_feed = feed.clone();
+        let chunk = params.chunk;
+        let handle = std::thread::Builder::new()
+            .name("htsat-serve-feed".to_string())
+            .spawn(move || {
+                run_feed(
+                    &producer_state,
+                    &producer_feed,
+                    admitted.entry,
+                    admitted.stream,
+                    chunk,
+                );
+            })
+            .expect("spawn feed producer");
+        self.producers
+            .lock()
+            .expect("producers poisoned")
+            .push(handle);
+        Ok((sub, feed))
+    }
+
+    /// Joins every producer thread that ever ran (daemon shutdown path —
+    /// their stop tokens have been fired with the rest of the request
+    /// set).
+    pub(crate) fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.producers.lock().expect("producers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Why a producer stopped producing.
+enum FeedEnd {
+    /// The solution space exhausted (or the stream otherwise ran dry).
+    Exhausted,
+    /// Daemon shutdown cancelled the trajectory.
+    Shutdown,
+    /// Every subscriber left; nobody is listening.
+    Abandoned,
+}
+
+/// The producer loop of one feed: park until some seat has credit, advance
+/// the shared trajectory by one chunk, fan it out, repeat.
+fn run_feed(
+    state: &Arc<ServerState>,
+    feed: &Arc<Feed>,
+    entry: Arc<RegistryEntry>,
+    mut stream: EngineStream,
+    chunk: usize,
+) {
+    let mut seq: u64 = 0;
+    let end = loop {
+        // Park (not spin) while no seat can accept a batch. Credit grants
+        // and seat changes notify the condvar; the timeout bounds how long
+        // a daemon-wide stop can go unnoticed.
+        {
+            let mut inner = feed.inner.lock().expect("feed poisoned");
+            loop {
+                if feed.stop.is_stopped() {
+                    break;
+                }
+                if inner.seats.is_empty() {
+                    break;
+                }
+                if inner.seats.iter().any(|s| s.credit > 0) {
+                    break;
+                }
+                let (guard, _timeout) = feed
+                    .wake
+                    .wait_timeout(inner, FEED_PARK_POLL)
+                    .expect("feed poisoned");
+                inner = guard;
+            }
+            if feed.stop.is_stopped() {
+                break FeedEnd::Shutdown;
+            }
+            if inner.seats.is_empty() {
+                break FeedEnd::Abandoned;
+            }
+        }
+        let batch = stream.next_batch(chunk);
+        if batch.is_empty() {
+            break if feed.stop.is_stopped() {
+                FeedEnd::Shutdown
+            } else {
+                FeedEnd::Exhausted
+            };
+        }
+        let mut inner = feed.inner.lock().expect("feed poisoned");
+        inner.seats.retain_mut(|seat| {
+            if seat.credit == 0 {
+                // Lossy by design: the starved seat misses this batch (its
+                // next `seq` will jump) instead of stalling the trajectory.
+                seat.stalls += 1;
+                htsat_obs::counter!("serve.sub.stalls").inc();
+                return true;
+            }
+            match seat.tx.try_send(frame_pushed(seat.sub, seq, &batch)) {
+                Ok(()) => {
+                    seat.credit -= 1;
+                    seat.delivered += 1;
+                    htsat_obs::counter!("serve.sub.batches").inc();
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    // Its connection queue is full — same stall semantics
+                    // as zero credit.
+                    seat.stalls += 1;
+                    htsat_obs::counter!("serve.sub.stalls").inc();
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Connection gone; reclaim the seat.
+                    htsat_obs::gauge!("serve.sub.subscribers").dec();
+                    false
+                }
+            }
+        });
+        drop(inner);
+        seq += 1;
+    };
+
+    let stats = *stream.stats();
+    let elapsed = stream.elapsed();
+    let exhausted = stream.is_exhausted();
+    drop(stream);
+    feed.stop.stop(); // lets the StopSet prune this token
+    entry.record_stats(&stats);
+    let mut inner = feed.inner.lock().expect("feed poisoned");
+    inner.closed = true;
+    for seat in inner.seats.drain(..) {
+        htsat_obs::gauge!("serve.sub.subscribers").dec();
+        let frame = match end {
+            FeedEnd::Shutdown => frame_feed_error(
+                seat.sub,
+                ErrorCode::Shutdown,
+                "feed closed: server is shutting down",
+            ),
+            // Exhausted (and the no-listeners retirement, where nobody
+            // will read this anyway): a normal terminal `done`.
+            FeedEnd::Exhausted | FeedEnd::Abandoned => {
+                let mut payload = vec![
+                    ("sub_delivered", seat.delivered.into()),
+                    ("sub_stalls", seat.stalls.into()),
+                    ("batches", seq.into()),
+                ];
+                payload.extend(sample_tail_payload(state, &stats, elapsed, exhausted));
+                frame_feed_done(seat.sub, payload)
+            }
+        };
+        let _ = seat.tx.try_send(frame);
+    }
+    drop(inner);
+    // Retire from the registry — unless a fresh feed already replaced this
+    // closed one under the same key.
+    let mut feeds = state.feeds.feeds.lock().expect("feeds poisoned");
+    if let Some(current) = feeds.get(&feed.key) {
+        if Arc::ptr_eq(current, feed) {
+            feeds.remove(&feed.key);
+        }
+    }
+}

@@ -72,12 +72,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod feed;
 pub use htsat_json as json;
 pub mod proto;
 pub mod registry;
 pub mod server;
+mod session;
 
-pub use client::{Client, ClientError, LoadReply, SampleReply};
+pub use client::{
+    Client, ClientError, LoadReply, SampleDone, SampleEvent, SampleReply, SampleStream, SubEvent,
+};
 pub use proto::ErrorCode;
 pub use registry::{RegistryConfig, RegistryCounters, SamplerRegistry};
 pub use server::{serve, ServeConfig, ServerHandle};

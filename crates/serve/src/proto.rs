@@ -10,7 +10,9 @@
 //! # Grammar (one line per message)
 //!
 //! ```text
-//! request  = load | sample | status | stats | evict | shutdown
+//! request  = hello | load | sample | status | stats | evict | shutdown
+//!          | subscribe | credit | unsubscribe
+//! hello    = {"cmd":"hello", "version":int}
 //! load     = {"cmd":"load", "name"?:str, "engine"?:str, "dimacs":str} |
 //!            {"cmd":"load", "name"?:str, "engine"?:str, "path":str}
 //! sample   = {"cmd":"sample", "fingerprint":hex32, "engine"?:str,
@@ -20,7 +22,44 @@
 //! stats    = {"cmd":"stats", "reset"?:bool}
 //! evict    = {"cmd":"evict", "fingerprint":hex32, "engine"?:str}
 //! shutdown = {"cmd":"shutdown"}
+//! subscribe   = {"cmd":"subscribe", "fingerprint":hex32, "engine"?:str,
+//!                "seed"?:int|decimal-str, "threads"?:int, "batch"?:int,
+//!                "max_stale"?:int, "credit"?:int, "chunk"?:int}
+//! credit      = {"cmd":"credit", "sub":int, "n":int}
+//! unsubscribe = {"cmd":"unsubscribe", "sub":int}
 //! ```
+//!
+//! # Protocol versions
+//!
+//! A connection starts in **v1**: strictly one request in, one response
+//! out, in order. A client upgrades by sending `HELLO` with
+//! `"version": 2`; the `HELLO` reply itself is still v1-framed, and every
+//! line after it is a v2 **frame**. Clients that never send `HELLO` (or
+//! negotiate version 1) get v1 behaviour bit-for-bit — no `"frame"` or
+//! `"id"` keys ever appear in their responses.
+//!
+//! In v2 every request carries a client-chosen `"id"` (a 64-bit integer,
+//! unique among that connection's in-flight requests) and responses are
+//! tagged frames that may interleave across requests:
+//!
+//! ```text
+//! frame  = reply | chunk | done | pushed | error
+//! reply  = {"frame":"reply",  "id":int, "ok":true, ...payload}
+//! chunk  = {"frame":"chunk",  "id":int, "seq":int, "solutions":[bits...]}
+//! done   = {"frame":"done",   "id":int, "ok":true, ...payload}
+//! pushed = {"frame":"pushed", "sub":int, "seq":int, "solutions":[bits...]}
+//! error  = {"frame":"error",  "id":int|null, "ok":false, "error":str,
+//!           "code":str}
+//! ```
+//!
+//! `reply` completes a unary request. A v2 `SAMPLE` streams: zero or more
+//! `chunk` frames (batches straight off the engine's `SampleStream`, `seq`
+//! counting from 0) then one terminal `done` carrying the stream stats; the
+//! concatenated chunks are bit-identical to the in-process sequence for
+//! the same seed. `pushed` frames belong to a subscription feed (see
+//! `SUBSCRIBE` — they are addressed by `sub`, not `id`). `error` is
+//! terminal for its `id`; `"id": null` means the request line itself was
+//! undecodable.
 //!
 //! `STATS` returns the daemon's metrics snapshot (schema
 //! `htsat-stats-v1`, see `htsat-obs`) merged into the response object;
@@ -55,6 +94,24 @@ use htsat_runtime::StreamStats;
 /// is omitted.
 pub const DEFAULT_SAMPLE_N: usize = 16;
 
+/// The baseline protocol every connection starts in: one request in, one
+/// response out, in order.
+pub const PROTOCOL_V1: u64 = 1;
+
+/// The tagged, multiplexed frame protocol negotiated via `HELLO`.
+pub const PROTOCOL_V2: u64 = 2;
+
+/// Highest protocol version this build speaks.
+pub const PROTOCOL_MAX: u64 = PROTOCOL_V2;
+
+/// Initial credit a `SUBSCRIBE` request grants itself when `credit` is
+/// omitted: how many `pushed` frames the server may send before the
+/// subscriber must top up with `CREDIT`.
+pub const DEFAULT_SUBSCRIBE_CREDIT: u64 = 4;
+
+/// Solutions per `pushed` frame when a `SUBSCRIBE` request omits `chunk`.
+pub const DEFAULT_SUBSCRIBE_CHUNK: usize = 16;
+
 /// The engine a request targets when its `engine` field is omitted: the
 /// paper's transformed-circuit GD sampler.
 pub const DEFAULT_ENGINE: &str = "gd";
@@ -62,6 +119,12 @@ pub const DEFAULT_ENGINE: &str = "gd";
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Negotiate the protocol version for the rest of the connection.
+    Hello {
+        /// Version the client wants to speak ([`PROTOCOL_V1`] or
+        /// [`PROTOCOL_V2`]).
+        version: u64,
+    },
     /// Register a formula (inline DIMACS text or a server-side path) in the
     /// sampler registry, prepared for one engine.
     Load {
@@ -93,6 +156,21 @@ pub enum Request {
     /// Stop the daemon: fire all request stop-tokens, drain in-flight
     /// connections, exit the accept loop.
     Shutdown,
+    /// Join (or start) the shared push feed of a (formula, engine, seed)
+    /// trajectory. v2-only.
+    Subscribe(SubscribeParams),
+    /// Grant a subscription more `pushed` frames. v2-only.
+    Credit {
+        /// Subscription id (from the `SUBSCRIBE` reply).
+        sub: u64,
+        /// Additional frames the server may push.
+        n: u64,
+    },
+    /// Leave a feed and reclaim its seat. v2-only.
+    Unsubscribe {
+        /// Subscription id to drop.
+        sub: u64,
+    },
 }
 
 /// Where a `LOAD` request's DIMACS text comes from.
@@ -150,6 +228,51 @@ impl SampleParams {
         SampleParams {
             engine: Some(engine.to_string()),
             ..SampleParams::new(fingerprint)
+        }
+    }
+}
+
+/// Parameters of a `SUBSCRIBE` request.
+///
+/// The (fingerprint, engine, seed, threads, batch, max_stale, chunk) tuple
+/// keys the shared feed: subscribers with identical parameters share one
+/// resident engine session, and its solution batches fan out to all of
+/// them. `credit` is per-subscriber and does not key the feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeParams {
+    /// Registry key of the formula to sample.
+    pub fingerprint: Fingerprint,
+    /// Engine to sample with (`None` = [`DEFAULT_ENGINE`]); the
+    /// (fingerprint, engine) pair must have been loaded.
+    pub engine: Option<String>,
+    /// Seed of the shared trajectory.
+    pub seed: u64,
+    /// Worker threads for the shared session (`None` = server default).
+    pub threads: Option<usize>,
+    /// Batch size override (`None` = the sampler default).
+    pub batch: Option<usize>,
+    /// Stale-round limit override (`None` = the stream default).
+    pub max_stale: Option<u32>,
+    /// Initial credit: `pushed` frames the server may send before the
+    /// subscriber tops up with `CREDIT`. Zero joins stalled.
+    pub credit: u64,
+    /// Solutions per `pushed` frame.
+    pub chunk: usize,
+}
+
+impl SubscribeParams {
+    /// Parameters with every knob at its default for `fingerprint`.
+    #[must_use]
+    pub fn new(fingerprint: Fingerprint) -> Self {
+        SubscribeParams {
+            fingerprint,
+            engine: None,
+            seed: 0,
+            threads: None,
+            batch: None,
+            max_stale: None,
+            credit: DEFAULT_SUBSCRIBE_CREDIT,
+            chunk: DEFAULT_SUBSCRIBE_CHUNK,
         }
     }
 }
@@ -241,6 +364,11 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or_else(|| ProtoError("missing `cmd`".to_string()))?;
         match cmd {
+            "hello" => {
+                let version = field_u64(msg, "version")?
+                    .ok_or_else(|| ProtoError("hello needs `version`".to_string()))?;
+                Ok(Request::Hello { version })
+            }
             "load" => {
                 let name = msg.get("name").and_then(Json::as_str).map(str::to_string);
                 let engine = field_engine(msg)?;
@@ -297,6 +425,44 @@ impl Request {
                 engine: field_engine(msg)?,
             }),
             "shutdown" => Ok(Request::Shutdown),
+            "subscribe" => {
+                let mut params = SubscribeParams::new(field_fingerprint(msg)?);
+                params.engine = field_engine(msg)?;
+                if let Some(seed) = field_u64_exact(msg, "seed")? {
+                    params.seed = seed;
+                }
+                params.threads = field_u64(msg, "threads")?.map(|v| v as usize);
+                params.batch = field_u64(msg, "batch")?.map(|v| v as usize);
+                params.max_stale = field_u64(msg, "max_stale")?.map(|v| v as u32);
+                if let Some(credit) = field_u64(msg, "credit")? {
+                    params.credit = credit;
+                }
+                if let Some(chunk) = field_u64(msg, "chunk")? {
+                    params.chunk = chunk as usize;
+                }
+                if params.batch == Some(0) {
+                    return Err(ProtoError("`batch` must be non-zero".to_string()));
+                }
+                if params.chunk == 0 {
+                    return Err(ProtoError("`chunk` must be non-zero".to_string()));
+                }
+                Ok(Request::Subscribe(params))
+            }
+            "credit" => {
+                let sub = field_u64(msg, "sub")?
+                    .ok_or_else(|| ProtoError("credit needs `sub`".to_string()))?;
+                let n = field_u64(msg, "n")?
+                    .ok_or_else(|| ProtoError("credit needs `n`".to_string()))?;
+                if n == 0 {
+                    return Err(ProtoError("`n` must be non-zero".to_string()));
+                }
+                Ok(Request::Credit { sub, n })
+            }
+            "unsubscribe" => {
+                let sub = field_u64(msg, "sub")?
+                    .ok_or_else(|| ProtoError("unsubscribe needs `sub`".to_string()))?;
+                Ok(Request::Unsubscribe { sub })
+            }
             other => Err(ProtoError(format!("unknown command `{other}`"))),
         }
     }
@@ -306,6 +472,10 @@ impl Request {
     #[must_use]
     pub fn encode(&self) -> Json {
         match self {
+            Request::Hello { version } => Json::obj(vec![
+                ("cmd", "hello".into()),
+                ("version", (*version).into()),
+            ]),
             Request::Load {
                 name,
                 engine,
@@ -370,8 +540,181 @@ impl Request {
                 Json::obj(pairs)
             }
             Request::Shutdown => Json::obj(vec![("cmd", "shutdown".into())]),
+            Request::Subscribe(p) => {
+                let mut pairs = vec![
+                    ("cmd", Json::from("subscribe")),
+                    ("fingerprint", p.fingerprint.to_hex().into()),
+                    ("seed", encode_u64_exact(p.seed)),
+                ];
+                if let Some(engine) = &p.engine {
+                    pairs.push(("engine", engine.clone().into()));
+                }
+                if let Some(threads) = p.threads {
+                    pairs.push(("threads", threads.into()));
+                }
+                if let Some(batch) = p.batch {
+                    pairs.push(("batch", batch.into()));
+                }
+                if let Some(stale) = p.max_stale {
+                    pairs.push(("max_stale", u64::from(stale).into()));
+                }
+                pairs.push(("credit", p.credit.into()));
+                pairs.push(("chunk", p.chunk.into()));
+                Json::obj(pairs)
+            }
+            Request::Credit { sub, n } => Json::obj(vec![
+                ("cmd", "credit".into()),
+                ("sub", (*sub).into()),
+                ("n", (*n).into()),
+            ]),
+            Request::Unsubscribe { sub } => {
+                Json::obj(vec![("cmd", "unsubscribe".into()), ("sub", (*sub).into())])
+            }
         }
     }
+}
+
+/// Decodes the v2 request tag: the client-chosen `"id"` echoed on every
+/// frame the request produces. `Ok(None)` when absent (a v1 request, or a
+/// v2 framing error the session layer reports with `"id": null`).
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] when `id` is present but not a non-negative
+/// integer (or decimal string) — ids span the full `u64` range, so strings
+/// are accepted like seeds.
+pub fn request_id(msg: &Json) -> Result<Option<u64>, ProtoError> {
+    field_u64_exact(msg, "id")
+}
+
+/// Builds a v2 `reply` frame: the terminal (and only) frame of a unary
+/// request, payload fields appended after `ok:true`.
+#[must_use]
+pub fn frame_reply(id: u64, payload: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("frame", Json::from("reply")),
+        ("id", encode_u64_exact(id)),
+        ("ok", true.into()),
+    ];
+    pairs.extend(payload);
+    Json::obj(pairs)
+}
+
+/// Builds a v2 `chunk` frame: one incremental batch of a streaming
+/// `SAMPLE`, `seq` counting from 0 per request.
+#[must_use]
+pub fn frame_chunk(id: u64, seq: u64, solutions: &[Vec<bool>]) -> Json {
+    Json::obj(vec![
+        ("frame", "chunk".into()),
+        ("id", encode_u64_exact(id)),
+        ("seq", seq.into()),
+        (
+            "solutions",
+            Json::Arr(
+                solutions
+                    .iter()
+                    .map(|bits| encode_solution(bits).into())
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds a v2 `done` frame: the terminal frame of a streaming request,
+/// payload fields (stats, elapsed) appended after `ok:true`.
+#[must_use]
+pub fn frame_done(id: u64, payload: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("frame", Json::from("done")),
+        ("id", encode_u64_exact(id)),
+        ("ok", true.into()),
+    ];
+    pairs.extend(payload);
+    Json::obj(pairs)
+}
+
+/// Builds a v2 `pushed` frame: one fanned-out feed batch, addressed by
+/// subscription id (`sub`), `seq` counting the feed's batches from 0.
+#[must_use]
+pub fn frame_pushed(sub: u64, seq: u64, solutions: &[Vec<bool>]) -> Json {
+    Json::obj(vec![
+        ("frame", "pushed".into()),
+        ("sub", encode_u64_exact(sub)),
+        ("seq", seq.into()),
+        (
+            "solutions",
+            Json::Arr(
+                solutions
+                    .iter()
+                    .map(|bits| encode_solution(bits).into())
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds the terminal `done` frame of a *feed*: addressed by subscription
+/// id (`sub`, like `pushed`) because a feed outlives the `SUBSCRIBE`
+/// request that opened it. Sent when the shared trajectory ends naturally
+/// (solution space exhausted).
+#[must_use]
+pub fn frame_feed_done(sub: u64, payload: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("frame", Json::from("done")),
+        ("sub", encode_u64_exact(sub)),
+        ("ok", true.into()),
+    ];
+    pairs.extend(payload);
+    Json::obj(pairs)
+}
+
+/// Builds the terminal `error` frame of a *feed* (addressed by `sub`, like
+/// [`frame_feed_done`]) — e.g. code `shutdown` when the daemon stops under
+/// live subscriptions.
+#[must_use]
+pub fn frame_feed_error(sub: u64, code: ErrorCode, message: &str) -> Json {
+    Json::obj(vec![
+        ("frame", "error".into()),
+        ("sub", encode_u64_exact(sub)),
+        ("ok", false.into()),
+        ("error", message.into()),
+        ("code", code.as_str().into()),
+    ])
+}
+
+/// Wraps a v1 response object into its v2 frame: `reply` for `ok:true`,
+/// `error` for `ok:false`, with the response's own fields carried verbatim
+/// after the `frame`/`id` tags. This is how the v2 session reuses every
+/// unary v1 handler unchanged.
+#[must_use]
+pub fn frame_from_response(id: u64, response: &Json) -> Json {
+    let kind = if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        "reply"
+    } else {
+        "error"
+    };
+    let mut pairs = vec![
+        ("frame".to_string(), Json::from(kind)),
+        ("id".to_string(), encode_u64_exact(id)),
+    ];
+    if let Json::Obj(fields) = response {
+        pairs.extend(fields.iter().cloned());
+    }
+    Json::Obj(pairs)
+}
+
+/// Builds a v2 `error` frame: terminal for its `id`. `id: None` encodes as
+/// `"id": null` and means the request line itself could not be attributed
+/// to a request (bad JSON, missing id).
+#[must_use]
+pub fn frame_error(id: Option<u64>, code: ErrorCode, message: &str) -> Json {
+    Json::obj(vec![
+        ("frame", "error".into()),
+        ("id", id.map_or(Json::Null, encode_u64_exact)),
+        ("ok", false.into()),
+        ("error", message.into()),
+        ("code", code.as_str().into()),
+    ])
 }
 
 /// Stable machine-readable classification of a failure response.
@@ -564,6 +907,20 @@ mod tests {
                 engine: Some("cmsgen".to_string()),
             },
             Request::Shutdown,
+            Request::Hello { version: 2 },
+            Request::Subscribe(SubscribeParams::new(fp())),
+            Request::Subscribe(SubscribeParams {
+                engine: Some("walksat".to_string()),
+                seed: u64::MAX - 3, // above 2^53: travels as a string
+                threads: Some(8),
+                batch: Some(32),
+                max_stale: Some(6),
+                credit: 0,
+                chunk: 5,
+                ..SubscribeParams::new(fp())
+            }),
+            Request::Credit { sub: 3, n: 10 },
+            Request::Unsubscribe { sub: 3 },
         ];
         for request in requests {
             let line = request.encode().encode();
@@ -599,6 +956,14 @@ mod tests {
                 r#"{"cmd": "stats", "reset": "yes"}"#,
                 "`reset` must be a boolean",
             ),
+            (r#"{"cmd": "hello"}"#, "hello needs `version`"),
+            (r#"{"cmd": "subscribe"}"#, "missing `fingerprint`"),
+            (r#"{"cmd": "credit", "n": 1}"#, "credit needs `sub`"),
+            (
+                r#"{"cmd": "credit", "sub": 1, "n": 0}"#,
+                "`n` must be non-zero",
+            ),
+            (r#"{"cmd": "unsubscribe"}"#, "unsubscribe needs `sub`"),
         ] {
             let msg = Json::parse(text).expect("valid JSON");
             let err = Request::decode(&msg).expect_err(text);
@@ -643,6 +1008,68 @@ mod tests {
         assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(err.get("error").and_then(Json::as_str), Some("boom"));
         assert_eq!(err.get("code").and_then(Json::as_str), Some("bad-request"));
+    }
+
+    #[test]
+    fn subscribe_rejects_zero_chunk() {
+        let msg = Json::parse(&format!(
+            r#"{{"cmd": "subscribe", "fingerprint": "{}", "chunk": 0}}"#,
+            fp().to_hex()
+        ))
+        .expect("valid JSON");
+        let err = Request::decode(&msg).expect_err("zero chunk");
+        assert!(err.0.contains("`chunk` must be non-zero"), "{err}");
+    }
+
+    #[test]
+    fn request_id_decodes_numbers_strings_and_absence() {
+        let tagged = Json::parse(r#"{"cmd":"status","id":7}"#).expect("json");
+        assert_eq!(request_id(&tagged).expect("decodes"), Some(7));
+        // Full-width ids travel as decimal strings, like seeds.
+        let wide = Json::parse(&format!(r#"{{"id":"{}"}}"#, u64::MAX)).expect("json");
+        assert_eq!(request_id(&wide).expect("decodes"), Some(u64::MAX));
+        let untagged = Json::parse(r#"{"cmd":"status"}"#).expect("json");
+        assert_eq!(request_id(&untagged).expect("decodes"), None);
+        let bad = Json::parse(r#"{"id":-3}"#).expect("json");
+        assert!(request_id(&bad).is_err());
+    }
+
+    #[test]
+    fn v2_frames_have_the_documented_shape() {
+        let reply = frame_reply(4, vec![("version", 2u64.into())]);
+        assert_eq!(reply.get("frame").and_then(Json::as_str), Some("reply"));
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("version").and_then(Json::as_u64), Some(2));
+
+        let solutions = vec![vec![true, false], vec![false, true]];
+        let chunk = frame_chunk(4, 1, &solutions);
+        assert_eq!(chunk.get("frame").and_then(Json::as_str), Some("chunk"));
+        assert_eq!(chunk.get("seq").and_then(Json::as_u64), Some(1));
+        let encoded = match chunk.get("solutions") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect::<Vec<_>>(),
+            other => panic!("solutions not an array: {other:?}"),
+        };
+        assert_eq!(encoded, vec!["10", "01"]);
+
+        let done = frame_done(4, vec![("exhausted", false.into())]);
+        assert_eq!(done.get("frame").and_then(Json::as_str), Some("done"));
+        assert_eq!(done.get("ok").and_then(Json::as_bool), Some(true));
+
+        let pushed = frame_pushed(9, 0, &solutions);
+        assert_eq!(pushed.get("frame").and_then(Json::as_str), Some("pushed"));
+        assert_eq!(pushed.get("sub").and_then(Json::as_u64), Some(9));
+
+        let err = frame_error(Some(4), ErrorCode::Shutdown, "stopping");
+        assert_eq!(err.get("frame").and_then(Json::as_str), Some("error"));
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("shutdown"));
+        let anon = frame_error(None, ErrorCode::BadJson, "not json");
+        assert_eq!(anon.get("id"), Some(&Json::Null));
     }
 
     #[test]

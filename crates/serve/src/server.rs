@@ -1,18 +1,20 @@
 //! The TCP daemon: accept loop, per-connection sessions, graceful shutdown.
 
+use crate::feed::FeedRegistry;
 use crate::json::Json;
 use crate::proto::{
-    encode_solution, encode_stats, error_response, ok_response, ErrorCode, LoadSource, ProtoError,
-    Request, SampleParams, DEFAULT_ENGINE,
+    encode_solution, encode_stats, error_response, ok_response, ErrorCode, LoadSource, Request,
+    SampleParams, DEFAULT_ENGINE,
 };
-use crate::registry::{RegistryConfig, SamplerRegistry};
+use crate::registry::{RegistryConfig, RegistryEntry, SamplerRegistry};
+use crate::session::session;
 use crate::ServeError;
 use htsat_cnf::dimacs;
-use htsat_core::SessionConfig;
+use htsat_core::{EngineStream, SessionConfig};
 use htsat_runtime::{StopSet, StopToken};
 use htsat_tensor::Backend;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -56,15 +58,18 @@ impl Default for ServeConfig {
 }
 
 /// Shared state every connection session works against.
-struct ServerState {
-    config: ServeConfig,
-    registry: SamplerRegistry,
+pub(crate) struct ServerState {
+    pub(crate) config: ServeConfig,
+    pub(crate) registry: SamplerRegistry,
     /// Master stop flag: set once, never cleared — the daemon is done.
-    stop: StopToken,
-    /// Stop tokens of in-flight `SAMPLE` streams, fired on shutdown.
-    requests: StopSet,
-    started: Instant,
-    connections_served: AtomicU64,
+    pub(crate) stop: StopToken,
+    /// Stop tokens of in-flight `SAMPLE` streams and feed producers, fired
+    /// on shutdown.
+    pub(crate) requests: StopSet,
+    /// Shared `SUBSCRIBE` feeds and their producer threads.
+    pub(crate) feeds: FeedRegistry,
+    pub(crate) started: Instant,
+    pub(crate) connections_served: AtomicU64,
 }
 
 /// A running daemon.
@@ -96,6 +101,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         config,
         stop: StopToken::new(),
         requests: StopSet::new(),
+        feeds: FeedRegistry::new(),
         started: Instant::now(),
         connections_served: AtomicU64::new(0),
     });
@@ -168,6 +174,10 @@ impl ServerHandle {
         if let Some(logger) = self.stats_logger.take() {
             let _ = logger.join();
         }
+        // Feed producers are owned by the daemon, not by any one session:
+        // their stop tokens were fired with the rest of the request set, so
+        // by now each is sending its terminal frames and exiting.
+        self.state.feeds.join_all();
     }
 
     /// Stops the daemon gracefully: fires every in-flight request's stop
@@ -215,121 +225,12 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
-/// Largest accepted request line (a paper-scale inline DIMACS is a few
-/// MiB; the cap only bounds a hostile endless line).
-const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
-
-/// Reads `\n`-terminated lines from a stream with a read timeout,
-/// preserving partially received lines across timeouts (a plain
-/// `BufRead::read_line` would drop them) and checking a stop flag between
-/// polls.
-struct LineReader {
-    stream: TcpStream,
-    pending: Vec<u8>,
-    /// Bytes of `pending` already scanned for a newline, so each appended
-    /// chunk is scanned once (a full rescan per chunk would make multi-MiB
-    /// inline-DIMACS lines quadratic).
-    scanned: usize,
-}
-
-impl LineReader {
-    /// Returns the next complete line (without guarantee of trailing
-    /// newline trimming), or `None` on EOF / stop / protocol violation.
-    fn next_line(&mut self, stop: &StopToken) -> Option<String> {
-        let mut chunk = [0u8; 16 * 1024];
-        loop {
-            if let Some(pos) = self.pending[self.scanned..]
-                .iter()
-                .position(|&b| b == b'\n')
-            {
-                let line: Vec<u8> = self.pending.drain(..=self.scanned + pos).collect();
-                self.scanned = 0;
-                // Invalid UTF-8 cannot be valid protocol JSON; drop the
-                // connection rather than guessing.
-                return String::from_utf8(line).ok();
-            }
-            self.scanned = self.pending.len();
-            if stop.is_stopped() || self.pending.len() > MAX_LINE_BYTES {
-                return None;
-            }
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return None, // client hung up (partial line dropped)
-                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-                Err(_) => return None,
-            }
-        }
-    }
-}
-
-/// RAII level of concurrently open connections: the gauge rises on session
-/// entry and falls on every exit path (EOF, shutdown, write failure).
-struct ConnectionGauge;
-
-impl ConnectionGauge {
-    fn enter() -> ConnectionGauge {
-        htsat_obs::gauge!("serve.connections.active").inc();
-        ConnectionGauge
-    }
-}
-
-impl Drop for ConnectionGauge {
-    fn drop(&mut self) {
-        htsat_obs::gauge!("serve.connections.active").dec();
-    }
-}
-
-/// Serves one connection: one request line in, one response line out.
-fn session(stream: TcpStream, state: &Arc<ServerState>) {
-    let _active = ConnectionGauge::enter();
-    let _ = stream.set_nodelay(true);
-    // Sessions must notice a daemon-wide shutdown even while idle in a
-    // read: a read timeout turns the blocking read into a poll.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = LineReader {
-        stream,
-        pending: Vec::new(),
-        scanned: 0,
-    };
-    loop {
-        let Some(line) = reader.next_line(&state.stop) else {
-            return;
-        };
-        htsat_obs::counter!("serve.bytes_in").add(line.len() as u64);
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = dispatch(&line, state);
-        let mut text = response.encode();
-        text.push('\n');
-        htsat_obs::counter!("serve.bytes_out").add(text.len() as u64);
-        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if shutdown {
-            // Acknowledge first, then stop the world: the master flag ends
-            // the accept loop, the stop set cancels in-flight streams on
-            // other sessions.
-            state.stop.stop();
-            state.requests.stop_all();
-            return;
-        }
-    }
-}
-
-/// Parses and executes one request line. Returns the response and whether
-/// the daemon should shut down after sending it.
+/// Counts and logs a failure response (v1 line or v2 frame): the aggregate
+/// error counter, the per-code counter, and a `warn` log line.
 ///
-/// This is the single funnel every request flows through, so it carries the
-/// request-level telemetry: the `serve.request` latency span, and — when
-/// the response carries an error `code` — the per-code error counters.
-fn dispatch(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
-    let _span = htsat_obs::span!("serve.request");
-    let (response, shutdown) = dispatch_inner(line, state);
+/// Every response funnels through here — the v1 lockstep loop and every v2
+/// frame producer alike — so error telemetry is framing-independent.
+pub(crate) fn note_response(response: &Json) {
     if response.get("ok").and_then(Json::as_bool) == Some(false) {
         htsat_obs::counter!("serve.errors").inc();
         let code = response.get("code").and_then(Json::as_str).unwrap_or("?");
@@ -341,24 +242,36 @@ fn dispatch(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
             .inc();
         htsat_obs::warn!("request failed ({code}): {message}");
     }
-    (response, shutdown)
 }
 
-fn dispatch_inner(line: &str, state: &Arc<ServerState>) -> (Json, bool) {
-    let msg = match Json::parse(line.trim_end()) {
-        Ok(msg) => msg,
-        Err(e) => {
-            return (
-                error_response(ErrorCode::BadJson, &format!("invalid JSON: {e}")),
-                false,
-            )
-        }
-    };
-    let request = match Request::decode(&msg) {
-        Ok(request) => request,
-        Err(ProtoError(e)) => return (error_response(ErrorCode::BadRequest, &e), false),
-    };
+/// Executes one decoded request against the shared state. Returns the v1
+/// response object and whether the daemon should shut down after it.
+///
+/// `HELLO` never reaches here (version negotiation is the session layer's
+/// job), and the v2-only verbs answer `bad-request` — which is exactly the
+/// v1 behaviour a pre-v2 client must observe.
+pub(crate) fn dispatch_request(request: Request, state: &Arc<ServerState>) -> (Json, bool) {
     match request {
+        // The session layer intercepts HELLO before dispatch; seeing one
+        // here means a session-layer bug, answered defensively.
+        Request::Hello { .. } => (
+            error_response(ErrorCode::BadRequest, "hello is negotiated per-connection"),
+            false,
+        ),
+        Request::Subscribe(_) => (
+            error_response(
+                ErrorCode::BadRequest,
+                "`subscribe` requires protocol v2 (negotiate with `hello` first)",
+            ),
+            false,
+        ),
+        Request::Credit { .. } | Request::Unsubscribe { .. } => (
+            error_response(
+                ErrorCode::BadRequest,
+                "subscription verbs require protocol v2 (negotiate with `hello` first)",
+            ),
+            false,
+        ),
         Request::Load {
             name,
             engine,
@@ -505,36 +418,58 @@ const MAX_REQUEST_THREADS: usize = 1024;
 const MAX_REQUEST_BATCH: usize = 1 << 16;
 const MAX_REQUEST_N: usize = 1 << 20;
 
-fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
+/// A validated, admitted sampling request: the resident entry, the resolved
+/// worker count and the stream (the caller's stop token, deadline and
+/// stale limit already applied).
+pub(crate) struct AdmittedSample {
+    pub(crate) entry: Arc<RegistryEntry>,
+    pub(crate) threads: usize,
+    pub(crate) stream: EngineStream,
+}
+
+/// Validates a `SAMPLE`-shaped request (caps, residency, config) and mints
+/// its stream — the shared front half of the v1 blocking handler, the v2
+/// chunked worker and the feed producer. `token` must already be issued
+/// from the daemon's [`StopSet`]; on *any* error the caller still owns it
+/// and must stop it.
+///
+/// # Errors
+///
+/// Returns the error code and message the caller should answer with.
+pub(crate) fn admit_sample(
+    state: &Arc<ServerState>,
+    params: &SampleParams,
+    token: &StopToken,
+) -> Result<AdmittedSample, (ErrorCode, String)> {
     let engine = params.engine.as_deref().unwrap_or(DEFAULT_ENGINE);
     let Some(entry) = state.registry.get(&params.fingerprint, engine) else {
-        return error_response(
+        return Err((
             ErrorCode::NotLoaded,
-            &format!(
+            format!(
                 "(formula {}, engine {engine}) is not loaded (use `load` first, or it was evicted)",
                 params.fingerprint
             ),
-        );
+        ));
     };
     let threads = params.threads.unwrap_or(state.config.default_threads);
     if threads > MAX_REQUEST_THREADS {
-        return error_response(
+        return Err((
             ErrorCode::BadRequest,
-            &format!("`threads` exceeds the cap {MAX_REQUEST_THREADS}"),
-        );
+            format!("`threads` exceeds the cap {MAX_REQUEST_THREADS}"),
+        ));
     }
     if params.n > MAX_REQUEST_N {
-        return error_response(
+        return Err((
             ErrorCode::BadRequest,
-            &format!("`n` exceeds the cap {MAX_REQUEST_N}"),
-        );
+            format!("`n` exceeds the cap {MAX_REQUEST_N}"),
+        ));
     }
     if let Some(batch) = params.batch {
         if batch > MAX_REQUEST_BATCH {
-            return error_response(
+            return Err((
                 ErrorCode::BadRequest,
-                &format!("`batch` exceeds the cap {MAX_REQUEST_BATCH}"),
-            );
+                format!("`batch` exceeds the cap {MAX_REQUEST_BATCH}"),
+            ));
         }
     }
     let config = SessionConfig {
@@ -549,21 +484,19 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     let stream = match entry.engine.stream(&config) {
         Ok(stream) => stream,
         Err(e) => {
-            return error_response(
+            return Err((
                 ErrorCode::BadRequest,
-                &format!("invalid sampler config: {e}"),
-            )
+                format!("invalid sampler config: {e}"),
+            ))
         }
     };
-    let token = state.requests.issue();
-    // Close the shutdown race: if the master stop fired before this token
-    // was registered, `StopSet::stop_all` may already have swept the set —
-    // a stream on a fresh token would then outlive the drain and block
-    // shutdown forever. Issuing first and re-checking second guarantees
-    // the token is stopped on either side of the race.
+    // Close the shutdown race: if the master stop fired before the
+    // caller's token was registered, `StopSet::stop_all` may already have
+    // swept the set — a stream on a fresh token would then outlive the
+    // drain and block shutdown forever. Issuing first and re-checking
+    // second guarantees the token is stopped on either side of the race.
     if state.stop.is_stopped() {
-        token.stop();
-        return error_response(ErrorCode::Shutdown, "server is shutting down");
+        return Err((ErrorCode::Shutdown, "server is shutting down".to_string()));
     }
     let mut stream = stream.with_stop_token(token.clone());
     if let Some(ms) = params.deadline_ms {
@@ -572,6 +505,43 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     if let Some(stale) = params.max_stale {
         stream = stream.with_stale_limit(stale);
     }
+    Ok(AdmittedSample {
+        entry,
+        threads,
+        stream,
+    })
+}
+
+/// The terminal payload both framings share: stream stats, elapsed wall
+/// clock, exhaustion and the shutdown flag.
+pub(crate) fn sample_tail_payload(
+    state: &Arc<ServerState>,
+    stats: &htsat_runtime::StreamStats,
+    elapsed: Duration,
+    exhausted: bool,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("stats", encode_stats(stats)),
+        ("elapsed_ms", (elapsed.as_secs_f64() * 1e3).into()),
+        ("exhausted", exhausted.into()),
+        ("stopped", state.stop.is_stopped().into()),
+    ]
+}
+
+fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
+    let token = state.requests.issue();
+    let admitted = match admit_sample(state, params, &token) {
+        Ok(admitted) => admitted,
+        Err((code, message)) => {
+            token.stop();
+            return error_response(code, &message);
+        }
+    };
+    let AdmittedSample {
+        entry,
+        threads,
+        mut stream,
+    } = admitted;
     let solutions: Vec<Json> = stream
         .by_ref()
         .take(params.n)
@@ -584,17 +554,15 @@ fn handle_sample(state: &Arc<ServerState>, params: &SampleParams) -> Json {
     // Mark this request's token done so the StopSet can prune it.
     token.stop();
     entry.record_stats(&stats);
-    ok_response(vec![
+    let mut payload = vec![
         ("fingerprint", params.fingerprint.to_hex().into()),
         ("engine", entry.engine_name.into()),
         ("seed", crate::proto::encode_u64_exact(params.seed)),
         ("threads", threads.into()),
         ("solutions", Json::Arr(solutions)),
-        ("stats", encode_stats(&stats)),
-        ("elapsed_ms", (elapsed.as_secs_f64() * 1e3).into()),
-        ("exhausted", exhausted.into()),
-        ("stopped", state.stop.is_stopped().into()),
-    ])
+    ];
+    payload.extend(sample_tail_payload(state, &stats, elapsed, exhausted));
+    ok_response(payload)
 }
 
 fn handle_status(state: &Arc<ServerState>) -> Json {
@@ -637,5 +605,7 @@ fn handle_status(state: &Arc<ServerState>) -> Json {
         ("compiles", counters.compiles.into()),
         ("evictions", counters.evictions.into()),
         ("in_flight", state.requests.len().into()),
+        ("feeds", state.feeds.feed_count().into()),
+        ("subscribers", state.feeds.subscriber_count().into()),
     ])
 }

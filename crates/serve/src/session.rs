@@ -1,0 +1,600 @@
+//! Per-connection sessions: the v1 lockstep loop, `HELLO` negotiation, and
+//! the v2 multiplexed reader/writer split.
+//!
+//! Every connection starts in **v1** — one request line in, one response
+//! line out, bit-for-bit the pre-v2 daemon — and stays there unless the
+//! client negotiates v2 with `HELLO`. After the upgrade the connection
+//! splits into:
+//!
+//! * a **reader** (this thread): parses tagged request lines, answers
+//!   cheap verbs inline, and spawns a worker thread per `LOAD`/`SAMPLE`
+//!   so slow requests never block the line;
+//! * a single **writer** thread draining a bounded frame queue — the one
+//!   place the socket is written, so interleaved frames from concurrent
+//!   workers and feed producers never tear;
+//! * per-request **workers**: `SAMPLE` streams incremental `chunk` frames
+//!   straight off its [`EngineStream`](htsat_core::EngineStream) as rounds
+//!   complete, then a terminal `done` (or `error` code `shutdown` when the
+//!   daemon stops mid-stream).
+//!
+//! Backpressure is the frame queue's bound: a worker with a full queue
+//! blocks (its own request slows down), while `SUBSCRIBE` feed producers
+//! only ever `try_send` — a slow subscriber stalls itself, never the
+//! trajectory (see [`crate::feed`]).
+
+use crate::feed::Feed;
+use crate::json::Json;
+use crate::proto::{
+    frame_chunk, frame_done, frame_error, frame_from_response, frame_reply, request_id, ErrorCode,
+    ProtoError, Request, SampleParams, PROTOCOL_MAX, PROTOCOL_V1, PROTOCOL_V2,
+};
+use crate::server::{
+    admit_sample, dispatch_request, note_response, sample_tail_payload, AdmittedSample, ServerState,
+};
+use htsat_runtime::StopToken;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request line (a paper-scale inline DIMACS is a few
+/// MiB; the cap only bounds a hostile endless line).
+const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Read-timeout used as the stop-flag poll interval on session sockets.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// v2 writer-side socket timeout: a client that stops draining its socket
+/// stalls its own frames for at most this long before the writer declares
+/// the connection dead — a stuck client must not hold up daemon shutdown.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Bound of the per-connection v2 frame queue, in frames. Workers block
+/// when it fills (per-request backpressure); feed producers skip instead.
+const FRAME_QUEUE_DEPTH: usize = 64;
+
+/// Reads `\n`-terminated lines from a stream with a read timeout,
+/// preserving partially received lines across timeouts (a plain
+/// `BufRead::read_line` would drop them) and checking a stop flag between
+/// polls.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    /// Bytes of `pending` already scanned for a newline, so each appended
+    /// chunk is scanned once (a full rescan per chunk would make multi-MiB
+    /// inline-DIMACS lines quadratic).
+    scanned: usize,
+}
+
+impl LineReader {
+    /// Returns the next complete line (without guarantee of trailing
+    /// newline trimming), or `None` on EOF / stop / protocol violation.
+    fn next_line(&mut self, stop: &StopToken) -> Option<String> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(pos) = self.pending[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let line: Vec<u8> = self.pending.drain(..=self.scanned + pos).collect();
+                self.scanned = 0;
+                // Invalid UTF-8 cannot be valid protocol JSON; drop the
+                // connection rather than guessing.
+                return String::from_utf8(line).ok();
+            }
+            self.scanned = self.pending.len();
+            if stop.is_stopped() || self.pending.len() > MAX_LINE_BYTES {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None, // client hung up (partial line dropped)
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// RAII level of concurrently open connections: the gauge rises on session
+/// entry and falls on every exit path (EOF, shutdown, write failure).
+struct ConnectionGauge;
+
+impl ConnectionGauge {
+    fn enter() -> ConnectionGauge {
+        htsat_obs::gauge!("serve.connections.active").inc();
+        ConnectionGauge
+    }
+}
+
+impl Drop for ConnectionGauge {
+    fn drop(&mut self) {
+        htsat_obs::gauge!("serve.connections.active").dec();
+    }
+}
+
+/// RAII level of in-flight worker requests (v1 blocking `SAMPLE`s and v2
+/// `LOAD`/`SAMPLE` workers alike): the `serve.inflight` gauge.
+struct InflightGauge;
+
+impl InflightGauge {
+    fn enter() -> InflightGauge {
+        htsat_obs::gauge!("serve.inflight").inc();
+        InflightGauge
+    }
+}
+
+impl Drop for InflightGauge {
+    fn drop(&mut self) {
+        htsat_obs::gauge!("serve.inflight").dec();
+    }
+}
+
+/// Serves one connection, starting in the v1 lockstep loop. A `HELLO`
+/// negotiating version 2 hands the transport to [`session_v2`] and never
+/// comes back.
+pub(crate) fn session(stream: TcpStream, state: &Arc<ServerState>) {
+    let _active = ConnectionGauge::enter();
+    let _ = stream.set_nodelay(true);
+    // Sessions must notice a daemon-wide shutdown even while idle in a
+    // read: a read timeout turns the blocking read into a poll.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader {
+        stream,
+        pending: Vec::new(),
+        scanned: 0,
+    };
+    loop {
+        let Some(line) = reader.next_line(&state.stop) else {
+            return;
+        };
+        htsat_obs::counter!("serve.bytes_in").add(line.len() as u64);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let _span = htsat_obs::span!("serve.request");
+        let (response, action) = dispatch_v1_line(&line, state);
+        note_response(&response);
+        let mut text = response.encode();
+        text.push('\n');
+        htsat_obs::counter!("serve.bytes_out").add(text.len() as u64);
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        match action {
+            V1Action::Continue => {}
+            V1Action::Shutdown => {
+                // Acknowledge first, then stop the world: the master flag
+                // ends the accept loop, the stop set cancels in-flight
+                // streams on other sessions.
+                state.stop.stop();
+                state.requests.stop_all();
+                return;
+            }
+            V1Action::UpgradeV2 => {
+                drop(_span);
+                return session_v2(reader, writer, state);
+            }
+        }
+    }
+}
+
+/// What the v1 loop does after writing a response line.
+enum V1Action {
+    Continue,
+    Shutdown,
+    UpgradeV2,
+}
+
+/// Parses and executes one v1 request line, intercepting `HELLO` (version
+/// negotiation is a session concern, not a dispatch one).
+fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
+    let msg = match Json::parse(line.trim_end()) {
+        Ok(msg) => msg,
+        Err(e) => {
+            return (
+                crate::proto::error_response(ErrorCode::BadJson, &format!("invalid JSON: {e}")),
+                V1Action::Continue,
+            )
+        }
+    };
+    let request = match Request::decode(&msg) {
+        Ok(request) => request,
+        Err(ProtoError(e)) => {
+            return (
+                crate::proto::error_response(ErrorCode::BadRequest, &e),
+                V1Action::Continue,
+            )
+        }
+    };
+    if let Request::Hello { version } = request {
+        htsat_obs::counter!("serve.requests.hello").inc();
+        let accepted = match version {
+            PROTOCOL_V1 => V1Action::Continue,
+            PROTOCOL_V2 => V1Action::UpgradeV2,
+            other => {
+                return (
+                    crate::proto::error_response(
+                        ErrorCode::BadRequest,
+                        &format!(
+                            "unsupported protocol version {other} (supported: \
+                             {PROTOCOL_V1}..={PROTOCOL_MAX})"
+                        ),
+                    ),
+                    V1Action::Continue,
+                )
+            }
+        };
+        return (
+            crate::proto::ok_response(vec![
+                ("version", version.into()),
+                ("max_version", PROTOCOL_MAX.into()),
+            ]),
+            accepted,
+        );
+    }
+    let (response, shutdown) = dispatch_request(request, state);
+    (
+        response,
+        if shutdown {
+            V1Action::Shutdown
+        } else {
+            V1Action::Continue
+        },
+    )
+}
+
+/// In-flight v2 requests of one connection: id → stop token. The reader
+/// inserts before spawning a worker (so duplicate ids are caught
+/// synchronously); the worker removes its own entry when it finishes.
+type InflightMap = Arc<Mutex<HashMap<u64, StopToken>>>;
+
+/// The v2 multiplexed loop: this thread keeps reading tagged requests, a
+/// dedicated thread owns all writes, and `LOAD`/`SAMPLE` run on per-request
+/// worker threads — concurrent requests on one connection complete out of
+/// order.
+fn session_v2(mut reader: LineReader, writer: TcpStream, state: &Arc<ServerState>) {
+    // A stuck client must not wedge shutdown: bound every socket write.
+    let _ = writer.set_write_timeout(Some(WRITE_TIMEOUT));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Json>(FRAME_QUEUE_DEPTH);
+    let writer_handle = std::thread::Builder::new()
+        .name("htsat-serve-writer".to_string())
+        .spawn(move || writer_loop(writer, &rx))
+        .expect("spawn writer thread");
+    let inflight: InflightMap = Arc::new(Mutex::new(HashMap::new()));
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut subs: HashMap<u64, Arc<Feed>> = HashMap::new();
+    let mut shutdown = false;
+
+    while let Some(line) = reader.next_line(&state.stop) {
+        htsat_obs::counter!("serve.bytes_in").add(line.len() as u64);
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_v2_line(&line, state, &tx, &inflight, &mut subs, &mut workers) {
+            V2Action::Continue => {}
+            V2Action::Shutdown => {
+                shutdown = true;
+                break;
+            }
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+
+    if shutdown {
+        // Stop the world before joining this connection's workers, so the
+        // in-flight streams cancel and emit their terminal `shutdown`
+        // error frames while the writer is still draining.
+        state.stop.stop();
+        state.requests.stop_all();
+    }
+    // Cancel this connection's own in-flight streams (client hang-up) and
+    // release its feed seats so producers drop their queue handles.
+    for token in inflight.lock().expect("inflight poisoned").values() {
+        token.stop();
+    }
+    for (sub, feed) in subs {
+        feed.remove(sub);
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    // All frame producers are gone; the writer drains the queue and exits.
+    drop(tx);
+    let _ = writer_handle.join();
+}
+
+/// What the v2 reader does after handling one line.
+enum V2Action {
+    Continue,
+    Shutdown,
+}
+
+/// Sends a frame to the connection's writer, counting the error funnel for
+/// failure frames. Blocking: the reader and workers accept backpressure
+/// from their own connection's queue.
+fn send_frame(tx: &SyncSender<Json>, frame: Json) {
+    note_response(&frame);
+    let _ = tx.send(frame);
+}
+
+/// Parses and executes one v2 request line on the reader thread.
+fn handle_v2_line(
+    line: &str,
+    state: &Arc<ServerState>,
+    tx: &SyncSender<Json>,
+    inflight: &InflightMap,
+    subs: &mut HashMap<u64, Arc<Feed>>,
+    workers: &mut Vec<JoinHandle<()>>,
+) -> V2Action {
+    let msg = match Json::parse(line.trim_end()) {
+        Ok(msg) => msg,
+        Err(e) => {
+            send_frame(
+                tx,
+                frame_error(None, ErrorCode::BadJson, &format!("invalid JSON: {e}")),
+            );
+            return V2Action::Continue;
+        }
+    };
+    let id = match request_id(&msg) {
+        Ok(Some(id)) => id,
+        Ok(None) => {
+            send_frame(
+                tx,
+                frame_error(None, ErrorCode::BadRequest, "v2 requests need an `id`"),
+            );
+            return V2Action::Continue;
+        }
+        Err(ProtoError(e)) => {
+            send_frame(tx, frame_error(None, ErrorCode::BadRequest, &e));
+            return V2Action::Continue;
+        }
+    };
+    let request = match Request::decode(&msg) {
+        Ok(request) => request,
+        Err(ProtoError(e)) => {
+            send_frame(tx, frame_error(Some(id), ErrorCode::BadRequest, &e));
+            return V2Action::Continue;
+        }
+    };
+    match request {
+        Request::Hello { .. } => {
+            htsat_obs::counter!("serve.requests.hello").inc();
+            send_frame(
+                tx,
+                frame_error(
+                    Some(id),
+                    ErrorCode::BadRequest,
+                    "protocol version already negotiated",
+                ),
+            );
+        }
+        Request::Status | Request::Stats { .. } | Request::Evict { .. } => {
+            let _span = htsat_obs::span!("serve.request");
+            let (response, _) = dispatch_request(request, state);
+            send_frame(tx, frame_from_response(id, &response));
+        }
+        Request::Shutdown => {
+            let _span = htsat_obs::span!("serve.request");
+            let (response, _) = dispatch_request(request, state);
+            send_frame(tx, frame_from_response(id, &response));
+            return V2Action::Shutdown;
+        }
+        Request::Subscribe(params) => {
+            let _span = htsat_obs::span!("serve.request");
+            htsat_obs::counter!("serve.requests.subscribe").inc();
+            match state.feeds.subscribe(state, &params, tx.clone()) {
+                Ok((sub, feed)) => {
+                    subs.insert(sub, feed);
+                    send_frame(
+                        tx,
+                        frame_reply(
+                            id,
+                            vec![
+                                ("sub", crate::proto::encode_u64_exact(sub)),
+                                ("seed", crate::proto::encode_u64_exact(params.seed)),
+                                ("credit", params.credit.into()),
+                                ("chunk", params.chunk.into()),
+                            ],
+                        ),
+                    );
+                }
+                Err((code, message)) => send_frame(tx, frame_error(Some(id), code, &message)),
+            }
+        }
+        Request::Credit { sub, n } => {
+            htsat_obs::counter!("serve.requests.credit").inc();
+            match subs.get(&sub).and_then(|feed| feed.credit(sub, n)) {
+                Some(total) => send_frame(
+                    tx,
+                    frame_reply(
+                        id,
+                        vec![
+                            ("sub", crate::proto::encode_u64_exact(sub)),
+                            ("credit", total.into()),
+                        ],
+                    ),
+                ),
+                None => send_frame(
+                    tx,
+                    frame_error(
+                        Some(id),
+                        ErrorCode::BadRequest,
+                        &format!("unknown subscription `{sub}` (ended or never opened here)"),
+                    ),
+                ),
+            }
+        }
+        Request::Unsubscribe { sub } => {
+            htsat_obs::counter!("serve.requests.unsubscribe").inc();
+            match subs.remove(&sub) {
+                Some(feed) => {
+                    feed.remove(sub);
+                    send_frame(
+                        tx,
+                        frame_reply(
+                            id,
+                            vec![
+                                ("sub", crate::proto::encode_u64_exact(sub)),
+                                ("unsubscribed", true.into()),
+                            ],
+                        ),
+                    );
+                }
+                None => send_frame(
+                    tx,
+                    frame_error(
+                        Some(id),
+                        ErrorCode::BadRequest,
+                        &format!("unknown subscription `{sub}` (ended or never opened here)"),
+                    ),
+                ),
+            }
+        }
+        Request::Load { .. } | Request::Sample(_) => {
+            // Admission happens on the reader so a duplicate in-flight id
+            // is rejected synchronously — before the next line is read —
+            // without touching the existing stream.
+            let mut map = inflight.lock().expect("inflight poisoned");
+            if map.contains_key(&id) {
+                drop(map);
+                send_frame(
+                    tx,
+                    frame_error(
+                        Some(id),
+                        ErrorCode::BadRequest,
+                        &format!("duplicate in-flight `id` {id}"),
+                    ),
+                );
+                return V2Action::Continue;
+            }
+            // SAMPLE workers get a daemon-registered token (their streams
+            // must cancel on shutdown); LOAD is not cancellable and gets a
+            // local one, used only to interrupt nothing.
+            let token = match request {
+                Request::Sample(_) => state.requests.issue(),
+                _ => StopToken::new(),
+            };
+            map.insert(id, token.clone());
+            htsat_obs::histogram!("serve.multiplex_depth").record(map.len() as u64);
+            drop(map);
+            let worker_state = state.clone();
+            let worker_tx = tx.clone();
+            let worker_inflight = inflight.clone();
+            let handle = std::thread::Builder::new()
+                .name("htsat-serve-worker".to_string())
+                .spawn(move || {
+                    let _inflight_level = InflightGauge::enter();
+                    let _span = htsat_obs::span!("serve.request");
+                    match request {
+                        Request::Sample(params) => {
+                            sample_worker(&worker_state, &worker_tx, id, &params, &token);
+                        }
+                        request => {
+                            let (response, _) = dispatch_request(request, &worker_state);
+                            send_frame(&worker_tx, frame_from_response(id, &response));
+                        }
+                    }
+                    worker_inflight
+                        .lock()
+                        .expect("inflight poisoned")
+                        .remove(&id);
+                })
+                .expect("spawn worker thread");
+            workers.push(handle);
+        }
+    }
+    V2Action::Continue
+}
+
+/// Streams one v2 `SAMPLE`: `chunk` frames straight off the stream as
+/// rounds complete, then the terminal `done` — or an `error` frame with
+/// code `shutdown` when the daemon stops the stream mid-flight.
+fn sample_worker(
+    state: &Arc<ServerState>,
+    tx: &SyncSender<Json>,
+    id: u64,
+    params: &SampleParams,
+    token: &StopToken,
+) {
+    htsat_obs::counter!("serve.requests.sample").inc();
+    let admitted = match admit_sample(state, params, token) {
+        Ok(admitted) => admitted,
+        Err((code, message)) => {
+            token.stop();
+            send_frame(tx, frame_error(Some(id), code, &message));
+            return;
+        }
+    };
+    let AdmittedSample {
+        entry,
+        threads,
+        mut stream,
+    } = admitted;
+    let mut remaining = params.n;
+    let mut seq: u64 = 0;
+    while remaining > 0 {
+        let batch = stream.next_batch(remaining);
+        if batch.is_empty() {
+            break; // cancelled, deadline passed, or exhausted
+        }
+        remaining -= batch.len();
+        send_frame(tx, frame_chunk(id, seq, &batch));
+        seq += 1;
+    }
+    let stats = *stream.stats();
+    let elapsed = stream.elapsed();
+    let exhausted = stream.is_exhausted();
+    drop(stream);
+    let cancelled = remaining > 0 && !exhausted && token.is_stopped();
+    token.stop();
+    entry.record_stats(&stats);
+    if cancelled {
+        // Satellite of the shutdown contract: every open stream gets a
+        // terminal error frame before the socket closes.
+        send_frame(
+            tx,
+            frame_error(
+                Some(id),
+                ErrorCode::Shutdown,
+                "stream cancelled: server is shutting down",
+            ),
+        );
+        return;
+    }
+    let mut payload = vec![
+        ("fingerprint", params.fingerprint.to_hex().into()),
+        ("engine", entry.engine_name.into()),
+        ("seed", crate::proto::encode_u64_exact(params.seed)),
+        ("threads", threads.into()),
+        ("chunks", seq.into()),
+    ];
+    payload.extend(sample_tail_payload(state, &stats, elapsed, exhausted));
+    send_frame(tx, frame_done(id, payload));
+}
+
+/// The single writer: drains the frame queue onto the socket. After a
+/// write failure it keeps draining (senders must never block on a dead
+/// socket) without writing.
+fn writer_loop(mut writer: TcpStream, rx: &Receiver<Json>) {
+    let mut dead = false;
+    while let Ok(frame) = rx.recv() {
+        if dead {
+            continue;
+        }
+        let mut text = frame.encode();
+        text.push('\n');
+        htsat_obs::counter!("serve.bytes_out").add(text.len() as u64);
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            dead = true;
+        }
+    }
+}
