@@ -13,9 +13,9 @@
 //!
 //! Subcommands: `table2`, `fig2`, `fig3-iters`, `fig3-mem`, `fig4-speedup`,
 //! `fig4-ops`, `fig4-transform`, `fig4`, `threads`, `serve-bench`, `bench`,
-//! `bench-diff`, `bench-degrade`, `all`. Each subcommand accepts only its
-//! own flags (see `htsat_bench::cli`); a stray flag exits non-zero naming
-//! the valid ones.
+//! `bench-diff`, `bench-degrade`, `stats`, `trace`, `all`. Each subcommand
+//! accepts only its own flags (see `htsat_bench::cli`); a stray flag exits
+//! non-zero naming the valid ones.
 //!
 //! `serve-bench` starts the `htsat-serve` daemon on a loopback ephemeral
 //! port, measures cold-load vs registry-hit round-trip latency, and fails
@@ -23,10 +23,18 @@
 //! bit-for-bit at 1 and 8 threads — the CI loopback end-to-end gate.
 //!
 //! `stats` connects to a *running* daemon, fetches its metrics snapshot
-//! over the `STATS` wire verb and pretty-prints it; `--reset` zeroes the
-//! daemon's counters and histograms after reading, and `--exercise` first
-//! drives a LOAD + SAMPLE + induced error against the daemon and exits
-//! non-zero unless the key counters moved — CI's observability gate.
+//! over the `STATS` wire verb and pretty-prints it; `--format prom` emits
+//! the Prometheus text exposition instead, `--reset` zeroes the daemon's
+//! counters and histograms after reading, and `--exercise` first drives a
+//! LOAD + SAMPLE + induced error against the daemon and exits non-zero
+//! unless the key counters moved — CI's observability gate.
+//!
+//! `trace` fetches a running daemon's recent request timelines over the
+//! `TRACE` wire verb and prints one span waterfall per request (filter
+//! with `--last`/`--verb`/`--min-ms`). `--exercise` first drives traced,
+//! pipelined `SAMPLE` traffic from two v2 connections and exits non-zero
+//! unless the returned timelines attribute the reader, queue, writer and
+//! engine-round work — CI's trace gate.
 //!
 //! `bench` runs the statistical harness (interleaved invocations, warmup
 //! separation, min/median/mean/CI per cell) and emits a
@@ -37,7 +45,7 @@
 //! samples — CI's negative gate proving `bench-diff` catches an injected
 //! regression.
 
-use htsat_bench::cli::{self, Command};
+use htsat_bench::cli::{self, Command, StatsFormat};
 use htsat_bench::harness::{
     capture_environment, diff_artifacts, run_bench_with, summarize, utc_today, BenchArtifact,
     BenchConfig, BenchSettings, Cell, CellKey, DiffError, DiffOptions, Sample, ARTIFACT_VERSION,
@@ -478,20 +486,14 @@ fn exercise_daemon(client: &mut htsat_serve::Client) {
     }
 }
 
-fn run_stats(addr: &str, reset: bool, exercise: bool, timeout_ms: Option<u64>) {
-    let mut client = match htsat_serve::Client::connect(addr) {
-        Ok(client) => client,
-        Err(e) => {
-            eprintln!("error: cannot connect to {addr}: {e}");
-            std::process::exit(2);
-        }
-    };
-    if let Some(ms) = timeout_ms {
-        if let Err(e) = client.set_timeout(Some(std::time::Duration::from_millis(ms))) {
-            eprintln!("error: cannot arm the {ms}ms read timeout: {e}");
-            std::process::exit(2);
-        }
-    }
+fn run_stats(
+    addr: &str,
+    reset: bool,
+    exercise: bool,
+    timeout_ms: Option<u64>,
+    format: StatsFormat,
+) {
+    let mut client = connect_daemon(addr, timeout_ms);
     if exercise {
         exercise_daemon(&mut client);
     }
@@ -510,6 +512,19 @@ fn run_stats(addr: &str, reset: bool, exercise: bool, timeout_ms: Option<u64>) {
             std::process::exit(2);
         }
     };
+
+    if exercise {
+        check_exercised_snapshot(&snapshot);
+    }
+    if format == StatsFormat::Prom {
+        // Machine exposition: nothing but the metrics on stdout, so the
+        // output can be piped straight into a scrape file or promtool.
+        print!("{}", snapshot.to_prometheus_text());
+        if exercise {
+            eprintln!("exercise: OK (load/sample/error counters all moved)");
+        }
+        return;
+    }
 
     println!(
         "== stats: {addr} (schema {}{}) ==\n",
@@ -541,30 +556,254 @@ fn run_stats(addr: &str, reset: bool, exercise: bool, timeout_ms: Option<u64>) {
     }
 
     if exercise {
-        // The CI observability gate: the traffic just driven must be
-        // visible in the snapshot that came back over the wire.
-        let expect_counter = |name: &str| {
-            if snapshot.counter(name).unwrap_or(0) == 0 {
-                eprintln!("error: exercised daemon reports zero `{name}`");
-                std::process::exit(1);
-            }
-        };
-        for name in [
-            "serve.requests.load",
-            "serve.requests.sample",
-            "serve.errors.not-loaded",
-            "serve.registry.compiles",
-            "engine.sessions",
-            "engine.samples",
-            "runtime.regions",
-        ] {
-            expect_counter(name);
-        }
-        if snapshot.histogram("serve.request").map_or(0, |h| h.count) == 0 {
-            eprintln!("error: exercised daemon reports an empty `serve.request` span");
+        println!("\nexercise: OK (load/sample/error counters all moved)");
+    }
+}
+
+/// The CI observability gate: the traffic `exercise_daemon` just drove must
+/// be visible in the snapshot that came back over the wire.
+fn check_exercised_snapshot(snapshot: &htsat_obs::Snapshot) {
+    let expect_counter = |name: &str| {
+        if snapshot.counter(name).unwrap_or(0) == 0 {
+            eprintln!("error: exercised daemon reports zero `{name}`");
             std::process::exit(1);
         }
-        println!("\nexercise: OK (load/sample/error counters all moved)");
+    };
+    for name in [
+        "serve.requests.load",
+        "serve.requests.sample",
+        "serve.errors.not-loaded",
+        "serve.registry.compiles",
+        "engine.sessions",
+        "engine.samples",
+        "runtime.regions",
+    ] {
+        expect_counter(name);
+    }
+    if snapshot.histogram("serve.request").map_or(0, |h| h.count) == 0 {
+        eprintln!("error: exercised daemon reports an empty `serve.request` span");
+        std::process::exit(1);
+    }
+}
+
+/// Connects to a running daemon, arming the read timeout when given;
+/// exits with a diagnostic on failure (shared by `stats` and `trace`).
+fn connect_daemon(addr: &str, timeout_ms: Option<u64>) -> htsat_serve::Client {
+    let mut client = match htsat_serve::Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(ms) = timeout_ms {
+        if let Err(e) = client.set_timeout(Some(std::time::Duration::from_millis(ms))) {
+            eprintln!("error: cannot arm the {ms}ms read timeout: {e}");
+            std::process::exit(2);
+        }
+    }
+    client
+}
+
+/// Drives traced, pipelined `SAMPLE` traffic from two v2 connections so a
+/// subsequent `TRACE` provably has attributable timelines: each client
+/// negotiates v2, stamps its own trace id, loads one formula and runs two
+/// interleaved chunked `SAMPLE` streams.
+fn exercise_traced(addr: &str, timeout_ms: Option<u64>) {
+    use htsat_serve::proto::SampleParams;
+    let instance = htsat_instances::families::or_chain("trace-exercise", 16, 2, 0x0B5);
+    let dimacs_text = htsat_cnf::dimacs::to_string(&instance.cnf);
+    for (who, trace_id) in [(1u64, 0xAAAA_0001u128), (2, 0xAAAA_0002)] {
+        let mut client = connect_daemon(addr, timeout_ms);
+        if let Err(e) = client.hello() {
+            eprintln!("error: exercise client {who}: HELLO failed: {e}");
+            std::process::exit(2);
+        }
+        client.set_trace(Some(htsat_obs::TraceId::from_u128(trace_id)));
+        let load = match client.load_dimacs(Some("trace-exercise"), &dimacs_text) {
+            Ok(load) => load,
+            Err(e) => {
+                eprintln!("error: exercise client {who}: LOAD failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        // Two pipelined streams per connection: concurrent requests on one
+        // wire, each with its own timeline.
+        let params_a = SampleParams {
+            n: 5,
+            seed: 7 + who,
+            ..SampleParams::new(load.fingerprint)
+        };
+        let params_b = SampleParams {
+            n: 5,
+            seed: 100 + who,
+            ..SampleParams::new(load.fingerprint)
+        };
+        let ids = [
+            client.sample_start(&params_a),
+            client.sample_start(&params_b),
+        ];
+        for id in ids {
+            let id = match id {
+                Ok(id) => id,
+                Err(e) => {
+                    eprintln!("error: exercise client {who}: SAMPLE start failed: {e}");
+                    std::process::exit(2);
+                }
+            };
+            loop {
+                match client.sample_next(id) {
+                    Ok(htsat_serve::SampleEvent::Batch(_)) => {}
+                    Ok(htsat_serve::SampleEvent::Done(_)) => break,
+                    Err(e) => {
+                        eprintln!("error: exercise client {who}: stream {id} failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Nesting depth of one span in its timeline (roots are depth 0).
+fn span_depth(spans: &[htsat_obs::trace::SpanRecord], index: usize) -> usize {
+    let mut depth = 0;
+    let mut parent = spans[index].parent;
+    // A cycle would mean a corrupt timeline; the guard keeps this total.
+    while let Some(p) = parent {
+        match spans.get(p as usize) {
+            Some(span) if depth <= spans.len() => {
+                depth += 1;
+                parent = span.parent;
+            }
+            _ => break,
+        }
+    }
+    depth
+}
+
+/// One waterfall bar positioning a span inside its request's total.
+fn span_bar(start_ns: u64, duration_ns: u64, total_ns: u64, width: usize) -> String {
+    let scale = |ns: u64| -> usize {
+        if total_ns == 0 {
+            0
+        } else {
+            ((ns as u128 * width as u128) / total_ns as u128) as usize
+        }
+    };
+    let from = scale(start_ns).min(width.saturating_sub(1));
+    let len = scale(duration_ns).max(1).min(width - from);
+    let mut bar = String::with_capacity(width);
+    for i in 0..width {
+        bar.push(if i >= from && i < from + len {
+            '#'
+        } else {
+            '.'
+        });
+    }
+    bar
+}
+
+fn run_trace(
+    addr: &str,
+    last: Option<u64>,
+    verb: Option<&str>,
+    min_ms: Option<u64>,
+    exercise: bool,
+    timeout_ms: Option<u64>,
+) {
+    if exercise {
+        exercise_traced(addr, timeout_ms);
+    }
+    let mut client = connect_daemon(addr, timeout_ms);
+    let report = match client.trace(last, verb, min_ms) {
+        Ok(report) => report,
+        Err(e @ htsat_serve::ClientError::Timeout { .. }) => {
+            eprintln!("error: TRACE {e}");
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("error: TRACE failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    const BAR: usize = 32;
+    println!(
+        "== trace: {addr} (schema {}, {} timeline(s), {} dropped at the ring) ==",
+        htsat_obs::TRACE_SCHEMA,
+        report.timelines.len(),
+        report.dropped_traces
+    );
+    for timeline in &report.timelines {
+        println!(
+            "\ntrace {} verb={} request_id={} total={:.3}ms spans={}{}",
+            timeline.trace.to_hex(),
+            timeline.verb,
+            timeline.request_id,
+            timeline.total_ns as f64 / 1e6,
+            timeline.spans.len(),
+            if timeline.dropped_spans > 0 {
+                format!(" (+{} dropped)", timeline.dropped_spans)
+            } else {
+                String::new()
+            }
+        );
+        for (i, span) in timeline.spans.iter().enumerate() {
+            let indent = "  ".repeat(span_depth(&timeline.spans, i) + 1);
+            let label = format!("{indent}{}", span.name);
+            println!(
+                "{label:<34} {} {:>10.3}ms @ +{:.3}ms",
+                span_bar(span.start_ns, span.duration_ns, timeline.total_ns, BAR),
+                span.duration_ns as f64 / 1e6,
+                span.start_ns as f64 / 1e6,
+            );
+        }
+    }
+
+    if exercise {
+        // The CI trace gate: the traffic just driven must come back as
+        // timelines attributing every stage of the request path.
+        let sample_timelines: Vec<_> = report
+            .timelines
+            .iter()
+            .filter(|t| t.verb == "sample")
+            .collect();
+        if sample_timelines.len() < 4 {
+            eprintln!(
+                "error: exercised daemon returned {} sample timeline(s); expected the 4 driven",
+                sample_timelines.len()
+            );
+            std::process::exit(1);
+        }
+        for required in [
+            "serve.reader",
+            "serve.request",
+            "serve.worker.queue_wait",
+            "serve.writer.serialize",
+            "serve.writer.write",
+            "engine.round",
+        ] {
+            if !sample_timelines
+                .iter()
+                .any(|t| t.spans.iter().any(|s| s.name == required))
+            {
+                eprintln!("error: no exercised sample timeline contains a `{required}` span");
+                std::process::exit(1);
+            }
+        }
+        // The explicit ids stamped by the exercise clients must be the ids
+        // the ring recorded (wire propagation, not server-side minting).
+        for expected in [0xAAAA_0001u128, 0xAAAA_0002] {
+            if !sample_timelines
+                .iter()
+                .any(|t| t.trace.as_u128() == expected)
+            {
+                eprintln!("error: no timeline carries the client-supplied trace id {expected:#x}");
+                std::process::exit(1);
+            }
+        }
+        println!("\nexercise: OK (pipelined traced samples attributed end-to-end)");
     }
 }
 
@@ -608,7 +847,8 @@ fn main() {
         Command::Bench { .. }
         | Command::BenchDiff { .. }
         | Command::BenchDegrade { .. }
-        | Command::Stats { .. } => {}
+        | Command::Stats { .. }
+        | Command::Trace { .. } => {}
         _ => {
             // The figure/table subcommands print the historical header.
             let scale = match &command {
@@ -654,7 +894,16 @@ fn main() {
             reset,
             exercise,
             timeout_ms,
-        } => run_stats(&addr, reset, exercise, timeout_ms),
+            format,
+        } => run_stats(&addr, reset, exercise, timeout_ms, format),
+        Command::Trace {
+            addr,
+            last,
+            verb,
+            min_ms,
+            exercise,
+            timeout_ms,
+        } => run_trace(&addr, last, verb.as_deref(), min_ms, exercise, timeout_ms),
         Command::BenchDegrade {
             input,
             output,

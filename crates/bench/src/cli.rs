@@ -66,6 +66,26 @@ pub enum Command {
         /// Socket read timeout (`--timeout-ms`); an unresponsive daemon
         /// surfaces as a typed `ClientError::Timeout` instead of a hang.
         timeout_ms: Option<u64>,
+        /// Output format (`--format pretty|prom`).
+        format: StatsFormat,
+    },
+    /// `trace --addr HOST:PORT` — fetch a running daemon's recent request
+    /// timelines over the `TRACE` wire verb and print span waterfalls.
+    Trace {
+        /// Daemon address to connect to.
+        addr: String,
+        /// Cap on returned timelines (`--last N`; `None` = the whole ring).
+        last: Option<u64>,
+        /// Keep only this wire verb's timelines (`--verb sample`).
+        verb: Option<String>,
+        /// Keep only requests at least this slow (`--min-ms N`).
+        min_ms: Option<u64>,
+        /// Drive traced LOAD + SAMPLE traffic against the daemon first,
+        /// then assert the returned timelines attribute it — CI's
+        /// trace gate.
+        exercise: bool,
+        /// Socket read timeout (`--timeout-ms`).
+        timeout_ms: Option<u64>,
     },
     /// `bench-degrade <in> <out> --factor F` — scales every throughput
     /// sample; CI's negative gate uses it to prove `bench-diff` catches an
@@ -78,6 +98,17 @@ pub enum Command {
         /// Multiplier applied to every throughput sample.
         factor: f64,
     },
+}
+
+/// How `repro stats` renders the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// Human-readable tables (the default).
+    #[default]
+    Pretty,
+    /// Prometheus text exposition format, suitable for a scrape endpoint
+    /// or `promtool` ingestion.
+    Prom,
 }
 
 /// Every subcommand with the flags it accepts.
@@ -97,6 +128,7 @@ const SUBCOMMANDS: &[(&str, &[&str])] = &[
     ("bench-diff", DIFF_FLAGS),
     ("bench-degrade", DEGRADE_FLAGS),
     ("stats", STATS_FLAGS),
+    ("trace", TRACE_FLAGS),
 ];
 
 const RUN_FLAGS: &[&str] = &[
@@ -154,7 +186,21 @@ const BENCH_FLAGS: &[&str] = &[
 ];
 const DIFF_FLAGS: &[&str] = &["--threshold", "--force"];
 const DEGRADE_FLAGS: &[&str] = &["--factor"];
-const STATS_FLAGS: &[&str] = &["--addr", "--reset", "--exercise", "--timeout-ms"];
+const STATS_FLAGS: &[&str] = &[
+    "--addr",
+    "--reset",
+    "--exercise",
+    "--timeout-ms",
+    "--format",
+];
+const TRACE_FLAGS: &[&str] = &[
+    "--addr",
+    "--last",
+    "--verb",
+    "--min-ms",
+    "--exercise",
+    "--timeout-ms",
+];
 
 /// One line listing every subcommand, for error messages and `--help`-style
 /// usage output.
@@ -162,7 +208,7 @@ const STATS_FLAGS: &[&str] = &["--addr", "--reset", "--exercise", "--timeout-ms"
 pub fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(name, _)| *name).collect();
     format!(
-        "usage: repro <{}> [flags...]\n  run flags: {}\n  bench flags: {}\n  bench-diff: repro bench-diff <old.json> <new.json> [--threshold PCT] [--force]\n  bench-degrade: repro bench-degrade <in.json> <out.json> --factor F\n  stats: repro stats --addr HOST:PORT [--reset] [--exercise] [--timeout-ms MS]",
+        "usage: repro <{}> [flags...]\n  run flags: {}\n  bench flags: {}\n  bench-diff: repro bench-diff <old.json> <new.json> [--threshold PCT] [--force]\n  bench-degrade: repro bench-degrade <in.json> <out.json> --factor F\n  stats: repro stats --addr HOST:PORT [--reset] [--exercise] [--timeout-ms MS] [--format pretty|prom]\n  trace: repro trace --addr HOST:PORT [--last N] [--verb V] [--min-ms MS] [--exercise] [--timeout-ms MS]",
         names.join("|"),
         RUN_FLAGS.join(" "),
         BENCH_FLAGS.join(" ")
@@ -212,6 +258,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
     let mut stats_reset = false;
     let mut exercise = false;
     let mut timeout_ms: Option<u64> = None;
+    let mut stats_format = StatsFormat::default();
+    let mut trace_last: Option<u64> = None;
+    let mut trace_verb: Option<String> = None;
+    let mut trace_min_ms: Option<u64> = None;
     let mut positionals: Vec<String> = Vec::new();
     // `bench` leaves scale/target/timeout/batch at the profile's values
     // (standard or --quick) unless explicitly overridden.
@@ -354,6 +404,26 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
             "--addr" => {
                 addr = Some(value);
             }
+            "--format" => {
+                stats_format = match value.as_str() {
+                    "pretty" => StatsFormat::Pretty,
+                    "prom" => StatsFormat::Prom,
+                    other => return Err(format!("unknown format `{other}` (valid: pretty, prom)")),
+                };
+            }
+            "--last" => {
+                trace_last = Some(value.parse().map_err(|e| format!("invalid --last: {e}"))?);
+            }
+            "--verb" => {
+                trace_verb = Some(value);
+            }
+            "--min-ms" => {
+                trace_min_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("invalid --min-ms: {e}"))?,
+                );
+            }
             "--timeout-ms" => {
                 let ms: u64 = value
                     .parse()
@@ -469,6 +539,18 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
             Ok(Command::Stats {
                 addr: addr.ok_or("stats requires --addr HOST:PORT")?,
                 reset: stats_reset,
+                exercise,
+                timeout_ms,
+                format: stats_format,
+            })
+        }
+        "trace" => {
+            expect_positionals(0, "")?;
+            Ok(Command::Trace {
+                addr: addr.ok_or("trace requires --addr HOST:PORT")?,
+                last: trace_last,
+                verb: trace_verb,
+                min_ms: trace_min_ms,
                 exercise,
                 timeout_ms,
             })
@@ -619,6 +701,7 @@ mod tests {
             reset,
             exercise,
             timeout_ms,
+            ..
         } = parse_str("stats --addr 127.0.0.1:7878 --reset --exercise --timeout-ms 250")
             .expect("parse")
         else {
@@ -631,6 +714,58 @@ mod tests {
         // Its flags stay scoped to it.
         let err = parse_str("table2 --addr x").unwrap_err();
         assert!(err.contains("`table2` does not accept `--addr`"), "{err}");
+    }
+
+    #[test]
+    fn stats_format_defaults_pretty_and_rejects_junk() {
+        assert!(matches!(
+            parse_str("stats --addr x"),
+            Ok(Command::Stats {
+                format: StatsFormat::Pretty,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_str("stats --addr x --format prom"),
+            Ok(Command::Stats {
+                format: StatsFormat::Prom,
+                ..
+            })
+        ));
+        let err = parse_str("stats --addr x --format xml").unwrap_err();
+        assert!(err.contains("unknown format `xml`"), "{err}");
+    }
+
+    #[test]
+    fn trace_requires_addr_and_parses_filters() {
+        let err = parse_str("trace").unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let Command::Trace {
+            addr,
+            last,
+            verb,
+            min_ms,
+            exercise,
+            timeout_ms,
+        } = parse_str(
+            "trace --addr 127.0.0.1:7878 --last 5 --verb sample --min-ms 2 \
+             --exercise --timeout-ms 250",
+        )
+        .expect("parse")
+        else {
+            panic!("expected trace");
+        };
+        assert_eq!(addr, "127.0.0.1:7878");
+        assert_eq!(last, Some(5));
+        assert_eq!(verb.as_deref(), Some("sample"));
+        assert_eq!(min_ms, Some(2));
+        assert!(exercise);
+        assert_eq!(timeout_ms, Some(250));
+        // Its filters stay scoped to it.
+        let err = parse_str("stats --addr x --last 3").unwrap_err();
+        assert!(err.contains("`stats` does not accept `--last`"), "{err}");
+        let err = parse_str("trace --addr x --format prom").unwrap_err();
+        assert!(err.contains("`trace` does not accept `--format`"), "{err}");
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! * **Logging** — [`error!`] / [`warn!`] / [`info!`] / [`debug!`] macros
 //!   behind an `HTSAT_LOG` environment filter, writing timestamped lines to
 //!   stderr with one locked write per record.
+//! * **Tracing** — the [`trace`] module keeps per-request span *timelines*
+//!   (name, parent, start offset, duration) in a pre-allocated lock-free
+//!   ring. A thread with a current trace installed ([`trace::install`])
+//!   binds every [`span!`] guard to that request; the daemon serves the
+//!   retained timelines over the `TRACE` verb as a schema-versioned
+//!   (`htsat-trace-v1`) JSON document.
 //!
 //! Metrics are **observer-only** by contract: nothing in this crate feeds
 //! back into sampling behavior, so instrumented and uninstrumented runs
@@ -52,9 +58,11 @@ mod metrics;
 mod snapshot;
 mod span;
 mod time;
+pub mod trace;
 
 pub use logging::{log_enabled, max_level, set_max_level, write_log, Level};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
 pub use snapshot::{HistogramSnapshot, Snapshot, SNAPSHOT_SCHEMA};
 pub use span::{SpanGuard, SpanMeter};
 pub use time::{measure, Stopwatch};
+pub use trace::{TraceId, TraceReport, TRACE_SCHEMA};

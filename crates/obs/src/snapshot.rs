@@ -182,6 +182,56 @@ impl Snapshot {
         ])
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format, so
+    /// the daemon's metrics can be scraped without a bespoke parser.
+    ///
+    /// Metric names are sanitized (every character outside
+    /// `[a-zA-Z0-9_:]` becomes `_`, so `serve.requests.load` scrapes as
+    /// `serve_requests_load`). Histograms expose cumulative
+    /// `_bucket{le="..."}` series over the power-of-two bucket upper
+    /// bounds actually populated, plus the standard `_sum` / `_count`
+    /// pair and a closing `le="+Inf"` bucket.
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(index, count) in &h.buckets {
+                cumulative += count;
+                let upper = Histogram::bucket_bounds(index).1;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
     /// Decodes a schema-v1 snapshot, rejecting other schema generations.
     pub fn from_json(value: &Json) -> Result<Snapshot, String> {
         let schema = value
@@ -272,6 +322,46 @@ mod tests {
         }
         let err = Snapshot::from_json(&json).unwrap_err();
         assert!(err.contains("unsupported stats schema"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_text_exposition() {
+        let text = sample_snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE serve_requests_load counter\nserve_requests_load 3\n"));
+        assert!(
+            text.contains("# TYPE serve_connections_active gauge\nserve_connections_active 2\n")
+        );
+        assert!(text.contains("serve_resident_gd -1\n"), "{text}");
+        // The histogram saw 0, 17, 1<<20: buckets 0, 4, 20 — cumulative.
+        assert!(text.contains("# TYPE serve_request histogram"), "{text}");
+        assert!(
+            text.contains("serve_request_bucket{le=\"2\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_bucket{le=\"32\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_bucket{le=\"2097152\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("serve_request_sum {}\n", 17 + (1u64 << 20))),
+            "{text}"
+        );
+        assert!(text.contains("serve_request_count 3\n"), "{text}");
+        // Every line is either a comment or `name value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
     }
 
     #[test]

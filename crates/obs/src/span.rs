@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use crate::metrics::{Counter, Histogram, Registry};
 use crate::time::Stopwatch;
+use crate::trace;
 
 /// The registered metrics behind one `span!` call site: a latency histogram
 /// and an event counter. Created once per call site and cached in a static.
@@ -22,6 +23,9 @@ use crate::time::Stopwatch;
 pub struct SpanMeter {
     hist: Arc<Histogram>,
     events: Arc<Counter>,
+    /// Interned name for request-scoped tracing; interning happens here,
+    /// at registration, so the guard's hot path stores a plain `u32`.
+    trace_name: trace::SpanName,
 }
 
 impl SpanMeter {
@@ -29,10 +33,11 @@ impl SpanMeter {
     /// `registry`. The [`span!`](crate::span) macro calls this once per
     /// call site against the [`global`](crate::global) registry.
     #[must_use]
-    pub fn register(registry: &Registry, name: &str) -> SpanMeter {
+    pub fn register(registry: &Registry, name: &'static str) -> SpanMeter {
         SpanMeter {
             hist: registry.histogram(name),
             events: registry.counter(&format!("{name}.events")),
+            trace_name: trace::span_name(name),
         }
     }
 }
@@ -43,15 +48,21 @@ impl SpanMeter {
 pub struct SpanGuard<'a> {
     meter: &'a SpanMeter,
     sw: Stopwatch,
+    /// When the entering thread has a current trace installed, the claimed
+    /// span cell in its timeline (closed on drop).
+    traced: Option<trace::TracedSpan>,
 }
 
 impl<'a> SpanGuard<'a> {
     /// Starts timing against `meter`. Prefer the [`span!`](crate::span)
-    /// macro, which handles registration and caching.
+    /// macro, which handles registration and caching. If the thread has a
+    /// current trace ([`trace::install`]) the span also records into that
+    /// request's timeline, nesting under the innermost open span.
     pub fn enter(meter: &'a SpanMeter) -> SpanGuard<'a> {
         SpanGuard {
             meter,
             sw: Stopwatch::start(),
+            traced: trace::enter_span(meter.trace_name),
         }
     }
 
@@ -69,6 +80,9 @@ impl<'a> SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         self.meter.hist.record_duration(self.sw.elapsed());
+        if let Some(traced) = self.traced.take() {
+            trace::exit_span(traced);
+        }
     }
 }
 

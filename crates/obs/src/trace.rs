@@ -1,0 +1,950 @@
+//! Request-scoped tracing: per-request span timelines in a pre-allocated
+//! lock-free ring.
+//!
+//! A *trace* is one request's timeline: the set of spans (name, parent,
+//! start offset, duration) that ran on its behalf, possibly across several
+//! threads (reader, worker, writer). Traces are identified by a 128-bit
+//! [`TraceId`] that the daemon echoes over the wire, so a client (or a
+//! future router) can correlate its own clocks with the server's timeline.
+//!
+//! The substrate is a fixed ring of [`RING_SLOTS`] timeline slots, each
+//! with capacity for [`MAX_TIMELINE_SPANS`] span records, **allocated once
+//! on first use and never resized**. Every field is an atomic; a seqlock
+//! per slot (`seq` odd while recording, even when published) lets readers
+//! copy timelines without locks and detect torn reads by re-checking `seq`.
+//! The record path — claim a span cell, store four atomics, restore the
+//! thread-local parent — performs zero heap allocations, which keeps the
+//! PR 7 counting-allocator contract intact with tracing active.
+//!
+//! Binding spans to a request crosses threads via a **thread-local current
+//! trace**: a worker calls [`install`] with the request's [`TraceHandle`],
+//! and every [`span!`](crate::span) guard entered on that thread while the
+//! scope lives records into the request's timeline (nested guards form the
+//! parent chain). Threads that only know an interval — e.g. the writer
+//! recording how long a frame waited in its queue — use [`record_span`]
+//! directly.
+//!
+//! Two knobs shape what the ring keeps: [`set_sampling`] traces every k-th
+//! request that did not carry an explicit client id, and [`set_slow_only`]
+//! discards finished timelines under a duration floor (slow-only mode).
+//! Both are observer-only: they never change what the daemon computes.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use htsat_json::Json;
+
+/// Schema tag carried by every encoded trace report.
+pub const TRACE_SCHEMA: &str = "htsat-trace-v1";
+
+/// Completed timelines retained by the ring (oldest overwritten first).
+pub const RING_SLOTS: usize = 64;
+
+/// Span records per timeline; spans beyond this are counted, not stored.
+pub const MAX_TIMELINE_SPANS: usize = 64;
+
+/// Largest integer a JSON `f64` number can carry exactly; larger request
+/// ids are encoded as decimal strings (mirrors the wire protocol's rule).
+const MAX_EXACT_JSON_INT: u64 = 1 << 53;
+
+/// Sentinel for "no parent" in packed span records.
+const NO_PARENT: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------------
+
+/// A 128-bit trace identifier, written as 32 lower-case hex characters on
+/// the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u128);
+
+impl TraceId {
+    /// Wraps a raw 128-bit id.
+    #[must_use]
+    pub fn from_u128(v: u128) -> TraceId {
+        TraceId(v)
+    }
+
+    /// The raw 128-bit value.
+    #[must_use]
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Mints a fresh process-unique id (wall-clock + per-process counter,
+    /// mixed through splitmix64 so ids from concurrent daemons differ).
+    #[must_use]
+    pub fn mint() -> TraceId {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let tick = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        let hi = splitmix64(now.as_nanos() as u64 ^ 0x9E37_79B9_7F4A_7C15);
+        let lo = splitmix64(tick.wrapping_add(now.subsec_nanos() as u64));
+        TraceId(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Canonical wire form: exactly 32 lower-case hex characters.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a hex trace id (1–32 hex chars; clients may send short ids).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Span-name interning
+// ---------------------------------------------------------------------------
+
+/// An interned span name: a small index into a process-wide table of
+/// `&'static str` names, so the record path stores a `u32` instead of a
+/// pointer. Interning happens once per call site (at span registration);
+/// the hot path never touches the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanName(u32);
+
+fn name_table() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::with_capacity(64)))
+}
+
+/// Interns `name` (idempotent). Call once per call site and cache the
+/// result — the lookup takes a lock and must stay off the hot path.
+#[must_use]
+pub fn span_name(name: &'static str) -> SpanName {
+    let mut table = name_table().lock().expect("span-name table poisoned");
+    if let Some(i) = table.iter().position(|n| *n == name) {
+        return SpanName(i as u32);
+    }
+    table.push(name);
+    SpanName((table.len() - 1) as u32)
+}
+
+fn name_str(index: u32) -> &'static str {
+    let table = name_table().lock().expect("span-name table poisoned");
+    table.get(index as usize).copied().unwrap_or("?")
+}
+
+// ---------------------------------------------------------------------------
+// Time base
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds since the process trace epoch (first use). A `u64` time
+/// base keeps every timestamp atomic-friendly.
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// The ring
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SpanCell {
+    name: AtomicU32,
+    parent: AtomicU32,
+    start: AtomicU64,
+    dur: AtomicU64,
+}
+
+impl SpanCell {
+    fn new() -> SpanCell {
+        SpanCell {
+            name: AtomicU32::new(0),
+            parent: AtomicU32::new(NO_PARENT),
+            start: AtomicU64::new(0),
+            dur: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Seqlock: odd while a trace records into the slot, even when stable.
+    seq: AtomicU64,
+    /// Global publish stamp (0 = nothing published here).
+    publish: AtomicU64,
+    id_hi: AtomicU64,
+    id_lo: AtomicU64,
+    verb: AtomicU32,
+    request_id: AtomicU64,
+    start_ns: AtomicU64,
+    total_ns: AtomicU64,
+    /// Span cells claimed (may exceed capacity; the excess is `dropped`).
+    len: AtomicU32,
+    spans: Vec<SpanCell>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            publish: AtomicU64::new(0),
+            id_hi: AtomicU64::new(0),
+            id_lo: AtomicU64::new(0),
+            verb: AtomicU32::new(0),
+            request_id: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            len: AtomicU32::new(0),
+            spans: (0..MAX_TIMELINE_SPANS).map(|_| SpanCell::new()).collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<Slot>,
+    cursor: AtomicUsize,
+    publish_counter: AtomicU64,
+    sample_every: AtomicU64,
+    sample_tick: AtomicU64,
+    slow_only_ns: AtomicU64,
+    dropped_traces: AtomicU64,
+}
+
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring {
+        slots: (0..RING_SLOTS).map(|_| Slot::new()).collect(),
+        cursor: AtomicUsize::new(0),
+        publish_counter: AtomicU64::new(0),
+        sample_every: AtomicU64::new(1),
+        sample_tick: AtomicU64::new(0),
+        slow_only_ns: AtomicU64::new(0),
+        dropped_traces: AtomicU64::new(0),
+    })
+}
+
+/// Sets the sampling knob: requests without an explicit client trace id
+/// are traced every `every`-th request (`1` = all, the default; `0` =
+/// explicit ids only). Client-supplied ids are always traced.
+pub fn set_sampling(every: u64) {
+    ring().sample_every.store(every, Ordering::Relaxed);
+}
+
+/// Slow-only mode: finished timelines shorter than `min` are discarded
+/// instead of published (`None` keeps everything, the default).
+pub fn set_slow_only(min: Option<Duration>) {
+    let ns = min.map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    ring().slow_only_ns.store(ns, Ordering::Relaxed);
+}
+
+/// Whether the sampling knob elects the next implicit (no client id)
+/// request for tracing. One relaxed fetch-add; allocation-free.
+#[must_use]
+pub fn should_sample() -> bool {
+    let r = ring();
+    let every = r.sample_every.load(Ordering::Relaxed);
+    if every == 0 {
+        return false;
+    }
+    r.sample_tick
+        .fetch_add(1, Ordering::Relaxed)
+        .is_multiple_of(every)
+}
+
+/// Traces dropped because every ring slot was busy recording.
+#[must_use]
+pub fn dropped_traces() -> u64 {
+    ring().dropped_traces.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+/// A claimed, in-progress timeline slot. `Copy` so it can cross threads
+/// through spawn closures and frame queues without allocating. All record
+/// operations validate the claim against the slot's seqlock, so a stale
+/// handle (slot since recycled) degrades to a no-op instead of corrupting
+/// a newer trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceHandle {
+    slot: u32,
+    claim: u64,
+    start_ns: u64,
+}
+
+/// Starts recording a timeline for one request. Returns `None` when every
+/// slot is mid-recording (the trace is dropped and counted). The returned
+/// handle must eventually reach [`finish`], or its slot stays claimed
+/// until the ring wraps past it.
+#[must_use]
+pub fn start(id: TraceId, verb: SpanName, request_id: u64) -> Option<TraceHandle> {
+    let r = ring();
+    for _ in 0..RING_SLOTS {
+        let i = r.cursor.fetch_add(1, Ordering::Relaxed) % RING_SLOTS;
+        let slot = &r.slots[i];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if !seq.is_multiple_of(2) {
+            continue; // someone is recording here
+        }
+        if slot
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let start = now_ns();
+        slot.publish.store(0, Ordering::Relaxed);
+        slot.id_hi.store((id.0 >> 64) as u64, Ordering::Relaxed);
+        slot.id_lo.store(id.0 as u64, Ordering::Relaxed);
+        slot.verb.store(verb.0, Ordering::Relaxed);
+        slot.request_id.store(request_id, Ordering::Relaxed);
+        slot.start_ns.store(start, Ordering::Relaxed);
+        slot.total_ns.store(0, Ordering::Relaxed);
+        slot.len.store(0, Ordering::Relaxed);
+        return Some(TraceHandle {
+            slot: i as u32,
+            claim: seq + 1,
+            start_ns: start,
+        });
+    }
+    r.dropped_traces.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// Records one already-measured interval into the timeline with no parent
+/// (for threads that know a span only after the fact, e.g. the writer
+/// recording a frame's queue wait). `start_abs_ns` is a [`timestamp_ns`]-domain
+/// timestamp captured when the interval began. Allocation-free.
+pub fn record_span(handle: TraceHandle, name: SpanName, start_abs_ns: u64, dur_ns: u64) {
+    let slot = &ring().slots[handle.slot as usize];
+    if slot.seq.load(Ordering::Acquire) != handle.claim {
+        return;
+    }
+    let idx = slot.len.fetch_add(1, Ordering::Relaxed);
+    if (idx as usize) >= MAX_TIMELINE_SPANS {
+        return;
+    }
+    let cell = &slot.spans[idx as usize];
+    cell.name.store(name.0, Ordering::Relaxed);
+    cell.parent.store(NO_PARENT, Ordering::Relaxed);
+    cell.start.store(
+        start_abs_ns.saturating_sub(handle.start_ns),
+        Ordering::Relaxed,
+    );
+    cell.dur.store(dur_ns, Ordering::Relaxed);
+}
+
+/// An opaque monotonic timestamp for [`record_span`] intervals.
+#[must_use]
+pub fn timestamp_ns() -> u64 {
+    now_ns()
+}
+
+/// Finishes the timeline: stamps the total duration and publishes the
+/// slot (or discards it under slow-only mode). When `snapshot_if_at_least`
+/// is set and the total reaches it, the completed [`Timeline`] is copied
+/// out and returned — the daemon's slow-request WARN path; the copy
+/// allocates, the normal path does not.
+pub fn finish(handle: TraceHandle, snapshot_if_at_least: Option<u64>) -> (u64, Option<Timeline>) {
+    let r = ring();
+    let slot = &r.slots[handle.slot as usize];
+    let total = now_ns().saturating_sub(handle.start_ns);
+    if slot.seq.load(Ordering::Acquire) != handle.claim {
+        return (total, None);
+    }
+    slot.total_ns.store(total, Ordering::Relaxed);
+    let snapshot = match snapshot_if_at_least {
+        Some(min) if total >= min => Some(read_slot(slot)),
+        _ => None,
+    };
+    let slow_only = r.slow_only_ns.load(Ordering::Relaxed);
+    if slow_only == 0 || total >= slow_only {
+        let stamp = r.publish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.publish.store(stamp, Ordering::Relaxed);
+    }
+    slot.seq.store(handle.claim + 1, Ordering::Release);
+    (total, snapshot)
+}
+
+// ---------------------------------------------------------------------------
+// The thread-local current trace
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct TraceCtx {
+    handle: TraceHandle,
+    parent: u32,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// RAII installation of a request's trace as this thread's current trace;
+/// restores the previous current trace (if any) on drop.
+#[derive(Debug)]
+#[must_use = "the scope uninstalls the trace on drop; binding to `_` drops it immediately"]
+pub struct TraceScope {
+    prev: Option<TraceCtx>,
+}
+
+/// Makes `handle` the current trace for this thread: every span guard
+/// entered while the returned scope lives records into its timeline.
+pub fn install(handle: TraceHandle) -> TraceScope {
+    let prev = CURRENT.with(|c| {
+        c.replace(Some(TraceCtx {
+            handle,
+            parent: NO_PARENT,
+        }))
+    });
+    TraceScope { prev }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// The handle installed on this thread, if any (for propagating the
+/// current trace into frames or child workers).
+#[must_use]
+pub fn current() -> Option<TraceHandle> {
+    CURRENT.with(|c| c.get()).map(|ctx| ctx.handle)
+}
+
+/// Book-keeping a span guard carries when its scope is part of a trace.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TracedSpan {
+    handle: TraceHandle,
+    index: u32,
+    prev_parent: u32,
+}
+
+/// Claims the next span cell of the current trace (if one is installed),
+/// making it the parent of nested spans. Allocation-free.
+pub(crate) fn enter_span(name: SpanName) -> Option<TracedSpan> {
+    let ctx = CURRENT.with(|c| c.get())?;
+    let slot = &ring().slots[ctx.handle.slot as usize];
+    if slot.seq.load(Ordering::Acquire) != ctx.handle.claim {
+        return None;
+    }
+    let idx = slot.len.fetch_add(1, Ordering::Relaxed);
+    if (idx as usize) >= MAX_TIMELINE_SPANS {
+        return None; // recorded as dropped_spans at read time
+    }
+    let cell = &slot.spans[idx as usize];
+    cell.name.store(name.0, Ordering::Relaxed);
+    cell.parent.store(ctx.parent, Ordering::Relaxed);
+    cell.start.store(
+        now_ns().saturating_sub(ctx.handle.start_ns),
+        Ordering::Relaxed,
+    );
+    cell.dur.store(0, Ordering::Relaxed);
+    CURRENT.with(|c| {
+        c.set(Some(TraceCtx {
+            handle: ctx.handle,
+            parent: idx,
+        }));
+    });
+    Some(TracedSpan {
+        handle: ctx.handle,
+        index: idx,
+        prev_parent: ctx.parent,
+    })
+}
+
+/// Closes a traced span: stamps its duration and restores the parent.
+pub(crate) fn exit_span(span: TracedSpan) {
+    let slot = &ring().slots[span.handle.slot as usize];
+    if slot.seq.load(Ordering::Acquire) == span.handle.claim {
+        let cell = &slot.spans[span.index as usize];
+        let start = cell.start.load(Ordering::Relaxed);
+        let now = now_ns().saturating_sub(span.handle.start_ns);
+        cell.dur.store(now.saturating_sub(start), Ordering::Relaxed);
+    }
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.get() {
+            c.set(Some(TraceCtx {
+                handle: ctx.handle,
+                parent: span.prev_parent,
+            }));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Reading timelines
+// ---------------------------------------------------------------------------
+
+/// One span of a completed timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's registered name (e.g. `serve.request`).
+    pub name: String,
+    /// Index of the enclosing span within the same timeline, if any.
+    pub parent: Option<u32>,
+    /// Offset from the trace start, nanoseconds.
+    pub start_ns: u64,
+    /// Wall time inside the span, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// One request's completed timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// The trace id (client-supplied or daemon-minted).
+    pub trace: TraceId,
+    /// The request verb (e.g. `sample`).
+    pub verb: String,
+    /// The request's protocol-v2 id (0 for v1 requests).
+    pub request_id: u64,
+    /// End-to-end duration, nanoseconds.
+    pub total_ns: u64,
+    /// Spans that ran but did not fit in the slot's capacity.
+    pub dropped_spans: u64,
+    /// Recorded spans, in claim order (parents always precede children).
+    pub spans: Vec<SpanRecord>,
+    /// Ring publish stamp — higher is more recent. Not serialized.
+    pub order: u64,
+}
+
+fn read_slot(slot: &Slot) -> Timeline {
+    let len = slot.len.load(Ordering::Relaxed);
+    let stored = (len as usize).min(MAX_TIMELINE_SPANS);
+    let mut spans = Vec::with_capacity(stored);
+    for cell in &slot.spans[..stored] {
+        let parent = cell.parent.load(Ordering::Relaxed);
+        spans.push(SpanRecord {
+            name: name_str(cell.name.load(Ordering::Relaxed)).to_string(),
+            parent: (parent != NO_PARENT).then_some(parent),
+            start_ns: cell.start.load(Ordering::Relaxed),
+            duration_ns: cell.dur.load(Ordering::Relaxed),
+        });
+    }
+    let hi = slot.id_hi.load(Ordering::Relaxed);
+    let lo = slot.id_lo.load(Ordering::Relaxed);
+    Timeline {
+        trace: TraceId(((hi as u128) << 64) | lo as u128),
+        verb: name_str(slot.verb.load(Ordering::Relaxed)).to_string(),
+        request_id: slot.request_id.load(Ordering::Relaxed),
+        total_ns: slot.total_ns.load(Ordering::Relaxed),
+        dropped_spans: u64::from(len) - stored as u64,
+        spans,
+        order: slot.publish.load(Ordering::Relaxed),
+    }
+}
+
+/// Filters for [`snapshot_traces`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceFilter {
+    /// At most this many timelines, most recent first (0 = all retained).
+    pub last: usize,
+    /// Only timelines of this verb.
+    pub verb: Option<String>,
+    /// Only timelines at least this long, nanoseconds.
+    pub min_total_ns: u64,
+}
+
+/// Copies the published timelines out of the ring, most recent first,
+/// applying `filter`. Lock-free with respect to writers: a slot that
+/// changes mid-copy is discarded and the stable value (if any) re-read.
+#[must_use]
+pub fn snapshot_traces(filter: &TraceFilter) -> TraceReport {
+    let r = ring();
+    let mut timelines = Vec::new();
+    for slot in &r.slots {
+        // Seqlock read: stable (even, same before and after) or skip.
+        for _ in 0..4 {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before % 2 != 0 || slot.publish.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            let timeline = read_slot(slot);
+            // Order the field loads above before the re-check below.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == before {
+                timelines.push(timeline);
+                break;
+            }
+        }
+    }
+    timelines.sort_by_key(|t| std::cmp::Reverse(t.order));
+    timelines.retain(|t| {
+        t.total_ns >= filter.min_total_ns && filter.verb.as_ref().is_none_or(|verb| &t.verb == verb)
+    });
+    if filter.last > 0 {
+        timelines.truncate(filter.last);
+    }
+    TraceReport {
+        timelines,
+        dropped_traces: dropped_traces(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The wire document
+// ---------------------------------------------------------------------------
+
+/// A set of timelines as served by the `TRACE` verb, schema
+/// [`TRACE_SCHEMA`]. Round-trips through [`TraceReport::to_json`] /
+/// [`TraceReport::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReport {
+    /// Retained timelines, most recent first.
+    pub timelines: Vec<Timeline>,
+    /// Traces dropped because the ring had no free slot.
+    pub dropped_traces: u64,
+}
+
+fn encode_request_id(id: u64) -> Json {
+    if id < MAX_EXACT_JSON_INT {
+        Json::Num(id as f64)
+    } else {
+        Json::Str(id.to_string())
+    }
+}
+
+fn decode_request_id(value: Option<&Json>) -> Result<u64, String> {
+    match value {
+        Some(v @ Json::Num(_)) => v.as_u64().ok_or_else(|| "id must be integral".to_string()),
+        Some(Json::Str(s)) => s
+            .parse()
+            .map_err(|_| "id string must be decimal".to_string()),
+        _ => Err("timeline missing id".to_string()),
+    }
+}
+
+impl TraceReport {
+    /// Encodes the report as a schema-versioned JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let traces = self
+            .timelines
+            .iter()
+            .map(|t| {
+                let spans = t
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::from(s.name.as_str())),
+                            (
+                                "parent",
+                                s.parent.map_or(Json::Null, |p| Json::Num(f64::from(p))),
+                            ),
+                            ("start_ns", Json::Num(s.start_ns as f64)),
+                            ("dur_ns", Json::Num(s.duration_ns as f64)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("trace", Json::Str(t.trace.to_hex())),
+                    ("verb", Json::from(t.verb.as_str())),
+                    ("id", encode_request_id(t.request_id)),
+                    ("total_ns", Json::Num(t.total_ns as f64)),
+                    ("dropped_spans", Json::Num(t.dropped_spans as f64)),
+                    ("spans", Json::Arr(spans)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::from(TRACE_SCHEMA)),
+            ("dropped_traces", Json::Num(self.dropped_traces as f64)),
+            ("traces", Json::Arr(traces)),
+        ])
+    }
+
+    /// Decodes a schema-v1 trace report, rejecting other generations.
+    pub fn from_json(value: &Json) -> Result<TraceReport, String> {
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("trace report missing schema")?;
+        if schema != TRACE_SCHEMA {
+            return Err(format!(
+                "unsupported trace schema {schema:?} (expected {TRACE_SCHEMA:?})"
+            ));
+        }
+        let dropped_traces = value
+            .get("dropped_traces")
+            .and_then(Json::as_u64)
+            .ok_or("trace report missing dropped_traces")?;
+        let mut timelines = Vec::new();
+        for (order, t) in value
+            .get("traces")
+            .and_then(Json::as_arr)
+            .ok_or("trace report missing traces")?
+            .iter()
+            .enumerate()
+        {
+            let trace = t
+                .get("trace")
+                .and_then(Json::as_str)
+                .and_then(TraceId::parse)
+                .ok_or("timeline missing trace id")?;
+            let verb = t
+                .get("verb")
+                .and_then(Json::as_str)
+                .ok_or("timeline missing verb")?
+                .to_string();
+            let request_id = decode_request_id(t.get("id"))?;
+            let total_ns = t
+                .get("total_ns")
+                .and_then(Json::as_u64)
+                .ok_or("timeline missing total_ns")?;
+            let dropped_spans = t
+                .get("dropped_spans")
+                .and_then(Json::as_u64)
+                .ok_or("timeline missing dropped_spans")?;
+            let mut spans = Vec::new();
+            for s in t
+                .get("spans")
+                .and_then(Json::as_arr)
+                .ok_or("timeline missing spans")?
+            {
+                let parent = match s.get("parent") {
+                    Some(Json::Null) | None => None,
+                    Some(p) => Some(p.as_u64().ok_or("span parent must be integral")? as u32),
+                };
+                spans.push(SpanRecord {
+                    name: s
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("span missing name")?
+                        .to_string(),
+                    parent,
+                    start_ns: s
+                        .get("start_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or("span missing start_ns")?,
+                    duration_ns: s
+                        .get("dur_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or("span missing dur_ns")?,
+                });
+            }
+            timelines.push(Timeline {
+                trace,
+                verb,
+                request_id,
+                total_ns,
+                dropped_spans,
+                spans,
+                // Re-derive recency from document order (most recent first).
+                order: u64::MAX - order as u64,
+            });
+        }
+        Ok(TraceReport {
+            timelines,
+            dropped_traces,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ring and its knobs are process-global; tests that record or
+    /// reconfigure serialize so one test's slow-only mode cannot discard
+    /// another's timelines.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static SERIAL: Mutex<()> = Mutex::new(());
+        SERIAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn trace_id_hex_round_trip_and_rejection() {
+        let id = TraceId::from_u128(0x00FF_1234_5678_9ABC_DEF0_1122_3344_5566);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::parse(&hex), Some(id));
+        // Short ids parse; junk does not.
+        assert_eq!(TraceId::parse("ff"), Some(TraceId::from_u128(0xff)));
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("xyz"), None);
+        assert_eq!(TraceId::parse(&"a".repeat(33)), None);
+        assert_ne!(TraceId::mint(), TraceId::mint());
+    }
+
+    #[test]
+    fn start_record_finish_publishes_a_timeline() {
+        let _guard = serial();
+        let verb = span_name("test.verb.basic");
+        let inner = span_name("test.span.inner");
+        let id = TraceId::mint();
+        let handle = start(id, verb, 42).expect("ring has room");
+        {
+            let _scope = install(handle);
+            let outer = enter_span(span_name("test.span.outer")).expect("traced");
+            let nested = enter_span(inner).expect("traced");
+            exit_span(nested);
+            exit_span(outer);
+        }
+        let (total, snap) = finish(handle, Some(0));
+        let snap = snap.expect("snapshot above threshold");
+        assert_eq!(snap.trace, id);
+        assert_eq!(snap.verb, "test.verb.basic");
+        assert_eq!(snap.request_id, 42);
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].name, "test.span.outer");
+        assert_eq!(snap.spans[0].parent, None);
+        assert_eq!(snap.spans[1].name, "test.span.inner");
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert!(total >= snap.spans[0].duration_ns);
+
+        let report = snapshot_traces(&TraceFilter {
+            verb: Some("test.verb.basic".to_string()),
+            ..TraceFilter::default()
+        });
+        assert!(report.timelines.iter().any(|t| t.trace == id));
+    }
+
+    #[test]
+    fn spans_outside_a_scope_or_after_finish_are_ignored() {
+        let _guard = serial();
+        assert!(enter_span(span_name("test.span.orphan")).is_none());
+        let verb = span_name("test.verb.stale");
+        let handle = start(TraceId::mint(), verb, 1).expect("room");
+        let (_, _) = finish(handle, None);
+        // The handle is stale now: records must be no-ops.
+        record_span(handle, span_name("test.span.stale"), timestamp_ns(), 5);
+        let report = snapshot_traces(&TraceFilter {
+            verb: Some("test.verb.stale".to_string()),
+            ..TraceFilter::default()
+        });
+        let t = report
+            .timelines
+            .iter()
+            .find(|t| t.verb == "test.verb.stale")
+            .expect("published");
+        assert!(t.spans.iter().all(|s| s.name != "test.span.stale"));
+    }
+
+    #[test]
+    fn slow_only_mode_discards_fast_timelines() {
+        let _guard = serial();
+        set_slow_only(Some(Duration::from_secs(3600)));
+        let verb = span_name("test.verb.slowonly");
+        let handle = start(TraceId::mint(), verb, 9).expect("room");
+        let (_, snap) = finish(handle, None);
+        assert!(snap.is_none());
+        set_slow_only(None);
+        let report = snapshot_traces(&TraceFilter {
+            verb: Some("test.verb.slowonly".to_string()),
+            ..TraceFilter::default()
+        });
+        assert!(
+            report.timelines.is_empty(),
+            "fast timeline must be discarded"
+        );
+    }
+
+    #[test]
+    fn filter_by_min_duration_and_last() {
+        let _guard = serial();
+        let verb = span_name("test.verb.filter");
+        for i in 0..3 {
+            let handle = start(TraceId::from_u128(1000 + i), verb, i as u64).expect("room");
+            let (_, _) = finish(handle, None);
+        }
+        let all = snapshot_traces(&TraceFilter {
+            verb: Some("test.verb.filter".to_string()),
+            ..TraceFilter::default()
+        });
+        assert_eq!(all.timelines.len(), 3);
+        // Most recent first.
+        assert!(all.timelines[0].order > all.timelines[2].order);
+        let last_one = snapshot_traces(&TraceFilter {
+            verb: Some("test.verb.filter".to_string()),
+            last: 1,
+            ..TraceFilter::default()
+        });
+        assert_eq!(last_one.timelines.len(), 1);
+        assert_eq!(last_one.timelines[0].trace, all.timelines[0].trace);
+        let none = snapshot_traces(&TraceFilter {
+            verb: Some("test.verb.filter".to_string()),
+            min_total_ns: u64::MAX,
+            ..TraceFilter::default()
+        });
+        assert!(none.timelines.is_empty());
+    }
+
+    #[test]
+    fn span_overflow_counts_dropped_spans() {
+        let _guard = serial();
+        let verb = span_name("test.verb.overflow");
+        let name = span_name("test.span.many");
+        let handle = start(TraceId::mint(), verb, 3).expect("room");
+        {
+            let _scope = install(handle);
+            for _ in 0..(MAX_TIMELINE_SPANS + 10) {
+                if let Some(s) = enter_span(name) {
+                    exit_span(s);
+                }
+            }
+        }
+        let (_, snap) = finish(handle, Some(0));
+        let snap = snap.expect("snapshot");
+        assert_eq!(snap.spans.len(), MAX_TIMELINE_SPANS);
+        assert_eq!(snap.dropped_spans, 10);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = TraceReport {
+            timelines: vec![Timeline {
+                trace: TraceId::from_u128(0xABCD),
+                verb: "sample".to_string(),
+                request_id: u64::MAX - 7, // above 2^53: decimal-string path
+                total_ns: 12345,
+                dropped_spans: 1,
+                spans: vec![
+                    SpanRecord {
+                        name: "serve.request".to_string(),
+                        parent: None,
+                        start_ns: 0,
+                        duration_ns: 12000,
+                    },
+                    SpanRecord {
+                        name: "engine.round".to_string(),
+                        parent: Some(0),
+                        start_ns: 100,
+                        duration_ns: 900,
+                    },
+                ],
+                order: u64::MAX,
+            }],
+            dropped_traces: 2,
+        };
+        let text = report.to_json().encode();
+        assert!(text.starts_with("{\"schema\":\"htsat-trace-v1\""));
+        let back = TraceReport::from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, report);
+
+        let mut wrong = report.to_json();
+        if let Json::Obj(pairs) = &mut wrong {
+            pairs[0].1 = Json::from("htsat-trace-v0");
+        }
+        let err = TraceReport::from_json(&wrong).unwrap_err();
+        assert!(err.contains("unsupported trace schema"), "{err}");
+    }
+}

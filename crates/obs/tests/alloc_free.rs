@@ -1,7 +1,8 @@
-//! Proof that the metrics + span hot path performs **zero heap
-//! allocations** after registration — the acceptance criterion that makes
-//! instrumentation safe inside the sampler round loop, checked with a
-//! counting global allocator rather than a promise.
+//! Proof that the metrics + span + trace-record hot path performs **zero
+//! heap allocations** after registration — the acceptance criterion that
+//! makes instrumentation safe inside the sampler round loop and lets the
+//! daemon trace every request, checked with a counting global allocator
+//! rather than a promise.
 //!
 //! Runs without the libtest harness (`harness = false` in `Cargo.toml`) so
 //! no concurrent harness thread can allocate while the counter is armed.
@@ -40,34 +41,55 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// One iteration of the instrumented hot path: a span guard, per-span
-/// events, counter/gauge updates, and a histogram record — exactly the mix
-/// the stream round loop and the executor regions use.
-fn hot_path(i: u64) {
-    let span = obs::span!("alloc.round");
-    obs::counter!("alloc.rounds").inc();
-    obs::counter!("alloc.samples").add(8);
-    obs::gauge!("alloc.in_flight").set(i as i64 % 4);
-    obs::histogram!("alloc.latency").record(i * 37);
-    span.events(2);
+/// One iteration of the instrumented hot path: a full *traced* request —
+/// start a timeline, install it as the thread's current trace, run a span
+/// guard (which records into the timeline), per-span events,
+/// counter/gauge updates, a histogram record, a writer-style external
+/// interval record, and finish — exactly the mix one daemon request drives.
+fn hot_path(i: u64, verb: obs::trace::SpanName, wait: obs::trace::SpanName) {
+    let handle = obs::trace::start(obs::TraceId::from_u128(u128::from(i) + 1), verb, i);
+    assert!(
+        handle.is_some(),
+        "sequential traces always find a free slot"
+    );
+    let scope = handle.map(obs::trace::install);
+    {
+        let span = obs::span!("alloc.round");
+        obs::counter!("alloc.rounds").inc();
+        obs::counter!("alloc.samples").add(8);
+        obs::gauge!("alloc.in_flight").set(i as i64 % 4);
+        obs::histogram!("alloc.latency").record(i * 37);
+        span.events(2);
+    }
+    drop(scope);
+    if let Some(h) = handle {
+        // The writer's queue-wait style record: an interval known after
+        // the fact, attributed without a thread-local install.
+        obs::trace::record_span(h, wait, obs::trace::timestamp_ns(), 10);
+        let (_total, snapshot) = obs::trace::finish(h, None);
+        assert!(snapshot.is_none(), "no WARN threshold, no copy, no alloc");
+    }
 }
 
 fn main() {
-    // Warm-up: first executions register the metrics (this allocates, and
-    // is allowed to — the contract is zero allocations *after* registration).
-    hot_path(0);
+    // Warm-up: first executions register the metrics, intern the span
+    // names, and allocate the trace ring (this allocates, and is allowed
+    // to — the contract is zero allocations *after* registration).
+    let verb = obs::trace::span_name("alloc.request");
+    let wait = obs::trace::span_name("alloc.queue_wait");
+    hot_path(0, verb, wait);
 
     ALLOCATIONS.store(0, Ordering::SeqCst);
     TRACKING.store(true, Ordering::SeqCst);
     for i in 0..4096 {
-        hot_path(i);
+        hot_path(i, verb, wait);
     }
     TRACKING.store(false, Ordering::SeqCst);
     let counted = ALLOCATIONS.load(Ordering::SeqCst);
 
     assert_eq!(
         counted, 0,
-        "metrics/span hot path allocated {counted} times over 4096 iterations"
+        "metrics/span/trace hot path allocated {counted} times over 4096 iterations"
     );
     assert_eq!(obs::global().counter("alloc.rounds").get(), 4097);
     assert_eq!(obs::global().histogram("alloc.round").count(), 4097);
@@ -77,5 +99,17 @@ fn main() {
     let snapshot = obs::global().snapshot();
     assert_eq!(snapshot.counter("alloc.samples"), Some(4097 * 8));
     assert_eq!(snapshot.counter("alloc.round.events"), Some(4097 * 2));
-    println!("test metrics_span_hot_path_performs_zero_allocations ... ok (0 allocations over 4096 iterations)");
+
+    // The traced requests really recorded timelines: the ring retains the
+    // most recent ones, each with the guard span and the external record.
+    let report = obs::trace::snapshot_traces(&obs::trace::TraceFilter::default());
+    assert!(!report.timelines.is_empty(), "ring must retain timelines");
+    assert_eq!(report.dropped_traces, 0);
+    for timeline in &report.timelines {
+        assert_eq!(timeline.verb, "alloc.request");
+        assert_eq!(timeline.spans.len(), 2);
+        assert_eq!(timeline.spans[0].name, "alloc.round");
+        assert_eq!(timeline.spans[1].name, "alloc.queue_wait");
+    }
+    println!("test metrics_span_traced_hot_path_performs_zero_allocations ... ok (0 allocations over 4096 traced iterations)");
 }

@@ -1,0 +1,147 @@
+//! Concurrency hammer for the trace ring: writer threads racing reader
+//! threads must never expose a *torn* timeline — a published timeline
+//! whose fields mix two different traces.
+//!
+//! Every writer stamps a self-describing pattern (the trace id equals the
+//! request id, the verb names the writer, every iteration records exactly
+//! the same span tree), so any cross-trace mixing a reader could observe
+//! breaks an invariant check. Runs as its own integration test binary so
+//! no unit test's knob twiddling interferes with the process-global ring.
+
+use htsat_obs as obs;
+use htsat_obs::trace::{self, SpanName, TraceFilter, TraceId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const WRITERS: usize = 4;
+const READERS: usize = 2;
+const ITERATIONS: u64 = 500;
+/// 3 outer/inner pairs per trace (see `write_one`).
+const SPANS_PER_TRACE: usize = 6;
+
+fn writer_verb(writer: usize) -> &'static str {
+    ["hammer.w0", "hammer.w1", "hammer.w2", "hammer.w3"][writer]
+}
+
+fn write_one(writer: usize, iteration: u64, verb: SpanName) {
+    let request_id = (writer as u64) * 1_000_000 + iteration;
+    let Some(handle) = trace::start(TraceId::from_u128(u128::from(request_id)), verb, request_id)
+    else {
+        return; // ring momentarily full under contention: dropped + counted
+    };
+    {
+        let _scope = trace::install(handle);
+        for _ in 0..SPANS_PER_TRACE / 2 {
+            let outer = obs::span!("hammer.outer");
+            {
+                let _inner = obs::span!("hammer.inner");
+            }
+            drop(outer);
+        }
+    }
+    let (_total, _snapshot) = trace::finish(handle, None);
+}
+
+/// Checks one observed timeline against the writers' fixed pattern.
+/// Returns whether it was one of ours (readers may also see timelines from
+/// `start`-but-unfinished slots — they must not, which this verifies too).
+fn check_timeline(t: &obs::trace::Timeline) {
+    let writer = (t.request_id / 1_000_000) as usize;
+    let iteration = t.request_id % 1_000_000;
+    assert!(
+        writer < WRITERS,
+        "request id {} from no writer",
+        t.request_id
+    );
+    assert!(iteration < ITERATIONS);
+    assert_eq!(
+        t.trace.as_u128(),
+        u128::from(t.request_id),
+        "trace id and request id must come from the same trace (torn slot?)"
+    );
+    assert_eq!(
+        t.verb,
+        writer_verb(writer),
+        "verb must match the writer that owns request id {}",
+        t.request_id
+    );
+    assert_eq!(
+        t.spans.len(),
+        SPANS_PER_TRACE,
+        "incomplete timeline published"
+    );
+    assert_eq!(t.dropped_spans, 0);
+    for (i, span) in t.spans.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(span.name, "hammer.outer", "span {i}");
+            assert_eq!(span.parent, None, "outer spans are roots");
+        } else {
+            assert_eq!(span.name, "hammer.inner", "span {i}");
+            assert_eq!(
+                span.parent,
+                Some(i as u32 - 1),
+                "inner spans nest under the preceding outer"
+            );
+        }
+        assert!(
+            span.start_ns + span.duration_ns <= t.total_ns,
+            "span {i} ends after the trace total ({} + {} > {})",
+            span.start_ns,
+            span.duration_ns,
+            t.total_ns
+        );
+    }
+}
+
+fn main() {
+    let done = Arc::new(AtomicBool::new(false));
+    let observed = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let done = Arc::clone(&done);
+            let observed = Arc::clone(&observed);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let report = trace::snapshot_traces(&TraceFilter::default());
+                    for t in &report.timelines {
+                        check_timeline(t);
+                    }
+                    observed.fetch_add(report.timelines.len() as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|writer| {
+            std::thread::spawn(move || {
+                let verb = trace::span_name(writer_verb(writer));
+                for iteration in 0..ITERATIONS {
+                    write_one(writer, iteration, verb);
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer panicked (invariant violation)");
+    }
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked (torn timeline observed)");
+    }
+
+    // The ring must have retained fully-checked recent timelines.
+    let report = trace::snapshot_traces(&TraceFilter::default());
+    assert!(!report.timelines.is_empty(), "ring retained nothing");
+    for t in &report.timelines {
+        check_timeline(t);
+    }
+    println!(
+        "test trace_ring_hammer ... ok ({} writer timelines, {} reader observations, {} dropped)",
+        WRITERS as u64 * ITERATIONS,
+        observed.load(Ordering::Relaxed),
+        report.dropped_traces
+    );
+}

@@ -19,6 +19,9 @@
 //! * `--allow-path-load` — allow `LOAD` requests naming server-side paths.
 //! * `--log-stats SECS` — emit the metrics snapshot as a structured `info`
 //!   log line every `SECS` seconds.
+//! * `--trace-slow-ms MS` — log a structured `warn` line carrying the full
+//!   span timeline for any traced request slower than `MS` milliseconds
+//!   (`0` warns on every traced request).
 //!
 //! Diagnostics go to stderr through the `htsat-obs` leveled logger; set
 //! `HTSAT_LOG=error|warn|info|debug` to choose the verbosity (default
@@ -66,6 +69,12 @@ fn parse_args() -> Result<ServeConfig, String> {
                 }
                 config.log_stats = Some(Duration::from_secs(secs));
             }
+            "--trace-slow-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|e| format!("invalid --trace-slow-ms: {e}"))?;
+                config.trace_slow_ms = Some(ms);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -79,7 +88,7 @@ fn main() {
             htsat_obs::error!("{msg}");
             htsat_obs::error!(
                 "usage: htsat-serve [--addr HOST:PORT] [--threads N] [--budget-mb N] \
-                 [--allow-path-load] [--log-stats SECS]"
+                 [--allow-path-load] [--log-stats SECS] [--trace-slow-ms MS]"
             );
             std::process::exit(2);
         }

@@ -17,6 +17,7 @@ use crate::proto::{
     SubscribeParams, PROTOCOL_V2,
 };
 use htsat_cnf::Fingerprint;
+use htsat_obs::{TraceId, TraceReport};
 use htsat_runtime::StreamStats;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -191,6 +192,9 @@ pub struct Client {
     /// Automatic `CREDIT` request ids, mapped to their subscription so a
     /// rejection can be attributed (and ignored once the feed has ended).
     auto_credit: HashMap<u64, u64>,
+    /// Trace id stamped on every outgoing request (see
+    /// [`Client::set_trace`]); `None` sends untraced requests.
+    trace_id: Option<TraceId>,
 }
 
 impl Client {
@@ -214,7 +218,25 @@ impl Client {
             routed_sub: HashMap::new(),
             subs: HashMap::new(),
             auto_credit: HashMap::new(),
+            trace_id: None,
         })
+    }
+
+    /// Stamps (or stops stamping) a trace id on every subsequent request.
+    /// A traced request always records a span timeline server-side —
+    /// regardless of the daemon's sampling knob — and, on a v2 connection,
+    /// every one of its frames echoes the id back in a `"trace"` key.
+    /// Retrieve the recorded timelines with [`Client::trace`].
+    pub fn set_trace(&mut self, trace: Option<TraceId>) {
+        self.trace_id = trace;
+    }
+
+    /// Appends the configured `"trace"` context to an outgoing request
+    /// object (no-op when tracing is off).
+    fn stamp_trace(&self, msg: &mut Json) {
+        if let (Some(trace), Json::Obj(pairs)) = (self.trace_id, msg) {
+            pairs.push(("trace".to_string(), Json::Str(trace.to_hex())));
+        }
     }
 
     /// Sets (or clears) the read timeout. With a timeout set, a read that
@@ -372,7 +394,9 @@ impl Client {
 
     /// v1 lockstep exchange: one line out, one line in.
     fn call_v1(&mut self, request: &Request) -> Result<Json, ClientError> {
-        self.write_line(request.encode().encode())?;
+        let mut msg = request.encode();
+        self.stamp_trace(&mut msg);
+        self.write_line(msg.encode())?;
         let reply = self.read_line()?;
         let msg = Json::parse(reply.trim_end())?;
         match msg.get("ok").and_then(Json::as_bool) {
@@ -394,6 +418,7 @@ impl Client {
         if let Json::Obj(pairs) = &mut msg {
             pairs.push(("id".to_string(), encode_u64_exact(id)));
         }
+        self.stamp_trace(&mut msg);
         self.write_line(msg.encode())?;
         self.pending.insert(id);
         Ok(id)
@@ -790,6 +815,30 @@ impl Client {
     pub fn stats_reset(&mut self) -> Result<htsat_obs::Snapshot, ClientError> {
         let reply = self.call(&Request::Stats { reset: true })?;
         htsat_obs::Snapshot::from_json(&reply).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches recent request timelines from the daemon's trace ring (the
+    /// `TRACE` verb), newest first, parsed into the typed
+    /// [`htsat_obs::TraceReport`]. `last` caps the count (`None` = the
+    /// whole ring), `verb` keeps only that wire verb's timelines, and
+    /// `min_ms` keeps only requests at least that slow.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Protocol`] when the reply is
+    /// not a schema-`htsat-trace-v1` report.
+    pub fn trace(
+        &mut self,
+        last: Option<u64>,
+        verb: Option<&str>,
+        min_ms: Option<u64>,
+    ) -> Result<TraceReport, ClientError> {
+        let reply = self.call(&Request::Trace {
+            last,
+            verb: verb.map(str::to_string),
+            min_ms,
+        })?;
+        TraceReport::from_json(&reply).map_err(ClientError::Protocol)
     }
 
     /// Drops every engine's entry of one fingerprint; returns whether

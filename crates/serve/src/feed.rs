@@ -18,18 +18,17 @@
 //! leaves (the producer quietly retires), or at daemon shutdown (terminal
 //! `error` code `shutdown` to every seat).
 
-use crate::json::Json;
 use crate::proto::{
     frame_feed_done, frame_feed_error, frame_pushed, ErrorCode, SampleParams, SubscribeParams,
 };
 use crate::registry::RegistryEntry;
 use crate::server::{admit_sample, sample_tail_payload, ServerState};
+use crate::session::{FrameSender, FrameTrySendError};
 use htsat_cnf::Fingerprint;
 use htsat_core::EngineStream;
 use htsat_runtime::StopToken;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -71,7 +70,7 @@ impl FeedKey {
 struct Seat {
     sub: u64,
     /// The owning connection's frame queue (v2 writer).
-    tx: SyncSender<Json>,
+    tx: FrameSender,
     credit: u64,
     delivered: u64,
     stalls: u64,
@@ -169,7 +168,7 @@ impl FeedRegistry {
         &self,
         state: &Arc<ServerState>,
         params: &SubscribeParams,
-        tx: SyncSender<Json>,
+        tx: FrameSender,
     ) -> Result<(u64, Arc<Feed>), (ErrorCode, String)> {
         let key = FeedKey::of(params);
         let sub = self.next_sub.fetch_add(1, Ordering::Relaxed) + 1;
@@ -326,6 +325,9 @@ fn run_feed(
                 htsat_obs::counter!("serve.sub.stalls").inc();
                 return true;
             }
+            // Per-seat delivery time (lock held, frame built, enqueue
+            // attempted) — the cost one subscriber adds to the fanout.
+            let _deliver = htsat_obs::span!("serve.feed.deliver");
             match seat.tx.try_send(frame_pushed(seat.sub, seq, &batch)) {
                 Ok(()) => {
                     seat.credit -= 1;
@@ -333,14 +335,14 @@ fn run_feed(
                     htsat_obs::counter!("serve.sub.batches").inc();
                     true
                 }
-                Err(TrySendError::Full(_)) => {
+                Err(FrameTrySendError::Full) => {
                     // Its connection queue is full — same stall semantics
                     // as zero credit.
                     seat.stalls += 1;
                     htsat_obs::counter!("serve.sub.stalls").inc();
                     true
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(FrameTrySendError::Disconnected) => {
                     // Connection gone; reclaim the seat.
                     htsat_obs::gauge!("serve.sub.subscribers").dec();
                     false

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! request  = hello | load | sample | status | stats | evict | shutdown
-//!          | subscribe | credit | unsubscribe
+//!          | subscribe | credit | unsubscribe | trace
 //! hello    = {"cmd":"hello", "version":int}
 //! load     = {"cmd":"load", "name"?:str, "engine"?:str, "dimacs":str} |
 //!            {"cmd":"load", "name"?:str, "engine"?:str, "path":str}
@@ -27,7 +27,25 @@
 //!                "max_stale"?:int, "credit"?:int, "chunk"?:int}
 //! credit      = {"cmd":"credit", "sub":int, "n":int}
 //! unsubscribe = {"cmd":"unsubscribe", "sub":int}
+//! trace       = {"cmd":"trace", "last"?:int, "verb"?:str, "min_ms"?:int}
 //! ```
+//!
+//! # Request-scoped tracing
+//!
+//! Any request may carry an optional `"trace"` field: 1–32 hex characters
+//! naming a client-chosen 128-bit trace id. The daemon records a
+//! per-request span timeline under that id and — on a v2 connection —
+//! echoes `"trace"` on **every** frame the request produces (`reply`,
+//! `chunk`, `done`, `error`), so a client can correlate interleaved frames
+//! with its own distributed trace. v1 responses never carry a `trace` key
+//! (the field is accepted and recorded, but the v1 wire shape is frozen).
+//! An ill-formed `trace` value is a `bad-request`.
+//!
+//! The `TRACE` verb returns the most recent completed timelines as a
+//! schema-versioned `htsat-trace-v1` document (see
+//! [`htsat_obs::TraceReport`]): `last` caps how many (0 or absent = all
+//! retained), `verb` keeps only timelines of one verb (e.g. `"sample"`),
+//! and `min_ms` keeps only requests at least that slow.
 //!
 //! # Protocol versions
 //!
@@ -88,6 +106,7 @@
 
 use crate::json::Json;
 use htsat_cnf::Fingerprint;
+use htsat_obs::TraceId;
 use htsat_runtime::StreamStats;
 
 /// Default number of unique solutions a `SAMPLE` request asks for when `n`
@@ -170,6 +189,16 @@ pub enum Request {
     Unsubscribe {
         /// Subscription id to drop.
         sub: u64,
+    },
+    /// Return recent request timelines from the trace ring (schema
+    /// `htsat-trace-v1`, see [`htsat_obs::TraceReport`]).
+    Trace {
+        /// Keep only the most recent N timelines (`None`/0 = all retained).
+        last: Option<u64>,
+        /// Keep only timelines of this verb (e.g. `"sample"`).
+        verb: Option<String>,
+        /// Keep only requests that took at least this many milliseconds.
+        min_ms: Option<u64>,
     },
 }
 
@@ -463,6 +492,18 @@ impl Request {
                     .ok_or_else(|| ProtoError("unsubscribe needs `sub`".to_string()))?;
                 Ok(Request::Unsubscribe { sub })
             }
+            "trace" => {
+                let verb = match msg.get("verb") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(name)) => Some(name.clone()),
+                    Some(_) => return Err(ProtoError("`verb` must be a string".to_string())),
+                };
+                Ok(Request::Trace {
+                    last: field_u64(msg, "last")?,
+                    verb,
+                    min_ms: field_u64(msg, "min_ms")?,
+                })
+            }
             other => Err(ProtoError(format!("unknown command `{other}`"))),
         }
     }
@@ -570,6 +611,19 @@ impl Request {
             Request::Unsubscribe { sub } => {
                 Json::obj(vec![("cmd", "unsubscribe".into()), ("sub", (*sub).into())])
             }
+            Request::Trace { last, verb, min_ms } => {
+                let mut pairs = vec![("cmd", Json::from("trace"))];
+                if let Some(last) = last {
+                    pairs.push(("last", (*last).into()));
+                }
+                if let Some(verb) = verb {
+                    pairs.push(("verb", verb.clone().into()));
+                }
+                if let Some(ms) = min_ms {
+                    pairs.push(("min_ms", (*ms).into()));
+                }
+                Json::obj(pairs)
+            }
         }
     }
 }
@@ -585,6 +639,35 @@ impl Request {
 /// are accepted like seeds.
 pub fn request_id(msg: &Json) -> Result<Option<u64>, ProtoError> {
     field_u64_exact(msg, "id")
+}
+
+/// Decodes the optional client-supplied `"trace"` field: 1–32 hex
+/// characters naming a 128-bit [`TraceId`] the request's timeline is
+/// recorded under. `Ok(None)` when absent.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] when `trace` is present but not a hex string
+/// (answered as `bad-request`).
+pub fn request_trace(msg: &Json) -> Result<Option<TraceId>, ProtoError> {
+    match msg.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(text)) => TraceId::parse(text).map(Some).ok_or_else(|| {
+            ProtoError("`trace` must be 1-32 hex characters (a 128-bit trace id)".to_string())
+        }),
+        Some(_) => Err(ProtoError("`trace` must be a hex string".to_string())),
+    }
+}
+
+/// Appends the `"trace"` echo to a v2 frame of a client-traced request (a
+/// no-op with `None` — untraced requests keep the pre-trace frame shape
+/// bit-for-bit).
+#[must_use]
+pub fn frame_traced(mut frame: Json, trace: Option<TraceId>) -> Json {
+    if let (Some(id), Json::Obj(pairs)) = (trace, &mut frame) {
+        pairs.push(("trace".to_string(), Json::Str(id.to_hex())));
+    }
+    frame
 }
 
 /// Builds a v2 `reply` frame: the terminal (and only) frame of a unary
@@ -921,6 +1004,16 @@ mod tests {
             }),
             Request::Credit { sub: 3, n: 10 },
             Request::Unsubscribe { sub: 3 },
+            Request::Trace {
+                last: None,
+                verb: None,
+                min_ms: None,
+            },
+            Request::Trace {
+                last: Some(5),
+                verb: Some("sample".to_string()),
+                min_ms: Some(250),
+            },
         ];
         for request in requests {
             let line = request.encode().encode();
@@ -964,6 +1057,11 @@ mod tests {
                 "`n` must be non-zero",
             ),
             (r#"{"cmd": "unsubscribe"}"#, "unsubscribe needs `sub`"),
+            (r#"{"cmd": "trace", "verb": 7}"#, "`verb` must be a string"),
+            (
+                r#"{"cmd": "trace", "last": "many"}"#,
+                "`last` must be a non-negative integer",
+            ),
         ] {
             let msg = Json::parse(text).expect("valid JSON");
             let err = Request::decode(&msg).expect_err(text);
@@ -1070,6 +1168,46 @@ mod tests {
         assert_eq!(err.get("code").and_then(Json::as_str), Some("shutdown"));
         let anon = frame_error(None, ErrorCode::BadJson, "not json");
         assert_eq!(anon.get("id"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn request_trace_decodes_hex_absence_and_rejects_junk() {
+        let traced = Json::parse(r#"{"cmd":"status","trace":"00ff"}"#).expect("json");
+        assert_eq!(
+            request_trace(&traced).expect("decodes"),
+            Some(TraceId::from_u128(0xff))
+        );
+        // Full-width ids round-trip through their own hex form.
+        let id = TraceId::from_u128(u128::MAX - 17);
+        let wide = Json::parse(&format!(r#"{{"trace":"{}"}}"#, id.to_hex())).expect("json");
+        assert_eq!(request_trace(&wide).expect("decodes"), Some(id));
+        let untraced = Json::parse(r#"{"cmd":"status"}"#).expect("json");
+        assert_eq!(request_trace(&untraced).expect("decodes"), None);
+        for bad in [r#"{"trace":"zz"}"#, r#"{"trace":""}"#, r#"{"trace":12}"#] {
+            let msg = Json::parse(bad).expect("json");
+            assert!(request_trace(&msg).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn frame_traced_echoes_on_every_frame_kind_and_preserves_untraced() {
+        let id = TraceId::from_u128(0xabc);
+        let solutions = vec![vec![true, false]];
+        for frame in [
+            frame_reply(4, vec![("version", 2u64.into())]),
+            frame_chunk(4, 0, &solutions),
+            frame_done(4, vec![("exhausted", false.into())]),
+            frame_error(Some(4), ErrorCode::BadRequest, "boom"),
+        ] {
+            let untraced = frame_traced(frame.clone(), None);
+            assert_eq!(untraced, frame, "None must not change the frame");
+            assert!(untraced.get("trace").is_none());
+            let traced = frame_traced(frame, Some(id));
+            assert_eq!(
+                traced.get("trace").and_then(Json::as_str),
+                Some(id.to_hex().as_str())
+            );
+        }
     }
 
     #[test]

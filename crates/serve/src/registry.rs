@@ -325,10 +325,14 @@ impl SamplerRegistry {
             }
             // Another load is preparing this pair right now: wait for it
             // to finish (success or failure), then retry from the top.
+            // The wait is its own span: a traced request shows exactly how
+            // long it sat coalesced behind another caller's preparation.
+            let wait_span = htsat_obs::span!("serve.registry.coalesce_wait");
             let _released = self
                 .inflight_done
                 .wait(inflight)
                 .expect("inflight poisoned");
+            drop(wait_span);
             waited = true;
         };
 
@@ -339,7 +343,11 @@ impl SamplerRegistry {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         htsat_obs::counter!("serve.registry.misses").inc();
         htsat_obs::counter!("serve.registry.compiles").inc();
+        // Span closes on every exit (including the `?` error path), so a
+        // traced LOAD always attributes its preparation/compilation time.
+        let prepare_span = htsat_obs::span!("serve.registry.prepare");
         let prepared = engine_by_name(engine_name, cnf, &self.config.transform)?;
+        drop(prepare_span);
         let bytes = prepared
             .memory_model(self.config.model_batch, self.config.model_workers)
             .total_bytes();

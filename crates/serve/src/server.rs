@@ -41,6 +41,11 @@ pub struct ServeConfig {
     /// Emit the metrics snapshot as a structured `info` log line at this
     /// interval (`None` = off). The daemon's `--log-stats <secs>` flag.
     pub log_stats: Option<Duration>,
+    /// Log a structured `warn` line carrying the full span timeline for any
+    /// traced request slower than this many milliseconds (`None` = off;
+    /// `0` warns on every traced request). The daemon's `--trace-slow-ms`
+    /// flag.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +58,7 @@ impl Default for ServeConfig {
             registry: RegistryConfig::default(),
             allow_path_load: false,
             log_stats: None,
+            trace_slow_ms: None,
         }
     }
 }
@@ -319,7 +325,43 @@ pub(crate) fn dispatch_request(request: Request, state: &Arc<ServerState>) -> (J
             htsat_obs::info!("shutdown requested");
             (ok_response(vec![("shutdown", true.into())]), true)
         }
+        Request::Trace { last, verb, min_ms } => {
+            htsat_obs::counter!("serve.requests.trace").inc();
+            (handle_trace(last, verb, min_ms), false)
+        }
     }
+}
+
+/// Answers `TRACE`: recent request timelines from the process-global trace
+/// ring, newest first, optionally filtered by verb and minimum duration.
+/// The reply merges the `htsat-trace-v1` report document into the usual
+/// `ok` envelope (mirroring how `STATS` carries its snapshot).
+fn handle_trace(last: Option<u64>, verb: Option<String>, min_ms: Option<u64>) -> Json {
+    let filter = htsat_obs::trace::TraceFilter {
+        last: usize::try_from(last.unwrap_or(0)).unwrap_or(usize::MAX),
+        verb,
+        min_total_ns: min_ms.unwrap_or(0).saturating_mul(1_000_000),
+    };
+    let report = htsat_obs::trace::snapshot_traces(&filter);
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    if let Json::Obj(report_pairs) = report.to_json() {
+        pairs.extend(report_pairs);
+    }
+    Json::Obj(pairs)
+}
+
+/// Thread count of this process, from `/proc/self/status` (`1` when the
+/// procfs read is unavailable, e.g. on non-Linux hosts).
+fn process_threads() -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|line| {
+                line.strip_prefix("Threads:")
+                    .and_then(|rest| rest.trim().parse::<i64>().ok())
+            })
+        })
+        .unwrap_or(1)
 }
 
 /// Answers `STATS`: the full metrics snapshot, optionally followed by a
@@ -333,6 +375,9 @@ fn handle_stats(state: &Arc<ServerState>, reset: bool) -> Json {
     // Refresh level-style gauges the moment they are observed, so a
     // snapshot is coherent even if no request touched them recently.
     htsat_obs::gauge!("serve.registry.resident_entries").set(state.registry.len() as i64);
+    htsat_obs::gauge!("process.uptime_ms")
+        .set(i64::try_from(state.started.elapsed().as_millis()).unwrap_or(i64::MAX));
+    htsat_obs::gauge!("process.threads").set(process_threads());
     let snapshot = htsat_obs::global().snapshot();
     if reset {
         htsat_obs::global().reset();

@@ -20,23 +20,46 @@
 //! Backpressure is the frame queue's bound: a worker with a full queue
 //! blocks (its own request slows down), while `SUBSCRIBE` feed producers
 //! only ever `try_send` — a slow subscriber stalls itself, never the
-//! trajectory (see [`crate::feed`]).
+//! trajectory (see [`crate::feed`]). The queue depth observed at every
+//! enqueue is sampled into the `serve.write_queue_depth` histogram, and
+//! the time each frame waits in the queue into `serve.worker.queue_wait`.
+//!
+//! # Request-scoped tracing
+//!
+//! Each request may record a span timeline into the `htsat_obs::trace`
+//! ring: always when the client supplied a `"trace"` id, otherwise
+//! whenever the sampling knob elects it. The session owns the timeline's
+//! lifecycle: the reader starts it (and records a `serve.reader` span for
+//! its share of the work), the worker installs it as the thread-local
+//! current trace — so the `serve.request` span and every engine-round
+//! span beneath it bind to the owning request automatically — and frames
+//! carry the handle through the queue to the writer, which splits out
+//! queue-wait vs. serialize vs. write time and *finishes* the timeline
+//! after writing the request's terminal frame (firing the slow-request
+//! WARN when `--trace-slow-ms` is configured). Client-supplied trace ids
+//! are echoed as a `"trace"` key on every v2 frame of that request;
+//! untraced requests and all v1 responses keep the pre-trace wire shape
+//! bit-for-bit.
 
 use crate::feed::Feed;
 use crate::json::Json;
 use crate::proto::{
-    frame_chunk, frame_done, frame_error, frame_from_response, frame_reply, request_id, ErrorCode,
-    ProtoError, Request, SampleParams, PROTOCOL_MAX, PROTOCOL_V1, PROTOCOL_V2,
+    frame_chunk, frame_done, frame_error, frame_from_response, frame_reply, frame_traced,
+    request_id, request_trace, ErrorCode, ProtoError, Request, SampleParams, PROTOCOL_MAX,
+    PROTOCOL_V1, PROTOCOL_V2,
 };
 use crate::server::{
     admit_sample, dispatch_request, note_response, sample_tail_payload, AdmittedSample, ServerState,
 };
+use htsat_obs::trace::{self, SpanName, TraceHandle};
+use htsat_obs::TraceId;
 use htsat_runtime::StopToken;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -55,6 +78,146 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// Bound of the per-connection v2 frame queue, in frames. Workers block
 /// when it fills (per-request backpressure); feed producers skip instead.
 const FRAME_QUEUE_DEPTH: usize = 64;
+
+/// Pre-interned trace span names, resolved once per process so the
+/// per-request path never takes the intern lock.
+struct TraceNames {
+    hello: SpanName,
+    load: SpanName,
+    sample: SpanName,
+    status: SpanName,
+    stats: SpanName,
+    evict: SpanName,
+    shutdown: SpanName,
+    subscribe: SpanName,
+    credit: SpanName,
+    unsubscribe: SpanName,
+    trace: SpanName,
+    reader: SpanName,
+    queue_wait: SpanName,
+    serialize: SpanName,
+    write: SpanName,
+}
+
+fn trace_names() -> &'static TraceNames {
+    static NAMES: OnceLock<TraceNames> = OnceLock::new();
+    NAMES.get_or_init(|| TraceNames {
+        hello: trace::span_name("hello"),
+        load: trace::span_name("load"),
+        sample: trace::span_name("sample"),
+        status: trace::span_name("status"),
+        stats: trace::span_name("stats"),
+        evict: trace::span_name("evict"),
+        shutdown: trace::span_name("shutdown"),
+        subscribe: trace::span_name("subscribe"),
+        credit: trace::span_name("credit"),
+        unsubscribe: trace::span_name("unsubscribe"),
+        trace: trace::span_name("trace"),
+        reader: trace::span_name("serve.reader"),
+        queue_wait: trace::span_name("serve.worker.queue_wait"),
+        serialize: trace::span_name("serve.writer.serialize"),
+        write: trace::span_name("serve.writer.write"),
+    })
+}
+
+/// The wire verb a timeline is filed (and `TRACE`-filtered) under.
+fn verb_name(request: &Request) -> SpanName {
+    let names = trace_names();
+    match request {
+        Request::Hello { .. } => names.hello,
+        Request::Load { .. } => names.load,
+        Request::Sample(_) => names.sample,
+        Request::Status => names.status,
+        Request::Stats { .. } => names.stats,
+        Request::Evict { .. } => names.evict,
+        Request::Shutdown => names.shutdown,
+        Request::Subscribe(_) => names.subscribe,
+        Request::Credit { .. } => names.credit,
+        Request::Unsubscribe { .. } => names.unsubscribe,
+        Request::Trace { .. } => names.trace,
+    }
+}
+
+/// One request's trace context, minted by the reader and carried (it is
+/// `Copy`) to the worker and writer.
+#[derive(Clone, Copy)]
+pub(crate) struct RequestTrace {
+    /// The timeline's id: client-supplied, or minted by the sampler.
+    id: TraceId,
+    /// Echo `"trace"` on this request's v2 frames — only for
+    /// client-supplied ids, so untraced clients see unchanged frames.
+    echo: bool,
+    /// The claimed ring slot; `None` when the ring was momentarily full
+    /// (the id is still echoed, nothing is recorded).
+    handle: Option<TraceHandle>,
+}
+
+/// Starts a timeline for one decoded request: always when the client
+/// supplied an explicit trace id, otherwise when the sampling knob elects
+/// it. `None` means the request is not traced at all.
+fn begin_trace(
+    request: &Request,
+    explicit: Option<TraceId>,
+    request_id: u64,
+) -> Option<RequestTrace> {
+    let (id, echo) = match explicit {
+        Some(id) => (id, true),
+        None => {
+            if !trace::should_sample() {
+                return None;
+            }
+            (TraceId::mint(), false)
+        }
+    };
+    Some(RequestTrace {
+        id,
+        echo,
+        handle: trace::start(id, verb_name(request), request_id),
+    })
+}
+
+/// The configured slow-request WARN threshold in nanoseconds.
+fn trace_slow_ns(state: &ServerState) -> Option<u64> {
+    state
+        .config
+        .trace_slow_ms
+        .map(|ms| ms.saturating_mul(1_000_000))
+}
+
+/// Finishes a timeline, logging the structured slow-request WARN (with
+/// the full timeline document) when it crossed the configured threshold.
+fn finish_trace(handle: TraceHandle, slow_ns: Option<u64>) {
+    let (total_ns, slow) = trace::finish(handle, slow_ns);
+    if let Some(timeline) = slow {
+        // The WARN path may allocate freely: it only runs for requests
+        // already past the slowness threshold.
+        let report = trace::TraceReport {
+            timelines: vec![timeline],
+            dropped_traces: 0,
+        };
+        let t = &report.timelines[0];
+        htsat_obs::warn!(
+            "slow request trace={} verb={} total_ms={:.3} {}",
+            t.trace.to_hex(),
+            t.verb,
+            total_ns as f64 / 1e6,
+            report.to_json().encode()
+        );
+    }
+}
+
+/// Records the reader thread's share of a request (parse + inline
+/// handling or worker spawn) into its timeline.
+fn record_reader_span(rt: Option<RequestTrace>, start_ns: u64) {
+    if let Some(handle) = rt.and_then(|t| t.handle) {
+        trace::record_span(
+            handle,
+            trace_names().reader,
+            start_ns,
+            trace::timestamp_ns().saturating_sub(start_ns),
+        );
+    }
+}
 
 /// Reads `\n`-terminated lines from a stream with a read timeout,
 /// preserving partially received lines across timeouts (a plain
@@ -151,6 +314,10 @@ pub(crate) fn session(stream: TcpStream, state: &Arc<ServerState>) {
         pending: Vec::new(),
         scanned: 0,
     };
+    let slow_ns = trace_slow_ns(state);
+    // v1 requests carry no wire id; a per-connection sequence number
+    // stands in as the timeline's request id.
+    let mut request_seq: u64 = 0;
     loop {
         let Some(line) = reader.next_line(&state.stop) else {
             return;
@@ -159,13 +326,26 @@ pub(crate) fn session(stream: TcpStream, state: &Arc<ServerState>) {
         if line.trim().is_empty() {
             continue;
         }
-        let _span = htsat_obs::span!("serve.request");
-        let (response, action) = dispatch_v1_line(&line, state);
+        request_seq += 1;
+        let (response, action, rt) = dispatch_v1_line(&line, state, request_seq);
         note_response(&response);
         let mut text = response.encode();
         text.push('\n');
         htsat_obs::counter!("serve.bytes_out").add(text.len() as u64);
-        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+        let write_start = trace::timestamp_ns();
+        let write_failed = writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err();
+        if let Some(handle) = rt.and_then(|t| t.handle) {
+            // v1 is lockstep: this thread wrote the response itself, so it
+            // records the write span and closes the timeline in place.
+            trace::record_span(
+                handle,
+                trace_names().write,
+                write_start,
+                trace::timestamp_ns().saturating_sub(write_start),
+            );
+            finish_trace(handle, slow_ns);
+        }
+        if write_failed {
             return;
         }
         match action {
@@ -179,7 +359,6 @@ pub(crate) fn session(stream: TcpStream, state: &Arc<ServerState>) {
                 return;
             }
             V1Action::UpgradeV2 => {
-                drop(_span);
                 return session_v2(reader, writer, state);
             }
         }
@@ -194,14 +373,32 @@ enum V1Action {
 }
 
 /// Parses and executes one v1 request line, intercepting `HELLO` (version
-/// negotiation is a session concern, not a dispatch one).
-fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
+/// negotiation is a session concern, not a dispatch one). Returns the
+/// response, the follow-up action, and the request's trace context — the
+/// caller finishes the timeline after writing the response, so the write
+/// itself is part of the recorded total.
+fn dispatch_v1_line(
+    line: &str,
+    state: &Arc<ServerState>,
+    request_seq: u64,
+) -> (Json, V1Action, Option<RequestTrace>) {
     let msg = match Json::parse(line.trim_end()) {
         Ok(msg) => msg,
         Err(e) => {
             return (
                 crate::proto::error_response(ErrorCode::BadJson, &format!("invalid JSON: {e}")),
                 V1Action::Continue,
+                None,
+            )
+        }
+    };
+    let explicit = match request_trace(&msg) {
+        Ok(explicit) => explicit,
+        Err(ProtoError(e)) => {
+            return (
+                crate::proto::error_response(ErrorCode::BadRequest, &e),
+                V1Action::Continue,
+                None,
             )
         }
     };
@@ -211,9 +408,12 @@ fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
             return (
                 crate::proto::error_response(ErrorCode::BadRequest, &e),
                 V1Action::Continue,
+                None,
             )
         }
     };
+    let rt = begin_trace(&request, explicit, request_seq);
+    let _scope = rt.and_then(|t| t.handle).map(trace::install);
     if let Request::Hello { version } = request {
         htsat_obs::counter!("serve.requests.hello").inc();
         let accepted = match version {
@@ -229,6 +429,7 @@ fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
                         ),
                     ),
                     V1Action::Continue,
+                    rt,
                 )
             }
         };
@@ -238,9 +439,12 @@ fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
                 ("max_version", PROTOCOL_MAX.into()),
             ]),
             accepted,
+            rt,
         );
     }
+    let span = htsat_obs::span!("serve.request");
     let (response, shutdown) = dispatch_request(request, state);
+    drop(span);
     (
         response,
         if shutdown {
@@ -248,6 +452,7 @@ fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
         } else {
             V1Action::Continue
         },
+        rt,
     )
 }
 
@@ -256,6 +461,85 @@ fn dispatch_v1_line(line: &str, state: &Arc<ServerState>) -> (Json, V1Action) {
 /// synchronously); the worker removes its own entry when it finishes.
 type InflightMap = Arc<Mutex<HashMap<u64, StopToken>>>;
 
+/// Trace attribution carried with one queued frame to the writer.
+#[derive(Clone, Copy)]
+pub(crate) struct FrameTrace {
+    handle: TraceHandle,
+    /// The request's last frame: after writing it the writer finishes the
+    /// timeline (and fires the slow-request WARN past the threshold).
+    terminal: bool,
+}
+
+/// One frame in flight to the connection's writer thread.
+pub(crate) struct QueuedFrame {
+    frame: Json,
+    trace: Option<FrameTrace>,
+    /// Enqueue timestamp, so the writer can attribute queue-wait time.
+    enqueued_ns: u64,
+}
+
+/// Why a lossy [`FrameSender::try_send`] did not enqueue.
+pub(crate) enum FrameTrySendError {
+    /// The connection's frame queue is full (the subscriber is stalled).
+    Full,
+    /// The writer is gone (connection closed).
+    Disconnected,
+}
+
+/// A handle on one connection's frame queue: the sending half of the
+/// writer channel plus the shared depth counter every enqueue samples
+/// into the `serve.write_queue_depth` histogram.
+#[derive(Clone)]
+pub(crate) struct FrameSender {
+    tx: SyncSender<QueuedFrame>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl FrameSender {
+    /// Blocking enqueue with the error funnel — the reader's and workers'
+    /// path (they accept backpressure from their own connection's queue).
+    fn send(&self, frame: Json, trace: Option<FrameTrace>) {
+        note_response(&frame);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        htsat_obs::histogram!("serve.write_queue_depth").record(depth as u64);
+        let queued = QueuedFrame {
+            frame,
+            trace,
+            enqueued_ns: trace::timestamp_ns(),
+        };
+        if self.tx.send(queued).is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lossy enqueue — the feed producers' path (a full queue stalls the
+    /// subscriber, never the shared trajectory). Deliberately outside the
+    /// `note_response` funnel, like the raw sender it replaced: feed
+    /// frames are addressed by seat, not request, and their terminal
+    /// errors are accounted by the feed itself.
+    pub(crate) fn try_send(&self, frame: Json) -> Result<(), FrameTrySendError> {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let queued = QueuedFrame {
+            frame,
+            trace: None,
+            enqueued_ns: trace::timestamp_ns(),
+        };
+        match self.tx.try_send(queued) {
+            Ok(()) => {
+                htsat_obs::histogram!("serve.write_queue_depth").record(depth as u64);
+                Ok(())
+            }
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(match e {
+                    TrySendError::Full(_) => FrameTrySendError::Full,
+                    TrySendError::Disconnected(_) => FrameTrySendError::Disconnected,
+                })
+            }
+        }
+    }
+}
+
 /// The v2 multiplexed loop: this thread keeps reading tagged requests, a
 /// dedicated thread owns all writes, and `LOAD`/`SAMPLE` run on per-request
 /// worker threads — concurrent requests on one connection complete out of
@@ -263,10 +547,16 @@ type InflightMap = Arc<Mutex<HashMap<u64, StopToken>>>;
 fn session_v2(mut reader: LineReader, writer: TcpStream, state: &Arc<ServerState>) {
     // A stuck client must not wedge shutdown: bound every socket write.
     let _ = writer.set_write_timeout(Some(WRITE_TIMEOUT));
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Json>(FRAME_QUEUE_DEPTH);
+    let depth = Arc::new(AtomicUsize::new(0));
+    let (raw_tx, rx) = std::sync::mpsc::sync_channel::<QueuedFrame>(FRAME_QUEUE_DEPTH);
+    let tx = FrameSender {
+        tx: raw_tx,
+        depth: depth.clone(),
+    };
+    let slow_ns = trace_slow_ns(state);
     let writer_handle = std::thread::Builder::new()
         .name("htsat-serve-writer".to_string())
-        .spawn(move || writer_loop(writer, &rx))
+        .spawn(move || writer_loop(writer, &rx, &depth, slow_ns))
         .expect("spawn writer thread");
     let inflight: InflightMap = Arc::new(Mutex::new(HashMap::new()));
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -317,23 +607,32 @@ enum V2Action {
     Shutdown,
 }
 
-/// Sends a frame to the connection's writer, counting the error funnel for
-/// failure frames. Blocking: the reader and workers accept backpressure
-/// from their own connection's queue.
-fn send_frame(tx: &SyncSender<Json>, frame: Json) {
-    note_response(&frame);
-    let _ = tx.send(frame);
+/// Sends an untraced frame to the connection's writer.
+fn send_frame(tx: &FrameSender, frame: Json) {
+    tx.send(frame, None);
+}
+
+/// Sends one frame of a (possibly) traced request: echoes the client's
+/// trace id and carries the recording handle to the writer; `terminal`
+/// marks the frame whose write closes the timeline.
+fn send_traced(tx: &FrameSender, frame: Json, rt: Option<RequestTrace>, terminal: bool) {
+    let echo = rt.filter(|t| t.echo).map(|t| t.id);
+    let attribution = rt
+        .and_then(|t| t.handle)
+        .map(|handle| FrameTrace { handle, terminal });
+    tx.send(frame_traced(frame, echo), attribution);
 }
 
 /// Parses and executes one v2 request line on the reader thread.
 fn handle_v2_line(
     line: &str,
     state: &Arc<ServerState>,
-    tx: &SyncSender<Json>,
+    tx: &FrameSender,
     inflight: &InflightMap,
     subs: &mut HashMap<u64, Arc<Feed>>,
     workers: &mut Vec<JoinHandle<()>>,
 ) -> V2Action {
+    let reader_start = trace::timestamp_ns();
     let msg = match Json::parse(line.trim_end()) {
         Ok(msg) => msg,
         Err(e) => {
@@ -358,6 +657,13 @@ fn handle_v2_line(
             return V2Action::Continue;
         }
     };
+    let explicit = match request_trace(&msg) {
+        Ok(explicit) => explicit,
+        Err(ProtoError(e)) => {
+            send_frame(tx, frame_error(Some(id), ErrorCode::BadRequest, &e));
+            return V2Action::Continue;
+        }
+    };
     let request = match Request::decode(&msg) {
         Ok(request) => request,
         Err(ProtoError(e)) => {
@@ -365,37 +671,51 @@ fn handle_v2_line(
             return V2Action::Continue;
         }
     };
+    let rt = begin_trace(&request, explicit, id);
     match request {
         Request::Hello { .. } => {
             htsat_obs::counter!("serve.requests.hello").inc();
-            send_frame(
+            record_reader_span(rt, reader_start);
+            send_traced(
                 tx,
                 frame_error(
                     Some(id),
                     ErrorCode::BadRequest,
                     "protocol version already negotiated",
                 ),
+                rt,
+                true,
             );
         }
-        Request::Status | Request::Stats { .. } | Request::Evict { .. } => {
-            let _span = htsat_obs::span!("serve.request");
-            let (response, _) = dispatch_request(request, state);
-            send_frame(tx, frame_from_response(id, &response));
+        Request::Status | Request::Stats { .. } | Request::Evict { .. } | Request::Trace { .. } => {
+            let frame = {
+                let _scope = rt.and_then(|t| t.handle).map(trace::install);
+                let _span = htsat_obs::span!("serve.request");
+                let (response, _) = dispatch_request(request, state);
+                frame_from_response(id, &response)
+            };
+            record_reader_span(rt, reader_start);
+            send_traced(tx, frame, rt, true);
         }
         Request::Shutdown => {
-            let _span = htsat_obs::span!("serve.request");
-            let (response, _) = dispatch_request(request, state);
-            send_frame(tx, frame_from_response(id, &response));
+            let frame = {
+                let _scope = rt.and_then(|t| t.handle).map(trace::install);
+                let _span = htsat_obs::span!("serve.request");
+                let (response, _) = dispatch_request(request, state);
+                frame_from_response(id, &response)
+            };
+            record_reader_span(rt, reader_start);
+            send_traced(tx, frame, rt, true);
             return V2Action::Shutdown;
         }
         Request::Subscribe(params) => {
-            let _span = htsat_obs::span!("serve.request");
-            htsat_obs::counter!("serve.requests.subscribe").inc();
-            match state.feeds.subscribe(state, &params, tx.clone()) {
-                Ok((sub, feed)) => {
-                    subs.insert(sub, feed);
-                    send_frame(
-                        tx,
+            let frame = {
+                let _scope = rt.and_then(|t| t.handle).map(trace::install);
+                let _span = htsat_obs::span!("serve.request");
+                htsat_obs::counter!("serve.requests.subscribe").inc();
+                match state.feeds.subscribe(state, &params, tx.clone()) {
+                    Ok((sub, feed)) => {
+                        subs.insert(sub, feed);
                         frame_reply(
                             id,
                             vec![
@@ -404,60 +724,54 @@ fn handle_v2_line(
                                 ("credit", params.credit.into()),
                                 ("chunk", params.chunk.into()),
                             ],
-                        ),
-                    );
+                        )
+                    }
+                    Err((code, message)) => frame_error(Some(id), code, &message),
                 }
-                Err((code, message)) => send_frame(tx, frame_error(Some(id), code, &message)),
-            }
+            };
+            record_reader_span(rt, reader_start);
+            send_traced(tx, frame, rt, true);
         }
         Request::Credit { sub, n } => {
             htsat_obs::counter!("serve.requests.credit").inc();
-            match subs.get(&sub).and_then(|feed| feed.credit(sub, n)) {
-                Some(total) => send_frame(
-                    tx,
+            let frame = match subs.get(&sub).and_then(|feed| feed.credit(sub, n)) {
+                Some(total) => frame_reply(
+                    id,
+                    vec![
+                        ("sub", crate::proto::encode_u64_exact(sub)),
+                        ("credit", total.into()),
+                    ],
+                ),
+                None => frame_error(
+                    Some(id),
+                    ErrorCode::BadRequest,
+                    &format!("unknown subscription `{sub}` (ended or never opened here)"),
+                ),
+            };
+            record_reader_span(rt, reader_start);
+            send_traced(tx, frame, rt, true);
+        }
+        Request::Unsubscribe { sub } => {
+            htsat_obs::counter!("serve.requests.unsubscribe").inc();
+            let frame = match subs.remove(&sub) {
+                Some(feed) => {
+                    feed.remove(sub);
                     frame_reply(
                         id,
                         vec![
                             ("sub", crate::proto::encode_u64_exact(sub)),
-                            ("credit", total.into()),
+                            ("unsubscribed", true.into()),
                         ],
-                    ),
-                ),
-                None => send_frame(
-                    tx,
-                    frame_error(
-                        Some(id),
-                        ErrorCode::BadRequest,
-                        &format!("unknown subscription `{sub}` (ended or never opened here)"),
-                    ),
-                ),
-            }
-        }
-        Request::Unsubscribe { sub } => {
-            htsat_obs::counter!("serve.requests.unsubscribe").inc();
-            match subs.remove(&sub) {
-                Some(feed) => {
-                    feed.remove(sub);
-                    send_frame(
-                        tx,
-                        frame_reply(
-                            id,
-                            vec![
-                                ("sub", crate::proto::encode_u64_exact(sub)),
-                                ("unsubscribed", true.into()),
-                            ],
-                        ),
-                    );
+                    )
                 }
-                None => send_frame(
-                    tx,
-                    frame_error(
-                        Some(id),
-                        ErrorCode::BadRequest,
-                        &format!("unknown subscription `{sub}` (ended or never opened here)"),
-                    ),
+                None => frame_error(
+                    Some(id),
+                    ErrorCode::BadRequest,
+                    &format!("unknown subscription `{sub}` (ended or never opened here)"),
                 ),
-            }
+            };
+            record_reader_span(rt, reader_start);
+            send_traced(tx, frame, rt, true);
         }
         Request::Load { .. } | Request::Sample(_) => {
             // Admission happens on the reader so a duplicate in-flight id
@@ -466,13 +780,16 @@ fn handle_v2_line(
             let mut map = inflight.lock().expect("inflight poisoned");
             if map.contains_key(&id) {
                 drop(map);
-                send_frame(
+                record_reader_span(rt, reader_start);
+                send_traced(
                     tx,
                     frame_error(
                         Some(id),
                         ErrorCode::BadRequest,
                         &format!("duplicate in-flight `id` {id}"),
                     ),
+                    rt,
+                    true,
                 );
                 return V2Action::Continue;
             }
@@ -486,6 +803,7 @@ fn handle_v2_line(
             map.insert(id, token.clone());
             htsat_obs::histogram!("serve.multiplex_depth").record(map.len() as u64);
             drop(map);
+            record_reader_span(rt, reader_start);
             let worker_state = state.clone();
             let worker_tx = tx.clone();
             let worker_inflight = inflight.clone();
@@ -493,14 +811,21 @@ fn handle_v2_line(
                 .name("htsat-serve-worker".to_string())
                 .spawn(move || {
                     let _inflight_level = InflightGauge::enter();
-                    let _span = htsat_obs::span!("serve.request");
+                    // Installing the trace binds every span this thread
+                    // opens — `serve.request` and the engine-round spans
+                    // inside the stream — to the owning request.
+                    let _scope = rt.and_then(|t| t.handle).map(trace::install);
                     match request {
                         Request::Sample(params) => {
-                            sample_worker(&worker_state, &worker_tx, id, &params, &token);
+                            sample_worker(&worker_state, &worker_tx, id, &params, &token, rt);
                         }
                         request => {
-                            let (response, _) = dispatch_request(request, &worker_state);
-                            send_frame(&worker_tx, frame_from_response(id, &response));
+                            let frame = {
+                                let _span = htsat_obs::span!("serve.request");
+                                let (response, _) = dispatch_request(request, &worker_state);
+                                frame_from_response(id, &response)
+                            };
+                            send_traced(&worker_tx, frame, rt, true);
                         }
                     }
                     worker_inflight
@@ -520,17 +845,22 @@ fn handle_v2_line(
 /// code `shutdown` when the daemon stops the stream mid-flight.
 fn sample_worker(
     state: &Arc<ServerState>,
-    tx: &SyncSender<Json>,
+    tx: &FrameSender,
     id: u64,
     params: &SampleParams,
     token: &StopToken,
+    rt: Option<RequestTrace>,
 ) {
     htsat_obs::counter!("serve.requests.sample").inc();
+    // Dropped explicitly before the terminal frame is enqueued, so the
+    // writer never races the span's timeline record while finishing.
+    let span = htsat_obs::span!("serve.request");
     let admitted = match admit_sample(state, params, token) {
         Ok(admitted) => admitted,
         Err((code, message)) => {
             token.stop();
-            send_frame(tx, frame_error(Some(id), code, &message));
+            drop(span);
+            send_traced(tx, frame_error(Some(id), code, &message), rt, true);
             return;
         }
     };
@@ -547,7 +877,7 @@ fn sample_worker(
             break; // cancelled, deadline passed, or exhausted
         }
         remaining -= batch.len();
-        send_frame(tx, frame_chunk(id, seq, &batch));
+        send_traced(tx, frame_chunk(id, seq, &batch), rt, false);
         seq += 1;
     }
     let stats = *stream.stats();
@@ -560,13 +890,16 @@ fn sample_worker(
     if cancelled {
         // Satellite of the shutdown contract: every open stream gets a
         // terminal error frame before the socket closes.
-        send_frame(
+        drop(span);
+        send_traced(
             tx,
             frame_error(
                 Some(id),
                 ErrorCode::Shutdown,
                 "stream cancelled: server is shutting down",
             ),
+            rt,
+            true,
         );
         return;
     }
@@ -578,23 +911,63 @@ fn sample_worker(
         ("chunks", seq.into()),
     ];
     payload.extend(sample_tail_payload(state, &stats, elapsed, exhausted));
-    send_frame(tx, frame_done(id, payload));
+    drop(span);
+    send_traced(tx, frame_done(id, payload), rt, true);
 }
 
-/// The single writer: drains the frame queue onto the socket. After a
-/// write failure it keeps draining (senders must never block on a dead
-/// socket) without writing.
-fn writer_loop(mut writer: TcpStream, rx: &Receiver<Json>) {
+/// The single writer: drains the frame queue onto the socket, recording
+/// each traced frame's queue-wait, serialize and write time into its
+/// request's timeline, and closing the timeline after the request's
+/// terminal frame. After a write failure it keeps draining (senders must
+/// never block on a dead socket) without writing.
+fn writer_loop(
+    mut writer: TcpStream,
+    rx: &Receiver<QueuedFrame>,
+    depth: &AtomicUsize,
+    slow_ns: Option<u64>,
+) {
+    let names = trace_names();
     let mut dead = false;
-    while let Ok(frame) = rx.recv() {
+    while let Ok(queued) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        let dequeued_ns = trace::timestamp_ns();
+        let waited_ns = dequeued_ns.saturating_sub(queued.enqueued_ns);
+        htsat_obs::histogram!("serve.worker.queue_wait").record(waited_ns);
+        if let Some(t) = queued.trace {
+            trace::record_span(t.handle, names.queue_wait, queued.enqueued_ns, waited_ns);
+        }
         if dead {
+            // The socket is gone but timelines must still close, or the
+            // ring slot would leak until overwritten.
+            if let Some(t) = queued.trace.filter(|t| t.terminal) {
+                finish_trace(t.handle, slow_ns);
+            }
             continue;
         }
-        let mut text = frame.encode();
+        let mut text = queued.frame.encode();
         text.push('\n');
+        let serialized_ns = trace::timestamp_ns();
         htsat_obs::counter!("serve.bytes_out").add(text.len() as u64);
         if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
             dead = true;
+        }
+        if let Some(t) = queued.trace {
+            let written_ns = trace::timestamp_ns();
+            trace::record_span(
+                t.handle,
+                names.serialize,
+                dequeued_ns,
+                serialized_ns.saturating_sub(dequeued_ns),
+            );
+            trace::record_span(
+                t.handle,
+                names.write,
+                serialized_ns,
+                written_ns.saturating_sub(serialized_ns),
+            );
+            if t.terminal {
+                finish_trace(t.handle, slow_ns);
+            }
         }
     }
 }

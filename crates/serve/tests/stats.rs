@@ -222,6 +222,8 @@ fn stats_schema_v1_fixture_stays_parseable_and_canonical() {
     );
     assert!(snapshot.counter("serve.requests.sample").is_some());
     assert!(snapshot.gauge("serve.connections.active").is_some());
+    assert!(snapshot.gauge("process.uptime_ms").is_some());
+    assert!(snapshot.gauge("process.threads").is_some());
     let span = snapshot.histogram("serve.request").expect("request span");
     assert!(span.count > 0 && span.sum > 0);
 }
