@@ -234,9 +234,43 @@ fn run_threads(options: &RunOptions, counts: &[usize], out: Option<&Path>) {
     }
 }
 
-fn run_serve_bench(options: &RunOptions, out: Option<&Path>) {
+fn run_serve_bench(options: &RunOptions, out: Option<&Path>, router: bool) {
     println!("== serve-bench: daemon round-trip latency and wire determinism ==\n");
     let report = serve_bench(options);
+    print_serve_report(&report);
+    let routed = if router {
+        println!(
+            "\n== serve-bench --router: the same legs through htsat-router \
+             (2 registered daemons) ==\n"
+        );
+        let routed = htsat_bench::serve_bench_routed(options);
+        print_serve_report(&routed);
+        Some(routed)
+    } else {
+        None
+    };
+    let gate_failed = |report: &htsat_bench::ServeBenchReport| {
+        report.compiles != htsat_bench::ServeBenchReport::EXPECTED_COMPILES || !report.deterministic
+    };
+    if gate_failed(&report) || routed.as_ref().is_some_and(gate_failed) {
+        // CI runs this subcommand as the loopback end-to-end gate.
+        std::process::exit(1);
+    }
+    if let Some(path) = out {
+        // The wire legs as artifact cells: unique solutions per second of
+        // client-observed round-trip, so the streaming numbers live in the
+        // same perf-trajectory format as the in-process harness. Routed
+        // legs fold in under `-routed` engine names, making the cost of
+        // the extra hop a first-class perf-trajectory series.
+        let mut cells = serve_cells(&report, "");
+        if let Some(routed) = &routed {
+            cells.extend(serve_cells(routed, "-routed"));
+        }
+        fold_into_artifact(path, options, cells);
+    }
+}
+
+fn print_serve_report(report: &htsat_bench::ServeBenchReport) {
     println!("instance: {}\n", report.instance);
     println!("{:<42} {:>16} {:>8}", "leg", "round-trip (ms)", "unique");
     for leg in &report.legs {
@@ -257,49 +291,43 @@ fn run_serve_bench(options: &RunOptions, out: Option<&Path>) {
             "MISMATCH"
         }
     );
-    if report.compiles != htsat_bench::ServeBenchReport::EXPECTED_COMPILES || !report.deterministic
-    {
-        // CI runs this subcommand as the loopback end-to-end gate.
-        std::process::exit(1);
-    }
-    if let Some(path) = out {
-        // The wire legs as artifact cells: unique solutions per second of
-        // client-observed round-trip, so the streaming numbers live in the
-        // same perf-trajectory format as the in-process harness.
-        let engine_of = |label: &str| -> Option<(&'static str, u64)> {
-            if label.contains("pipelined") {
-                Some(("wire-gd-pipelined", 1))
-            } else if label.contains("walksat") {
-                Some(("wire-walksat", 1))
-            } else if label.contains("SAMPLE warm, 8") {
-                Some(("wire-gd", 8))
-            } else if label.contains("SAMPLE warm, 1") {
-                Some(("wire-gd", 1))
-            } else {
-                None // LOAD legs carry no solutions to rate
-            }
-        };
-        let cells = report
-            .legs
-            .iter()
-            .filter(|leg| leg.unique > 0 && leg.round_trip_ms > 0.0)
-            .filter_map(|leg| {
-                let (engine, threads) = engine_of(&leg.label)?;
-                let seconds = leg.round_trip_ms / 1e3;
-                Some(single_sample_cell(
-                    CellKey {
-                        instance: report.instance.clone(),
-                        engine: engine.to_string(),
-                        threads,
-                    },
-                    seconds,
-                    leg.unique as u64,
-                    leg.unique as f64 / seconds,
-                ))
-            })
-            .collect();
-        fold_into_artifact(path, options, cells);
-    }
+}
+
+/// The measured wire legs as artifact cells; `suffix` distinguishes the
+/// routed series (e.g. `wire-gd-routed`) from the direct one.
+fn serve_cells(report: &htsat_bench::ServeBenchReport, suffix: &str) -> Vec<Cell> {
+    let engine_of = |label: &str| -> Option<(&'static str, u64)> {
+        if label.contains("pipelined") {
+            Some(("wire-gd-pipelined", 1))
+        } else if label.contains("walksat") {
+            Some(("wire-walksat", 1))
+        } else if label.contains("SAMPLE warm, 8") {
+            Some(("wire-gd", 8))
+        } else if label.contains("SAMPLE warm, 1") {
+            Some(("wire-gd", 1))
+        } else {
+            None // LOAD legs carry no solutions to rate
+        }
+    };
+    report
+        .legs
+        .iter()
+        .filter(|leg| leg.unique > 0 && leg.round_trip_ms > 0.0)
+        .filter_map(|leg| {
+            let (engine, threads) = engine_of(&leg.label)?;
+            let seconds = leg.round_trip_ms / 1e3;
+            Some(single_sample_cell(
+                CellKey {
+                    instance: report.instance.clone(),
+                    engine: format!("{engine}{suffix}"),
+                    threads,
+                },
+                seconds,
+                leg.unique as u64,
+                leg.unique as f64 / seconds,
+            ))
+        })
+        .collect()
 }
 
 fn run_bench_cmd(config: &BenchConfig, out: Option<PathBuf>) {
@@ -858,7 +886,7 @@ fn main() {
                 | Command::Fig3Mem(o)
                 | Command::Fig4(o)
                 | Command::Threads(o, _, _)
-                | Command::ServeBench(o, _)
+                | Command::ServeBench(o, _, _)
                 | Command::All(o, _) => o.scale,
                 _ => unreachable!(),
             };
@@ -875,7 +903,9 @@ fn main() {
         Command::Fig3Mem(options) => run_fig3_mem(&options),
         Command::Fig4(options) => run_fig4(&options),
         Command::Threads(options, counts, out) => run_threads(&options, &counts, out.as_deref()),
-        Command::ServeBench(options, out) => run_serve_bench(&options, out.as_deref()),
+        Command::ServeBench(options, out, router) => {
+            run_serve_bench(&options, out.as_deref(), router);
+        }
         Command::All(options, instances) => {
             run_table2(&options);
             println!();

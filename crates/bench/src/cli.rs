@@ -32,8 +32,9 @@ pub enum Command {
     /// a bench artifact.
     Threads(RunOptions, Vec<usize>, Option<PathBuf>),
     /// `serve-bench` — the daemon loopback gate; `--out` folds the wire
-    /// legs into a bench artifact.
-    ServeBench(RunOptions, Option<PathBuf>),
+    /// legs into a bench artifact, and `--router` adds a leg driven
+    /// through an `htsat-router` fronting two registered daemons.
+    ServeBench(RunOptions, Option<PathBuf>, bool),
     /// `all` — every figure and table in sequence.
     All(RunOptions, usize),
     /// `bench` — the statistical harness; emits an artifact.
@@ -170,6 +171,7 @@ const SERVE_BENCH_FLAGS: &[&str] = &[
     "--stream",
     "--kernel",
     "--out",
+    "--router",
 ];
 const BENCH_FLAGS: &[&str] = &[
     "--scale",
@@ -246,6 +248,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
     let mut fig2_instances = 12usize;
     let mut thread_counts = vec![1usize, 2, 4, 8];
     let mut quick = false;
+    let mut router = false;
     let mut invocations: Option<usize> = None;
     let mut warmup: Option<usize> = None;
     let mut engines: Option<Vec<String>> = None;
@@ -293,6 +296,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
             }
             "--quick" => {
                 quick = true;
+                continue;
+            }
+            "--router" => {
+                router = true;
                 continue;
             }
             "--force" => {
@@ -484,7 +491,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, String> 
         }
         "serve-bench" => {
             expect_positionals(0, "")?;
-            Ok(Command::ServeBench(options, out))
+            Ok(Command::ServeBench(options, out, router))
         }
         "all" => {
             expect_positionals(0, "")?;
@@ -637,8 +644,16 @@ mod tests {
         }
         assert!(matches!(
             parse_str("serve-bench --out /tmp/s.json"),
-            Ok(Command::ServeBench(_, Some(_)))
+            Ok(Command::ServeBench(_, Some(_), false))
         ));
+        assert!(matches!(
+            parse_str("serve-bench --router"),
+            Ok(Command::ServeBench(_, None, true))
+        ));
+        assert!(
+            parse_str("table2 --router").is_err(),
+            "--router is a serve-bench flag only"
+        );
     }
 
     #[test]

@@ -529,15 +529,84 @@ impl ServeBenchReport {
 /// This is both a latency benchmark (what does the wire cost over calling
 /// the library directly?) and the CI loopback end-to-end gate.
 pub fn serve_bench(options: &RunOptions) -> ServeBenchReport {
+    use htsat_serve::{serve, ServeConfig};
+
+    let server = serve(ServeConfig::default()).expect("bind loopback daemon");
+    let (instance, legs, deterministic, mut client) = drive_wire_legs(options, server.local_addr());
+    let compiles = server.registry().counters().compiles;
+    client.shutdown().expect("graceful shutdown");
+    ServeBenchReport {
+        instance,
+        legs,
+        compiles,
+        deterministic,
+    }
+}
+
+/// [`serve_bench`] with every wire leg driven through an `htsat-router`
+/// fronting two daemons that joined via the `REGISTER` heartbeat: same
+/// legs, same bit-for-bit determinism checks, now measured across the
+/// extra hop. `compiles` sums both backend registries, so
+/// [`ServeBenchReport::EXPECTED_COMPILES`] still applies — each engine's
+/// preparation happens exactly once somewhere in the fleet.
+pub fn serve_bench_routed(options: &RunOptions) -> ServeBenchReport {
+    use htsat_router::{route, RouterConfig};
+    use htsat_serve::{serve, ServeConfig};
+    use std::time::{Duration, Instant};
+
+    let router = route(RouterConfig::default()).expect("bind loopback router");
+    let router_addr = router.local_addr().to_string();
+    let backends: Vec<htsat_serve::ServerHandle> = (0..2)
+        .map(|_| {
+            let config = ServeConfig {
+                register: Some(router_addr.clone()),
+                ..Default::default()
+            };
+            serve(config).expect("bind loopback backend")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.discovery().live().len() < backends.len() {
+        assert!(
+            Instant::now() < deadline,
+            "backends never registered with the router"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (instance, legs, deterministic, mut client) = drive_wire_legs(options, router.local_addr());
+    let compiles = backends
+        .iter()
+        .map(|backend| backend.registry().counters().compiles)
+        .sum();
+    // One SHUTDOWN through the router broadcasts to the daemons, then
+    // stops the router itself — the graceful-tree teardown path.
+    client.shutdown().expect("tree shutdown");
+    ServeBenchReport {
+        instance,
+        legs,
+        compiles,
+        deterministic,
+    }
+}
+
+/// Runs the measured wire legs against any daemon-compatible address (a
+/// daemon or a router): cold and warm `LOAD`, warm `SAMPLE`s at 1 and 8
+/// worker threads, the walksat A/B leg, and the pipelined v2 leg. Returns
+/// the instance name, the legs, the bit-for-bit verdict, and the
+/// still-open client so the caller can read compile counters before
+/// shutting the tree down.
+fn drive_wire_legs(
+    options: &RunOptions,
+    addr: std::net::SocketAddr,
+) -> (String, Vec<ServeBenchLeg>, bool, htsat_serve::Client) {
     use htsat_serve::proto::SampleParams;
-    use htsat_serve::{serve, Client, ServeConfig};
+    use htsat_serve::Client;
     use std::time::Instant;
 
     let instance = htsat_instances::suite::table2_instance("or-60-20-10-UC-10", options.scale)
         .expect("table2 instance exists");
     let dimacs_text = htsat_cnf::dimacs::to_string(&instance.cnf);
-    let server = serve(ServeConfig::default()).expect("bind loopback daemon");
-    let mut client = Client::connect(server.local_addr()).expect("connect to daemon");
+    let mut client = Client::connect(addr).expect("connect");
     let mut legs = Vec::new();
 
     let started = Instant::now();
@@ -678,14 +747,7 @@ pub fn serve_bench(options: &RunOptions) -> ServeBenchReport {
         deterministic &= &lanes[lane].1 == reference;
     }
 
-    let compiles = server.registry().counters().compiles;
-    client.shutdown().expect("graceful shutdown");
-    ServeBenchReport {
-        instance: instance.name,
-        legs,
-        compiles,
-        deterministic,
-    }
+    (instance.name, legs, deterministic, client)
 }
 
 /// Formats the Table II rows as a text table.

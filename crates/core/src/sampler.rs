@@ -182,8 +182,24 @@ impl PreparedFormula {
     /// unsatisfiable.
     pub fn prepare(cnf: &Cnf, transform_config: &TransformConfig) -> Result<Self, TransformError> {
         let transform = transform_with_config(cnf, transform_config)?;
+        Ok(Self::from_transformed(cnf, transform_config, transform))
+    }
+
+    /// Builds a prepared formula from an already transformed netlist —
+    /// the warm path of an on-disk artifact cache, where the expensive
+    /// transformation was deserialized instead of re-run. Only the cheap
+    /// mechanical circuit compilation happens here.
+    ///
+    /// The caller is responsible for `transform` actually being the result
+    /// of transforming `cnf` under `transform_config`; nothing re-verifies
+    /// that correspondence.
+    pub fn from_transformed(
+        cnf: &Cnf,
+        transform_config: &TransformConfig,
+        transform: TransformResult,
+    ) -> Self {
         let compiled = compile(&transform);
-        Ok(PreparedFormula {
+        PreparedFormula {
             cnf: Arc::new(cnf.clone()),
             transform_config: transform_config.clone(),
             transform: Arc::new(transform),
@@ -192,7 +208,7 @@ impl PreparedFormula {
                 transform: transform_config.clone(),
                 ..SamplerConfig::default()
             },
-        })
+        }
     }
 
     /// Sets the [`SamplerConfig`] template that

@@ -120,6 +120,23 @@ pub struct TransformResult {
 }
 
 impl TransformResult {
+    /// Reassembles a transformation result from its serialized parts (the
+    /// on-disk artifact cache's warm path). The parts must come from a
+    /// previous [`transform_with_config`] run: this constructor restores
+    /// structure, it does not re-derive or re-verify the transformation.
+    pub fn from_parts(netlist: Netlist, classes: Vec<VarClass>, stats: TransformStats) -> Self {
+        TransformResult {
+            netlist,
+            classes,
+            stats,
+        }
+    }
+
+    /// The per-variable classification, indexed by zero-based variable.
+    pub fn classes(&self) -> &[VarClass] {
+        &self.classes
+    }
+
     /// Classification of `var`.
     ///
     /// # Panics

@@ -18,6 +18,14 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a node id from a dense index (the inverse of
+    /// [`NodeId::index`], for artifact deserialization). Returns `None`
+    /// when the index does not fit the id's backing width; range checking
+    /// against an actual netlist is [`Netlist::from_raw_parts`]'s job.
+    pub fn from_index(index: usize) -> Option<NodeId> {
+        u32::try_from(index).ok().map(NodeId)
+    }
 }
 
 /// A single node of the netlist.
@@ -205,6 +213,83 @@ impl Netlist {
     /// Declares a constrained primary output.
     pub fn add_output(&mut self, node: NodeId, target: bool, var: Option<VarId>) {
         self.outputs.push(OutputConstraint { node, target, var });
+    }
+
+    /// Rebuilds a netlist from its serialized parts (the inverse of reading
+    /// [`Netlist::nodes`], [`Netlist::primary_inputs`],
+    /// [`Netlist::bound_vars`] and [`Netlist::outputs`] back out), restoring
+    /// every builder invariant: topological order, hash-consing, collapsed
+    /// single-input associative gates, and driver bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant — the caller
+    /// (an on-disk artifact cache) treats any error as a cache miss, so a
+    /// corrupt or hand-edited file can never produce a structurally invalid
+    /// netlist.
+    pub fn from_raw_parts(
+        nodes: Vec<NodeRef>,
+        primary_inputs: Vec<VarId>,
+        bound_vars: Vec<(VarId, NodeId)>,
+        outputs: Vec<OutputConstraint>,
+    ) -> Result<Netlist, String> {
+        let mut dedup = HashMap::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            if let NodeRef::Gate { kind, fanin } = node {
+                if let Some(bad) = fanin.iter().find(|f| f.index() >= i) {
+                    return Err(format!(
+                        "node {i}: fan-in {} is not strictly earlier",
+                        bad.index()
+                    ));
+                }
+                if kind.is_unary() && fanin.len() != 1 {
+                    return Err(format!("node {i}: unary gate with {} inputs", fanin.len()));
+                }
+                if matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor) && fanin.len() < 2 {
+                    return Err(format!(
+                        "node {i}: associative gate with {} inputs (should have \
+                         collapsed at build time)",
+                        fanin.len()
+                    ));
+                }
+            }
+            let id = NodeId(i as u32);
+            if dedup.insert(node.clone(), id).is_some() {
+                return Err(format!("node {i}: duplicate structural node"));
+            }
+        }
+        let mut driver = HashMap::with_capacity(bound_vars.len());
+        for &(var, node) in &bound_vars {
+            if node.index() >= nodes.len() {
+                return Err(format!("binding of variable {var}: node out of range"));
+            }
+            if driver.insert(var, node).is_some() {
+                return Err(format!("variable {var} bound twice"));
+            }
+        }
+        for &var in &primary_inputs {
+            match driver.get(&var).map(|id| &nodes[id.index()]) {
+                Some(NodeRef::Input(v)) if *v == var => {}
+                _ => {
+                    return Err(format!(
+                        "primary input {var} is not driven by its own input node"
+                    ))
+                }
+            }
+        }
+        if let Some(bad) = outputs.iter().find(|o| o.node.index() >= nodes.len()) {
+            return Err(format!(
+                "output constraint on node {} out of range",
+                bad.node.index()
+            ));
+        }
+        Ok(Netlist {
+            nodes,
+            dedup,
+            driver,
+            primary_inputs,
+            outputs,
+        })
     }
 
     /// Evaluates every node under the given primary-input values.
@@ -422,6 +507,64 @@ mod tests {
         assert!(nl.depth() >= 3);
         let empty = Netlist::new();
         assert_eq!(empty.depth(), 0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_structure_and_semantics() {
+        let nl = fig1_netlist();
+        let rebuilt = Netlist::from_raw_parts(
+            nl.nodes().to_vec(),
+            nl.primary_inputs().to_vec(),
+            nl.bound_vars().collect(),
+            nl.outputs().to_vec(),
+        )
+        .expect("round trip");
+        assert_eq!(rebuilt.nodes(), nl.nodes());
+        assert_eq!(rebuilt.primary_inputs(), nl.primary_inputs());
+        assert_eq!(rebuilt.outputs(), nl.outputs());
+        assert_eq!(rebuilt.op_count(), nl.op_count());
+        assert!(rebuilt.outputs_satisfied(|v| matches!(v, 13)));
+        // Hash-consing is restored: re-adding an existing gate reuses it.
+        let mut rebuilt = rebuilt;
+        let before = rebuilt.num_nodes();
+        let x1 = rebuilt.driver_of(1).expect("x1 bound");
+        let again = rebuilt.add_gate(GateKind::Not, vec![x1]);
+        assert_eq!(rebuilt.num_nodes(), before);
+        assert_eq!(again, rebuilt.driver_of(2).expect("x2 bound"));
+    }
+
+    #[test]
+    fn raw_parts_reject_invalid_structure() {
+        let fwd = NodeRef::Gate {
+            kind: GateKind::Not,
+            fanin: vec![NodeId::from_index(1).unwrap()],
+        };
+        assert!(Netlist::from_raw_parts(vec![fwd], vec![], vec![], vec![])
+            .unwrap_err()
+            .contains("strictly earlier"));
+        let nodes = vec![NodeRef::Input(1)];
+        assert!(Netlist::from_raw_parts(
+            nodes.clone(),
+            vec![],
+            vec![],
+            vec![OutputConstraint {
+                node: NodeId::from_index(7).unwrap(),
+                target: true,
+                var: None,
+            }],
+        )
+        .unwrap_err()
+        .contains("out of range"));
+        assert!(
+            Netlist::from_raw_parts(nodes.clone(), vec![1], vec![], vec![])
+                .unwrap_err()
+                .contains("not driven"),
+            "primary input without a driver binding"
+        );
+        let dup = vec![NodeRef::Input(1), NodeRef::Input(1)];
+        assert!(Netlist::from_raw_parts(dup, vec![], vec![], vec![])
+            .unwrap_err()
+            .contains("duplicate"));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! `htsat-router` — front a fleet of `htsat-serve` daemons.
+//!
+//! ```sh
+//! cargo run --release -p htsat-router -- --addr 127.0.0.1:7900
+//! ```
+//!
+//! Clients speak the unchanged v1/v2 wire protocol to the router, which
+//! shards `LOAD`/`SAMPLE`/`SUBSCRIBE` by rendezvous hashing of the
+//! (fingerprint, engine) pair across registered backends. Daemons join by
+//! starting with `htsat-serve --register ROUTER_ADDR` (they heartbeat so
+//! their liveness window never lapses), or can be seeded statically.
+//!
+//! Options:
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7900`; port `0`
+//!   picks an ephemeral port, logged on startup).
+//! * `--backend HOST:PORT` — statically seed a backend (repeatable; static
+//!   entries never expire).
+//! * `--allow-path-load` — allow `LOAD` requests naming *router-side*
+//!   paths; the router reads the file and forwards the DIMACS inline.
+//!
+//! Diagnostics go to stderr through the `htsat-obs` leveled logger; set
+//! `HTSAT_LOG=error|warn|info|debug` to choose the verbosity (default
+//! `info`).
+
+use htsat_router::{route, RouterConfig};
+
+fn parse_args() -> Result<RouterConfig, String> {
+    let mut config = RouterConfig {
+        addr: "127.0.0.1:7900".to_string(),
+        ..RouterConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--allow-path-load" {
+            config.allow_path_load = true;
+            continue;
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--backend" => config.backends.push(value),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(msg) => {
+            htsat_obs::error!("{msg}");
+            htsat_obs::error!(
+                "usage: htsat-router [--addr HOST:PORT] [--backend HOST:PORT]... \
+                 [--allow-path-load]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let backends = config.backends.len();
+    let mut router = match route(config) {
+        Ok(router) => router,
+        Err(e) => {
+            htsat_obs::error!("cannot start router: {e}");
+            std::process::exit(1);
+        }
+    };
+    htsat_obs::info!(
+        "htsat-router listening on {} ({} static backend(s)); daemons join with \
+         `htsat-serve --register {}`",
+        router.local_addr(),
+        backends,
+        router.local_addr()
+    );
+    router.wait();
+    htsat_obs::info!("htsat-router stopped");
+}

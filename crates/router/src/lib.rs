@@ -1,0 +1,71 @@
+//! # htsat-router
+//!
+//! A sharding TCP front for a fleet of `htsat-serve` daemons. Clients
+//! speak the unchanged v1/v2 wire protocol to the router; the router
+//! shards every formula-addressed verb (`LOAD`, `SAMPLE`, `SUBSCRIBE`) by
+//! **rendezvous hashing** of the (fingerprint, engine) pair across the
+//! backends in its [`DiscoveryMap`], so each shard's compiled sampler is
+//! resident on exactly one daemon instead of on all of them.
+//!
+//! The crate is std-only like the daemon it fronts (no tokio, no hyper,
+//! no serde) and reuses `htsat-serve`'s protocol types wholesale.
+//!
+//! The moving parts:
+//!
+//! * [`discovery`] — the TTL liveness map fed by the wire `REGISTER` verb
+//!   (daemons heartbeat with `htsat-serve --register ROUTER_ADDR`), plus
+//!   rendezvous ownership and the failover ranking.
+//! * [`server`] — the accept loop and [`RouterHandle`] lifecycle,
+//!   mirroring `htsat_serve::server`.
+//! * the proxy sessions (private) — v1 lockstep forwarding, and v2
+//!   multiplexed forwarding with per-backend upstream connections,
+//!   subscription-id rewriting and mid-stream failover.
+//!
+//! # Verb semantics through the router
+//!
+//! | verb | behaviour |
+//! |------|-----------|
+//! | `LOAD`, `SAMPLE`, `SUBSCRIBE` | forwarded to the shard owner (lines relayed verbatim, so streams stay bit-identical) |
+//! | `CREDIT`, `UNSUBSCRIBE` | forwarded to the backend owning the subscription, `sub` rewritten |
+//! | `STATUS`, `STATS`, `TRACE` | **aggregated** across live backends (see below) |
+//! | `EVICT` | broadcast; `evicted_count` summed |
+//! | `SHUTDOWN` | broadcast to every live backend, then the router stops |
+//! | `REGISTER` | handled locally: updates the discovery map |
+//! | `HELLO` | handled locally: the router negotiates v2 itself |
+//!
+//! Aggregation semantics (documented contract for `repro stats` /
+//! `repro trace` pointed at the router): `STATS` merges the router's own
+//! snapshot with every live backend's — counters and gauges sum,
+//! histograms merge bucket-wise — into one valid `htsat-stats-v1`
+//! document. `TRACE` concatenates the router's timelines with every
+//! backend's (router first, then backends by address) and sums
+//! `dropped_traces`, re-applying the `last` cap to the merged list.
+//! `STATUS` sums registry counters and concatenates `entries`, and adds a
+//! router-only `backends` array with per-backend liveness and inflight
+//! accounting.
+//!
+//! # Determinism through routing
+//!
+//! Same (fingerprint, engine) → same owner (rendezvous is deterministic
+//! over the live set), and forwarded `SAMPLE` frames are relayed as the
+//! backend's raw bytes — so same (fingerprint, engine, seed) through the
+//! router yields the same bit-for-bit stream as a direct connection, at
+//! any thread count. When every daemon shares one `--cache-dir`, the
+//! guarantee survives failover and restart: a backend that never loaded
+//! the formula warm-starts it from the disk artifact, and recompilation
+//! is provably skipped (the registry compile counter stays put).
+//!
+//! A backend dying mid-stream is reported as a terminal `error` frame
+//! with code `backend-lost` (requests that had produced no output yet are
+//! transparently re-routed instead); the client re-issues the request and
+//! — same seed — receives the identical stream from the start.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discovery;
+mod proxy;
+pub mod server;
+
+pub use discovery::{BackendStatus, DiscoveryMap};
+pub use server::{route, RouterConfig, RouterHandle};

@@ -17,6 +17,12 @@
 //! * `--threads N` — default `SAMPLE` worker threads (`0` = one per core).
 //! * `--budget-mb N` — registry memory budget in MiB (default 512).
 //! * `--allow-path-load` — allow `LOAD` requests naming server-side paths.
+//! * `--cache-dir DIR` — persist compiled artifacts to `DIR` and warm-start
+//!   the registry from it on boot, so a restarted daemon skips recompiles.
+//! * `--register ROUTER_ADDR` — announce this daemon to an `htsat-router`
+//!   and re-register on a heartbeat so its liveness window never lapses.
+//! * `--advertise HOST:PORT` — address to announce instead of the bound
+//!   one (for wildcard binds).
 //! * `--log-stats SECS` — emit the metrics snapshot as a structured `info`
 //!   log line every `SECS` seconds.
 //! * `--trace-slow-ms MS` — log a structured `warn` line carrying the full
@@ -60,6 +66,11 @@ fn parse_args() -> Result<ServeConfig, String> {
                     ..config.registry
                 };
             }
+            "--cache-dir" => {
+                config.registry.cache_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--register" => config.register = Some(value),
+            "--advertise" => config.advertise = Some(value),
             "--log-stats" => {
                 let secs: u64 = value
                     .parse()
@@ -88,7 +99,8 @@ fn main() {
             htsat_obs::error!("{msg}");
             htsat_obs::error!(
                 "usage: htsat-serve [--addr HOST:PORT] [--threads N] [--budget-mb N] \
-                 [--allow-path-load] [--log-stats SECS] [--trace-slow-ms MS]"
+                 [--allow-path-load] [--cache-dir DIR] [--register ROUTER_ADDR] \
+                 [--advertise HOST:PORT] [--log-stats SECS] [--trace-slow-ms MS]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,675 @@
+//! The persistent on-disk compile cache (`--cache-dir`).
+//!
+//! An in-memory LRU registry cannot be the millions-of-users story: every
+//! daemon restart recompiles every formula. This module persists one
+//! versioned JSON artifact per (formula fingerprint, engine) pair so a
+//! restarted — or *different* — daemon pointed at the same directory skips
+//! preparation entirely:
+//!
+//! * **Written through** on every fresh preparation
+//!   (`prepare_with_cache`), atomically: the document goes to a unique
+//!   temp file in the same directory and is `rename`d into place, so a
+//!   concurrent reader (another daemon sharing the directory) only ever
+//!   sees complete files.
+//! * **Read back** on a registry miss (`CompileCache::load`) and on boot
+//!   ([`CompileCache::scan`] + load, the warm start). For the `"gd"`
+//!   engine the artifact carries the expensive CNF-to-circuit
+//!   transformation (the serialized [`Netlist`], variable classes and
+//!   stats); the warm path only re-runs the cheap mechanical kernel
+//!   compilation ([`PreparedFormula::from_transformed`]). The baseline
+//!   engines prepare from the CNF alone, so their artifacts store just the
+//!   canonical DIMACS text — the win is not having to resend the formula.
+//! * **Corruption tolerant**: a missing, truncated, version-mismatched,
+//!   fingerprint-mismatched or structurally invalid file is a *miss*,
+//!   never an error — the formula is simply recompiled (and the artifact
+//!   rewritten). Nothing in this module panics on file content.
+//!
+//! The format is versioned with a `"format": "htsat-cache-v1"` header;
+//! readers reject every other value, so the format can evolve by bumping
+//! the string. Artifacts additionally store the [`TransformConfig`] they
+//! were prepared under; a daemon configured differently treats them as
+//! misses rather than serving artifacts of the wrong configuration.
+
+use crate::json::Json;
+use htsat_baselines::engine_by_name;
+use htsat_cnf::{dimacs, Cnf, Fingerprint};
+use htsat_core::{
+    PreparedFormula, SampleEngine, TransformConfig, TransformError, TransformResult,
+    TransformStats, VarClass,
+};
+use htsat_logic::{GateKind, Netlist, NodeId, NodeRef, OutputConstraint, VarId};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use std::{fs, io};
+
+/// The artifact format version header. Bump on any incompatible change;
+/// readers treat every other value as a miss.
+pub const CACHE_FORMAT: &str = "htsat-cache-v1";
+
+/// A successfully deserialized artifact: the prepared engine plus the
+/// display name it was stored under.
+pub(crate) struct CachedEngine {
+    /// The prepared engine, ready to mint sessions.
+    pub engine: Box<dyn SampleEngine>,
+    /// Display name recorded at store time (`LOAD` name or fingerprint).
+    pub name: String,
+}
+
+/// A directory of versioned compile artifacts keyed by (fingerprint,
+/// engine).
+#[derive(Debug)]
+pub struct CompileCache {
+    dir: PathBuf,
+    /// Distinguishes concurrent writers' temp files within one process.
+    temp_seq: AtomicU64,
+}
+
+impl CompileCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory cannot be created.
+    pub fn open(dir: &Path) -> io::Result<CompileCache> {
+        fs::create_dir_all(dir)?;
+        Ok(CompileCache {
+            dir: dir.to_path_buf(),
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn artifact_path(&self, fingerprint: &Fingerprint, engine_name: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}-{engine_name}.json", fingerprint.to_hex()))
+    }
+
+    /// Atomically writes one artifact document: temp file in the same
+    /// directory, then `rename` over the final path.
+    fn write_atomic(&self, path: &Path, doc: &Json) -> io::Result<()> {
+        let seq = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+        let mut temp = path.to_path_buf();
+        temp.set_extension(format!("tmp.{}.{seq}", std::process::id()));
+        let mut text = doc.encode();
+        text.push('\n');
+        let result = fs::write(&temp, text).and_then(|()| fs::rename(&temp, path));
+        if result.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        result
+    }
+
+    /// Stores one artifact. `gd_artifact` carries the serialized
+    /// transformation for the `"gd"` engine; baselines pass `None`.
+    fn store(
+        &self,
+        fingerprint: &Fingerprint,
+        engine_name: &str,
+        name: &str,
+        cnf: &Cnf,
+        transform: &TransformConfig,
+        gd_artifact: Option<Json>,
+    ) -> io::Result<()> {
+        let mut pairs = vec![
+            ("format", CACHE_FORMAT.into()),
+            ("fingerprint", fingerprint.to_hex().into()),
+            ("engine", engine_name.into()),
+            ("name", name.into()),
+            ("transform", encode_transform_config(transform)),
+            ("dimacs", dimacs::to_string(cnf).into()),
+        ];
+        if let Some(gd) = gd_artifact {
+            pairs.push(("gd", gd));
+        }
+        self.write_atomic(
+            &self.artifact_path(fingerprint, engine_name),
+            &Json::obj(pairs),
+        )
+    }
+
+    /// Loads the artifact of one (fingerprint, engine) pair prepared under
+    /// `transform`, or `None` — a miss — when there is no usable artifact
+    /// (absent, unreadable, corrupt, wrong version/fingerprint/config).
+    pub(crate) fn load(
+        &self,
+        fingerprint: &Fingerprint,
+        engine_name: &'static str,
+        transform: &TransformConfig,
+    ) -> Option<CachedEngine> {
+        let path = self.artifact_path(fingerprint, engine_name);
+        let text = fs::read_to_string(&path).ok()?;
+        match decode_artifact(&text, fingerprint, engine_name, transform) {
+            Ok(cached) => Some(cached),
+            Err(reason) => {
+                htsat_obs::warn!(
+                    "cache artifact {} rejected ({reason}); treating as a miss",
+                    path.display()
+                );
+                htsat_obs::counter!("serve.cache.rejects").inc();
+                None
+            }
+        }
+    }
+
+    /// Enumerates the (fingerprint, engine) keys with an artifact on disk,
+    /// skipping files whose *name* is not a cache key (their content is
+    /// vetted later by `CompileCache::load`). This is the boot-time warm
+    /// start's work list.
+    pub fn scan(&self) -> Vec<(Fingerprint, &'static str)> {
+        let mut keys = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return keys;
+        };
+        for entry in entries.flatten() {
+            let file_name = entry.file_name();
+            let Some(stem) = file_name
+                .to_str()
+                .and_then(|name| name.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            // `<32-hex-fingerprint>-<engine>.json`
+            let Some((hex, engine)) = stem.split_once('-') else {
+                continue;
+            };
+            let Ok(fingerprint) = hex.parse::<Fingerprint>() else {
+                continue;
+            };
+            let Some(engine_name) = htsat_baselines::resolve_engine_name(engine) else {
+                continue;
+            };
+            keys.push((fingerprint, engine_name));
+        }
+        keys.sort();
+        keys
+    }
+}
+
+/// Prepares an engine, writing the artifact through to `cache` on success.
+/// This is [`engine_by_name`] plus the cache write — the registry's miss
+/// path. Write failures are logged and swallowed: a full or read-only disk
+/// degrades to the uncached behaviour, it never fails the request.
+///
+/// # Errors
+///
+/// Exactly [`engine_by_name`]'s errors.
+pub(crate) fn prepare_with_cache(
+    cache: Option<&CompileCache>,
+    engine_name: &'static str,
+    cnf: &Cnf,
+    name: &str,
+    transform: &TransformConfig,
+) -> Result<Box<dyn SampleEngine>, TransformError> {
+    // The `"gd"` engine is prepared concretely so the expensive transform
+    // result is in hand for serialization; `engine_by_name` does exactly
+    // this boxing for `"gd"`.
+    let (prepared, gd_artifact): (Box<dyn SampleEngine>, Option<Json>) = if engine_name == "gd" {
+        let prepared = PreparedFormula::prepare(cnf, transform)?;
+        let artifact = cache.map(|_| encode_gd_artifact(prepared.transform_result()));
+        (Box::new(prepared), artifact)
+    } else {
+        (engine_by_name(engine_name, cnf, transform)?, None)
+    };
+    if let Some(cache) = cache {
+        let fingerprint = Fingerprint::of(cnf);
+        if let Err(e) = cache.store(&fingerprint, engine_name, name, cnf, transform, gd_artifact) {
+            htsat_obs::warn!(
+                "cannot persist compile artifact for {} ({engine_name}): {e}",
+                fingerprint.to_hex()
+            );
+        } else {
+            htsat_obs::counter!("serve.cache.writes").inc();
+        }
+    }
+    Ok(prepared)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_transform_config(config: &TransformConfig) -> Json {
+    Json::obj(vec![
+        ("simplify", config.simplify.into()),
+        ("use_signatures", config.use_signatures.into()),
+        ("max_group_clauses", config.max_group_clauses.into()),
+        ("max_support", config.max_support.into()),
+    ])
+}
+
+fn gate_kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Buf => "buf",
+        GateKind::Not => "not",
+        GateKind::And => "and",
+        GateKind::Or => "or",
+        GateKind::Nand => "nand",
+        GateKind::Nor => "nor",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+    }
+}
+
+fn class_char(class: VarClass) -> char {
+    match class {
+        VarClass::PrimaryInput => 'i',
+        VarClass::Intermediate => 'm',
+        VarClass::PrimaryOutput => 'o',
+        VarClass::Unused => 'u',
+    }
+}
+
+/// Serializes the expensive half of a `"gd"` preparation: the netlist,
+/// variable classes and transform statistics.
+fn encode_gd_artifact(transform: &TransformResult) -> Json {
+    let netlist = &transform.netlist;
+    let nodes: Vec<Json> = netlist
+        .nodes()
+        .iter()
+        .map(|node| match node {
+            NodeRef::Input(var) => Json::Arr(vec!["i".into(), u64::from(*var).into()]),
+            NodeRef::Const(value) => Json::Arr(vec!["c".into(), (*value).into()]),
+            NodeRef::Gate { kind, fanin } => Json::Arr(vec![
+                "g".into(),
+                gate_kind_name(*kind).into(),
+                Json::Arr(fanin.iter().map(|f| f.index().into()).collect()),
+            ]),
+        })
+        .collect();
+    let primary_inputs: Vec<Json> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|&v| Json::from(u64::from(v)))
+        .collect();
+    let mut bound: Vec<(VarId, NodeId)> = netlist.bound_vars().collect();
+    bound.sort_unstable();
+    let bound: Vec<Json> = bound
+        .into_iter()
+        .map(|(var, node)| Json::Arr(vec![u64::from(var).into(), node.index().into()]))
+        .collect();
+    let outputs: Vec<Json> = netlist
+        .outputs()
+        .iter()
+        .map(|o| {
+            Json::Arr(vec![
+                o.node.index().into(),
+                o.target.into(),
+                o.var.map_or(Json::Null, |v| u64::from(v).into()),
+            ])
+        })
+        .collect();
+    let classes: String = transform.classes().iter().map(|&c| class_char(c)).collect();
+    let stats = &transform.stats;
+    let stats = Json::obj(vec![
+        ("cnf_vars", stats.cnf_vars.into()),
+        ("cnf_clauses", stats.cnf_clauses.into()),
+        ("cnf_ops", stats.cnf_ops.into()),
+        ("circuit_ops", stats.circuit_ops.into()),
+        ("gate_groups", stats.gate_groups.into()),
+        ("signature_hits", stats.signature_hits.into()),
+        ("aux_constraints", stats.aux_constraints.into()),
+        ("constant_outputs", stats.constant_outputs.into()),
+        (
+            "transform_time_ns",
+            (stats.transform_time.as_nanos().min(u128::from(u64::MAX)) as u64).into(),
+        ),
+    ]);
+    Json::obj(vec![
+        ("nodes", Json::Arr(nodes)),
+        ("primary_inputs", Json::Arr(primary_inputs)),
+        ("bound", Json::Arr(bound)),
+        ("outputs", Json::Arr(outputs)),
+        ("classes", classes.into()),
+        ("stats", stats),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Decoding — every failure is a described miss, never a panic.
+// ---------------------------------------------------------------------------
+
+fn decode_transform_config(json: &Json) -> Result<TransformConfig, String> {
+    Ok(TransformConfig {
+        simplify: json
+            .get("simplify")
+            .and_then(Json::as_bool)
+            .ok_or("transform.simplify")?,
+        use_signatures: json
+            .get("use_signatures")
+            .and_then(Json::as_bool)
+            .ok_or("transform.use_signatures")?,
+        max_group_clauses: decode_usize(json.get("max_group_clauses"))
+            .ok_or("transform.max_group_clauses")?,
+        max_support: decode_usize(json.get("max_support")).ok_or("transform.max_support")?,
+    })
+}
+
+fn decode_usize(json: Option<&Json>) -> Option<usize> {
+    usize::try_from(json?.as_u64()?).ok()
+}
+
+fn decode_u32(json: Option<&Json>) -> Option<u32> {
+    u32::try_from(json?.as_u64()?).ok()
+}
+
+fn decode_gate_kind(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "buf" => GateKind::Buf,
+        "not" => GateKind::Not,
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        _ => return None,
+    })
+}
+
+fn decode_class(c: char) -> Option<VarClass> {
+    Some(match c {
+        'i' => VarClass::PrimaryInput,
+        'm' => VarClass::Intermediate,
+        'o' => VarClass::PrimaryOutput,
+        'u' => VarClass::Unused,
+        _ => return None,
+    })
+}
+
+fn decode_node(json: &Json) -> Option<NodeRef> {
+    let parts = json.as_arr()?;
+    match parts.first()?.as_str()? {
+        "i" if parts.len() == 2 => Some(NodeRef::Input(decode_u32(parts.get(1))?)),
+        "c" if parts.len() == 2 => Some(NodeRef::Const(parts.get(1)?.as_bool()?)),
+        "g" if parts.len() == 3 => {
+            let kind = decode_gate_kind(parts.get(1)?.as_str()?)?;
+            let fanin = parts
+                .get(2)?
+                .as_arr()?
+                .iter()
+                .map(|f| NodeId::from_index(decode_usize(Some(f))?))
+                .collect::<Option<Vec<NodeId>>>()?;
+            Some(NodeRef::Gate { kind, fanin })
+        }
+        _ => None,
+    }
+}
+
+fn decode_netlist(json: &Json) -> Result<Netlist, String> {
+    let nodes = json
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or("gd.nodes")?
+        .iter()
+        .map(decode_node)
+        .collect::<Option<Vec<NodeRef>>>()
+        .ok_or("gd.nodes entry")?;
+    let primary_inputs = json
+        .get("primary_inputs")
+        .and_then(Json::as_arr)
+        .ok_or("gd.primary_inputs")?
+        .iter()
+        .map(|v| decode_u32(Some(v)))
+        .collect::<Option<Vec<VarId>>>()
+        .ok_or("gd.primary_inputs entry")?;
+    let bound = json
+        .get("bound")
+        .and_then(Json::as_arr)
+        .ok_or("gd.bound")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2)?;
+            Some((
+                decode_u32(pair.first())?,
+                NodeId::from_index(decode_usize(pair.get(1))?)?,
+            ))
+        })
+        .collect::<Option<Vec<(VarId, NodeId)>>>()
+        .ok_or("gd.bound entry")?;
+    let outputs = json
+        .get("outputs")
+        .and_then(Json::as_arr)
+        .ok_or("gd.outputs")?
+        .iter()
+        .map(|o| {
+            let o = o.as_arr().filter(|o| o.len() == 3)?;
+            Some(OutputConstraint {
+                node: NodeId::from_index(decode_usize(o.first())?)?,
+                target: o.get(1)?.as_bool()?,
+                var: match o.get(2)? {
+                    Json::Null => None,
+                    var => Some(decode_u32(Some(var))?),
+                },
+            })
+        })
+        .collect::<Option<Vec<OutputConstraint>>>()
+        .ok_or("gd.outputs entry")?;
+    Netlist::from_raw_parts(nodes, primary_inputs, bound, outputs)
+        .map_err(|e| format!("invalid netlist: {e}"))
+}
+
+fn decode_stats(json: &Json) -> Result<TransformStats, String> {
+    let field = |name: &str| json.get(name).and_then(Json::as_u64);
+    Ok(TransformStats {
+        cnf_vars: decode_usize(json.get("cnf_vars")).ok_or("stats.cnf_vars")?,
+        cnf_clauses: decode_usize(json.get("cnf_clauses")).ok_or("stats.cnf_clauses")?,
+        cnf_ops: field("cnf_ops").ok_or("stats.cnf_ops")?,
+        circuit_ops: field("circuit_ops").ok_or("stats.circuit_ops")?,
+        gate_groups: decode_usize(json.get("gate_groups")).ok_or("stats.gate_groups")?,
+        signature_hits: decode_usize(json.get("signature_hits")).ok_or("stats.signature_hits")?,
+        aux_constraints: decode_usize(json.get("aux_constraints"))
+            .ok_or("stats.aux_constraints")?,
+        constant_outputs: decode_usize(json.get("constant_outputs"))
+            .ok_or("stats.constant_outputs")?,
+        transform_time: Duration::from_nanos(
+            field("transform_time_ns").ok_or("stats.transform_time_ns")?,
+        ),
+    })
+}
+
+/// Decodes and fully validates one artifact document against the key and
+/// configuration it is being loaded for.
+fn decode_artifact(
+    text: &str,
+    fingerprint: &Fingerprint,
+    engine_name: &'static str,
+    transform: &TransformConfig,
+) -> Result<CachedEngine, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let format = doc.get("format").and_then(Json::as_str).unwrap_or("");
+    if format != CACHE_FORMAT {
+        return Err(format!("format `{format}` (want `{CACHE_FORMAT}`)"));
+    }
+    let stored_engine = doc.get("engine").and_then(Json::as_str).unwrap_or("");
+    if stored_engine != engine_name {
+        return Err(format!("engine `{stored_engine}` (want `{engine_name}`)"));
+    }
+    let stored_transform =
+        decode_transform_config(doc.get("transform").ok_or("missing transform")?)
+            .map_err(|field| format!("missing/invalid field {field}"))?;
+    if stored_transform != *transform {
+        return Err("prepared under a different transform configuration".to_string());
+    }
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing name")?
+        .to_string();
+    let dimacs_text = doc
+        .get("dimacs")
+        .and_then(Json::as_str)
+        .ok_or("missing dimacs")?;
+    let cnf = dimacs::parse_str(dimacs_text).map_err(|e| format!("invalid DIMACS: {e}"))?;
+    // Integrity: the formula must actually hash to the key it is stored
+    // under (catches renamed and content-swapped files in one check).
+    let actual = Fingerprint::of(&cnf);
+    if actual != *fingerprint {
+        return Err(format!(
+            "fingerprint mismatch (content hashes to {})",
+            actual.to_hex()
+        ));
+    }
+    let stored_hex = doc.get("fingerprint").and_then(Json::as_str).unwrap_or("");
+    if stored_hex != fingerprint.to_hex() {
+        return Err(format!("fingerprint field `{stored_hex}` disagrees"));
+    }
+    let engine: Box<dyn SampleEngine> = if engine_name == "gd" {
+        let gd = doc.get("gd").ok_or("missing gd artifact")?;
+        let netlist = decode_netlist(gd)?;
+        let classes = gd
+            .get("classes")
+            .and_then(Json::as_str)
+            .ok_or("missing gd.classes")?
+            .chars()
+            .map(decode_class)
+            .collect::<Option<Vec<VarClass>>>()
+            .ok_or("invalid gd.classes")?;
+        if classes.len() != cnf.num_vars() {
+            return Err(format!(
+                "gd.classes length {} does not cover {} variables",
+                classes.len(),
+                cnf.num_vars()
+            ));
+        }
+        let stats = decode_stats(gd.get("stats").ok_or("missing gd.stats")?)
+            .map_err(|field| format!("missing/invalid field {field}"))?;
+        let result = TransformResult::from_parts(netlist, classes, stats);
+        Box::new(PreparedFormula::from_transformed(&cnf, transform, result))
+    } else {
+        // Baselines prepare cheaply from the CNF alone; the artifact's
+        // value is the canonical formula itself.
+        engine_by_name(engine_name, &cnf, transform)
+            .map_err(|e| format!("cannot prepare from artifact: {e}"))?
+    };
+    Ok(CachedEngine { engine, name })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(width: u32, seed: i64) -> Cnf {
+        let mut cnf = Cnf::new(width as usize);
+        for v in 1..width {
+            cnf.add_dimacs_clause([i64::from(v), i64::from(v + 1)]);
+        }
+        cnf.add_dimacs_clause([1 + seed.rem_euclid(i64::from(width))]);
+        cnf
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("htsat-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn gd_artifact_round_trips_and_streams_identically() {
+        let dir = temp_dir("roundtrip");
+        let cache = CompileCache::open(&dir).expect("open");
+        let formula = cnf(8, 0);
+        let transform = TransformConfig::default();
+        let fingerprint = Fingerprint::of(&formula);
+        let fresh =
+            prepare_with_cache(Some(&cache), "gd", &formula, "demo", &transform).expect("prepare");
+        let warm = cache
+            .load(&fingerprint, "gd", &transform)
+            .expect("disk hit");
+        assert_eq!(warm.name, "demo");
+        let config = htsat_core::SessionConfig::with_seed(42);
+        let timeout = Duration::from_secs(30);
+        let fresh_solutions = fresh.sample(&config, 8, timeout).expect("fresh sample");
+        let warm_solutions = warm
+            .engine
+            .sample(&config, 8, timeout)
+            .expect("warm sample");
+        assert_eq!(
+            fresh_solutions.solutions, warm_solutions.solutions,
+            "warm-loaded engine must stream bit-identically"
+        );
+        assert_eq!(cache.scan(), vec![(fingerprint, "gd")]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn baseline_artifact_round_trips() {
+        let dir = temp_dir("baseline");
+        let cache = CompileCache::open(&dir).expect("open");
+        let formula = cnf(6, 1);
+        let transform = TransformConfig::default();
+        let fingerprint = Fingerprint::of(&formula);
+        prepare_with_cache(Some(&cache), "walksat", &formula, "w", &transform).expect("prepare");
+        let warm = cache
+            .load(&fingerprint, "walksat", &transform)
+            .expect("disk hit");
+        assert_eq!(warm.engine.name(), "walksat");
+        assert_eq!(warm.name, "w");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_artifacts_are_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = CompileCache::open(&dir).expect("open");
+        let formula = cnf(6, 0);
+        let transform = TransformConfig::default();
+        let fingerprint = Fingerprint::of(&formula);
+        prepare_with_cache(Some(&cache), "gd", &formula, "x", &transform).expect("prepare");
+        let path = cache.artifact_path(&fingerprint, "gd");
+
+        // Absent file.
+        assert!(cache
+            .load(&Fingerprint::of(&cnf(6, 2)), "gd", &transform)
+            .is_none());
+        // Truncated JSON.
+        let full = fs::read_to_string(&path).expect("read");
+        fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+        assert!(cache.load(&fingerprint, "gd", &transform).is_none());
+        // Wrong format version.
+        fs::write(&path, full.replace(CACHE_FORMAT, "htsat-cache-v999")).expect("rewrite");
+        assert!(cache.load(&fingerprint, "gd", &transform).is_none());
+        // Content that hashes to a different fingerprint.
+        fs::write(&path, &full).expect("restore");
+        let other = cnf(6, 3);
+        let other_doc = fs::read_to_string(full_path_for(&cache, &other)).unwrap_or_default();
+        assert!(other_doc.is_empty(), "no artifact for the other formula");
+        let renamed = cache.artifact_path(&Fingerprint::of(&other), "gd");
+        fs::copy(&path, &renamed).expect("copy");
+        assert!(
+            cache
+                .load(&Fingerprint::of(&other), "gd", &transform)
+                .is_none(),
+            "renamed artifact must fail the content-hash check"
+        );
+        // Different transform configuration.
+        let other_config = TransformConfig {
+            max_support: 7,
+            ..TransformConfig::default()
+        };
+        assert!(cache.load(&fingerprint, "gd", &other_config).is_none());
+        // The intact artifact still loads.
+        assert!(cache.load(&fingerprint, "gd", &transform).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn full_path_for(cache: &CompileCache, cnf: &Cnf) -> PathBuf {
+        cache.artifact_path(&Fingerprint::of(cnf), "gd")
+    }
+
+    #[test]
+    fn scan_skips_foreign_files() {
+        let dir = temp_dir("scan");
+        let cache = CompileCache::open(&dir).expect("open");
+        fs::write(dir.join("README.txt"), "not an artifact").expect("write");
+        fs::write(dir.join("zz-gd.json"), "{}").expect("write");
+        fs::write(dir.join("deadbeef-frobnicate.json"), "{}").expect("write");
+        assert!(cache.scan().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -78,6 +78,38 @@ impl From<JsonError> for ClientError {
     }
 }
 
+/// How [`Client::connect_with`] establishes the TCP connection.
+///
+/// `ECONNREFUSED` gets special treatment because it is the signature of
+/// the daemon-startup race: the process exists but has not reached `bind`
+/// yet. Those attempts are retried with exponential backoff up to
+/// `refused_retries` times; every other error (timeout, unreachable,
+/// resolution failure) fails immediately — retrying would not fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectOptions {
+    /// Per-attempt connect timeout; `None` uses the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// How many times to retry after `ECONNREFUSED` (0 = fail fast).
+    pub refused_retries: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Upper bound of the per-retry sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for ConnectOptions {
+    /// 5 s per-attempt timeout; 5 refused retries backing off
+    /// 20 ms → 40 → 80 → 160 → 320 (≈ 620 ms of patience total).
+    fn default() -> Self {
+        ConnectOptions {
+            connect_timeout: Some(Duration::from_secs(5)),
+            refused_retries: 5,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
 /// The reply to a successful `LOAD`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadReply {
@@ -204,7 +236,66 @@ impl Client {
     ///
     /// Returns the connect error.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, &ConnectOptions::default())
+    }
+
+    /// Connects with an explicit per-attempt timeout and a bounded
+    /// retry-with-backoff on `ECONNREFUSED` (see [`ConnectOptions`]) — the
+    /// refusal window between a daemon's spawn and its `bind` no longer
+    /// fails the first client that races it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's connect error once the retry budget is
+    /// spent, or immediately for errors retrying cannot fix (unresolvable
+    /// address, unreachable network).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        options: &ConnectOptions,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )));
+        }
+        let mut backoff = options.initial_backoff;
+        let mut attempt = 0;
+        let stream = loop {
+            attempt += 1;
+            // Try every resolved address before declaring the attempt
+            // failed (the usual multi-address case is localhost v4+v6).
+            let mut last_err: Option<std::io::Error> = None;
+            let mut refused = false;
+            let connected = addrs.iter().find_map(|sock_addr| {
+                let result = match options.connect_timeout {
+                    Some(timeout) => TcpStream::connect_timeout(sock_addr, timeout),
+                    None => TcpStream::connect(sock_addr),
+                };
+                match result {
+                    Ok(stream) => Some(stream),
+                    Err(e) => {
+                        refused |= e.kind() == ErrorKind::ConnectionRefused;
+                        last_err = Some(e);
+                        None
+                    }
+                }
+            });
+            match connected {
+                Some(stream) => break stream,
+                None => {
+                    let err = last_err.expect("at least one address was tried");
+                    // Only a refusal is the retryable startup race; other
+                    // errors (unreachable, timeout) fail fast.
+                    if !refused || attempt > options.refused_retries {
+                        return Err(ClientError::Io(err));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(options.max_backoff);
+                }
+            }
+        };
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {

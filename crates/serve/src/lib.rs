@@ -71,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 mod feed;
 pub use htsat_json as json;
@@ -79,8 +80,10 @@ pub mod registry;
 pub mod server;
 mod session;
 
+pub use cache::CompileCache;
 pub use client::{
-    Client, ClientError, LoadReply, SampleDone, SampleEvent, SampleReply, SampleStream, SubEvent,
+    Client, ClientError, ConnectOptions, LoadReply, SampleDone, SampleEvent, SampleReply,
+    SampleStream, SubEvent,
 };
 pub use proto::ErrorCode;
 pub use registry::{RegistryConfig, RegistryCounters, SamplerRegistry};

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! request  = hello | load | sample | status | stats | evict | shutdown
-//!          | subscribe | credit | unsubscribe | trace
+//!          | subscribe | credit | unsubscribe | trace | register
 //! hello    = {"cmd":"hello", "version":int}
 //! load     = {"cmd":"load", "name"?:str, "engine"?:str, "dimacs":str} |
 //!            {"cmd":"load", "name"?:str, "engine"?:str, "path":str}
@@ -28,7 +28,17 @@
 //! credit      = {"cmd":"credit", "sub":int, "n":int}
 //! unsubscribe = {"cmd":"unsubscribe", "sub":int}
 //! trace       = {"cmd":"trace", "last"?:int, "verb"?:str, "min_ms"?:int}
+//! register    = {"cmd":"register", "addr":"host:port", "ttl_ms"?:int}
 //! ```
+//!
+//! `REGISTER` is the discovery verb of the routing layer: a backend daemon
+//! announces its dialable `addr` to an `htsat-router`, which adds it to the
+//! shard map for `ttl_ms` milliseconds ([`DEFAULT_REGISTER_TTL_MS`] when
+//! omitted). The registration expires unless renewed, so backends
+//! re-register on a heartbeat (every `ttl_ms / 3`; see `--register` on
+//! `htsat-serve`). The reply echoes `{"addr":…, "ttl_ms":…}`. Sampling
+//! daemons themselves answer `REGISTER` with `bad-request` — only the
+//! router accepts it.
 //!
 //! # Request-scoped tracing
 //!
@@ -135,6 +145,11 @@ pub const DEFAULT_SUBSCRIBE_CHUNK: usize = 16;
 /// paper's transformed-circuit GD sampler.
 pub const DEFAULT_ENGINE: &str = "gd";
 
+/// How long a `REGISTER` announcement stays live when `ttl_ms` is omitted.
+/// Backends heartbeat at a third of their TTL, so the default tolerates
+/// two missed heartbeats before the router drops the backend.
+pub const DEFAULT_REGISTER_TTL_MS: u64 = 3000;
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -189,6 +204,16 @@ pub enum Request {
     Unsubscribe {
         /// Subscription id to drop.
         sub: u64,
+    },
+    /// Announce a backend daemon to a router's discovery map (renewed on a
+    /// heartbeat; expires after the TTL). Only `htsat-router` accepts it —
+    /// sampling daemons answer `bad-request`.
+    Register {
+        /// Address the router should dial the backend at (`host:port`).
+        addr: String,
+        /// Liveness window in milliseconds
+        /// (`None` = [`DEFAULT_REGISTER_TTL_MS`]).
+        ttl_ms: Option<u64>,
     },
     /// Return recent request timelines from the trace ring (schema
     /// `htsat-trace-v1`, see [`htsat_obs::TraceReport`]).
@@ -492,6 +517,23 @@ impl Request {
                     .ok_or_else(|| ProtoError("unsubscribe needs `sub`".to_string()))?;
                 Ok(Request::Unsubscribe { sub })
             }
+            "register" => {
+                let addr = msg
+                    .get("addr")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError("register needs `addr`".to_string()))?;
+                if addr.is_empty() {
+                    return Err(ProtoError("`addr` must be non-empty".to_string()));
+                }
+                let ttl_ms = field_u64(msg, "ttl_ms")?;
+                if ttl_ms == Some(0) {
+                    return Err(ProtoError("`ttl_ms` must be non-zero".to_string()));
+                }
+                Ok(Request::Register {
+                    addr: addr.to_string(),
+                    ttl_ms,
+                })
+            }
             "trace" => {
                 let verb = match msg.get("verb") {
                     None | Some(Json::Null) => None,
@@ -610,6 +652,16 @@ impl Request {
             ]),
             Request::Unsubscribe { sub } => {
                 Json::obj(vec![("cmd", "unsubscribe".into()), ("sub", (*sub).into())])
+            }
+            Request::Register { addr, ttl_ms } => {
+                let mut pairs = vec![
+                    ("cmd", Json::from("register")),
+                    ("addr", addr.clone().into()),
+                ];
+                if let Some(ttl) = ttl_ms {
+                    pairs.push(("ttl_ms", (*ttl).into()));
+                }
+                Json::obj(pairs)
             }
             Request::Trace { last, verb, min_ms } => {
                 let mut pairs = vec![("cmd", Json::from("trace"))];
@@ -828,6 +880,12 @@ pub enum ErrorCode {
     FingerprintCollision,
     /// The daemon is shutting down and takes no further work.
     Shutdown,
+    /// No live backend owns the requested shard (router-only: the
+    /// discovery map is empty or every candidate refused the dial).
+    NoBackend,
+    /// The backend owning an in-flight request died mid-stream
+    /// (router-only: terminal for that request; retry re-routes).
+    BackendLost,
 }
 
 impl ErrorCode {
@@ -844,6 +902,8 @@ impl ErrorCode {
             ErrorCode::TransformFailed => "transform-failed",
             ErrorCode::FingerprintCollision => "fingerprint-collision",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::NoBackend => "no-backend",
+            ErrorCode::BackendLost => "backend-lost",
         }
     }
 
@@ -860,6 +920,8 @@ impl ErrorCode {
             ErrorCode::TransformFailed => "serve.errors.transform-failed",
             ErrorCode::FingerprintCollision => "serve.errors.fingerprint-collision",
             ErrorCode::Shutdown => "serve.errors.shutdown",
+            ErrorCode::NoBackend => "serve.errors.no-backend",
+            ErrorCode::BackendLost => "serve.errors.backend-lost",
         }
     }
 }
@@ -1014,6 +1076,14 @@ mod tests {
                 verb: Some("sample".to_string()),
                 min_ms: Some(250),
             },
+            Request::Register {
+                addr: "127.0.0.1:7878".to_string(),
+                ttl_ms: None,
+            },
+            Request::Register {
+                addr: "10.0.0.2:9000".to_string(),
+                ttl_ms: Some(1500),
+            },
         ];
         for request in requests {
             let line = request.encode().encode();
@@ -1058,6 +1128,15 @@ mod tests {
             ),
             (r#"{"cmd": "unsubscribe"}"#, "unsubscribe needs `sub`"),
             (r#"{"cmd": "trace", "verb": 7}"#, "`verb` must be a string"),
+            (r#"{"cmd": "register"}"#, "register needs `addr`"),
+            (
+                r#"{"cmd": "register", "addr": ""}"#,
+                "`addr` must be non-empty",
+            ),
+            (
+                r#"{"cmd": "register", "addr": "x:1", "ttl_ms": 0}"#,
+                "`ttl_ms` must be non-zero",
+            ),
             (
                 r#"{"cmd": "trace", "last": "many"}"#,
                 "`last` must be a non-negative integer",
@@ -1222,6 +1301,8 @@ mod tests {
             ErrorCode::TransformFailed,
             ErrorCode::FingerprintCollision,
             ErrorCode::Shutdown,
+            ErrorCode::NoBackend,
+            ErrorCode::BackendLost,
         ];
         let mut seen = std::collections::HashSet::new();
         for code in codes {

@@ -23,12 +23,14 @@
 //! budget is still admitted (refusing it would make the formula unservable);
 //! it just becomes the first eviction candidate.
 
+use crate::cache::{self, CompileCache};
 use crate::ServeError;
-use htsat_baselines::{engine_by_name, resolve_engine_name};
+use htsat_baselines::resolve_engine_name;
 use htsat_cnf::{Cnf, Fingerprint};
 use htsat_core::{SampleEngine, TransformConfig};
 use htsat_runtime::StreamStats;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
@@ -48,17 +50,23 @@ pub struct RegistryConfig {
     pub model_workers: usize,
     /// Transformation options every GD entry is prepared with.
     pub transform: TransformConfig,
+    /// Directory of the persistent on-disk compile cache
+    /// ([`crate::cache`]); `None` disables persistence. Preparations are
+    /// written through; misses probe the directory before compiling; a
+    /// registry can [warm-start](SamplerRegistry::warm_start) from it.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for RegistryConfig {
     /// 512 MiB budget, modelled at the sampler's default batch (256) on
-    /// one worker, default transformation options.
+    /// one worker, default transformation options, no persistence.
     fn default() -> Self {
         RegistryConfig {
             budget_bytes: 512 * 1024 * 1024,
             model_batch: 256,
             model_workers: 1,
             transform: TransformConfig::default(),
+            cache_dir: None,
         }
     }
 }
@@ -131,6 +139,11 @@ pub struct RegistryCounters {
     pub compiles: u64,
     /// Entries dropped, by eviction or explicit `EVICT`.
     pub evictions: u64,
+    /// Misses answered from the on-disk compile cache instead of a fresh
+    /// preparation (including boot-time warm starts) — the counter the
+    /// "restart skips compile" guarantee is asserted against, together
+    /// with `compiles` staying flat.
+    pub disk_hits: u64,
 }
 
 /// A concurrent map from (formula fingerprint, engine name) to a prepared
@@ -143,6 +156,9 @@ pub struct RegistryCounters {
 #[derive(Debug)]
 pub struct SamplerRegistry {
     config: RegistryConfig,
+    /// The persistent artifact store, when `config.cache_dir` is set and
+    /// the directory could be opened.
+    cache: Option<CompileCache>,
     entries: RwLock<HashMap<EngineKey, Arc<RegistryEntry>>>,
     /// Keys whose preparation is in flight right now (single-flight:
     /// concurrent loads of the same pair wait instead of re-preparing).
@@ -153,6 +169,7 @@ pub struct SamplerRegistry {
     misses: AtomicU64,
     compiles: AtomicU64,
     evictions: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 /// RAII release of an in-flight preparation claim, so a failed (or
@@ -205,11 +222,24 @@ fn same_canonical_formula(a: &Cnf, b: &Cnf) -> bool {
 }
 
 impl SamplerRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry. When the configuration names a cache
+    /// directory that cannot be created, persistence is disabled with a
+    /// warning — the registry still serves, it just recompiles on restart.
     #[must_use]
     pub fn new(config: RegistryConfig) -> Self {
+        let cache = config.cache_dir.as_ref().and_then(|dir| {
+            CompileCache::open(dir)
+                .map_err(|e| {
+                    htsat_obs::warn!(
+                        "cannot open compile cache {} ({e}); persistence disabled",
+                        dir.display()
+                    );
+                })
+                .ok()
+        });
         SamplerRegistry {
             config,
+            cache,
             entries: RwLock::new(HashMap::new()),
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
@@ -218,6 +248,7 @@ impl SamplerRegistry {
             misses: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
         }
     }
 
@@ -340,36 +371,168 @@ impl SamplerRegistry {
         // outside every lock: preparation can take seconds on big formulas
         // and must not block requests for resident entries.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.compiles.fetch_add(1, Ordering::Relaxed);
         htsat_obs::counter!("serve.registry.misses").inc();
-        htsat_obs::counter!("serve.registry.compiles").inc();
-        // Span closes on every exit (including the `?` error path), so a
-        // traced LOAD always attributes its preparation/compilation time.
-        let prepare_span = htsat_obs::span!("serve.registry.prepare");
-        let prepared = engine_by_name(engine_name, cnf, &self.config.transform)?;
-        drop(prepare_span);
-        let bytes = prepared
+        // Probe the persistent cache before compiling: a restarted daemon
+        // (or a peer sharing the cache directory) answers the miss from
+        // disk without re-preparing — `compiles` stays flat.
+        let disk = self
+            .cache
+            .as_ref()
+            .and_then(|cache| cache.load(&fingerprint, engine_name, &self.config.transform));
+        let (prepared, display_name) = match disk {
+            Some(cached) => {
+                // The collision guard of the hit path applies to disk hits
+                // too: the artifact's formula must *be* the requested one,
+                // not merely hash like it.
+                if !same_canonical_formula(cnf, cached.engine.cnf()) {
+                    return Err(ServeError::FingerprintCollision(fingerprint));
+                }
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                htsat_obs::counter!("serve.registry.disk_hits").inc();
+                let display = name.map_or(cached.name, str::to_string);
+                (cached.engine, display)
+            }
+            None => {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                htsat_obs::counter!("serve.registry.compiles").inc();
+                let display = name.map_or_else(|| fingerprint.to_hex(), str::to_string);
+                // Span closes on every exit (including the `?` error
+                // path), so a traced LOAD always attributes its
+                // preparation/compilation time.
+                let prepare_span = htsat_obs::span!("serve.registry.prepare");
+                let prepared = cache::prepare_with_cache(
+                    self.cache.as_ref(),
+                    engine_name,
+                    cnf,
+                    &display,
+                    &self.config.transform,
+                )?;
+                drop(prepare_span);
+                (prepared, display)
+            }
+        };
+        let entry = self.insert_entry(key, display_name, prepared);
+        drop(claim); // release the in-flight slot, wake the waiters
+        Ok((entry, false))
+    }
+
+    /// Publishes a freshly prepared (or warm-loaded) engine as a resident
+    /// entry, applying the LRU budget. If the key was concurrently
+    /// published by another path, the existing entry wins and is returned
+    /// instead.
+    fn insert_entry(
+        &self,
+        key: EngineKey,
+        name: String,
+        engine: Box<dyn SampleEngine>,
+    ) -> Arc<RegistryEntry> {
+        let bytes = engine
             .memory_model(self.config.model_batch, self.config.model_workers)
             .total_bytes();
         let entry = Arc::new(RegistryEntry {
-            fingerprint,
-            engine_name,
-            name: name.map_or_else(|| fingerprint.to_hex(), str::to_string),
-            engine: prepared,
+            fingerprint: key.0,
+            engine_name: key.1,
+            name,
+            engine,
             bytes,
             hits: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
             stats: Mutex::new(StreamStats::default()),
         });
         self.touch(&entry);
-
         let mut entries = self.entries.write().expect("registry poisoned");
+        if let Some(existing) = entries.get(&key) {
+            return existing.clone();
+        }
         entries.insert(key, entry.clone());
-        resident_gauge(engine_name).inc();
+        resident_gauge(key.1).inc();
         self.evict_lru_over_budget(&mut entries, key);
-        drop(entries);
-        drop(claim); // release the in-flight slot, wake the waiters
-        Ok((entry, false))
+        entry
+    }
+
+    /// Fingerprint-only lookup with a persistent-cache fallback: like
+    /// [`SamplerRegistry::get`], but a non-resident pair is warm-loaded
+    /// from disk when an artifact exists. This is what lets a `SAMPLE`
+    /// reach a daemon that never saw the `LOAD` — a failover backend
+    /// sharing the cache directory serves the formula anyway.
+    #[must_use]
+    pub fn get_or_warm(
+        &self,
+        fingerprint: &Fingerprint,
+        engine: &str,
+    ) -> Option<Arc<RegistryEntry>> {
+        if let Some(entry) = self.get(fingerprint, engine) {
+            return Some(entry);
+        }
+        self.cache.as_ref()?;
+        let engine_name = resolve_engine_name(engine)?;
+        let key = (*fingerprint, engine_name);
+        // Same single-flight discipline as `load`: concurrent warm loads
+        // (or a racing `LOAD`) of one pair share one deserialization.
+        let claim = loop {
+            if let Some(entry) = self.get(fingerprint, engine) {
+                return Some(entry);
+            }
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            if self
+                .entries
+                .read()
+                .expect("registry poisoned")
+                .contains_key(&key)
+            {
+                continue;
+            }
+            if inflight.insert(key) {
+                break InflightClaim {
+                    registry: self,
+                    key,
+                };
+            }
+            let _released = self
+                .inflight_done
+                .wait(inflight)
+                .expect("inflight poisoned");
+        };
+        let cached = self
+            .cache
+            .as_ref()?
+            .load(fingerprint, engine_name, &self.config.transform)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        htsat_obs::counter!("serve.registry.disk_hits").inc();
+        let entry = self.insert_entry(key, cached.name, cached.engine);
+        drop(claim);
+        Some(entry)
+    }
+
+    /// Restores every loadable artifact of the persistent cache into
+    /// residency — the boot-time warm start. Returns how many entries were
+    /// restored; artifacts past the byte budget LRU-evict as usual, and
+    /// unusable artifacts are skipped (they will be probed again, and
+    /// rewritten, on their next miss).
+    pub fn warm_start(&self) -> usize {
+        let Some(cache) = &self.cache else {
+            return 0;
+        };
+        let mut restored = 0;
+        for (fingerprint, engine_name) in cache.scan() {
+            let key = (fingerprint, engine_name);
+            if self
+                .entries
+                .read()
+                .expect("registry poisoned")
+                .contains_key(&key)
+            {
+                continue;
+            }
+            let Some(cached) = cache.load(&fingerprint, engine_name, &self.config.transform) else {
+                continue;
+            };
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            htsat_obs::counter!("serve.registry.disk_hits").inc();
+            self.insert_entry(key, cached.name, cached.engine);
+            restored += 1;
+        }
+        restored
     }
 
     /// Evicts least-recently-used entries (never `keep`) until the modelled
@@ -443,6 +606,7 @@ impl SamplerRegistry {
             misses: self.misses.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 

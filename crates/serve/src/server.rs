@@ -4,7 +4,7 @@ use crate::feed::FeedRegistry;
 use crate::json::Json;
 use crate::proto::{
     encode_solution, encode_stats, error_response, ok_response, ErrorCode, LoadSource, Request,
-    SampleParams, DEFAULT_ENGINE,
+    SampleParams, DEFAULT_ENGINE, DEFAULT_REGISTER_TTL_MS,
 };
 use crate::registry::{RegistryConfig, RegistryEntry, SamplerRegistry};
 use crate::session::session;
@@ -14,7 +14,7 @@ use htsat_core::{EngineStream, SessionConfig};
 use htsat_runtime::{StopSet, StopToken};
 use htsat_tensor::Backend;
 use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,6 +46,17 @@ pub struct ServeConfig {
     /// `0` warns on every traced request). The daemon's `--trace-slow-ms`
     /// flag.
     pub trace_slow_ms: Option<u64>,
+    /// Address of an `htsat-router` to announce this daemon to (`None` =
+    /// standalone). A background thread re-registers every
+    /// [`DEFAULT_REGISTER_TTL_MS`]` / 3` milliseconds so the router's
+    /// liveness window never lapses while the daemon is up. The daemon's
+    /// `--register` flag.
+    pub register: Option<String>,
+    /// Address to announce to the router (`None` = the bound address).
+    /// Needed when the daemon binds a wildcard or sits behind NAT, where
+    /// the bound address is not what the router should dial. The daemon's
+    /// `--advertise` flag.
+    pub advertise: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +70,8 @@ impl Default for ServeConfig {
             allow_path_load: false,
             log_stats: None,
             trace_slow_ms: None,
+            register: None,
+            advertise: None,
         }
     }
 }
@@ -87,6 +100,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
     stats_logger: Option<JoinHandle<()>>,
+    heartbeat: Option<JoinHandle<()>>,
 }
 
 /// Starts the daemon described by `config` and returns its handle.
@@ -102,8 +116,18 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let registry = SamplerRegistry::new(config.registry.clone());
+    if config.registry.cache_dir.is_some() {
+        let restored = registry.warm_start();
+        if restored > 0 {
+            htsat_obs::info!(
+                "warm-started {restored} registry entr{} from the compile cache",
+                if restored == 1 { "y" } else { "ies" }
+            );
+        }
+    }
     let state = Arc::new(ServerState {
-        registry: SamplerRegistry::new(config.registry.clone()),
+        registry,
         config,
         stop: StopToken::new(),
         requests: StopSet::new(),
@@ -124,12 +148,95 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || stats_log_loop(&logger_state, period))
             .expect("spawn stats logger thread")
     });
+    let heartbeat = state.config.register.clone().map(|router| {
+        let advertise = state
+            .config
+            .advertise
+            .clone()
+            .unwrap_or_else(|| addr.to_string());
+        let heartbeat_state = state.clone();
+        std::thread::Builder::new()
+            .name("htsat-serve-heartbeat".to_string())
+            .spawn(move || heartbeat_loop(&heartbeat_state, &router, &advertise))
+            .expect("spawn heartbeat thread")
+    });
     Ok(ServerHandle {
         addr,
         state,
         accept: Some(accept),
         stats_logger,
+        heartbeat,
     })
+}
+
+/// How often the heartbeat thread polls the stop flag between
+/// re-registrations.
+const HEARTBEAT_POLL: Duration = Duration::from_millis(25);
+
+/// Socket timeout of one registration exchange: the router answers a
+/// `REGISTER` inline, so anything slower than this is as good as down.
+const REGISTER_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Announces the daemon to `router` every TTL/3 until the daemon stops.
+/// Failures are expected (the router may start later, restart, or be
+/// briefly unreachable) and only logged — the next tick retries.
+fn heartbeat_loop(state: &Arc<ServerState>, router: &str, advertise: &str) {
+    let period = Duration::from_millis(DEFAULT_REGISTER_TTL_MS / 3);
+    let mut announced = false;
+    let mut next = Instant::now(); // register immediately on boot
+    while !state.stop.is_stopped() {
+        if Instant::now() >= next {
+            next = Instant::now() + period;
+            match register_once(router, advertise) {
+                Ok(()) => {
+                    htsat_obs::counter!("serve.register.sent").inc();
+                    if !announced {
+                        announced = true;
+                        htsat_obs::info!("registered with router {router} as {advertise}");
+                    }
+                }
+                Err(e) => {
+                    htsat_obs::counter!("serve.register.failed").inc();
+                    if announced {
+                        announced = false;
+                        htsat_obs::warn!("lost router {router}: {e} (retrying)");
+                    } else {
+                        htsat_obs::debug!("register with {router} failed: {e} (retrying)");
+                    }
+                }
+            }
+        }
+        std::thread::sleep(HEARTBEAT_POLL);
+    }
+}
+
+/// One registration exchange: dial, send `REGISTER`, require `ok:true`.
+fn register_once(router: &str, advertise: &str) -> std::io::Result<()> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = TcpStream::connect(router)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(REGISTER_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(REGISTER_IO_TIMEOUT))?;
+    let request = Request::Register {
+        addr: advertise.to_string(),
+        ttl_ms: Some(DEFAULT_REGISTER_TTL_MS),
+    };
+    let mut writer = stream.try_clone()?;
+    writer.write_all(request.encode().encode().as_bytes())?;
+    writer.write_all(b"\n")?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    let msg = Json::parse(&reply)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad reply: {e}")))?;
+    if msg.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        let detail = msg
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("registration rejected");
+        Err(std::io::Error::other(detail.to_string()))
+    }
 }
 
 /// How often the stats logger polls the stop flag between emissions.
@@ -179,6 +286,9 @@ impl ServerHandle {
         }
         if let Some(logger) = self.stats_logger.take() {
             let _ = logger.join();
+        }
+        if let Some(heartbeat) = self.heartbeat.take() {
+            let _ = heartbeat.join();
         }
         // Feed producers are owned by the daemon, not by any one session:
         // their stop tokens were fired with the rest of the request set, so
@@ -329,6 +439,15 @@ pub(crate) fn dispatch_request(request: Request, state: &Arc<ServerState>) -> (J
             htsat_obs::counter!("serve.requests.trace").inc();
             (handle_trace(last, verb, min_ms), false)
         }
+        // Discovery announcements belong to the routing layer; a sampling
+        // daemon is never a registration target.
+        Request::Register { .. } => (
+            error_response(
+                ErrorCode::BadRequest,
+                "register is only accepted by htsat-router",
+            ),
+            false,
+        ),
     }
 }
 
@@ -487,7 +606,11 @@ pub(crate) fn admit_sample(
     token: &StopToken,
 ) -> Result<AdmittedSample, (ErrorCode, String)> {
     let engine = params.engine.as_deref().unwrap_or(DEFAULT_ENGINE);
-    let Some(entry) = state.registry.get(&params.fingerprint, engine) else {
+    // `get_or_warm`: a non-resident pair can still be served when the
+    // persistent cache has its artifact — the failover path of a routed
+    // deployment, where a backend receives `SAMPLE`s for formulas another
+    // backend loaded into the shared cache directory.
+    let Some(entry) = state.registry.get_or_warm(&params.fingerprint, engine) else {
         return Err((
             ErrorCode::NotLoaded,
             format!(
@@ -649,6 +772,7 @@ fn handle_status(state: &Arc<ServerState>) -> Json {
         ("misses", counters.misses.into()),
         ("compiles", counters.compiles.into()),
         ("evictions", counters.evictions.into()),
+        ("disk_hits", counters.disk_hits.into()),
         ("in_flight", state.requests.len().into()),
         ("feeds", state.feeds.feed_count().into()),
         ("subscribers", state.feeds.subscriber_count().into()),

@@ -93,6 +93,7 @@ struct TraceNames {
     credit: SpanName,
     unsubscribe: SpanName,
     trace: SpanName,
+    register: SpanName,
     reader: SpanName,
     queue_wait: SpanName,
     serialize: SpanName,
@@ -113,6 +114,7 @@ fn trace_names() -> &'static TraceNames {
         credit: trace::span_name("credit"),
         unsubscribe: trace::span_name("unsubscribe"),
         trace: trace::span_name("trace"),
+        register: trace::span_name("register"),
         reader: trace::span_name("serve.reader"),
         queue_wait: trace::span_name("serve.worker.queue_wait"),
         serialize: trace::span_name("serve.writer.serialize"),
@@ -135,6 +137,7 @@ fn verb_name(request: &Request) -> SpanName {
         Request::Credit { .. } => names.credit,
         Request::Unsubscribe { .. } => names.unsubscribe,
         Request::Trace { .. } => names.trace,
+        Request::Register { .. } => names.register,
     }
 }
 
@@ -687,7 +690,11 @@ fn handle_v2_line(
                 true,
             );
         }
-        Request::Status | Request::Stats { .. } | Request::Evict { .. } | Request::Trace { .. } => {
+        Request::Status
+        | Request::Stats { .. }
+        | Request::Evict { .. }
+        | Request::Trace { .. }
+        | Request::Register { .. } => {
             let frame = {
                 let _scope = rt.and_then(|t| t.handle).map(trace::install);
                 let _span = htsat_obs::span!("serve.request");
